@@ -1,0 +1,143 @@
+//! Criterion micro/macro benchmarks for the reproduction.
+//!
+//! These quantify the simulation infrastructure itself (they are *not*
+//! the paper's experiments — those are the `table*`/`fig*`/`speedup`
+//! binaries): engine throughput per generation, RNG kernels, FEM
+//! handshake latency in simulated cycles per wall-second, the
+//! cycle-accurate system, and the synthesis flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use carng::{CaRng, Lfsr16, Rng16};
+use ga_core::{GaEngine, GaParams, GaSystem};
+use ga_fitness::fem::{Fem, FemIn};
+use ga_fitness::rom::FitnessRom;
+use ga_fitness::{CordicFem, FemBank, FemSlot, LookupFem, TestFunction};
+use hwsim::Clocked;
+use swga::{CountingGa, PpcCostModel};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("ca_1000_draws", |b| {
+        let mut rng = CaRng::new(0x2961);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u16() as u32);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("lfsr_1000_draws", |b| {
+        let mut rng = Lfsr16::new(0x2961);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u16() as u32);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("behavioral_engine");
+    for pop in [32u8, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("one_generation", pop), &pop, |b, &pop| {
+            let rom = FitnessRom::tabulate(TestFunction::Mbf6_2);
+            let params = GaParams::new(pop, 1, 10, 1, 0x2961);
+            b.iter(|| {
+                let mut e = GaEngine::new(params, CaRng::new(params.seed), |c| rom.lookup(c));
+                e.init_population();
+                black_box(e.step_generation())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hw_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_accurate_system");
+    g.sample_size(20);
+    g.bench_function("pop32_gen8_mbf6_2", |b| {
+        let params = GaParams::new(32, 8, 10, 1, 0x2961);
+        b.iter(|| {
+            let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+                LookupFem::for_function(TestFunction::Mbf6_2),
+            )]));
+            black_box(sys.program_and_run(&params, 100_000_000).unwrap().cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fem_transaction");
+    fn transact(fem: &mut impl Fem, cand: u16) -> u16 {
+        loop {
+            fem.eval(FemIn {
+                fit_request: true,
+                candidate: cand,
+            });
+            fem.commit();
+            if fem.out().fit_valid {
+                break;
+            }
+        }
+        let v = fem.out().fit_value;
+        loop {
+            fem.eval(FemIn::default());
+            fem.commit();
+            if !fem.out().fit_valid {
+                return v;
+            }
+        }
+    }
+    g.bench_function("lookup", |b| {
+        let mut fem = LookupFem::for_function(TestFunction::Mbf6_2);
+        fem.reset();
+        b.iter(|| black_box(transact(&mut fem, 0x1234)))
+    });
+    g.bench_function("cordic", |b| {
+        let mut fem = CordicFem::new(TestFunction::Mbf6_2);
+        fem.reset();
+        b.iter(|| black_box(transact(&mut fem, 0x1234)))
+    });
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_flow");
+    g.sample_size(10);
+    g.bench_function("elaborate_map_time_ga_core", |b| {
+        b.iter(|| black_box(ga_synth::elaborate_ga_core().1))
+    });
+    g.finish();
+}
+
+fn bench_software_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("software_cost_model");
+    g.bench_function("counting_ga_pop32_gen32", |b| {
+        let rom = FitnessRom::tabulate(TestFunction::Mbf6_2);
+        let params = GaParams::new(32, 32, 10, 1, 0x2961);
+        let model = PpcCostModel::default();
+        b.iter(|| {
+            let run = CountingGa::new(params, |c| rom.lookup(c)).run();
+            black_box(model.seconds(&run.ops))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_engine,
+    bench_hw_system,
+    bench_fems,
+    bench_synthesis,
+    bench_software_model
+);
+criterion_main!(benches);

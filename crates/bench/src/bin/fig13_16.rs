@@ -1,0 +1,43 @@
+//! Regenerate Figs. 13–16: best and average fitness per generation,
+//! captured from the cycle-accurate hardware run (the paper logged
+//! these with Chipscope Pro cores).
+//!
+//! Captions:
+//! * Fig. 13 — mBF6_2, seed 061F, XR 10, pop 64
+//! * Fig. 14 — mBF6_2, seed A0A0, XR 10, pop 64
+//! * Fig. 15 — mBF7_2, seed AAAA, XR 12, pop 64
+//! * Fig. 16 — mShubert2D, seed AAAA, XR 10, pop 64
+//!
+//! CSV rows: `figure,generation,best,avg`.
+//!
+//! Run with `cargo run --release -p ga-bench --bin fig13_16 > fig13_16.csv`.
+
+use ga_bench::{run_hw, table7_params};
+use ga_fitness::TestFunction;
+
+fn main() {
+    println!("figure,generation,best,avg");
+    let figures = [
+        (13u8, TestFunction::Mbf6_2, 0x061Fu16, 10u8),
+        (14, TestFunction::Mbf6_2, 0xA0A0, 10),
+        (15, TestFunction::Mbf7_2, 0xAAAA, 12),
+        (16, TestFunction::MShubert2D, 0xAAAA, 10),
+    ];
+    for (fig, f, seed, xr) in figures {
+        let params = table7_params(seed, 64, xr);
+        let run = run_hw(f, &params);
+        let mut best_at_10 = 0u16;
+        for s in &run.history {
+            println!("{fig},{},{},{:.1}", s.gen, s.best.fitness, s.avg());
+            if s.gen == 10 {
+                best_at_10 = s.best.fitness;
+            }
+        }
+        eprintln!(
+            "Fig.{fig} ({}, seed {seed:04X}, XR {xr}): final best {}, best@gen10 {} — the paper finds its best within ~10 generations",
+            f.name(),
+            run.best.fitness,
+            best_at_10
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerate Figs. 8–12: the RT-level convergence scatter plots.
+//!
+//! Each figure plots every *distinct* fitness value present in each
+//! generation's population ("the plots show only one of multiple
+//! members with the same fitness"). The five figures correspond to
+//! Table V runs 3, 4, 5, 6 and 10. CSV rows: `figure,generation,fitness`.
+//!
+//! Run with `cargo run --release -p ga-bench --bin fig8_12 > fig8_12.csv`.
+
+use carng::CaRng;
+use ga_bench::{table5_params, TABLE5_RUNS};
+use ga_core::GaEngine;
+
+fn main() {
+    println!("figure,generation,fitness");
+    // (figure number, Table V run number) per the captions.
+    let figures = [(8u8, 3u8), (9, 4), (10, 5), (11, 6), (12, 10)];
+    for (fig, run_no) in figures {
+        let row = TABLE5_RUNS
+            .iter()
+            .find(|r| r.run == run_no)
+            .expect("run number exists");
+        let params = table5_params(row);
+        let f = row.function;
+        // The behavioral engine exposes the full population per
+        // generation (proven bit-identical to the hardware by the
+        // differential tests).
+        let mut engine = GaEngine::new(params, CaRng::new(params.seed), move |c| f.eval_u16(c));
+        engine.init_population();
+        emit(fig, 0, engine.population());
+        for gen in 1..=32u32 {
+            engine.step_generation();
+            emit(fig, gen, engine.population());
+        }
+    }
+    eprintln!("Figs. 8–12 scatter series written.");
+}
+
+fn emit(fig: u8, gen: u32, pop: &[ga_core::Individual]) {
+    let mut fits: Vec<u16> = pop.iter().map(|i| i.fitness).collect();
+    fits.sort_unstable();
+    fits.dedup();
+    for f in fits {
+        println!("{fig},{gen},{f}");
+    }
+}

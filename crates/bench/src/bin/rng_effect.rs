@@ -1,0 +1,128 @@
+//! §II-C — does PRNG quality affect GA performance?
+//!
+//! The paper surveys the dispute: Meysenburg & Foster found "little or
+//! no improvement" from good PRNGs; Cantú-Paz found the quality of the
+//! *initial population* matters most; and "poor RNGs can sometimes
+//! outperform good RNGs for particular seeds", which is why the core
+//! makes the seed programmable. We rerun the study on this
+//! implementation: the same GA across 64 seeds, driven by
+//!
+//! * the hardware CA (maximal period, lag-1 corr ≈ 0.38),
+//! * the maximal LFSR,
+//! * a deliberately poor CA (pure rule 90: period 30),
+//! * a modern software generator (ChaCha via `rand`, the "good PRNG").
+//!
+//! Run with `cargo run --release -p ga-bench --bin rng_effect`.
+
+use carng::{CaRng, Lfsr16, Rng16};
+use ga_core::{GaEngine, GaParams};
+use ga_fitness::TestFunction;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Adapter: a modern software PRNG behind the hardware-style trait.
+struct SoftRng {
+    inner: StdRng,
+    out: u16,
+}
+
+impl SoftRng {
+    fn new(seed: u16) -> Self {
+        let mut s = SoftRng {
+            inner: StdRng::seed_from_u64(seed as u64),
+            out: 0,
+        };
+        s.out = seed; // same first-draw-is-the-seed convention
+        s
+    }
+}
+
+impl Rng16 for SoftRng {
+    fn output(&self) -> u16 {
+        self.out
+    }
+    fn step(&mut self) {
+        self.out = (self.inner.next_u32() & 0xFFFF) as u16;
+    }
+    fn reseed(&mut self, seed: u16) {
+        *self = SoftRng::new(seed);
+    }
+}
+
+/// Mean and standard deviation of best fitness across seeds.
+fn stats(results: &[u16]) -> (f64, f64) {
+    let n = results.len() as f64;
+    let mean = results.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = results
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    (mean, var.sqrt())
+}
+
+fn sweep(f: TestFunction, mk: impl Fn(u16) -> Box<dyn Rng16>) -> (f64, f64, u16) {
+    let results: Vec<u16> = (0..64u16)
+        .map(|k| {
+            let seed = 0x1000 + k * 977;
+            let params = GaParams::new(32, 32, 10, 1, seed);
+            let mut rng = mk(seed);
+            rng.reseed(seed);
+            // Generic-over-dyn engine: drive through a small adapter.
+            struct DynRng(Box<dyn Rng16>);
+            impl Rng16 for DynRng {
+                fn output(&self) -> u16 {
+                    self.0.output()
+                }
+                fn step(&mut self) {
+                    self.0.step()
+                }
+                fn reseed(&mut self, s: u16) {
+                    self.0.reseed(s)
+                }
+            }
+            GaEngine::new(params, DynRng(rng), move |c| f.eval_u16(c))
+                .run()
+                .best
+                .fitness
+        })
+        .collect();
+    let (mean, sd) = stats(&results);
+    (mean, sd, *results.iter().max().unwrap())
+}
+
+fn main() {
+    println!("§II-C — GA performance vs PRNG quality");
+    println!("(BF6, pop 32, 32 gens, XR 10, MR 1; 64 seeds per generator)\n");
+    println!(
+        "{:<26} {:>10} {:>8} {:>8}",
+        "generator", "mean best", "stddev", "max"
+    );
+    println!("{}", "-".repeat(56));
+    let rows: Vec<(&str, (f64, f64, u16))> = vec![
+        (
+            "CA 90/150 (hardware)",
+            sweep(TestFunction::Bf6, |s| Box::new(CaRng::new(s))),
+        ),
+        (
+            "Galois LFSR",
+            sweep(TestFunction::Bf6, |s| Box::new(Lfsr16::new(s))),
+        ),
+        (
+            "poor CA (rule 90)",
+            sweep(TestFunction::Bf6, |s| Box::new(CaRng::with_rules(s, 0))),
+        ),
+        (
+            "ChaCha (rand::StdRng)",
+            sweep(TestFunction::Bf6, |s| Box::new(SoftRng::new(s))),
+        ),
+    ];
+    for (name, (mean, sd, max)) in &rows {
+        println!("{:<26} {:>10.1} {:>8.1} {:>8}", name, mean, sd, max);
+    }
+    println!();
+    println!("Expected shape (and the paper's reading of Cantú-Paz): the maximal");
+    println!("hardware generators track the software-quality PRNG closely, while");
+    println!("the short-period generator measurably degrades the mean — its period");
+    println!("of 30 can't even fill a random initial population of 32.");
+}

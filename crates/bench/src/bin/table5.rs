@@ -1,0 +1,44 @@
+//! Regenerate Table V: RT-level simulation results for BF6, F2 and F3
+//! under the paper's ten parameter settings (best fitness found and the
+//! convergence generation — the generation where the average fitness
+//! changes by less than 5%).
+//!
+//! Run with `cargo run --release -p ga-bench --bin table5`.
+
+use ga_bench::{run_hw, table5_params, TABLE5_RUNS};
+
+fn main() {
+    println!("Table V — RT-level results (this implementation vs paper)");
+    println!(
+        "{:>3} {:>10} {:>6} {:>4} {:>6} | {:>11} {:>12} | {:>10}",
+        "run", "function", "seed", "pop", "xover", "best fitness", "convergence", "paper best"
+    );
+    // The paper's printed best-fitness column for runs 1–10.
+    let paper_best = [4047u16, 4271, 4271, 4146, 4047, 3060, 2096, 3060, 3060, 3060];
+    println!("{}", "-".repeat(84));
+    for (row, paper) in TABLE5_RUNS.iter().zip(paper_best) {
+        let params = table5_params(row);
+        let run = run_hw(row.function, &params);
+        let ga = run.as_ga_run();
+        let conv = ga
+            .convergence_generation()
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>3} {:>10} {:>6} {:>4} {:>6} | {:>11} {:>12} | {:>10}",
+            row.run,
+            row.function.name(),
+            row.seed,
+            row.pop,
+            row.xover,
+            run.best.fitness,
+            conv,
+            paper
+        );
+    }
+    println!();
+    println!("notes: identical GA architecture, but the CA rule vector and seed-to-");
+    println!("stream mapping differ from the authors' unpublished RNG, so per-row");
+    println!("values differ while the qualitative shape (optimum found only under");
+    println!("some settings; seed choice decisive) reproduces. See EXPERIMENTS.md.");
+}

@@ -1,0 +1,50 @@
+//! Regenerate Table VI: post-place-and-route statistics of the GA core
+//! on the xc2vp30 — logic utilization, clock, and block-memory
+//! utilization for the GA memory and the lookup fitness module.
+//!
+//! Run with `cargo run --release -p ga-bench --bin table6`.
+
+use ga_fitness::rom::{bram16_count, bram_utilization_pct};
+use ga_synth::elaborate_ga_core;
+
+fn main() {
+    let (_netlist, report) = elaborate_ga_core();
+
+    // Block-memory geometry (identical to the paper's):
+    // GA memory: 256 × 32; fitness lookup: 2^16 × 16.
+    let ga_mem_brams = bram16_count(256, 32);
+    let fitness_brams = bram16_count(1 << 16, 16);
+
+    println!("Table VI — post-place-and-route statistics (xc2vp30-7ff896)");
+    println!("{:<48} {:>12} {:>10}", "design attribute", "this repo", "paper");
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:<48} {:>11}% {:>9}%",
+        "Logic utilization (% slices used)", report.slice_pct, 13
+    );
+    println!(
+        "{:<48} {:>9} MHz {:>7} MHz",
+        "Clock (achievable fmax; paper ran at 50 MHz)",
+        report.timing.fmax_mhz.round() as u32,
+        50
+    );
+    println!(
+        "{:<48} {:>11}% {:>9}%",
+        "Block memory utilization (GA memory)",
+        bram_utilization_pct(ga_mem_brams),
+        1
+    );
+    println!(
+        "{:<48} {:>11}% {:>9}%",
+        "Block memory utilization (fitness lookup module)",
+        bram_utilization_pct(fitness_brams),
+        48
+    );
+    println!();
+    println!("detail: {} gates → {} LUT4 + {} MUXCY + {} FF → {} slices",
+        report.gates, report.map.lut4, report.map.carry_mux, report.map.ff, report.slices);
+    println!("        critical path {:.2} ns ({} LUT levels)",
+        report.timing.critical_ns, report.timing.levels);
+    println!("        GA memory {} BRAM, fitness ROM {} BRAM of 136",
+        ga_mem_brams, fitness_brams);
+}

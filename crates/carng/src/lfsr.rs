@@ -1,0 +1,112 @@
+//! Galois LFSR — the "linear shift register" (LSHR) PRNG alternative.
+//!
+//! Tommiska & Vuori's GA used a linear shift register PRNG (Table I row
+//! 2). We provide one both as a comparison point for the RNG-quality
+//! experiments of §II-C and as a second generator the GA engine can be
+//! parameterized with, demonstrating the paper's claim that "the
+//! operation of the GA core is independent of the RNG implementation".
+
+use crate::Rng16;
+
+/// Feedback mask for the primitive polynomial
+/// x^16 + x^14 + x^13 + x^11 + 1 — the standard maximal 16-bit Galois
+/// LFSR tap set (period 2^16 − 1).
+pub const MAXIMAL_TAPS: u16 = 0xB400;
+
+/// 16-bit Galois LFSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr16 {
+    state: u16,
+    taps: u16,
+}
+
+impl Lfsr16 {
+    /// Construct with the maximal tap set; a zero seed (the LFSR's
+    /// fixed point) is remapped to `0x0001`.
+    pub fn new(seed: u16) -> Self {
+        Self::with_taps(seed, MAXIMAL_TAPS)
+    }
+
+    /// Construct with explicit taps (deliberately poor generators for
+    /// quality experiments).
+    pub fn with_taps(seed: u16, taps: u16) -> Self {
+        Lfsr16 {
+            state: if seed == 0 { 1 } else { seed },
+            taps,
+        }
+    }
+
+    /// One shift step.
+    #[inline(always)]
+    pub fn step_state(state: u16, taps: u16) -> u16 {
+        let lsb = state & 1;
+        let shifted = state >> 1;
+        if lsb == 1 {
+            shifted ^ taps
+        } else {
+            shifted
+        }
+    }
+}
+
+impl Rng16 for Lfsr16 {
+    #[inline(always)]
+    fn output(&self) -> u16 {
+        self.state
+    }
+
+    #[inline(always)]
+    fn step(&mut self) {
+        self.state = Self::step_state(self.state, self.taps);
+    }
+
+    fn reseed(&mut self, seed: u16) {
+        self.state = if seed == 0 { 1 } else { seed };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_period() {
+        let seed = 1u16;
+        let mut s = Lfsr16::step_state(seed, MAXIMAL_TAPS);
+        let mut n: u32 = 1;
+        while s != seed {
+            s = Lfsr16::step_state(s, MAXIMAL_TAPS);
+            n += 1;
+            assert!(n <= 65535);
+        }
+        assert_eq!(n, 65535);
+    }
+
+    #[test]
+    fn zero_seed_remapped() {
+        let mut l = Lfsr16::new(0);
+        assert_eq!(l.next_u16(), 1);
+    }
+
+    #[test]
+    fn zero_state_is_fixed_point() {
+        assert_eq!(Lfsr16::step_state(0, MAXIMAL_TAPS), 0);
+    }
+
+    #[test]
+    fn stream_differs_from_ca_rng() {
+        use crate::CaRng;
+        let mut l = Lfsr16::new(0x2961);
+        let mut c = CaRng::new(0x2961);
+        let ls: Vec<u16> = (0..16).map(|_| l.next_u16()).collect();
+        let cs: Vec<u16> = (0..16).map(|_| c.next_u16()).collect();
+        assert_eq!(ls[0], cs[0], "both start at the seed");
+        assert_ne!(ls[1..], cs[1..]);
+    }
+
+    #[test]
+    fn first_draw_is_seed() {
+        let mut l = Lfsr16::new(0xFFFF);
+        assert_eq!(l.next_u16(), 0xFFFF);
+    }
+}

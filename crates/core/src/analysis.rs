@@ -1,0 +1,189 @@
+//! Population analytics: the quantitative form of the paper's
+//! convergence plots.
+//!
+//! Figs. 8–12 visualize convergence as the *set of distinct fitness
+//! values* per generation shrinking ("as the population converges to
+//! the best few candidates in the latter generations, the number of
+//! points will be decreased"). This module turns that visual into
+//! numbers: distinct-candidate counts, mean pairwise Hamming distance,
+//! fitness entropy, and takeover time — computed per generation from a
+//! population snapshot.
+
+use crate::behavioral::Individual;
+
+/// Diversity metrics of one population snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diversity {
+    /// Number of distinct chromosomes.
+    pub distinct_chromosomes: usize,
+    /// Number of distinct fitness values (what Figs. 8–12 plot).
+    pub distinct_fitness: usize,
+    /// Mean pairwise Hamming distance between chromosomes (0..=16).
+    pub mean_hamming: f64,
+    /// Shannon entropy of the fitness distribution, in bits.
+    pub fitness_entropy: f64,
+    /// Fraction of the population equal to the best individual's
+    /// chromosome (1.0 = fully taken over).
+    pub takeover_fraction: f64,
+}
+
+/// Compute diversity metrics for a population.
+pub fn diversity(pop: &[Individual]) -> Diversity {
+    assert!(!pop.is_empty(), "population must be non-empty");
+    let n = pop.len();
+
+    let mut chroms: Vec<u16> = pop.iter().map(|i| i.chrom).collect();
+    chroms.sort_unstable();
+    let mut distinct_chromosomes = 1;
+    for w in chroms.windows(2) {
+        if w[0] != w[1] {
+            distinct_chromosomes += 1;
+        }
+    }
+
+    let mut fits: Vec<u16> = pop.iter().map(|i| i.fitness).collect();
+    fits.sort_unstable();
+    let mut distinct_fitness = 1;
+    for w in fits.windows(2) {
+        if w[0] != w[1] {
+            distinct_fitness += 1;
+        }
+    }
+
+    // Mean pairwise Hamming distance, computed per bit position in
+    // O(16·n): for bit b with k ones, the number of differing pairs is
+    // k·(n−k).
+    let mut differing_pairs = 0u64;
+    for b in 0..16 {
+        let k = pop.iter().filter(|i| (i.chrom >> b) & 1 == 1).count() as u64;
+        differing_pairs += k * (n as u64 - k);
+    }
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    let mean_hamming = if total_pairs == 0 {
+        0.0
+    } else {
+        differing_pairs as f64 / total_pairs as f64
+    };
+
+    // Fitness entropy.
+    let mut entropy = 0.0;
+    let mut i = 0;
+    while i < fits.len() {
+        let mut j = i;
+        while j < fits.len() && fits[j] == fits[i] {
+            j += 1;
+        }
+        let p = (j - i) as f64 / n as f64;
+        entropy -= p * p.log2();
+        i = j;
+    }
+
+    // Takeover fraction of the best chromosome.
+    let best = pop.iter().max_by_key(|i| i.fitness).expect("non-empty");
+    let takeover = pop.iter().filter(|i| i.chrom == best.chrom).count() as f64 / n as f64;
+
+    Diversity {
+        distinct_chromosomes,
+        distinct_fitness,
+        mean_hamming,
+        fitness_entropy: entropy,
+        takeover_fraction: takeover,
+    }
+}
+
+/// Takeover time: the first generation (index into `snapshots`) where
+/// the best chromosome occupies at least `fraction` of the population.
+/// `None` if it never does.
+pub fn takeover_time(snapshots: &[Vec<Individual>], fraction: f64) -> Option<usize> {
+    snapshots
+        .iter()
+        .position(|pop| diversity(pop).takeover_fraction >= fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::GaEngine;
+    use crate::params::GaParams;
+    use carng::CaRng;
+    use ga_fitness::TestFunction;
+
+    fn ind(chrom: u16, fitness: u16) -> Individual {
+        Individual { chrom, fitness }
+    }
+
+    #[test]
+    fn uniform_population_has_zero_diversity() {
+        let pop = vec![ind(0x1234, 100); 8];
+        let d = diversity(&pop);
+        assert_eq!(d.distinct_chromosomes, 1);
+        assert_eq!(d.distinct_fitness, 1);
+        assert_eq!(d.mean_hamming, 0.0);
+        assert_eq!(d.fitness_entropy, 0.0);
+        assert_eq!(d.takeover_fraction, 1.0);
+    }
+
+    #[test]
+    fn complementary_pair_has_max_hamming() {
+        let pop = vec![ind(0x0000, 1), ind(0xFFFF, 2)];
+        let d = diversity(&pop);
+        assert_eq!(d.mean_hamming, 16.0);
+        assert_eq!(d.distinct_chromosomes, 2);
+        assert!((d.fitness_entropy - 1.0).abs() < 1e-12, "two equiprobable values = 1 bit");
+        assert_eq!(d.takeover_fraction, 0.5);
+    }
+
+    #[test]
+    fn entropy_of_uniform_four_values_is_two_bits() {
+        let pop = vec![ind(1, 10), ind(2, 20), ind(3, 30), ind(4, 40)];
+        let d = diversity(&pop);
+        assert!((d.fitness_entropy - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ga_run_diversity_collapses_over_generations() {
+        // The Figs. 8–12 phenomenon, quantified: diversity at the end of
+        // a converged run is well below the random initial population's.
+        let params = GaParams::new(32, 32, 10, 1, 10593);
+        let mut engine = GaEngine::new(params, CaRng::new(params.seed), |c| {
+            TestFunction::F3.eval_u16(c)
+        });
+        engine.init_population();
+        let d0 = diversity(engine.population());
+        for _ in 0..32 {
+            engine.step_generation();
+        }
+        let d_end = diversity(engine.population());
+        assert!(
+            d_end.distinct_fitness < d0.distinct_fitness / 2,
+            "distinct fitness {} → {}",
+            d0.distinct_fitness,
+            d_end.distinct_fitness
+        );
+        assert!(d_end.mean_hamming < d0.mean_hamming / 2.0);
+        assert!(d_end.takeover_fraction > d0.takeover_fraction);
+    }
+
+    #[test]
+    fn takeover_time_detects_convergence_point() {
+        let params = GaParams::new(16, 40, 10, 1, 0x2961);
+        let mut engine = GaEngine::new(params, CaRng::new(params.seed), |c| {
+            TestFunction::F3.eval_u16(c)
+        });
+        engine.init_population();
+        let mut snaps = vec![engine.population().to_vec()];
+        for _ in 0..40 {
+            engine.step_generation();
+            snaps.push(engine.population().to_vec());
+        }
+        let t = takeover_time(&snaps, 0.5);
+        assert!(t.is_some(), "no 50% takeover in 40 generations");
+        assert!(t.unwrap() > 0, "random init can't be taken over already");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_population_rejected() {
+        let _ = diversity(&[]);
+    }
+}

@@ -1,0 +1,940 @@
+//! The cycle-accurate GA core — the FSM + datapath the AUDI HLS flow
+//! synthesizes from the behavioral model.
+//!
+//! Faithful to the paper's sequential, unpipelined HLS output: every
+//! micro-operation occupies its own state, block-RAM reads take the
+//! architectural two cycles (address register + output register), the
+//! 24×16 selection multiply occupies four states (a sequential
+//! multiplier allocation), and all I/O follows the handshake protocols
+//! of §III-B. The RNG consume enable and seed load are same-cycle wires
+//! to the RNG module inside the GA-module boundary (Fig. 4).
+//!
+//! The FSM consumes random draws in **exactly** the order of the
+//! behavioral [`crate::behavioral::GaEngine`]; the differential tests
+//! exploit this to check population-for-population equality.
+
+use hwsim::{AckSlave, Clocked, Reg};
+
+use crate::behavioral::Individual;
+use crate::memory::{pack, unpack, BANK0_BASE, BANK1_BASE};
+use crate::ops;
+use crate::params::{GaParams, ParamIndex, PresetMode};
+use crate::ports::{GaCoreComb, GaCoreIn, GaCoreOut};
+
+/// FSM states. The sub-phase registers `sel_phase` (parent 1/2) and
+/// `off_phase` (offspring 1/2) keep the state count at the level the
+/// paper's controller (synthesized via KISS/SIS) would have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum State {
+    #[default]
+    Idle,
+    /// Parameter initialization mode (two-way handshake, Table III).
+    InitParams,
+    /// Resolve presets, load the RNG seed, clear the loop registers.
+    Start,
+    // --- initial population ---
+    InitPopDraw,
+    InitPopFitReq,
+    InitPopFitWait,
+    InitPopStore,
+    InitPopUpdate,
+    /// Loop header: next generation or done.
+    GenCheck,
+    // --- one generation ---
+    ElitWrite,
+    SelDraw,
+    SelMulWait,
+    SelScanAddr,
+    SelScanWait,
+    SelScanData,
+    XoverDecide,
+    MutDecide,
+    OffFitReq,
+    OffFitWait,
+    OffStore,
+    OffUpdate,
+    GenEnd,
+    Done,
+}
+
+/// The cycle-accurate GA IP core.
+#[derive(Debug, Clone)]
+pub struct GaCoreHw {
+    state: Reg<State>,
+
+    // Programmable parameter registers (Table III).
+    pop_size: Reg<u8>,
+    n_gens: Reg<u32>,
+    xover_threshold: Reg<u8>,
+    mut_threshold: Reg<u8>,
+    seed: Reg<u16>,
+
+    // Population bookkeeping.
+    cur_base: Reg<u8>,
+    new_base: Reg<u8>,
+    gen: Reg<u32>,
+    fit_sum: Reg<u32>,
+    new_sum: Reg<u32>,
+    best: Reg<u32>,     // packed Individual
+    new_best: Reg<u32>, // packed Individual
+
+    // Loop counters.
+    i: Reg<u8>,        // initial-population index
+    idx: Reg<u8>,      // new-population fill index
+    scan_idx: Reg<u8>, // selection scan index
+
+    // Selection datapath.
+    threshold: Reg<u32>,
+    cum: Reg<u32>,
+    mult_cnt: Reg<u8>,
+    sel_phase: Reg<bool>, // false: selecting parent 1
+
+    // Breeding datapath.
+    parent1: Reg<u16>,
+    parent2: Reg<u16>,
+    off1: Reg<u16>,
+    off2: Reg<u16>,
+    off_phase: Reg<bool>, // false: offspring 1
+
+    // Candidate/fitness interface registers.
+    cand: Reg<u16>,
+    fit_reg: Reg<u16>,
+    fit_request: Reg<bool>,
+
+    // Memory interface registers.
+    mem_address: Reg<u8>,
+    mem_data_out: Reg<u32>,
+    mem_wr: Reg<bool>,
+
+    // Status.
+    ga_done: Reg<bool>,
+
+    // Init handshake.
+    init_hs: AckSlave,
+
+    // Scan chain.
+    test_prev: Reg<bool>,
+    scanout: Reg<bool>,
+    scan_chain: Vec<bool>,
+
+    // Instrumentation (not synthesized): draw counter for differential
+    // testing against the behavioral engine, and a per-phase cycle
+    // profile for the speedup analysis.
+    rng_draws: u64,
+    profile: CyclesByPhase,
+}
+
+/// Where the clock cycles go, by FSM phase (instrumentation; the
+/// hardware analog of a software profile).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CyclesByPhase {
+    /// Idle / Done / Start / GenCheck / GenEnd overhead.
+    pub control: u64,
+    /// Parameter-initialization handshake cycles.
+    pub init_params: u64,
+    /// Initial population generation (draw/store/update).
+    pub init_pop: u64,
+    /// Proportionate selection (threshold multiply + memory scan).
+    pub selection: u64,
+    /// Crossover + mutation states.
+    pub breeding: u64,
+    /// Fitness handshake cycles (request + wait).
+    pub fitness_wait: u64,
+    /// Offspring store/update cycles.
+    pub store: u64,
+}
+
+impl CyclesByPhase {
+    /// Total profiled cycles.
+    pub fn total(&self) -> u64 {
+        self.control
+            + self.init_params
+            + self.init_pop
+            + self.selection
+            + self.breeding
+            + self.fitness_wait
+            + self.store
+    }
+}
+
+impl Default for GaCoreHw {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GaCoreHw {
+    /// A core with power-on default parameters ([`GaParams::default`]).
+    pub fn new() -> Self {
+        let d = GaParams::default();
+        GaCoreHw {
+            state: Reg::default(),
+            pop_size: Reg::new(d.pop_size),
+            n_gens: Reg::new(d.n_gens),
+            xover_threshold: Reg::new(d.xover_threshold),
+            mut_threshold: Reg::new(d.mut_threshold),
+            seed: Reg::new(d.seed),
+            cur_base: Reg::new(BANK0_BASE),
+            new_base: Reg::new(BANK1_BASE),
+            gen: Reg::default(),
+            fit_sum: Reg::default(),
+            new_sum: Reg::default(),
+            best: Reg::default(),
+            new_best: Reg::default(),
+            i: Reg::default(),
+            idx: Reg::default(),
+            scan_idx: Reg::default(),
+            threshold: Reg::default(),
+            cum: Reg::default(),
+            mult_cnt: Reg::default(),
+            sel_phase: Reg::default(),
+            parent1: Reg::default(),
+            parent2: Reg::default(),
+            off1: Reg::default(),
+            off2: Reg::default(),
+            off_phase: Reg::default(),
+            cand: Reg::default(),
+            fit_reg: Reg::default(),
+            fit_request: Reg::default(),
+            mem_address: Reg::default(),
+            mem_data_out: Reg::default(),
+            mem_wr: Reg::default(),
+            ga_done: Reg::default(),
+            init_hs: AckSlave::default(),
+            test_prev: Reg::default(),
+            scanout: Reg::default(),
+            scan_chain: Vec::new(),
+            rng_draws: 0,
+            profile: CyclesByPhase::default(),
+        }
+    }
+
+    /// Registered outputs (Table II).
+    pub fn out(&self) -> GaCoreOut {
+        GaCoreOut {
+            data_ack: self.init_hs.ack(),
+            fit_request: self.fit_request.get(),
+            candidate: self.cand.get(),
+            mem_address: self.mem_address.get(),
+            mem_data_out: self.mem_data_out.get(),
+            mem_wr: self.mem_wr.get(),
+            ga_done: self.ga_done.get(),
+            scanout: self.scanout.get(),
+        }
+    }
+
+    /// The parameter registers as currently programmed.
+    pub fn programmed_params(&self) -> GaParams {
+        GaParams {
+            pop_size: self.pop_size.get(),
+            n_gens: self.n_gens.get(),
+            xover_threshold: self.xover_threshold.get(),
+            mut_threshold: self.mut_threshold.get(),
+            seed: self.seed.get(),
+        }
+    }
+
+    /// Number of RNG draws consumed since reset (instrumentation).
+    pub fn rng_draws(&self) -> u64 {
+        self.rng_draws
+    }
+
+    /// Per-phase cycle profile since reset (instrumentation).
+    pub fn profile(&self) -> CyclesByPhase {
+        self.profile
+    }
+
+    /// Base address of the bank holding the *current* population
+    /// (testbench probe for differential checks).
+    pub fn current_bank_base(&self) -> u8 {
+        self.cur_base.get()
+    }
+
+    /// Current generation counter.
+    pub fn generation(&self) -> u32 {
+        self.gen.get()
+    }
+
+    /// Best individual register (testbench probe).
+    pub fn best_individual(&self) -> Individual {
+        self.best_ind()
+    }
+
+    /// Population fitness-sum register (testbench probe).
+    pub fn fitness_sum(&self) -> u32 {
+        self.fit_sum.get()
+    }
+
+    /// True when the optimizer is in its final state.
+    pub fn is_done(&self) -> bool {
+        self.state.get() == State::Done
+    }
+
+    /// Status wire for the dual-core scaling logic: the core is in its
+    /// selection-scan data state this cycle (its memory-read fitness may
+    /// be intercepted by `scalingLogic_parSel`).
+    pub fn is_sel_scanning(&self) -> bool {
+        self.state.get() == State::SelScanData
+    }
+
+    /// Status wire: the core computes its selection threshold this
+    /// cycle (the slave core's `rn` is forced to zero here so any
+    /// forced-max fitness wins the scan).
+    pub fn is_sel_draw(&self) -> bool {
+        self.state.get() == State::SelDraw
+    }
+
+    fn best_ind(&self) -> Individual {
+        unpack(self.best.get())
+    }
+
+    fn new_best_ind(&self) -> Individual {
+        unpack(self.new_best.get())
+    }
+
+    /// Evaluation phase. Returns the same-cycle combinational outputs
+    /// (RNG wires + probe event).
+    pub fn eval(&mut self, i: &GaCoreIn) -> GaCoreComb {
+        let mut comb = GaCoreComb::default();
+
+        // --- scan-chain test mode freezes the FSM ---------------------
+        if i.test || self.test_prev.get() {
+            self.eval_scan(i);
+            if i.test {
+                self.test_prev.set(true);
+                return comb;
+            }
+        }
+        self.test_prev.set(i.test);
+
+        // Per-phase cycle tally (instrumentation only).
+        match self.state.get() {
+            State::Idle | State::Start | State::GenCheck | State::GenEnd | State::Done => {
+                self.profile.control += 1;
+            }
+            State::InitParams => self.profile.init_params += 1,
+            State::InitPopDraw | State::InitPopStore | State::InitPopUpdate => {
+                self.profile.init_pop += 1;
+            }
+            State::InitPopFitReq | State::InitPopFitWait => self.profile.fitness_wait += 1,
+            State::SelDraw | State::SelMulWait | State::SelScanAddr | State::SelScanWait
+            | State::SelScanData => self.profile.selection += 1,
+            State::XoverDecide | State::MutDecide => self.profile.breeding += 1,
+            State::OffFitReq | State::OffFitWait => self.profile.fitness_wait += 1,
+            State::ElitWrite | State::OffStore | State::OffUpdate => self.profile.store += 1,
+        }
+
+        // Defaults staged every cycle; states override below.
+        self.mem_wr.set(false);
+
+        // Fitness response mux: internal FEM bank or the external ports
+        // (Table II 24–25) — unselected modules keep quiet, so the
+        // first asserted valid wins.
+        let valid_any = i.fit_valid || i.fit_valid_ext;
+        let value_any = if i.fit_valid { i.fit_value } else { i.fit_value_ext };
+
+        let pop = self.pop_size.get();
+
+        match self.state.get() {
+            State::Idle => {
+                self.ga_done.set(false);
+                if i.ga_load {
+                    self.state.set(State::InitParams);
+                } else if i.start_ga {
+                    self.state.set(State::Start);
+                }
+            }
+
+            State::InitParams => {
+                let payload = ((i.index as u32) << 16) | i.value as u32;
+                if let Some(p) = self.init_hs.eval(i.data_valid, payload) {
+                    let idx = ((p >> 16) & 0x7) as u8;
+                    let value = (p & 0xFFFF) as u16;
+                    if let Some(pi) = ParamIndex::from_bus(idx) {
+                        self.apply_param_write(pi, value);
+                    }
+                }
+                if !i.ga_load {
+                    self.state.set(State::Idle);
+                }
+            }
+
+            State::Start => {
+                // Preset resolution (Table IV): a nonzero preset bus
+                // overrides the programmed registers, providing the
+                // ASIC fault-tolerance path of §III-C.1.
+                let mode = PresetMode::from_bus(i.preset);
+                let effective = match GaParams::preset(mode) {
+                    Some(p) => {
+                        self.pop_size.set(p.pop_size);
+                        self.n_gens.set(p.n_gens);
+                        self.xover_threshold.set(p.xover_threshold);
+                        self.mut_threshold.set(p.mut_threshold);
+                        self.seed.set(p.seed);
+                        p
+                    }
+                    None => self.programmed_params(),
+                };
+                comb.rn_seed_load = Some(effective.seed);
+                self.cur_base.set(BANK0_BASE);
+                self.new_base.set(BANK1_BASE);
+                self.gen.set(0);
+                self.fit_sum.set(0);
+                self.best.set(0);
+                self.i.set(0);
+                self.ga_done.set(false);
+                self.state.set(State::InitPopDraw);
+            }
+
+            // --- initial population ----------------------------------
+            State::InitPopDraw => {
+                self.cand.set(i.rn);
+                comb.rn_consume = true;
+                self.rng_draws += 1;
+                self.state.set(State::InitPopFitReq);
+            }
+            State::InitPopFitReq => {
+                self.fit_request.set(true);
+                self.state.set(State::InitPopFitWait);
+            }
+            State::InitPopFitWait => {
+                if valid_any {
+                    self.fit_reg.set(value_any);
+                    self.fit_request.set(false);
+                    self.state.set(State::InitPopStore);
+                }
+            }
+            State::InitPopStore => {
+                self.mem_address.set(self.cur_base.get().wrapping_add(self.i.get()));
+                self.mem_data_out.set(pack(Individual {
+                    chrom: self.cand.get(),
+                    fitness: self.fit_reg.get(),
+                }));
+                self.mem_wr.set(true);
+                self.state.set(State::InitPopUpdate);
+            }
+            State::InitPopUpdate => {
+                let f = self.fit_reg.get();
+                let sum = self.fit_sum.get().wrapping_add(f as u32);
+                self.fit_sum.set(sum);
+                let cur_best = self.best_ind();
+                let is_better = self.i.get() == 0 || f > cur_best.fitness;
+                let best_now = if is_better {
+                    let b = Individual { chrom: self.cand.get(), fitness: f };
+                    self.best.set(pack(b));
+                    b
+                } else {
+                    cur_best
+                };
+                let ni = self.i.get().wrapping_add(1);
+                self.i.set(ni);
+                if ni == pop {
+                    comb.stats_event = Some((0, best_now.chrom, best_now.fitness, sum));
+                    self.state.set(State::GenCheck);
+                } else {
+                    self.state.set(State::InitPopDraw);
+                }
+            }
+
+            State::GenCheck => {
+                if self.gen.get() == self.n_gens.get() {
+                    self.cand.set(self.best_ind().chrom);
+                    self.ga_done.set(true);
+                    self.state.set(State::Done);
+                } else {
+                    self.state.set(State::ElitWrite);
+                }
+            }
+
+            // --- one generation --------------------------------------
+            State::ElitWrite => {
+                let elite = self.best_ind();
+                self.mem_address.set(self.new_base.get());
+                self.mem_data_out.set(pack(elite));
+                self.mem_wr.set(true);
+                self.new_sum.set(elite.fitness as u32);
+                self.new_best.set(pack(elite));
+                self.idx.set(1);
+                self.sel_phase.set(false);
+                self.state.set(State::SelDraw);
+            }
+
+            State::SelDraw => {
+                self.threshold.set(ops::selection_threshold(self.fit_sum.get(), i.rn));
+                comb.rn_consume = true;
+                self.rng_draws += 1;
+                self.cum.set(0);
+                self.scan_idx.set(0);
+                // Sequential 24×16 multiplier: three further cycles.
+                self.mult_cnt.set(3);
+                self.state.set(State::SelMulWait);
+            }
+            State::SelMulWait => {
+                let c = self.mult_cnt.get();
+                if c == 0 {
+                    self.state.set(State::SelScanAddr);
+                } else {
+                    self.mult_cnt.set(c - 1);
+                }
+            }
+            State::SelScanAddr => {
+                self.mem_address
+                    .set(self.cur_base.get().wrapping_add(self.scan_idx.get()));
+                self.state.set(State::SelScanWait);
+            }
+            State::SelScanWait => {
+                self.state.set(State::SelScanData);
+            }
+            State::SelScanData => {
+                let ind = unpack(i.mem_data_in);
+                let cum = self.cum.get().wrapping_add(ind.fitness as u32);
+                let last = self.scan_idx.get() == pop - 1;
+                if ops::selection_hit(cum, self.threshold.get()) || last {
+                    comb.sel_hit = true;
+                    if !self.sel_phase.get() {
+                        self.parent1.set(ind.chrom);
+                        self.sel_phase.set(true);
+                        self.state.set(State::SelDraw);
+                    } else {
+                        self.parent2.set(ind.chrom);
+                        self.state.set(State::XoverDecide);
+                    }
+                } else {
+                    self.cum.set(cum);
+                    self.scan_idx.set(self.scan_idx.get().wrapping_add(1));
+                    self.state.set(State::SelScanAddr);
+                }
+            }
+
+            State::XoverDecide => {
+                // One draw carries both fields (§III-B.7 "predefined
+                // positions"; ops::xover_fields documents why).
+                comb.rn_consume = true;
+                self.rng_draws += 1;
+                let (xd, cut) = ops::xover_fields(i.rn);
+                let (o1, o2) = if ops::decision(xd, self.xover_threshold.get()) {
+                    ops::crossover(self.parent1.get(), self.parent2.get(), cut)
+                } else {
+                    (self.parent1.get(), self.parent2.get())
+                };
+                self.off1.set(o1);
+                self.off2.set(o2);
+                self.off_phase.set(false);
+                self.state.set(State::MutDecide);
+            }
+            State::MutDecide => {
+                comb.rn_consume = true;
+                self.rng_draws += 1;
+                let (md, point) = ops::mut_fields(i.rn);
+                if ops::decision(md, self.mut_threshold.get()) {
+                    if self.off_phase.get() {
+                        self.off2.set(ops::mutate(self.off2.get(), point));
+                    } else {
+                        self.off1.set(ops::mutate(self.off1.get(), point));
+                    }
+                }
+                self.state.set(State::OffFitReq);
+            }
+            State::OffFitReq => {
+                let chrom = if self.off_phase.get() {
+                    self.off2.get()
+                } else {
+                    self.off1.get()
+                };
+                self.cand.set(chrom);
+                self.fit_request.set(true);
+                self.state.set(State::OffFitWait);
+            }
+            State::OffFitWait => {
+                if valid_any {
+                    self.fit_reg.set(value_any);
+                    self.fit_request.set(false);
+                    self.state.set(State::OffStore);
+                }
+            }
+            State::OffStore => {
+                self.mem_address.set(self.new_base.get().wrapping_add(self.idx.get()));
+                self.mem_data_out.set(pack(Individual {
+                    chrom: self.cand.get(),
+                    fitness: self.fit_reg.get(),
+                }));
+                self.mem_wr.set(true);
+                self.state.set(State::OffUpdate);
+            }
+            State::OffUpdate => {
+                let f = self.fit_reg.get();
+                self.new_sum.set(self.new_sum.get().wrapping_add(f as u32));
+                if f > self.new_best_ind().fitness {
+                    self.new_best.set(pack(Individual {
+                        chrom: self.cand.get(),
+                        fitness: f,
+                    }));
+                }
+                let ni = self.idx.get().wrapping_add(1);
+                self.idx.set(ni);
+                if ni == pop {
+                    self.state.set(State::GenEnd);
+                } else if !self.off_phase.get() {
+                    self.off_phase.set(true);
+                    self.state.set(State::MutDecide);
+                } else {
+                    self.sel_phase.set(false);
+                    self.state.set(State::SelDraw);
+                }
+            }
+            State::GenEnd => {
+                // Swap population banks; publish the generation's best
+                // on the candidate bus (§III-C.3: available "in case of
+                // an emergency").
+                let cb = self.cur_base.get();
+                self.cur_base.set(self.new_base.get());
+                self.new_base.set(cb);
+                self.fit_sum.set(self.new_sum.get());
+                let nb = self.new_best_ind();
+                self.best.set(pack(nb));
+                let g = self.gen.get().wrapping_add(1);
+                self.gen.set(g);
+                self.cand.set(nb.chrom);
+                comb.stats_event = Some((g, nb.chrom, nb.fitness, self.new_sum.get()));
+                self.state.set(State::GenCheck);
+            }
+
+            State::Done => {
+                self.cand.set(self.best_ind().chrom);
+                if i.start_ga {
+                    // Restart: drop GA_done immediately so the
+                    // application's completion edge is unambiguous.
+                    self.ga_done.set(false);
+                    self.state.set(State::Start);
+                } else if i.ga_load {
+                    self.ga_done.set(false);
+                    self.state.set(State::InitParams);
+                } else {
+                    self.ga_done.set(true);
+                }
+            }
+        }
+
+        comb
+    }
+
+    fn apply_param_write(&mut self, idx: ParamIndex, value: u16) {
+        match idx {
+            ParamIndex::NumGensLo => {
+                self.n_gens.set((self.n_gens.get() & 0xFFFF_0000) | value as u32);
+            }
+            ParamIndex::NumGensHi => {
+                self.n_gens
+                    .set((self.n_gens.get() & 0x0000_FFFF) | ((value as u32) << 16));
+            }
+            ParamIndex::PopSize => self.pop_size.set(value as u8),
+            ParamIndex::CrossoverRate => self.xover_threshold.set((value & 0xF) as u8),
+            ParamIndex::MutationRate => self.mut_threshold.set((value & 0xF) as u8),
+            ParamIndex::RngSeed => self.seed.set(value),
+        }
+    }
+
+    // --- scan chain (§III-C.2) ---------------------------------------
+
+    /// Serialize the architectural registers into the scan chain, in the
+    /// documented order (LSB first within each field).
+    fn scan_serialize(&self) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(Self::SCAN_LENGTH);
+        let mut push = |v: u64, w: u32| {
+            for b in 0..w {
+                bits.push((v >> b) & 1 == 1);
+            }
+        };
+        push(self.seed.get() as u64, 16);
+        push(self.pop_size.get() as u64, 8);
+        push(self.n_gens.get() as u64, 32);
+        push(self.xover_threshold.get() as u64, 4);
+        push(self.mut_threshold.get() as u64, 4);
+        push(self.cand.get() as u64, 16);
+        push(self.fit_reg.get() as u64, 16);
+        push(self.parent1.get() as u64, 16);
+        push(self.parent2.get() as u64, 16);
+        push(self.off1.get() as u64, 16);
+        push(self.off2.get() as u64, 16);
+        push(self.best.get() as u64, 32);
+        push(self.new_best.get() as u64, 32);
+        push(self.fit_sum.get() as u64, 32);
+        push(self.new_sum.get() as u64, 32);
+        push(self.threshold.get() as u64, 32);
+        push(self.cum.get() as u64, 32);
+        push(self.i.get() as u64, 8);
+        push(self.idx.get() as u64, 8);
+        push(self.scan_idx.get() as u64, 8);
+        push(self.gen.get() as u64, 32);
+        debug_assert_eq!(bits.len(), Self::SCAN_LENGTH);
+        bits
+    }
+
+    /// Deserialize the scan chain back into the registers.
+    fn scan_deserialize(&mut self, bits: &[bool]) {
+        let mut pos = 0usize;
+        let mut pull = |w: u32| -> u64 {
+            let mut v = 0u64;
+            for b in 0..w {
+                if bits[pos + b as usize] {
+                    v |= 1 << b;
+                }
+            }
+            pos += w as usize;
+            v
+        };
+        let seed = pull(16) as u16;
+        let pop = pull(8) as u8;
+        let ngens = pull(32) as u32;
+        let xt = pull(4) as u8;
+        let mt = pull(4) as u8;
+        let cand = pull(16) as u16;
+        let fit = pull(16) as u16;
+        let p1 = pull(16) as u16;
+        let p2 = pull(16) as u16;
+        let o1 = pull(16) as u16;
+        let o2 = pull(16) as u16;
+        let best = pull(32) as u32;
+        let nbest = pull(32) as u32;
+        let fsum = pull(32) as u32;
+        let nsum = pull(32) as u32;
+        let thr = pull(32) as u32;
+        let cum = pull(32) as u32;
+        let i = pull(8) as u8;
+        let idx = pull(8) as u8;
+        let sidx = pull(8) as u8;
+        let gen = pull(32) as u32;
+        self.seed.set(seed);
+        self.pop_size.set(pop);
+        self.n_gens.set(ngens);
+        self.xover_threshold.set(xt);
+        self.mut_threshold.set(mt);
+        self.cand.set(cand);
+        self.fit_reg.set(fit);
+        self.parent1.set(p1);
+        self.parent2.set(p2);
+        self.off1.set(o1);
+        self.off2.set(o2);
+        self.best.set(best);
+        self.new_best.set(nbest);
+        self.fit_sum.set(fsum);
+        self.new_sum.set(nsum);
+        self.threshold.set(thr);
+        self.cum.set(cum);
+        self.i.set(i);
+        self.idx.set(idx);
+        self.scan_idx.set(sidx);
+        self.gen.set(gen);
+    }
+
+    /// Total scan-chain length in bits.
+    pub const SCAN_LENGTH: usize = 16 + 8 + 32 + 4 + 4 + 16 * 6 + 32 * 6 + 8 * 3 + 32;
+
+    fn eval_scan(&mut self, i: &GaCoreIn) {
+        let rising = i.test && !self.test_prev.get();
+        let falling = !i.test && self.test_prev.get();
+        if rising {
+            self.scan_chain = self.scan_serialize();
+        }
+        if i.test && !self.scan_chain.is_empty() {
+            // Shift one position: scanout takes the tail, scanin enters
+            // at the head.
+            let out = self.scan_chain.pop().expect("chain non-empty");
+            self.scanout.set(out);
+            self.scan_chain.insert(0, i.scanin);
+        }
+        if falling && self.scan_chain.len() == Self::SCAN_LENGTH {
+            let bits = std::mem::take(&mut self.scan_chain);
+            self.scan_deserialize(&bits);
+        } else if falling {
+            self.scan_chain.clear();
+        }
+    }
+}
+
+impl Clocked for GaCoreHw {
+    fn reset(&mut self) {
+        *self = GaCoreHw::new();
+    }
+
+    fn commit(&mut self) {
+        self.state.commit();
+        self.pop_size.commit();
+        self.n_gens.commit();
+        self.xover_threshold.commit();
+        self.mut_threshold.commit();
+        self.seed.commit();
+        self.cur_base.commit();
+        self.new_base.commit();
+        self.gen.commit();
+        self.fit_sum.commit();
+        self.new_sum.commit();
+        self.best.commit();
+        self.new_best.commit();
+        self.i.commit();
+        self.idx.commit();
+        self.scan_idx.commit();
+        self.threshold.commit();
+        self.cum.commit();
+        self.mult_cnt.commit();
+        self.sel_phase.commit();
+        self.parent1.commit();
+        self.parent2.commit();
+        self.off1.commit();
+        self.off2.commit();
+        self.off_phase.commit();
+        self.cand.commit();
+        self.fit_reg.commit();
+        self.fit_request.commit();
+        self.mem_address.commit();
+        self.mem_data_out.commit();
+        self.mem_wr.commit();
+        self.ga_done.commit();
+        self.init_hs.commit();
+        self.test_prev.commit();
+        self.scanout.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_defaults_are_sane() {
+        let core = GaCoreHw::new();
+        assert!(core.programmed_params().validate().is_ok());
+        assert!(!core.out().ga_done);
+        assert!(!core.out().fit_request);
+    }
+
+    #[test]
+    fn scan_length_counts_every_register() {
+        let core = GaCoreHw::new();
+        assert_eq!(core.scan_serialize().len(), GaCoreHw::SCAN_LENGTH);
+        assert_eq!(GaCoreHw::SCAN_LENGTH, 408);
+    }
+
+    #[test]
+    fn scan_roundtrip_preserves_registers() {
+        let mut core = GaCoreHw::new();
+        core.seed.reset_to(0xDEAD);
+        core.fit_sum.reset_to(123_456);
+        core.parent1.reset_to(0x5A5A);
+        let bits = core.scan_serialize();
+        let mut other = GaCoreHw::new();
+        other.scan_deserialize(&bits);
+        other.commit();
+        assert_eq!(other.seed.get(), 0xDEAD);
+        assert_eq!(other.fit_sum.get(), 123_456);
+        assert_eq!(other.parent1.get(), 0x5A5A);
+    }
+
+    #[test]
+    fn full_scan_shift_restores_state() {
+        // Shifting the entire chain through test mode with the original
+        // serial stream re-fed must restore the registers bit-exactly.
+        let mut core = GaCoreHw::new();
+        core.seed.reset_to(0xBEEF);
+        core.best.reset_to(0x1234_5678);
+        let reference = core.scan_serialize();
+
+        // Enter test mode and shift SCAN_LENGTH bits, feeding the
+        // captured stream back in (out bit k is chain tail; feeding the
+        // same stream back in restores the original contents).
+        let mut captured = Vec::new();
+        for k in 0..GaCoreHw::SCAN_LENGTH {
+            // Feed the original stream tail-first so a full rotation
+            // leaves the chain exactly as captured: after L shifts the
+            // chain is the reversed feed, so feed[k] = reference[L-1-k].
+            let feed = reference[GaCoreHw::SCAN_LENGTH - 1 - k];
+            let input = GaCoreIn {
+                test: true,
+                scanin: feed,
+                ..Default::default()
+            };
+            core.eval(&input);
+            core.commit();
+            captured.push(core.out().scanout);
+        }
+        // The captured stream is the chain tail-first.
+        let expected: Vec<bool> = reference.iter().rev().copied().collect();
+        assert_eq!(captured, expected);
+
+        // Drop test: registers reload from the (rotated-back) chain.
+        let input = GaCoreIn::default();
+        core.eval(&input);
+        core.commit();
+        assert_eq!(core.seed.get(), 0xBEEF);
+        assert_eq!(core.best.get(), 0x1234_5678);
+    }
+
+    #[test]
+    fn test_mode_freezes_the_fsm() {
+        let mut core = GaCoreHw::new();
+        let input = GaCoreIn {
+            test: true,
+            start_ga: true,
+            ..Default::default()
+        };
+        for _ in 0..5 {
+            core.eval(&input);
+            core.commit();
+        }
+        assert_eq!(core.state.get(), State::Idle, "start_GA ignored in test mode");
+    }
+
+    #[test]
+    fn start_enters_optimization() {
+        let mut core = GaCoreHw::new();
+        let start = GaCoreIn {
+            start_ga: true,
+            ..Default::default()
+        };
+        let comb = core.eval(&start);
+        assert!(comb.rn_seed_load.is_none(), "seed loads in Start, not Idle");
+        core.commit();
+        assert_eq!(core.state.get(), State::Start);
+        let comb = core.eval(&GaCoreIn::default());
+        assert_eq!(comb.rn_seed_load, Some(GaParams::default().seed));
+        core.commit();
+        assert_eq!(core.state.get(), State::InitPopDraw);
+    }
+
+    #[test]
+    fn profile_accounts_for_every_cycle() {
+        use crate::system::{GaSystem, UserIn};
+        use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};
+        let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+            LookupFem::for_function(TestFunction::F3),
+        )]));
+        let params = GaParams::new(8, 3, 10, 1, 0x2961);
+        sys.program_and_run(&params, 10_000_000).unwrap();
+        // One more idle step so the final Done-state cycle is tallied.
+        sys.step(UserIn::default());
+        let p = sys.modules().core.profile();
+        // Every clocked cycle lands in exactly one bucket.
+        assert_eq!(p.total(), sys.cycles());
+        // Selection dominates the paper's workload shape even at pop 8.
+        assert!(p.selection > p.breeding);
+        assert!(p.fitness_wait > 0 && p.init_params > 0);
+    }
+
+    #[test]
+    fn preset_bus_overrides_programmed_registers() {
+        let mut core = GaCoreHw::new();
+        core.eval(&GaCoreIn {
+            start_ga: true,
+            ..Default::default()
+        });
+        core.commit();
+        let comb = core.eval(&GaCoreIn {
+            preset: 0b10,
+            ..Default::default()
+        });
+        core.commit();
+        let p = GaParams::preset(PresetMode::Medium).unwrap();
+        assert_eq!(core.programmed_params(), p);
+        assert_eq!(comb.rn_seed_load, Some(p.seed));
+    }
+}

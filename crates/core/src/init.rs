@@ -1,0 +1,235 @@
+//! The initialization module (Fig. 4's "Initialization module").
+//!
+//! "The initialization module consists of a simple finite state machine
+//! to perform the two-way handshaking operation using the data valid
+//! and data ack signals to initialize the various GA parameters one by
+//! one" (§IV-B). This is that FSM as a clocked module: loaded with a
+//! parameter set, it raises `ga_load`, walks the six Table III writes
+//! through the valid/ack handshake, and drops `ga_load` when done.
+
+use hwsim::{Clocked, Reg};
+
+use crate::params::GaParams;
+
+/// Outputs driven to the GA core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InitOut {
+    /// `ga_load` — held through the whole initialization sequence.
+    pub ga_load: bool,
+    /// Parameter index bus (3 bits).
+    pub index: u8,
+    /// Parameter value bus.
+    pub value: u16,
+    /// Handshake strobe.
+    pub data_valid: bool,
+    /// All writes acknowledged; `ga_load` dropped.
+    pub done: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum State {
+    #[default]
+    Idle,
+    /// Drive index/value + data_valid, wait for ack.
+    Present,
+    /// Drop data_valid, wait for ack to fall.
+    Release,
+    Done,
+}
+
+/// The initialization FSM.
+#[derive(Debug, Clone)]
+pub struct InitModule {
+    writes: [(u8, u16); 6],
+    state: Reg<State>,
+    pos: Reg<u8>,
+    out_load: Reg<bool>,
+    out_valid: Reg<bool>,
+    out_index: Reg<u8>,
+    out_value: Reg<u16>,
+}
+
+impl InitModule {
+    /// Build the write sequence for a parameter set (Table III order:
+    /// generation-count halves, population, thresholds, seed).
+    pub fn new(params: &GaParams) -> Self {
+        params.validate().expect("invalid GA parameters");
+        InitModule {
+            writes: [
+                (0, (params.n_gens & 0xFFFF) as u16),
+                (1, (params.n_gens >> 16) as u16),
+                (2, params.pop_size as u16),
+                (3, params.xover_threshold as u16),
+                (4, params.mut_threshold as u16),
+                (5, params.seed),
+            ],
+            state: Reg::default(),
+            pos: Reg::default(),
+            out_load: Reg::default(),
+            out_valid: Reg::default(),
+            out_index: Reg::default(),
+            out_value: Reg::default(),
+        }
+    }
+
+    /// Kick off the sequence (from Idle or Done).
+    pub fn start(&mut self) {
+        self.state.reset_to(State::Present);
+        self.pos.reset_to(0);
+        self.out_load.reset_to(true);
+        let (i, v) = self.writes[0];
+        self.out_index.reset_to(i);
+        self.out_value.reset_to(v);
+        self.out_valid.reset_to(false);
+    }
+
+    /// Registered outputs.
+    pub fn out(&self) -> InitOut {
+        InitOut {
+            ga_load: self.out_load.get(),
+            index: self.out_index.get(),
+            value: self.out_value.get(),
+            data_valid: self.out_valid.get(),
+            done: self.state.get() == State::Done,
+        }
+    }
+
+    /// Evaluation phase; `data_ack` is the core's registered acknowledge.
+    pub fn eval(&mut self, data_ack: bool) {
+        match self.state.get() {
+            State::Idle | State::Done => {}
+            State::Present => {
+                self.out_valid.set(true);
+                if data_ack {
+                    // Core latched the value: drop the strobe.
+                    self.out_valid.set(false);
+                    self.state.set(State::Release);
+                }
+            }
+            State::Release => {
+                if !data_ack {
+                    let next = self.pos.get() + 1;
+                    if (next as usize) < self.writes.len() {
+                        self.pos.set(next);
+                        let (i, v) = self.writes[next as usize];
+                        self.out_index.set(i);
+                        self.out_value.set(v);
+                        self.state.set(State::Present);
+                    } else {
+                        self.out_load.set(false);
+                        self.state.set(State::Done);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Clocked for InitModule {
+    fn reset(&mut self) {
+        self.state.reset_to(State::Idle);
+        self.pos.reset_to(0);
+        self.out_load.reset_to(false);
+        self.out_valid.reset_to(false);
+        self.out_index.reset_to(0);
+        self.out_value.reset_to(0);
+    }
+
+    fn commit(&mut self) {
+        self.state.commit();
+        self.pos.commit();
+        self.out_load.commit();
+        self.out_valid.commit();
+        self.out_index.commit();
+        self.out_value.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hwcore::GaCoreHw;
+    use crate::ports::GaCoreIn;
+
+    /// Wire the init module directly to a core and clock them together.
+    fn program_core(params: &GaParams) -> (GaCoreHw, u32) {
+        let mut core = GaCoreHw::new();
+        let mut init = InitModule::new(params);
+        init.reset();
+        init.start();
+        let mut cycles = 0;
+        while !init.out().done {
+            let io = init.out();
+            let core_out = core.out();
+            core.eval(&GaCoreIn {
+                ga_load: io.ga_load,
+                index: io.index,
+                value: io.value,
+                data_valid: io.data_valid,
+                ..Default::default()
+            });
+            init.eval(core_out.data_ack);
+            core.commit();
+            init.commit();
+            cycles += 1;
+            assert!(cycles < 1000, "init sequence hung");
+        }
+        // One idle cycle for the core to leave InitParams.
+        core.eval(&GaCoreIn::default());
+        core.commit();
+        (core, cycles)
+    }
+
+    #[test]
+    fn programs_all_six_parameters() {
+        let params = GaParams::new(48, 0x0003_0007, 11, 5, 0xFACE);
+        let (core, cycles) = program_core(&params);
+        assert_eq!(core.programmed_params(), params);
+        // Six writes, each at least valid→ack→release→ack-low = 4 edges.
+        assert!(cycles >= 24, "suspiciously fast: {cycles} cycles");
+    }
+
+    #[test]
+    fn done_drops_ga_load() {
+        let params = GaParams::default();
+        let mut init = InitModule::new(&params);
+        init.reset();
+        assert!(!init.out().ga_load);
+        init.start();
+        assert!(init.out().ga_load);
+        let (_, _) = program_core(&params);
+    }
+
+    #[test]
+    fn sequence_is_restartable() {
+        let p1 = GaParams::new(16, 100, 9, 2, 0x1111);
+        let (core1, _) = program_core(&p1);
+        assert_eq!(core1.programmed_params(), p1);
+        // Reprogram the same core with a different set.
+        let p2 = GaParams::new(32, 200, 3, 7, 0x2222);
+        let mut core = core1;
+        let mut init = InitModule::new(&p2);
+        init.reset();
+        init.start();
+        let mut cycles = 0;
+        while !init.out().done {
+            let io = init.out();
+            let ack = core.out().data_ack;
+            core.eval(&GaCoreIn {
+                ga_load: io.ga_load,
+                index: io.index,
+                value: io.value,
+                data_valid: io.data_valid,
+                ..Default::default()
+            });
+            init.eval(ack);
+            core.commit();
+            init.commit();
+            cycles += 1;
+            assert!(cycles < 1000);
+        }
+        core.eval(&GaCoreIn::default());
+        core.commit();
+        assert_eq!(core.programmed_params(), p2);
+    }
+}

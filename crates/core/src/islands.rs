@@ -1,0 +1,203 @@
+//! Island-model parallel GA — the "advanced hardware acceleration"
+//! axis of the paper's related work (§II-B: Multi-GAP, Jelodar et al.'s
+//! SOPC parallel GA, Nedjah & Mourelle's massively parallel
+//! architecture), built from multiple unmodified engines.
+//!
+//! Each island runs the paper's exact GA with its **own CA RNG at a
+//! jump-ahead offset** on a shared stream (so streams are provably
+//! disjoint, `carng::wide`), evolving independently for a migration
+//! epoch and then passing its best individual to the next island on a
+//! ring, where it replaces the worst member. Islands execute on
+//! crossbeam scoped threads — the software realization of the
+//! multi-FPGA layout those papers prototype, and a faithful model
+//! because inter-island traffic happens only at epoch barriers.
+
+use carng::wide::CaRngW;
+use carng::ca::MAXIMAL_RULE_VECTOR;
+use carng::CaRng;
+
+use crate::behavioral::{GaEngine, Individual};
+use crate::params::GaParams;
+
+/// Island-model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IslandConfig {
+    /// Number of islands (ring size).
+    pub islands: usize,
+    /// Generations between migrations.
+    pub epoch: u32,
+    /// Number of epochs (total generations = epoch × epochs).
+    pub epochs: u32,
+}
+
+/// Result of an island run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandRun {
+    /// Best individual across all islands.
+    pub best: Individual,
+    /// Per-island best at the end.
+    pub island_best: Vec<Individual>,
+    /// Total fitness evaluations across islands.
+    pub evaluations: u64,
+}
+
+/// Seed for island `k`: the shared CA stream jumped ahead by
+/// `k · 2^16 / islands` states, so island streams never overlap within
+/// an epoch's draw budget.
+pub fn island_seed(base_seed: u16, k: usize, islands: usize) -> u16 {
+    let mut rng = CaRngW::<16>::new(base_seed as u64, MAXIMAL_RULE_VECTOR as u64);
+    rng.jump((k as u64 * 65_535) / islands as u64);
+    rng.output() as u16
+}
+
+/// Run the island model. `fitness` is shared by all islands (`Fn + Sync`
+/// — e.g. a tabulated ROM lookup).
+pub fn run_islands<F>(params: GaParams, config: IslandConfig, fitness: F) -> IslandRun
+where
+    F: Fn(u16) -> u16 + Sync,
+{
+    assert!(config.islands >= 1);
+    assert!(config.epoch >= 1 && config.epochs >= 1);
+    let fit = &fitness;
+
+    // Engines live on the coordinating thread between epochs; each
+    // epoch fans the islands out over scoped threads.
+    let mut engines: Vec<_> = (0..config.islands)
+        .map(|k| {
+            let seed = island_seed(params.seed, k, config.islands);
+            let p = GaParams { seed, ..params };
+            let mut e = GaEngine::new(p, CaRng::new(seed), fit);
+            e.init_population();
+            e
+        })
+        .collect();
+
+    for _epoch in 0..config.epochs {
+        // Parallel evolution for one epoch.
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = engines
+                .drain(..)
+                .map(|mut e| {
+                    s.spawn(move |_| {
+                        for _ in 0..config.epoch {
+                            e.step_generation();
+                        }
+                        e
+                    })
+                })
+                .collect();
+            engines.extend(handles.into_iter().map(|h| h.join().unwrap()));
+        })
+        .unwrap();
+
+        // Ring migration at the barrier: island k's best replaces the
+        // worst member of island (k+1) mod n.
+        if config.islands > 1 {
+            let migrants: Vec<Individual> = engines.iter().map(|e| e.best()).collect();
+            for (k, m) in migrants.into_iter().enumerate() {
+                let dst = (k + 1) % config.islands;
+                engines[dst].inject(m);
+            }
+        }
+    }
+
+    let island_best: Vec<Individual> = engines.iter().map(|e| e.best()).collect();
+    let best = island_best
+        .iter()
+        .copied()
+        .max_by_key(|i| i.fitness)
+        .expect("at least one island");
+    IslandRun {
+        best,
+        island_best,
+        evaluations: engines.iter().map(|e| e.evaluations()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_fitness::rom::FitnessRom;
+    use ga_fitness::TestFunction;
+
+    fn cfg(islands: usize) -> IslandConfig {
+        IslandConfig {
+            islands,
+            epoch: 8,
+            epochs: 4,
+        }
+    }
+
+    #[test]
+    fn island_seeds_are_distinct() {
+        let seeds: Vec<u16> = (0..8).map(|k| island_seed(0x2961, k, 8)).collect();
+        let distinct: std::collections::HashSet<u16> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), 8, "{seeds:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_despite_threads() {
+        let rom = FitnessRom::tabulate(TestFunction::Bf6);
+        let params = GaParams::new(32, 32, 10, 1, 0x2961);
+        let a = run_islands(params, cfg(4), |c| rom.lookup(c));
+        let b = run_islands(params, cfg(4), |c| rom.lookup(c));
+        assert_eq!(a, b, "epoch-barrier migration must be deterministic");
+    }
+
+    #[test]
+    fn four_islands_beat_or_match_one_island_budget_for_budget() {
+        // Same total evaluation budget: 1 island × 32 gens of pop 32 vs
+        // 4 islands × 32 gens of pop 8... population size floor makes
+        // the honest comparison 4×(pop 32, 8 epochs of 4) vs 1×(pop 32,
+        // 32 gens): same generations per island member.
+        let rom = FitnessRom::tabulate(TestFunction::Bf6);
+        let params = GaParams::new(32, 32, 10, 1, 0xB342);
+        let single = run_islands(params, IslandConfig { islands: 1, epoch: 32, epochs: 1 }, |c| {
+            rom.lookup(c)
+        });
+        let multi = run_islands(params, cfg(4), |c| rom.lookup(c));
+        assert_eq!(multi.evaluations, 4 * single.evaluations);
+        assert!(
+            multi.best.fitness >= single.best.fitness,
+            "4 islands {} vs 1 island {}",
+            multi.best.fitness,
+            single.best.fitness
+        );
+    }
+
+    #[test]
+    fn migration_spreads_the_best_individual() {
+        let rom = FitnessRom::tabulate(TestFunction::F3);
+        let params = GaParams::new(16, 16, 10, 1, 0x061F);
+        let run = run_islands(
+            params,
+            IslandConfig { islands: 4, epoch: 4, epochs: 8 },
+            |c| rom.lookup(c),
+        );
+        // After 8 migration rounds on a 4-ring, every island has seen
+        // good genes: all island bests within 5% of the global best.
+        for (k, b) in run.island_best.iter().enumerate() {
+            assert!(
+                b.fitness as f64 >= run.best.fitness as f64 * 0.95,
+                "island {k} lagging: {} vs {}",
+                b.fitness,
+                run.best.fitness
+            );
+        }
+    }
+
+    #[test]
+    fn single_island_matches_plain_engine() {
+        // One island, one epoch = the plain engine exactly (plus the
+        // jump-ahead seed derivation with k = 0, which is the identity).
+        let rom = FitnessRom::tabulate(TestFunction::Mbf6_2);
+        let params = GaParams::new(32, 16, 10, 1, 0xAAAA);
+        let island = run_islands(params, IslandConfig { islands: 1, epoch: 16, epochs: 1 }, |c| {
+            rom.lookup(c)
+        });
+        let seed0 = island_seed(params.seed, 0, 1);
+        let p = GaParams { seed: seed0, ..params };
+        let plain = GaEngine::new(p, carng::CaRng::new(seed0), |c| rom.lookup(c)).run();
+        assert_eq!(island.best, plain.best);
+    }
+}

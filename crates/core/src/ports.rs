@@ -1,0 +1,156 @@
+//! The GA core's port interface (Table II).
+//!
+//! All 25 signals of Table II are represented, grouped into the input
+//! bundle sampled every cycle ([`GaCoreIn`]), the registered output
+//! bundle ([`GaCoreOut`]), and the same-cycle combinational outputs
+//! ([`GaCoreComb`]) that wire the core to its RNG module (the consume
+//! enable and seed load are intra-module wires in the paper's "GA
+//! module" — Fig. 4 draws the RNG inside the module boundary).
+//!
+//! Note on Table II as printed: signal 17 (`GA_done`) is listed with
+//! direction "I", but the prose is unambiguous that the *core* asserts
+//! it ("the GA_done signal is asserted" once the best candidate is
+//! placed on the bus), so it is an output here. `reset` (1) and
+//! `sys_clock` (2) are carried by the simulation kernel rather than the
+//! bundle.
+
+/// Inputs sampled by the core each clock (Table II signals 3–6, 8, 10,
+/// 15–16, 18–19, 21–25).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaCoreIn {
+    /// (3) `ga_load` — enter/hold parameter-initialization mode.
+    pub ga_load: bool,
+    /// (4) `index` — 3-bit parameter index (Table III).
+    pub index: u8,
+    /// (5) `value` — 16-bit initialization value bus.
+    pub value: u16,
+    /// (6) `data_valid` — initialization handshake strobe.
+    pub data_valid: bool,
+    /// (8) `fit_value` — fitness from the selected internal FEM.
+    pub fit_value: u16,
+    /// (10) `fit_valid` — internal FEM validity strobe.
+    pub fit_valid: bool,
+    /// (15) `mem_data_in` — read data from the GA memory.
+    pub mem_data_in: u32,
+    /// (16) `start_GA` — start pulse from the application.
+    pub start_ga: bool,
+    /// (18) `test` — scan-chain test enable.
+    pub test: bool,
+    /// (19) `scanin` — scan-chain serial input.
+    pub scanin: bool,
+    /// (21) `preset` — 2-bit preset mode selector (Table IV).
+    pub preset: u8,
+    /// (22) `rn` — 16-bit random number from the RNG module.
+    pub rn: u16,
+    /// (23) `fitfunc_Select` — 3-bit fitness module select (sampled for
+    /// completeness; routing happens in the FEM bank).
+    pub fitfunc_select: u8,
+    /// (24) `fit_value_ext` — fitness value from an external FEM.
+    pub fit_value_ext: u16,
+    /// (25) `fit_valid_ext` — validity strobe from an external FEM.
+    pub fit_valid_ext: bool,
+}
+
+/// Registered outputs of the core (Table II signals 7, 9, 11–14, 17, 20).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GaCoreOut {
+    /// (7) `data_ack` — initialization handshake acknowledge.
+    pub data_ack: bool,
+    /// (9) `fit_request` — fitness evaluation request.
+    pub fit_request: bool,
+    /// (11) `candidate` — candidate solution bus. Also carries the best
+    /// individual of every generation ("the best candidate of every
+    /// generation is always output to the application to use in case of
+    /// an emergency") and the final answer when `GA_done` rises.
+    pub candidate: u16,
+    /// (12) `mem_address` — GA memory address.
+    pub mem_address: u8,
+    /// (13) `mem_data_out` — GA memory write data.
+    pub mem_data_out: u32,
+    /// (14) `mem_wr` — GA memory write strobe.
+    pub mem_wr: bool,
+    /// (17) `GA_done` — optimization complete.
+    pub ga_done: bool,
+    /// (20) `scanout` — scan-chain serial output.
+    pub scanout: bool,
+}
+
+/// Same-cycle combinational outputs wiring the core to the RNG module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaCoreComb {
+    /// Consume/enable pulse: the RNG steps this cycle.
+    pub rn_consume: bool,
+    /// Seed register load (asserted in the start state).
+    pub rn_seed_load: Option<u16>,
+    /// Per-generation statistics event: `(generation, best chromosome,
+    /// best fitness, population fitness sum)` — the values the paper's
+    /// Chipscope probes captured. Emitted once per generation boundary.
+    pub stats_event: Option<(u32, u16, u16, u32)>,
+    /// Selection-hit status wire: high during the `SelScanData` cycle in
+    /// which this core commits to a parent. Exported for the
+    /// `scalingLogic_parSel` block of the dual-core composition
+    /// (§III-D) — external logic snoops it to force the slave core onto
+    /// the same parent index.
+    pub sel_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II enumerates 25 signals. Two (reset, sys_clock) are
+    /// carried by the simulation kernel; the remaining 23 are fields of
+    /// the input/output bundles — this test is the interface-width
+    /// contract DESIGN.md points at.
+    #[test]
+    fn table_ii_signal_inventory() {
+        // Inputs: ga_load, index, value, data_valid, fit_value,
+        // fit_valid, mem_data_in, start_GA, test, scanin, preset, rn,
+        // fitfunc_Select, fit_value_ext, fit_valid_ext  → 15 signals.
+        let i = GaCoreIn::default();
+        let input_signals = [
+            i.ga_load as u64,
+            i.index as u64,
+            i.value as u64,
+            i.data_valid as u64,
+            i.fit_value as u64,
+            i.fit_valid as u64,
+            i.mem_data_in as u64,
+            i.start_ga as u64,
+            i.test as u64,
+            i.scanin as u64,
+            i.preset as u64,
+            i.rn as u64,
+            i.fitfunc_select as u64,
+            i.fit_value_ext as u64,
+            i.fit_valid_ext as u64,
+        ];
+        assert_eq!(input_signals.len(), 15);
+        // Outputs: data_ack, fit_request, candidate, mem_address,
+        // mem_data_out, mem_wr, GA_done, scanout → 8 signals.
+        let o = GaCoreOut::default();
+        let output_signals = [
+            o.data_ack as u64,
+            o.fit_request as u64,
+            o.candidate as u64,
+            o.mem_address as u64,
+            o.mem_data_out as u64,
+            o.mem_wr as u64,
+            o.ga_done as u64,
+            o.scanout as u64,
+        ];
+        assert_eq!(output_signals.len(), 8);
+        // 15 + 8 + reset + sys_clock = the paper's 25 rows.
+        assert_eq!(input_signals.len() + output_signals.len() + 2, 25);
+    }
+
+    /// Bus widths match Table II's "width in bits" column (asserted via
+    /// the carrier types' ranges used by the hardware: 3-bit index,
+    /// 2-bit preset, 3-bit select are masked at their consumers).
+    #[test]
+    fn reset_state_is_all_deasserted() {
+        let o = GaCoreOut::default();
+        assert!(!o.data_ack && !o.fit_request && !o.mem_wr && !o.ga_done && !o.scanout);
+        assert_eq!((o.candidate, o.mem_address, o.mem_data_out), (0, 0, 0));
+    }
+}

@@ -1,0 +1,512 @@
+//! The complete GA module of Fig. 4: core + RNG + GA memory + FEM bank,
+//! wired exactly as the paper's block diagram, plus the user-side
+//! initialization module and a Chipscope-style probe.
+//!
+//! The per-cycle evaluation order implements the combinational wiring:
+//! every module's registered outputs are sampled first, then each module
+//! evaluates against those samples; the core's same-cycle combinational
+//! outputs (RNG consume/seed wires) feed the RNG module inside the same
+//! phase (an acyclic combinational path). A single commit latches the
+//! whole system — one rising clock edge at 50 MHz.
+
+use ga_fitness::fem::{Fem, FemBank, FemBankIn, FemIn};
+use hwsim::{Clocked, HandshakeMonitor, Sim, SimError, Trace, VcdWriter};
+use hwsim::vcd::VcdVar;
+
+use crate::behavioral::{GaRun, GenStats, Individual};
+use crate::hwcore::GaCoreHw;
+use crate::memory::GaMemory;
+use crate::params::GaParams;
+use crate::ports::GaCoreIn;
+use crate::rngmod::RngModule;
+
+/// User-driven inputs for one clock cycle (everything in [`GaCoreIn`]
+/// that does not come from the wired modules).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UserIn {
+    /// `start_GA` pulse.
+    pub start_ga: bool,
+    /// `ga_load` — parameter initialization mode.
+    pub ga_load: bool,
+    /// Parameter index bus.
+    pub index: u8,
+    /// Parameter value bus.
+    pub value: u16,
+    /// Initialization handshake strobe.
+    pub data_valid: bool,
+    /// Scan-test enable.
+    pub test: bool,
+    /// Scan-chain input.
+    pub scanin: bool,
+}
+
+/// The clocked modules of the GA system (one commit = one clock edge).
+pub struct GaModules {
+    /// The GA IP core.
+    pub core: GaCoreHw,
+    /// The RNG module.
+    pub rng: RngModule,
+    /// The 256×32 GA memory.
+    pub mem: GaMemory,
+    /// The 8-slot fitness bank.
+    pub fems: FemBank,
+    /// Optional external fitness module "on another chip" (hybrid
+    /// intrinsic EHW, Fig. 5). Driven by the bank's forwarded request.
+    pub ext_fem: Option<Box<dyn Fem>>,
+}
+
+impl Clocked for GaModules {
+    fn reset(&mut self) {
+        self.core.reset();
+        self.rng.reset();
+        self.mem.reset();
+        self.fems.reset();
+        if let Some(e) = self.ext_fem.as_mut() {
+            e.reset();
+        }
+    }
+
+    fn commit(&mut self) {
+        self.core.commit();
+        self.rng.commit();
+        self.mem.commit();
+        self.fems.commit();
+        if let Some(e) = self.ext_fem.as_mut() {
+            e.commit();
+        }
+    }
+}
+
+/// Result of a hardware run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwRun {
+    /// Best individual (from the candidate bus when `GA_done` rose,
+    /// fitness from the final stats event).
+    pub best: Individual,
+    /// Clock cycles from `start_GA` to `GA_done`.
+    pub cycles: u64,
+    /// Wall-clock seconds at the 50 MHz GA clock.
+    pub seconds: f64,
+    /// Per-generation statistics captured by the probe.
+    pub history: Vec<GenStats>,
+    /// RNG draws consumed (instrumentation).
+    pub rng_draws: u64,
+}
+
+impl HwRun {
+    /// View as a [`GaRun`] for shared analysis code (convergence etc.).
+    pub fn as_ga_run(&self) -> GaRun {
+        GaRun {
+            best: self.best,
+            history: self.history.clone(),
+            evaluations: 0,
+            rng_draws: self.rng_draws,
+        }
+    }
+}
+
+/// The complete, wired GA system.
+pub struct GaSystem {
+    modules: GaModules,
+    sim: Sim,
+    /// 3-bit fitness function select presented to the bank and core.
+    pub fitfunc_select: u8,
+    /// 2-bit preset bus.
+    pub preset: u8,
+    /// Clock ratio of the application domain to the GA domain. The
+    /// paper's board uses a DCM to run the GA module at 50 MHz and the
+    /// initialization/application (FEM) modules at 200 MHz — ratio 4.
+    /// The level-based handshakes make the crossing safe; a higher
+    /// ratio shortens every fitness transaction as seen in GA cycles.
+    pub fast_domain_ratio: u32,
+    trace: Trace,
+    history: Vec<GenStats>,
+    pop_size_hint: u8,
+    vcd: Option<VcdCapture>,
+    monitor: Option<HandshakeMonitor>,
+}
+
+/// Waveform capture of the Table II interface (the ModelSim view).
+struct VcdCapture {
+    writer: VcdWriter,
+    candidate: VcdVar,
+    fit_request: VcdVar,
+    fit_valid: VcdVar,
+    mem_address: VcdVar,
+    mem_wr: VcdVar,
+    ga_done: VcdVar,
+    rn: VcdVar,
+}
+
+impl GaSystem {
+    /// Build a system around a fitness bank, with the paper's CA RNG.
+    pub fn new(fems: FemBank) -> Self {
+        let mut modules = GaModules {
+            core: GaCoreHw::new(),
+            rng: RngModule::new_ca(1),
+            mem: GaMemory::new(),
+            fems,
+            ext_fem: None,
+        };
+        modules.reset();
+        GaSystem {
+            modules,
+            sim: Sim::new_50mhz(),
+            fitfunc_select: 0,
+            preset: 0,
+            fast_domain_ratio: 1,
+            trace: Trace::new(),
+            history: Vec::new(),
+            pop_size_hint: GaParams::default().pop_size,
+            vcd: None,
+            monitor: None,
+        }
+    }
+
+    /// Attach a protocol-assertion monitor to the fitness handshake;
+    /// inspect it with [`GaSystem::protocol_monitor`] after the run.
+    pub fn enable_protocol_monitor(&mut self) {
+        // The slowest in-tree FEM (mShubert CORDIC) answers within ~350
+        // fast-domain cycles; the drain bound only polices the *release*
+        // side, which is a handful of cycles for every FEM.
+        self.monitor = Some(HandshakeMonitor::new("fitness", 8));
+    }
+
+    /// The attached protocol monitor, if any.
+    pub fn protocol_monitor(&self) -> Option<&HandshakeMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Start capturing a VCD waveform of the Table II interface signals
+    /// (one sample per clock). Call [`GaSystem::finish_vcd`] to render.
+    pub fn start_vcd(&mut self) {
+        let mut writer = VcdWriter::new("ga_system", self.sim.period_ps());
+        let candidate = writer.add_var("candidate", 16);
+        let fit_request = writer.add_var("fit_request", 1);
+        let fit_valid = writer.add_var("fit_valid", 1);
+        let mem_address = writer.add_var("mem_address", 8);
+        let mem_wr = writer.add_var("mem_wr", 1);
+        let ga_done = writer.add_var("GA_done", 1);
+        let rn = writer.add_var("rn", 16);
+        self.vcd = Some(VcdCapture {
+            writer,
+            candidate,
+            fit_request,
+            fit_valid,
+            mem_address,
+            mem_wr,
+            ga_done,
+            rn,
+        });
+    }
+
+    /// Stop capturing and render the VCD document, if capture was on.
+    pub fn finish_vcd(&mut self) -> Option<String> {
+        self.vcd.take().map(|c| c.writer.finish())
+    }
+
+    /// Replace the RNG module (e.g. with the LFSR kernel).
+    pub fn with_rng(mut self, rng: RngModule) -> Self {
+        self.modules.rng = rng;
+        self
+    }
+
+    /// Attach an external fitness module (hybrid EHW configuration,
+    /// Fig. 5). Route requests to it by selecting the bank slot that is
+    /// declared [`ga_fitness::FemSlot::External`].
+    pub fn with_external_fem(mut self, fem: Box<dyn Fem>) -> Self {
+        self.modules.ext_fem = Some(fem);
+        self
+    }
+
+    /// Access the wired modules (testbench backdoors).
+    pub fn modules(&self) -> &GaModules {
+        &self.modules
+    }
+
+    /// Elapsed cycles since construction.
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycles()
+    }
+
+    /// The Chipscope-style trace (best/sum per generation).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// One clock cycle of the whole system.
+    pub fn step(&mut self, user: UserIn) {
+        let select = self.fitfunc_select;
+        let preset = self.preset;
+        let ratio = self.fast_domain_ratio.max(1);
+        let m = &mut self.modules;
+        let mut stats: Option<(u32, u16, u16, u32)> = None;
+
+        self.sim.step(m, |m| {
+            // Sample registered outputs.
+            let core_out = m.core.out();
+            let ext_out = m.ext_fem.as_ref().map(|e| e.out()).unwrap_or_default();
+            let fem_out = m.fems.out(select, ext_out.fit_value, ext_out.fit_valid);
+            let rn = m.rng.rn();
+            let mem_dout = m.mem.dout();
+            let ext_req = m.fems.ext_request();
+
+            // Core evaluation (combinational RNG wires come back).
+            let comb = m.core.eval(&GaCoreIn {
+                ga_load: user.ga_load,
+                index: user.index,
+                value: user.value,
+                data_valid: user.data_valid,
+                fit_value: fem_out.fit_value,
+                fit_valid: fem_out.fit_valid,
+                mem_data_in: mem_dout,
+                start_ga: user.start_ga,
+                test: user.test,
+                scanin: user.scanin,
+                preset,
+                rn,
+                fitfunc_select: select,
+                fit_value_ext: 0,
+                fit_valid_ext: false,
+            });
+            stats = comb.stats_event;
+
+            // RNG sees the core's same-cycle wires.
+            m.rng.eval(comb.rn_consume, comb.rn_seed_load);
+            // Memory and FEM bank see the core's registered outputs.
+            m.mem
+                .eval(core_out.mem_address, core_out.mem_data_out, core_out.mem_wr);
+            // The FEM bank (and external module) live in the fast
+            // application-clock domain: they get `ratio` clock edges per
+            // GA cycle, seeing the core's (stable) registered outputs.
+            for sub in 0..ratio {
+                let ext_now = m.ext_fem.as_ref().map(|e| e.out()).unwrap_or_default();
+                let ext_req_now = m.fems.ext_request();
+                m.fems.eval(FemBankIn {
+                    fit_request: core_out.fit_request,
+                    candidate: core_out.candidate,
+                    select,
+                    ext_value: ext_now.fit_value,
+                    ext_valid: ext_now.fit_valid,
+                });
+                if let Some(e) = m.ext_fem.as_mut() {
+                    e.eval(FemIn {
+                        fit_request: if sub == 0 { ext_req } else { ext_req_now },
+                        candidate: core_out.candidate,
+                    });
+                }
+                // All but the last fast edge commit inside the GA cycle;
+                // the final one rides the common commit below.
+                if sub + 1 < ratio {
+                    m.fems.commit();
+                    if let Some(e) = m.ext_fem.as_mut() {
+                        e.commit();
+                    }
+                }
+            }
+        });
+
+        if let Some(mon) = self.monitor.as_mut() {
+            let o = self.modules.core.out();
+            let fem_o = self.modules.fems.out(select, 0, false);
+            mon.observe(o.fit_request, fem_o.fit_valid);
+        }
+
+        if let Some(cap) = self.vcd.as_mut() {
+            let t = self.sim.cycles();
+            let o = self.modules.core.out();
+            let fem_o = self
+                .modules
+                .fems
+                .out(select, 0, false);
+            cap.writer.change(cap.candidate, t, o.candidate as u64);
+            cap.writer.change(cap.fit_request, t, o.fit_request as u64);
+            cap.writer.change(cap.fit_valid, t, fem_o.fit_valid as u64);
+            cap.writer.change(cap.mem_address, t, o.mem_address as u64);
+            cap.writer.change(cap.mem_wr, t, o.mem_wr as u64);
+            cap.writer.change(cap.ga_done, t, o.ga_done as u64);
+            cap.writer.change(cap.rn, t, self.modules.rng.rn() as u64);
+        }
+
+        if let Some((gen, chrom, fitness, sum)) = stats {
+            let s = GenStats {
+                gen,
+                best: Individual { chrom, fitness },
+                fit_sum: sum,
+                pop_size: self.pop_size_hint,
+            };
+            self.history.push(s);
+            // Chipscope-style: samples are stamped with the capture
+            // clock cycle (monotone across reruns), not the generation.
+            let t = self.sim.cycles();
+            self.trace.record("best_fitness", t, fitness as u64);
+            self.trace.record("sum_fitness", t, sum as u64);
+        }
+    }
+
+    /// Program the parameter registers through the initialization
+    /// handshake (§III-B.6, Table III), driven by the Fig. 4
+    /// initialization-module FSM. Returns the cycles consumed.
+    pub fn program(&mut self, params: &GaParams) -> u64 {
+        params.validate().expect("invalid GA parameters");
+        self.pop_size_hint = params.pop_size;
+        let start = self.sim.cycles();
+        let mut init = crate::init::InitModule::new(params);
+        init.reset();
+        init.start();
+        let mut guard = 0;
+        while !init.out().done {
+            let io = init.out();
+            // Both modules evaluate in the same phase against each
+            // other's registered outputs, then latch together.
+            let ack = self.modules.core.out().data_ack;
+            init.eval(ack);
+            self.step(UserIn {
+                ga_load: io.ga_load,
+                index: io.index,
+                value: io.value,
+                data_valid: io.data_valid,
+                ..Default::default()
+            });
+            init.commit();
+            guard += 1;
+            assert!(guard < 1000, "init handshake hung");
+        }
+        // One idle cycle for the core to fall back to Idle.
+        self.step(UserIn::default());
+        self.sim.cycles() - start
+    }
+
+    /// Pulse `start_GA` and run until `GA_done`. `max_cycles` is the
+    /// watchdog bound.
+    pub fn run(&mut self, max_cycles: u64) -> Result<HwRun, SimError> {
+        self.history.clear();
+        let start = self.sim.cycles();
+        self.step(UserIn {
+            start_ga: true,
+            ..Default::default()
+        });
+        let mut guard = self.sim.cycles() - start;
+        while !self.modules.core.out().ga_done {
+            if guard >= max_cycles {
+                return Err(SimError::Timeout { cycles: guard });
+            }
+            self.step(UserIn::default());
+            guard = self.sim.cycles() - start;
+        }
+        let cycles = self.sim.cycles() - start;
+        let best_fitness = self
+            .history
+            .last()
+            .map(|s| s.best.fitness)
+            .unwrap_or_default();
+        Ok(HwRun {
+            best: Individual {
+                chrom: self.modules.core.out().candidate,
+                fitness: best_fitness,
+            },
+            cycles,
+            seconds: cycles as f64 * self.sim.period_ps() as f64 * 1e-12,
+            history: self.history.clone(),
+            rng_draws: self.modules.core.rng_draws(),
+        })
+    }
+
+    /// Program, then run: the full usage flow of §III-B.8.
+    pub fn program_and_run(
+        &mut self,
+        params: &GaParams,
+        max_cycles: u64,
+    ) -> Result<HwRun, SimError> {
+        self.program(params);
+        self.run(max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};
+
+    fn system_for(f: TestFunction) -> GaSystem {
+        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(f))]))
+    }
+
+    #[test]
+    fn program_loads_all_parameters() {
+        let mut sys = system_for(TestFunction::F3);
+        let params = GaParams::new(16, 0x0002_0005, 9, 3, 0xCAFE);
+        let cycles = sys.program(&params);
+        assert_eq!(sys.modules.core.programmed_params(), params);
+        assert!(cycles > 12, "six writes need at least two cycles each");
+    }
+
+    #[test]
+    fn run_reaches_done_and_outputs_best() {
+        let mut sys = system_for(TestFunction::F3);
+        let params = GaParams::new(8, 4, 10, 1, 0x2961);
+        let run = sys.program_and_run(&params, 2_000_000).unwrap();
+        assert!(run.cycles > 0);
+        assert_eq!(run.history.len(), 5, "gen 0 + 4 generations");
+        // Best fitness must equal the fitness of the output candidate.
+        assert_eq!(
+            run.best.fitness,
+            TestFunction::F3.eval_u16(run.best.chrom)
+        );
+    }
+
+    #[test]
+    fn candidate_bus_outputs_best_each_generation() {
+        let mut sys = system_for(TestFunction::F2);
+        let params = GaParams::new(8, 6, 10, 1, 0x061F);
+        let run = sys.program_and_run(&params, 2_000_000).unwrap();
+        // History is monotone (elitism) and ends at the reported best.
+        let mut prev = 0;
+        for s in &run.history {
+            assert!(s.best.fitness >= prev);
+            prev = s.best.fitness;
+        }
+        assert_eq!(run.best.fitness, prev);
+    }
+
+    #[test]
+    fn trace_records_chipscope_series() {
+        let mut sys = system_for(TestFunction::F3);
+        let params = GaParams::new(8, 3, 10, 1, 0xB342);
+        sys.program_and_run(&params, 2_000_000).unwrap();
+        let t = sys.trace();
+        assert_eq!(t.series("best_fitness").unwrap().samples.len(), 4);
+        assert_eq!(t.series("sum_fitness").unwrap().samples.len(), 4);
+    }
+
+    #[test]
+    fn watchdog_times_out_on_empty_bank_deadlock_free() {
+        // An Empty slot answers zero fitness: the system must still
+        // complete (no deadlock) even with no real FEM.
+        let mut sys = GaSystem::new(FemBank::new(vec![]));
+        let params = GaParams::new(4, 2, 10, 1, 0x2961);
+        let run = sys.program_and_run(&params, 1_000_000).unwrap();
+        assert_eq!(run.best.fitness, 0);
+    }
+
+    #[test]
+    fn restart_reruns_from_fresh_state() {
+        let mut sys = system_for(TestFunction::F3);
+        let params = GaParams::new(8, 3, 10, 1, 0xAAAA);
+        let run1 = sys.program_and_run(&params, 2_000_000).unwrap();
+        // Second run without reprogramming: Done → Start on start_GA.
+        let run2 = sys.run(2_000_000).unwrap();
+        assert_eq!(run1.best, run2.best, "same seed ⇒ same result");
+        assert_eq!(run1.history, run2.history);
+    }
+
+    #[test]
+    fn preset_mode_runs_without_programming() {
+        let mut sys = system_for(TestFunction::F3);
+        sys.preset = 0b01; // Table IV Small: pop 32, 512 gens
+        sys.pop_size_hint = 32;
+        let run = sys.run(200_000_000).unwrap();
+        assert_eq!(run.history.len(), 513);
+        assert_eq!(run.best.fitness, 3060, "512 generations solve F3");
+    }
+}

@@ -1,0 +1,288 @@
+//! The virtual reconfigurable circuit and its fault model.
+//!
+//! Topology (fixed routing, function-programmable cells — the standard
+//! VRC construction):
+//!
+//! ```text
+//! inputs a b c d
+//!   layer 1: cell0(a,b)  cell1(b,c)  cell2(c,d)  cell3(d,a) → w x y z
+//!   layer 2: cell4(w,x)  cell5(y,z)                         → u v
+//!   layer 3: cell6(u,v)                                     → t
+//!   output : cell7 post-processor on (t, u)                 → out
+//! ```
+//!
+//! Each of the 8 cells takes a 2-bit function code (AND / OR / XOR /
+//! NAND — a functionally complete set), so a full configuration is
+//! exactly the GA core's 16-bit chromosome.
+
+/// Cell function codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CellFn {
+    /// `00`: AND.
+    And = 0,
+    /// `01`: OR.
+    Or = 1,
+    /// `10`: XOR.
+    Xor = 2,
+    /// `11`: NAND.
+    Nand = 3,
+}
+
+impl CellFn {
+    /// Decode a 2-bit code.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0b11 {
+            0 => CellFn::And,
+            1 => CellFn::Or,
+            2 => CellFn::Xor,
+            _ => CellFn::Nand,
+        }
+    }
+
+    /// Apply the function.
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            CellFn::And => a & b,
+            CellFn::Or => a | b,
+            CellFn::Xor => a ^ b,
+            CellFn::Nand => !(a & b),
+        }
+    }
+}
+
+/// A radiation-style fault in one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The cell's output is stuck at a constant (SEU latched in the
+    /// output buffer).
+    StuckAt {
+        /// Faulted cell index (0–7).
+        cell: usize,
+        /// Stuck output value.
+        value: bool,
+    },
+    /// The cell's function code is corrupted to a fixed wrong value
+    /// (SEU in the configuration memory).
+    WrongFn {
+        /// Faulted cell index (0–7).
+        cell: usize,
+        /// The function the cell actually performs.
+        actual: CellFn,
+    },
+}
+
+impl Fault {
+    fn cell(&self) -> usize {
+        match *self {
+            Fault::StuckAt { cell, .. } | Fault::WrongFn { cell, .. } => cell,
+        }
+    }
+}
+
+/// A 4-input truth table: bit `i` is the output for input pattern `i`.
+pub type TruthTable = u16;
+
+/// The virtual reconfigurable circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vrc {
+    /// 16-bit configuration: cell `k`'s function code is bits
+    /// `[2k+1 : 2k]`.
+    pub config: u16,
+    /// Injected fault, if any.
+    pub fault: Option<Fault>,
+}
+
+impl Vrc {
+    /// A healthy circuit with the given configuration.
+    pub fn new(config: u16) -> Self {
+        Vrc {
+            config,
+            fault: None,
+        }
+    }
+
+    /// Inject a fault (replacing any existing one).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        assert!(fault.cell() < 8, "the VRC has 8 cells");
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Function programmed into cell `k` (before faults).
+    pub fn cell_fn(&self, k: usize) -> CellFn {
+        CellFn::from_code((self.config >> (2 * k)) as u8)
+    }
+
+    /// Evaluate one cell, honoring the fault model.
+    fn cell(&self, k: usize, a: bool, b: bool) -> bool {
+        match self.fault {
+            Some(Fault::StuckAt { cell, value }) if cell == k => value,
+            Some(Fault::WrongFn { cell, actual }) if cell == k => actual.apply(a, b),
+            _ => self.cell_fn(k).apply(a, b),
+        }
+    }
+
+    /// Evaluate the circuit on a 4-bit input pattern.
+    pub fn eval(&self, pattern: u8) -> bool {
+        let a = pattern & 1 != 0;
+        let b = pattern & 2 != 0;
+        let c = pattern & 4 != 0;
+        let d = pattern & 8 != 0;
+        let w = self.cell(0, a, b);
+        let x = self.cell(1, b, c);
+        let y = self.cell(2, c, d);
+        let z = self.cell(3, d, a);
+        let u = self.cell(4, w, x);
+        let v = self.cell(5, y, z);
+        let t = self.cell(6, u, v);
+        self.cell(7, t, u)
+    }
+
+    /// The circuit's full truth table.
+    pub fn truth_table(&self) -> TruthTable {
+        let mut tt = 0u16;
+        for pattern in 0..16u8 {
+            if self.eval(pattern) {
+                tt |= 1 << pattern;
+            }
+        }
+        tt
+    }
+}
+
+/// Healing fitness: how well configuration `config` reproduces `target`
+/// on the faulted fabric. Each of the 16 truth-table rows is worth
+/// 4095, so a perfect match scores 65 520 (a near-full-scale 16-bit
+/// fitness, keeping proportionate selection well conditioned).
+pub fn healing_fitness(config: u16, target: TruthTable, fault: Option<Fault>) -> u16 {
+    let vrc = Vrc {
+        config,
+        fault,
+    };
+    let got = vrc.truth_table();
+    let matches = (!(got ^ target)).count_ones() as u16;
+    matches * 4095
+}
+
+/// Fitness of a perfect healing (all 16 rows correct).
+pub const PERFECT_FITNESS: u16 = 16 * 4095;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_functions() {
+        assert!(CellFn::And.apply(true, true));
+        assert!(!CellFn::And.apply(true, false));
+        assert!(CellFn::Or.apply(true, false));
+        assert!(CellFn::Xor.apply(true, false));
+        assert!(!CellFn::Xor.apply(true, true));
+        assert!(CellFn::Nand.apply(false, false));
+        assert!(!CellFn::Nand.apply(true, true));
+    }
+
+    #[test]
+    fn config_decoding_per_cell() {
+        // config = 0b..._01_00: cell0 = AND, cell1 = OR, cell7 = NAND.
+        let cfg = 0b11_00_00_00_00_00_01_00u16;
+        let vrc = Vrc::new(cfg);
+        assert_eq!(vrc.cell_fn(0), CellFn::And);
+        assert_eq!(vrc.cell_fn(1), CellFn::Or);
+        assert_eq!(vrc.cell_fn(7), CellFn::Nand);
+    }
+
+    #[test]
+    fn all_and_circuit_is_conjunction_like() {
+        // All cells AND: output for all-ones input must be 1 via the
+        // final stage; for all-zeros it is 0.
+        let vrc = Vrc::new(0x0000);
+        assert!(vrc.eval(0b1111));
+        assert!(!vrc.eval(0b0000));
+    }
+
+    #[test]
+    fn stuck_fault_changes_behaviour() {
+        let vrc = Vrc::new(0x0000);
+        let faulty = vrc.with_fault(Fault::StuckAt { cell: 6, value: false });
+        // Cell 6 feeds cell 7 (AND): output forced low everywhere
+        // except through the u path... with all-AND config, out = t & u
+        // and t stuck 0 ⇒ out = 0 everywhere.
+        assert_eq!(faulty.truth_table(), 0);
+        assert_ne!(vrc.truth_table(), 0);
+    }
+
+    #[test]
+    fn wrong_fn_fault_applies_the_wrong_function() {
+        // With the all-AND configuration a single corrupted cell is
+        // masked (out is 1 only on the all-ones row either way) — fault
+        // masking is itself worth asserting.
+        let masked = Vrc::new(0x0000)
+            .with_fault(Fault::WrongFn { cell: 0, actual: CellFn::Or });
+        assert_eq!(masked.truth_table(), Vrc::new(0x0000).truth_table());
+        // On a mixed configuration the same corruption is observable.
+        let healthy = Vrc::new(0x1B26);
+        let faulty = healthy.with_fault(Fault::WrongFn { cell: 0, actual: CellFn::Nand });
+        assert_eq!(healthy.truth_table(), 0x9B9B);
+        assert_eq!(faulty.truth_table(), 0x8B8B);
+    }
+
+    #[test]
+    fn healing_fitness_is_full_scale_for_self_target() {
+        for cfg in [0u16, 0xFFFF, 0x1234, 0xBEEF] {
+            let target = Vrc::new(cfg).truth_table();
+            assert_eq!(healing_fitness(cfg, target, None), PERFECT_FITNESS);
+        }
+    }
+
+    #[test]
+    fn healing_fitness_counts_matching_rows() {
+        let target = Vrc::new(0x0000).truth_table();
+        // A config differing in exactly the all-ones row scores 15 rows.
+        let mut found = false;
+        for cfg in 0..=u16::MAX {
+            let tt = Vrc::new(cfg).truth_table();
+            if (tt ^ target).count_ones() == 1 {
+                assert_eq!(healing_fitness(cfg, target, None), 15 * 4095);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no single-row-off configuration exists?");
+    }
+
+    #[test]
+    fn vrc_expressiveness_census() {
+        // How many distinct truth tables can the fabric express? This
+        // pins the substrate's behaviour: any change to routing or cell
+        // functions shows up here.
+        let mut seen = std::collections::HashSet::new();
+        for cfg in 0..=u16::MAX {
+            seen.insert(Vrc::new(cfg).truth_table());
+        }
+        // Must be rich (hundreds of functions) but obviously ≤ 2^16.
+        assert!(seen.len() > 100, "only {} distinct functions", seen.len());
+        // Record the exact census to catch accidental changes.
+        assert_eq!(seen.len(), 2339);
+    }
+
+    #[test]
+    fn healable_fault_exists_for_representable_target() {
+        // Pick a target; inject a stuck fault; exhaustively confirm a
+        // perfect healing configuration exists (the premise of the GA
+        // healing demo).
+        let target = Vrc::new(0x1B26).truth_table();
+        let fault = Fault::StuckAt { cell: 2, value: true };
+        let healed = (0..=u16::MAX)
+            .filter(|&cfg| healing_fitness(cfg, target, Some(fault)) == PERFECT_FITNESS)
+            .count();
+        // 240 of 65 536 configurations heal this fault (verified by
+        // exhaustive enumeration), e.g. 0x0706.
+        assert_eq!(healed, 240);
+        assert_eq!(
+            healing_fitness(0x0706, target, Some(fault)),
+            PERFECT_FITNESS
+        );
+    }
+}

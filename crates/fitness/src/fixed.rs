@@ -1,0 +1,303 @@
+//! Fixed-point trigonometry: the "combinational implementation".
+//!
+//! The paper chose block-ROM lookup for its hardware fitness functions
+//! because "this resulted in better operational speed than a
+//! combinational implementation". This module supplies that rejected
+//! alternative, so the trade-off can actually be measured: a CORDIC
+//! sine/cosine kernel over binary angular measurement (BAM), plus
+//! fixed-point evaluators for every paper function. A hardware CORDIC
+//! FEM built from it lives in [`crate::fem::CordicFem`].
+//!
+//! Angles are carried as BAM: a `u32` where one full turn is 2^32. This
+//! makes the argument reduction `x mod 2π` (needed because the test
+//! functions use *integer radians* up to 65535) a single multiply, and
+//! quadrant folding a wrap-around subtraction.
+
+/// Multiplier for radians→BAM conversion: `round(2^48 / 2π)`.
+/// `bam = (x · RAD_TO_BAM_Q48) >> 16 (mod 2^32)`.
+const RAD_TO_BAM_Q48: u64 = 44_798_133_900_177; // round(2^48 / (2π))
+
+/// CORDIC gain compensation `K = Π 1/√(1+2^-2i) ≈ 0.607252935…` in Q30.
+const CORDIC_K_Q30: i64 = 652_032_874;
+
+/// Number of CORDIC iterations (Q30 outputs converge well before 30).
+const CORDIC_ITERS: u32 = 30;
+
+/// `atan(2^-i)` in signed BAM units (2^32 = one turn), i = 0..30.
+const ATAN_BAM: [i64; 30] = atan_table();
+
+const fn atan_table() -> [i64; 30] {
+    // Computed from the f64 values of atan(2^-i)/(2π)·2^32 — const fp
+    // isn't stable for transcendental functions, so the values are
+    // literal. Verified against f64 in tests::atan_table_is_correct.
+    [
+        536870912, // atan(1) = 1/8 turn exactly
+        316933406, 167458907, 85004756, 42667331, 21354465, 10679838, 5340245, 2670163, 1335087,
+        667544, 333772, 166886, 83443, 41722, 20861, 10430, 5215, 2608, 1304, 652, 326, 163, 81,
+        41, 20, 10, 5, 3, 1,
+    ]
+}
+
+/// Convert an integer-radian angle to BAM (`x mod 2π` as a turn
+/// fraction). Exact to better than 2^-31 of a turn for all x < 2^16·16.
+#[inline]
+pub fn rad_to_bam(x: u32) -> u32 {
+    ((x as u64).wrapping_mul(RAD_TO_BAM_Q48) >> 16) as u32
+}
+
+/// CORDIC rotation: cosine and sine of a BAM angle, in Q30.
+pub fn cos_sin_bam(bam: u32) -> (i32, i32) {
+    // Signed turn in [-1/2, 1/2): the two's-complement reinterpretation
+    // of BAM does the range reduction for free.
+    let mut z = bam as i32 as i64;
+    // Fold into [-1/4, 1/4] turn where cos ≥ 0; remember the sign flip.
+    const QUARTER: i64 = 1 << 30; // 2^32 / 4
+    let mut flip = false;
+    if z > QUARTER {
+        z -= 2 * QUARTER;
+        flip = true;
+    } else if z < -QUARTER {
+        z += 2 * QUARTER;
+        flip = true;
+    }
+    let mut x: i64 = CORDIC_K_Q30;
+    let mut y: i64 = 0;
+    for (i, &a) in ATAN_BAM.iter().enumerate().take(CORDIC_ITERS as usize) {
+        let (xs, ys) = (x >> i, y >> i);
+        if z >= 0 {
+            x -= ys;
+            y += xs;
+            z -= a;
+        } else {
+            x += ys;
+            y -= xs;
+            z += a;
+        }
+    }
+    if flip {
+        x = -x;
+        y = -y;
+    }
+    (x as i32, y as i32)
+}
+
+/// Cosine of an integer-radian angle, Q30.
+#[inline]
+pub fn cos_rad_q30(x: u32) -> i32 {
+    cos_sin_bam(rad_to_bam(x)).0
+}
+
+/// Sine of an integer-radian angle, Q30.
+#[inline]
+pub fn sin_rad_q30(x: u32) -> i32 {
+    cos_sin_bam(rad_to_bam(x)).1
+}
+
+/// Round a Q30 value accumulated in i64 down to an integer with
+/// round-half-away-from-zero, then clamp into the u16 fitness range.
+#[inline]
+fn q30_to_u16(v_q30: i64) -> u16 {
+    let half = 1i64 << 29;
+    let rounded = if v_q30 >= 0 {
+        (v_q30 + half) >> 30
+    } else {
+        -((-v_q30 + half) >> 30)
+    };
+    rounded.clamp(0, 65535) as u16
+}
+
+/// Fixed-point BF6: `3200 + (x²+x)·cos(x)/4 000 000`.
+pub fn bf6_fixed(x: u16) -> u16 {
+    let t = (x as i64) * (x as i64) + x as i64; // ≤ 2^32
+    let c = cos_rad_q30(x as u32) as i64;
+    // t·c is Q30 of t·cos(x), ≤ 2^62 in magnitude: fits i64.
+    let scaled = (t * c) / 4_000_000; // Q30 of t·cos(x)/4e6
+    q30_to_u16(scaled + (3200i64 << 30))
+}
+
+/// Fixed-point mBF6_2: `4096 + (x²+x)·cos(x)/2^20`.
+pub fn mbf6_2_fixed(x: u16) -> u16 {
+    let t = (x as i64) * (x as i64) + x as i64;
+    let c = cos_rad_q30(x as u32) as i64;
+    let scaled = (t * c) >> 20; // Q30 of t·cos(x)/2^20
+    q30_to_u16(scaled + (4096i64 << 30))
+}
+
+/// Fixed-point mBF7_2: `32768 + 56·(x·sin(4x) + 1.25·y·sin(2y))`.
+pub fn mbf7_2_fixed(x: u8, y: u8) -> u16 {
+    let s1 = sin_rad_q30(4 * x as u32) as i64;
+    let s2 = sin_rad_q30(2 * y as u32) as i64;
+    // 1.25·y·sin = (5·y·sin)/4; all terms ≤ 2^40, safely in i64.
+    let term = (x as i64) * s1 + (5 * y as i64 * s2) / 4; // Q30
+    q30_to_u16(56 * term + (32768i64 << 30))
+}
+
+/// Fixed-point 1-D Shubert sum in Q30: `Σ i·cos((i+1)x + i)`.
+fn shubert1d_q30(x: u8) -> i64 {
+    (1..=5u32)
+        .map(|i| i as i64 * cos_rad_q30((i + 1) * x as u32 + i) as i64)
+        .sum()
+}
+
+/// Fixed-point mShubert2D with saturating output.
+pub fn mshubert2d_fixed(x1: u8, x2: u8) -> u16 {
+    let s1 = shubert1d_q30(x1); // |s| ≤ 15·2^30
+    let s2 = shubert1d_q30(x2);
+    // Pre-shift each factor to Q15 so the product stays in i64 (a full
+    // Q30×Q30 product of ±15 values would need 68 bits). The rounding
+    // error this introduces is ≤ 15·2^-14, i.e. ≪ 1 fitness unit after
+    // the ×174 scale.
+    let prod = (s1 >> 15) * (s2 >> 15); // Q30 of the product, |p| ≤ 225·2^30
+    let v = (65535i64 << 30) - 174 * ((150i64 << 30) + prod);
+    q30_to_u16(v)
+}
+
+/// Fixed-point F2 (pure integer; negative results clamp to 0).
+pub fn f2_fixed(x: u8, y: u8) -> u16 {
+    (8 * x as i32 - 4 * y as i32 + 1020).clamp(0, 65535) as u16
+}
+
+/// Fixed-point F3 (pure integer).
+pub fn f3_fixed(x: u8, y: u8) -> u16 {
+    (8 * x as u32 + 4 * y as u32).min(65535) as u16
+}
+
+/// Fixed-point evaluation of any [`crate::TestFunction`] on a 16-bit
+/// chromosome — the function computed by [`crate::fem::CordicFem`].
+pub fn eval_fixed(f: crate::TestFunction, chrom: u16) -> u16 {
+    use crate::functions::decode_xy;
+    use crate::TestFunction as TF;
+    match f {
+        TF::Bf6 => bf6_fixed(chrom),
+        TF::Mbf6_2 => mbf6_2_fixed(chrom),
+        TF::F2 => {
+            let (x, y) = decode_xy(chrom);
+            f2_fixed(x, y)
+        }
+        TF::F3 => {
+            let (x, y) = decode_xy(chrom);
+            f3_fixed(x, y)
+        }
+        TF::Mbf7_2 => {
+            let (x, y) = decode_xy(chrom);
+            mbf7_2_fixed(x, y)
+        }
+        TF::MShubert2D => {
+            let (x1, x2) = decode_xy(chrom);
+            mshubert2d_fixed(x1, x2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions;
+    use crate::TestFunction;
+
+    #[test]
+    fn atan_table_is_correct() {
+        for (i, &a) in ATAN_BAM.iter().enumerate() {
+            let exact = (2f64.powi(-(i as i32))).atan() / std::f64::consts::TAU * 2f64.powi(32);
+            assert!(
+                (a as f64 - exact).abs() <= 1.0,
+                "atan entry {i}: {a} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rad_to_bam_matches_f64() {
+        for x in (0u32..=65535).step_by(17).chain([1, 2, 3, 65535]) {
+            let bam = rad_to_bam(x) as f64 / 2f64.powi(32);
+            let exact = (x as f64 / std::f64::consts::TAU).fract();
+            let mut d = (bam - exact).abs();
+            if d > 0.5 {
+                d = 1.0 - d;
+            }
+            assert!(d < 1e-7, "x={x}: bam frac {bam} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn cordic_cos_sin_accuracy() {
+        for x in (0u32..=65535).step_by(13) {
+            let (c, s) = cos_sin_bam(rad_to_bam(x));
+            let cf = c as f64 / 2f64.powi(30);
+            let sf = s as f64 / 2f64.powi(30);
+            let xe = x as f64;
+            assert!((cf - xe.cos()).abs() < 1e-6, "cos({x}): {cf} vs {}", xe.cos());
+            assert!((sf - xe.sin()).abs() < 1e-6, "sin({x}): {sf} vs {}", xe.sin());
+        }
+    }
+
+    #[test]
+    fn cordic_pythagorean_identity() {
+        for bam in (0u64..1 << 32).step_by((1 << 32) / 997) {
+            let (c, s) = cos_sin_bam(bam as u32);
+            let norm = (c as i64 * c as i64 + s as i64 * s as i64) as f64 / 2f64.powi(60);
+            assert!((norm - 1.0).abs() < 1e-6, "bam={bam}: |v|² = {norm}");
+        }
+    }
+
+    #[test]
+    fn mbf6_2_fixed_matches_reference_exhaustively() {
+        let mut worst = 0i32;
+        for x in 0..=u16::MAX {
+            let fx = mbf6_2_fixed(x) as i32;
+            let ref_ = functions::quantize(functions::mbf6_2(x)) as i32;
+            worst = worst.max((fx - ref_).abs());
+        }
+        assert!(worst <= 1, "worst |fixed - f64| = {worst}");
+    }
+
+    #[test]
+    fn bf6_fixed_matches_reference_exhaustively() {
+        let mut worst = 0i32;
+        for x in 0..=u16::MAX {
+            let d = (bf6_fixed(x) as i32 - TestFunction::Bf6.eval_u16(x) as i32).abs();
+            worst = worst.max(d);
+        }
+        assert!(worst <= 1, "worst |fixed - f64| = {worst}");
+    }
+
+    #[test]
+    fn mbf7_2_fixed_matches_reference_exhaustively() {
+        let mut worst = 0i32;
+        for c in 0..=u16::MAX {
+            let d = (eval_fixed(TestFunction::Mbf7_2, c) as i32
+                - TestFunction::Mbf7_2.eval_u16(c) as i32)
+                .abs();
+            worst = worst.max(d);
+        }
+        assert!(worst <= 1, "worst |fixed - f64| = {worst}");
+    }
+
+    #[test]
+    fn mshubert_fixed_matches_reference_exhaustively() {
+        let mut worst = 0i32;
+        for c in 0..=u16::MAX {
+            let d = (eval_fixed(TestFunction::MShubert2D, c) as i32
+                - TestFunction::MShubert2D.eval_u16(c) as i32)
+                .abs();
+            worst = worst.max(d);
+        }
+        assert!(worst <= 1, "worst |fixed - f64| = {worst}");
+    }
+
+    #[test]
+    fn linear_functions_are_exact() {
+        for c in 0..=u16::MAX {
+            assert_eq!(eval_fixed(TestFunction::F2, c), TestFunction::F2.eval_u16(c));
+            assert_eq!(eval_fixed(TestFunction::F3, c), TestFunction::F3.eval_u16(c));
+        }
+    }
+
+    #[test]
+    fn fixed_mshubert_preserves_plateau_optima() {
+        use crate::functions::encode_xy;
+        assert_eq!(mshubert2d_fixed(0xC2, 0x4A), 65535);
+        assert_eq!(mshubert2d_fixed(0xDB, 0x4A), 65535);
+        let _ = encode_xy(0, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ga-fitness — test functions and fitness-evaluation modules
+//!
+//! The paper evaluates its GA IP core on six maximization test
+//! functions: three "easy" ones at RT-level (BF6, F2, F3 — Table V,
+//! Figs. 8–12) and three "hard" ones in hardware (mBF6_2, mBF7_2,
+//! mShubert2D — Tables VII–IX, Figs. 13–16). Fitness is computed by a
+//! separate **fitness evaluation module** (FEM) that talks to the GA
+//! core over a two-way handshake; the hardware experiments use a
+//! **block-ROM lookup implementation** ("this resulted in better
+//! operational speed than a combinational implementation") populated
+//! offline with the precomputed fitness of every 16-bit encoding.
+//!
+//! This crate provides:
+//!
+//! * [`functions`] — the six functions in `f64` reference form and in
+//!   the saturating-`u16` form actually stored in the ROMs, plus their
+//!   chromosome decodings and globally optimal points (verified by
+//!   exhaustive enumeration in tests);
+//! * [`fixed`] — a fixed-point CORDIC sine/cosine kernel, the
+//!   "combinational implementation" alternative the paper mentions;
+//! * [`rom`] — ROM tabulation plus Virtex-II Pro block-RAM accounting
+//!   (the 48% / 1% block-memory rows of Table VI fall straight out of
+//!   this arithmetic);
+//! * [`fem`] — clock-accurate FEM hardware models: [`fem::LookupFem`]
+//!   (synchronous ROM + handshake), [`fem::CordicFem`] (iterative
+//!   fixed-point evaluation, longer latency), and [`fem::FemBank`] — the
+//!   8-way selectable bank of internal/external fitness functions that
+//!   is one of the core's headline features.
+
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod fem;
+pub mod fixed;
+pub mod functions;
+pub mod rom;
+
+pub use fem::{CordicFem, FemBank, FemSlot, LatencyFem, LookupFem};
+pub use functions::TestFunction;

@@ -1,0 +1,213 @@
+//! Synchronous memory models with block-RAM semantics.
+//!
+//! Virtex-II Pro block RAM (the paper's GA memory and lookup-table
+//! fitness ROMs) has *synchronous* reads: the address is registered and
+//! the data appears on the output port one clock later. The paper relies
+//! on this ("the GA core places the memory address on the address bus and
+//! reads the memory contents in the next clock cycle"), and the GA core
+//! FSM spends an extra state per read because of it — so the latency is
+//! load-bearing for the cycle counts reproduced in EXPERIMENTS.md.
+
+use crate::reg::Reg;
+
+/// Single-port synchronous RAM: one read *or* write per cycle.
+///
+/// Matches the paper's GA memory module: 8-bit address, 32-bit data
+/// (16-bit chromosome + 16-bit fitness packed), write strobe, and a
+/// registered read port.
+#[derive(Debug, Clone)]
+pub struct SpRam {
+    data: Vec<u32>,
+    /// Registered read-data output (block-RAM output register).
+    dout: Reg<u32>,
+}
+
+impl SpRam {
+    /// A RAM with `words` 32-bit words, zero-initialized (FPGA block RAM
+    /// powers up to zero unless an INIT attribute says otherwise).
+    pub fn new(words: usize) -> Self {
+        SpRam {
+            data: vec![0; words],
+            dout: Reg::new(0),
+        }
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Evaluation phase: one port, write-wins (when `wr` is asserted the
+    /// cycle performs a write and the read register holds its old value,
+    /// matching `NO_CHANGE` block-RAM write mode).
+    pub fn eval(&mut self, addr: u8, din: u32, wr: bool) {
+        let a = addr as usize % self.data.len();
+        if wr {
+            self.data[a] = din;
+        } else {
+            self.dout.set(self.data[a]);
+        }
+    }
+
+    /// Registered read data (valid one cycle after the address was
+    /// presented with `wr` deasserted).
+    #[inline]
+    pub fn dout(&self) -> u32 {
+        self.dout.get()
+    }
+
+    /// Commit the output register.
+    pub fn commit(&mut self) {
+        self.dout.commit();
+    }
+
+    /// Reset: clears the output register, *not* the array contents (block
+    /// RAM contents survive logic reset).
+    pub fn reset(&mut self) {
+        self.dout.reset_to(0);
+    }
+
+    /// Testbench backdoor read (no clocking) — the equivalent of reading
+    /// the memory via JTAG/readback rather than through the port.
+    pub fn backdoor(&self, addr: u8) -> u32 {
+        self.data[addr as usize % self.data.len()]
+    }
+
+    /// Testbench backdoor write.
+    pub fn backdoor_write(&mut self, addr: u8, v: u32) {
+        let len = self.data.len();
+        self.data[addr as usize % len] = v;
+    }
+}
+
+/// Synchronous ROM: registered read port over immutable contents.
+///
+/// Models the block-ROM lookup fitness modules: the paper populates
+/// Virtex-II Pro block RAMs with precomputed fitness values for every
+/// one of the 2^16 chromosome encodings (48% of the device's block
+/// memory, Table VI).
+#[derive(Debug, Clone)]
+pub struct SpRom {
+    data: Vec<u16>,
+    dout: Reg<u16>,
+}
+
+impl SpRom {
+    /// Build a ROM from its full contents.
+    pub fn from_contents(data: Vec<u16>) -> Self {
+        assert!(!data.is_empty(), "ROM must have at least one word");
+        SpRom {
+            data,
+            dout: Reg::new(0),
+        }
+    }
+
+    /// Build a ROM by tabulating `f` over all `words` addresses — this is
+    /// exactly how the paper's fitness ROMs are generated offline.
+    pub fn tabulate(words: usize, f: impl Fn(u16) -> u16) -> Self {
+        assert!(words > 0 && words <= 1 << 16);
+        SpRom::from_contents((0..words as u32).map(|a| f(a as u16)).collect())
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Evaluation phase: present an address.
+    pub fn eval(&mut self, addr: u16) {
+        self.dout.set(self.data[addr as usize % self.data.len()]);
+    }
+
+    /// Registered read data (valid one cycle after `eval`).
+    #[inline]
+    pub fn dout(&self) -> u16 {
+        self.dout.get()
+    }
+
+    /// Commit the output register.
+    pub fn commit(&mut self) {
+        self.dout.commit();
+    }
+
+    /// Reset the output register.
+    pub fn reset(&mut self) {
+        self.dout.reset_to(0);
+    }
+
+    /// Combinational backdoor lookup for testbenches.
+    pub fn backdoor(&self, addr: u16) -> u16 {
+        self.data[addr as usize % self.data.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_read_has_one_cycle_latency() {
+        let mut m = SpRam::new(256);
+        m.backdoor_write(5, 0xDEAD_BEEF);
+        m.eval(5, 0, false);
+        // Before commit, dout still holds the old value.
+        assert_eq!(m.dout(), 0);
+        m.commit();
+        assert_eq!(m.dout(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn ram_write_then_read() {
+        let mut m = SpRam::new(16);
+        m.eval(3, 77, true);
+        m.commit();
+        m.eval(3, 0, false);
+        m.commit();
+        assert_eq!(m.dout(), 77);
+        assert_eq!(m.backdoor(3), 77);
+    }
+
+    #[test]
+    fn ram_write_holds_read_register() {
+        let mut m = SpRam::new(16);
+        m.backdoor_write(1, 11);
+        m.eval(1, 0, false);
+        m.commit();
+        assert_eq!(m.dout(), 11);
+        // A write cycle must not disturb the read register (NO_CHANGE).
+        m.eval(2, 22, true);
+        m.commit();
+        assert_eq!(m.dout(), 11);
+    }
+
+    #[test]
+    fn ram_address_wraps_at_size() {
+        let mut m = SpRam::new(8);
+        m.eval(9, 99, true); // 9 % 8 == 1
+        m.commit();
+        assert_eq!(m.backdoor(1), 99);
+    }
+
+    #[test]
+    fn rom_tabulate_matches_function() {
+        let rom = SpRom::tabulate(1 << 8, |a| a.wrapping_mul(3));
+        for a in 0..=255u16 {
+            assert_eq!(rom.backdoor(a), a.wrapping_mul(3));
+        }
+    }
+
+    #[test]
+    fn rom_read_latency() {
+        let mut rom = SpRom::tabulate(16, |a| a + 100);
+        rom.eval(7);
+        assert_eq!(rom.dout(), 0);
+        rom.commit();
+        assert_eq!(rom.dout(), 107);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rom_rejected() {
+        let _ = SpRom::from_contents(vec![]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Protocol assertion monitor — the simulation analog of an SVA bound
+//! checker.
+//!
+//! The paper's pitch leans on "the simplicity of all the interfacing
+//! protocols ... reduces timing issues during implementation". This
+//! monitor makes the protocol contract executable: it passively watches
+//! a request/valid pair every cycle and records violations of the
+//! four-phase discipline:
+//!
+//! 1. `valid` must never assert while no request is outstanding;
+//! 2. a request must be held until its `valid` arrives (no aborts);
+//! 3. `valid` must deassert within a bounded window after the request
+//!    drops;
+//! 4. a new request must not start while the previous `valid` is still
+//!    draining.
+//!
+//! System models attach one per handshake and assert `violations()` is
+//! empty at the end of every test run.
+
+/// Passive watcher for one request/valid handshake.
+#[derive(Debug, Clone)]
+pub struct HandshakeMonitor {
+    name: String,
+    /// Max cycles valid may persist after the request drops.
+    drain_bound: u32,
+    state: MonState,
+    drain_count: u32,
+    cycle: u64,
+    transactions: u64,
+    violations: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MonState {
+    Idle,
+    /// Request asserted, no valid yet.
+    Requested,
+    /// Request and valid both high.
+    Responding,
+    /// Request dropped; valid draining.
+    Draining,
+}
+
+impl HandshakeMonitor {
+    /// Create a monitor; `drain_bound` is the maximum number of cycles
+    /// `valid` may stay high after the request deasserts.
+    pub fn new(name: &str, drain_bound: u32) -> Self {
+        HandshakeMonitor {
+            name: name.to_owned(),
+            drain_bound,
+            state: MonState::Idle,
+            drain_count: 0,
+            cycle: 0,
+            transactions: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    fn flag(&mut self, msg: &str) {
+        // Bound the log so a broken design doesn't eat memory.
+        if self.violations.len() < 64 {
+            self.violations
+                .push(format!("[{} @ cycle {}] {}", self.name, self.cycle, msg));
+        }
+    }
+
+    /// Observe one clock cycle of the handshake.
+    pub fn observe(&mut self, req: bool, valid: bool) {
+        match self.state {
+            MonState::Idle => {
+                if valid {
+                    self.flag("valid asserted with no outstanding request");
+                }
+                if req {
+                    self.state = if valid { MonState::Responding } else { MonState::Requested };
+                }
+            }
+            MonState::Requested => {
+                if !req && !valid {
+                    self.flag("request aborted before a response arrived");
+                    self.state = MonState::Idle;
+                } else if valid {
+                    self.state = MonState::Responding;
+                }
+            }
+            MonState::Responding => {
+                if !valid && req {
+                    self.flag("valid dropped while the request was still held");
+                    self.state = MonState::Requested;
+                } else if !req {
+                    self.transactions += 1;
+                    if valid {
+                        self.drain_count = 0;
+                        self.state = MonState::Draining;
+                    } else {
+                        self.state = MonState::Idle;
+                    }
+                }
+            }
+            MonState::Draining => {
+                if req {
+                    self.flag("new request started while valid was still draining");
+                    self.state = if valid { MonState::Responding } else { MonState::Requested };
+                } else if valid {
+                    self.drain_count += 1;
+                    if self.drain_count > self.drain_bound {
+                        self.flag("valid failed to deassert after the request dropped");
+                        self.state = MonState::Idle; // report once
+                    }
+                } else {
+                    self.state = MonState::Idle;
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Completed transactions observed.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Recorded violations (empty = protocol held).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(mon: &mut HandshakeMonitor, trace: &[(u8, u8)]) {
+        for &(r, v) in trace {
+            mon.observe(r == 1, v == 1);
+        }
+    }
+
+    #[test]
+    fn clean_transaction_passes() {
+        let mut m = HandshakeMonitor::new("fit", 4);
+        drive(
+            &mut m,
+            &[(0, 0), (1, 0), (1, 0), (1, 1), (0, 1), (0, 0), (0, 0)],
+        );
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        assert_eq!(m.transactions(), 1);
+    }
+
+    #[test]
+    fn back_to_back_transactions_pass() {
+        let mut m = HandshakeMonitor::new("fit", 4);
+        let one = [(1u8, 0u8), (1, 1), (0, 1), (0, 0)];
+        for _ in 0..5 {
+            drive(&mut m, &one);
+        }
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        assert_eq!(m.transactions(), 5);
+    }
+
+    #[test]
+    fn spurious_valid_flagged() {
+        let mut m = HandshakeMonitor::new("fit", 4);
+        drive(&mut m, &[(0, 0), (0, 1)]);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].contains("no outstanding request"));
+    }
+
+    #[test]
+    fn aborted_request_flagged() {
+        let mut m = HandshakeMonitor::new("fit", 4);
+        drive(&mut m, &[(1, 0), (1, 0), (0, 0)]);
+        assert!(m.violations()[0].contains("aborted"));
+    }
+
+    #[test]
+    fn stuck_valid_flagged() {
+        let mut m = HandshakeMonitor::new("fit", 2);
+        drive(&mut m, &[(1, 0), (1, 1), (0, 1), (0, 1), (0, 1), (0, 1)]);
+        assert!(m.violations().iter().any(|v| v.contains("failed to deassert")));
+    }
+
+    #[test]
+    fn early_reuse_flagged() {
+        let mut m = HandshakeMonitor::new("fit", 4);
+        drive(&mut m, &[(1, 0), (1, 1), (0, 1), (1, 1)]);
+        assert!(m.violations().iter().any(|v| v.contains("still draining")));
+    }
+
+    #[test]
+    fn violation_log_is_bounded() {
+        let mut m = HandshakeMonitor::new("fit", 1);
+        for _ in 0..1000 {
+            m.observe(false, true); // endless spurious valids
+        }
+        assert!(m.violations().len() <= 64);
+    }
+}

@@ -1,0 +1,148 @@
+//! Transaction scoreboard — expected-vs-observed stream checking.
+//!
+//! The verification-methodology companion to the protocol monitor: a
+//! [`Scoreboard`] is loaded with a reference model (a function from
+//! request payload to expected response) and fed every completed
+//! transaction; it records mismatches, out-of-order completions and
+//! leftover expectations. System tests attach one to the fitness
+//! interface so every value the GA core ever consumes is checked
+//! against the ROM ground truth — not just the final answer.
+
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+/// Scoreboard over transactions with payload `P` and response `R`.
+#[derive(Debug, Clone)]
+pub struct Scoreboard<P: Debug + Copy, R: Debug + Copy + PartialEq> {
+    pending: VecDeque<(P, R)>,
+    completed: u64,
+    errors: Vec<String>,
+    max_errors: usize,
+}
+
+impl<P: Debug + Copy, R: Debug + Copy + PartialEq> Default for Scoreboard<P, R> {
+    fn default() -> Self {
+        Scoreboard {
+            pending: VecDeque::new(),
+            completed: 0,
+            errors: Vec::new(),
+            max_errors: 64,
+        }
+    }
+}
+
+impl<P: Debug + Copy, R: Debug + Copy + PartialEq> Scoreboard<P, R> {
+    /// New, empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a request with `payload` was issued and `expected`
+    /// is the reference model's answer.
+    pub fn expect(&mut self, payload: P, expected: R) {
+        self.pending.push_back((payload, expected));
+    }
+
+    /// Record an observed completion (in issue order).
+    pub fn observe(&mut self, response: R) {
+        match self.pending.pop_front() {
+            None => self.err(format!("unexpected response {response:?} with nothing pending")),
+            Some((payload, expected)) => {
+                self.completed += 1;
+                if response != expected {
+                    self.err(format!(
+                        "payload {payload:?}: expected {expected:?}, observed {response:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    fn err(&mut self, msg: String) {
+        if self.errors.len() < self.max_errors {
+            self.errors.push(msg);
+        }
+    }
+
+    /// Completed transactions.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Outstanding (issued but unanswered) transactions.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Recorded mismatches/errors.
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Final check: no errors and nothing left pending.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.errors.is_empty(),
+            "scoreboard errors ({} total): {:?}",
+            self.errors.len(),
+            self.errors
+        );
+        assert_eq!(
+            self.outstanding(),
+            0,
+            "{} transactions never completed",
+            self.outstanding()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_stream_is_clean() {
+        let mut sb: Scoreboard<u16, u16> = Scoreboard::new();
+        for p in [1u16, 2, 3] {
+            sb.expect(p, p * 10);
+        }
+        for r in [10u16, 20, 30] {
+            sb.observe(r);
+        }
+        sb.assert_clean();
+        assert_eq!(sb.completed(), 3);
+    }
+
+    #[test]
+    fn mismatch_is_recorded_with_payload() {
+        let mut sb: Scoreboard<u16, u16> = Scoreboard::new();
+        sb.expect(7, 70);
+        sb.observe(71);
+        assert_eq!(sb.errors().len(), 1);
+        assert!(sb.errors()[0].contains('7'));
+    }
+
+    #[test]
+    fn unexpected_response_is_an_error() {
+        let mut sb: Scoreboard<u16, u16> = Scoreboard::new();
+        sb.observe(5);
+        assert!(sb.errors()[0].contains("nothing pending"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn leftover_expectations_fail_the_final_check() {
+        let mut sb: Scoreboard<u16, u16> = Scoreboard::new();
+        sb.expect(1, 10);
+        sb.assert_clean();
+    }
+
+    #[test]
+    fn error_log_is_bounded() {
+        let mut sb: Scoreboard<u16, u16> = Scoreboard::new();
+        for _ in 0..1000 {
+            sb.observe(0);
+        }
+        assert!(sb.errors().len() <= 64);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-cycle / per-event signal tracing.
+//!
+//! The paper instrumented the FPGA with Chipscope Pro cores to record the
+//! "best fitness" and "sum of fitness" values for each generation
+//! (Figs. 13–16 are plotted from those captures). [`Trace`] plays the
+//! same role for the simulation: named series of (time, value) samples
+//! with CSV export for the figure-generation binaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One named sample series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSeries {
+    /// (sample time — cycle number or generation index, value) pairs in
+    /// non-decreasing time order.
+    pub samples: Vec<(u64, u64)>,
+}
+
+impl TraceSeries {
+    /// Append a sample; times must be non-decreasing.
+    pub fn push(&mut self, t: u64, v: u64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            debug_assert!(t >= last, "trace samples must be time-ordered");
+        }
+        self.samples.push((t, v));
+    }
+
+    /// Values only, in time order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.samples.iter().map(|&(_, v)| v)
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<u64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Maximum recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.values().max()
+    }
+}
+
+/// A set of named series keyed by signal name.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    series: BTreeMap<String, TraceSeries>,
+}
+
+impl Trace {
+    /// New, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `value` for `name` at time `t` (creating the series on
+    /// first use).
+    pub fn record(&mut self, name: &str, t: u64, value: u64) {
+        self.series.entry(name.to_owned()).or_default().push(t, value);
+    }
+
+    /// Look up a series by name.
+    pub fn series(&self, name: &str) -> Option<&TraceSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterate over all (name, series) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TraceSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Render the trace as CSV with one row per distinct sample time and
+    /// one column per series (empty cell when a series has no sample at
+    /// that time). This is the format consumed by the fig* binaries.
+    pub fn to_csv(&self) -> String {
+        let mut times: Vec<u64> = self
+            .series
+            .values()
+            .flat_map(|s| s.samples.iter().map(|&(t, _)| t))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+
+        let mut out = String::new();
+        out.push_str("time");
+        for name in self.series.keys() {
+            let _ = write!(out, ",{name}");
+        }
+        out.push('\n');
+
+        // Per-series cursor for a single linear merge pass.
+        let mut cursors: Vec<usize> = vec![0; self.series.len()];
+        for &t in &times {
+            let _ = write!(out, "{t}");
+            for (ci, s) in self.series.values().enumerate() {
+                let cur = &mut cursors[ci];
+                let mut cell: Option<u64> = None;
+                while *cur < s.samples.len() && s.samples[*cur].0 == t {
+                    cell = Some(s.samples[*cur].1);
+                    *cur += 1;
+                }
+                match cell {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new();
+        t.record("best", 0, 100);
+        t.record("best", 1, 120);
+        t.record("avg", 0, 50);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.series("best").unwrap().last(), Some(120));
+        assert_eq!(t.series("best").unwrap().max(), Some(120));
+        assert_eq!(t.series("avg").unwrap().samples.len(), 1);
+        assert!(t.series("nope").is_none());
+    }
+
+    #[test]
+    fn csv_merges_on_time_axis() {
+        let mut t = Trace::new();
+        t.record("a", 0, 1);
+        t.record("a", 2, 3);
+        t.record("b", 0, 10);
+        t.record("b", 1, 11);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,a,b");
+        assert_eq!(lines[1], "0,1,10");
+        assert_eq!(lines[2], "1,,11");
+        assert_eq!(lines[3], "2,3,");
+    }
+
+    #[test]
+    fn duplicate_time_keeps_last_sample_in_csv() {
+        let mut t = Trace::new();
+        t.record("x", 5, 1);
+        t.record("x", 5, 2);
+        let csv = t.to_csv();
+        assert!(csv.lines().any(|l| l == "5,2"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn out_of_order_samples_panic_in_debug() {
+        let mut s = TraceSeries::default();
+        s.push(5, 0);
+        s.push(4, 0);
+    }
+}

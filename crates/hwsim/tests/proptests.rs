@@ -1,0 +1,130 @@
+//! Property-based tests of the simulation kernel against abstract
+//! models — the kernel underlies every result in the repo, so its
+//! semantics get the heaviest randomized scrutiny.
+
+use std::collections::HashMap;
+
+use hwsim::{AckSlave, Reg, ReqMaster, SpRam};
+use proptest::prelude::*;
+
+/// Port operations for the RAM model check.
+#[derive(Debug, Clone)]
+enum RamOp {
+    Write(u8, u32),
+    Read(u8),
+    Idle,
+}
+
+fn ram_op() -> impl Strategy<Value = RamOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(a, d)| RamOp::Write(a, d)),
+        any::<u8>().prop_map(RamOp::Read),
+        Just(RamOp::Idle),
+    ]
+}
+
+proptest! {
+    /// The single-port RAM agrees with a HashMap reference model under
+    /// arbitrary port schedules, including the one-cycle read latency
+    /// and the NO_CHANGE write behaviour.
+    #[test]
+    fn sp_ram_matches_reference_model(ops in prop::collection::vec(ram_op(), 1..200)) {
+        let mut ram = SpRam::new(256);
+        let mut model: HashMap<u8, u32> = HashMap::new();
+        // (expected value, valid) for the registered read port.
+        let mut pending_read: Option<u32> = None;
+        for op in ops {
+            match op {
+                RamOp::Write(a, d) => {
+                    ram.eval(a, d, true);
+                    model.insert(a, d);
+                    // NO_CHANGE: the read register holds its value.
+                }
+                RamOp::Read(a) => {
+                    ram.eval(a, 0, false);
+                    pending_read = Some(*model.get(&a).unwrap_or(&0));
+                }
+                RamOp::Idle => {
+                    // No port activity this cycle: dout holds. Model by
+                    // issuing a read of the same pending value? The RAM
+                    // has no idle input; emulate idle as a read of
+                    // address 0 with the model updated accordingly.
+                    ram.eval(0, 0, false);
+                    pending_read = Some(*model.get(&0).unwrap_or(&0));
+                }
+            }
+            ram.commit();
+            if let Some(expect) = pending_read {
+                prop_assert_eq!(ram.dout(), expect);
+            }
+        }
+    }
+
+    /// A two-phase register never exposes a staged value before commit,
+    /// and always exposes exactly the last staged value after.
+    #[test]
+    fn reg_two_phase_semantics(writes in prop::collection::vec(any::<u32>(), 1..50)) {
+        let mut r = Reg::new(0u32);
+        for chunk in writes.chunks(3) {
+            let before = r.get();
+            for &w in chunk {
+                r.set(w);
+                prop_assert_eq!(r.get(), before, "staged value leaked");
+            }
+            r.commit();
+            prop_assert_eq!(r.get(), *chunk.last().unwrap());
+        }
+    }
+
+    /// Master/slave handshake delivers exactly one payload per
+    /// transaction under arbitrary slave response latencies.
+    #[test]
+    fn handshake_delivers_exactly_once(latencies in prop::collection::vec(0u8..12, 1..20)) {
+        let mut master = ReqMaster::default();
+        let mut slave = AckSlave::default();
+        master.reset();
+        slave.reset();
+        // The slave-side responder: after accepting, waits `latency`
+        // cycles, then asserts valid with payload+1 until req falls.
+        for (txn, &latency) in latencies.iter().enumerate() {
+            let payload = txn as u32 * 31 + 7;
+            master.start();
+            master.commit();
+            let mut countdown: Option<u8> = None;
+            let mut accepted: Option<u32> = None;
+            let mut responses = 0u32;
+            let mut valid = false;
+            let mut value = 0u32;
+            for _cycle in 0..100 {
+                // Slave side.
+                if let Some(p) = slave.eval(master.req(), payload) {
+                    accepted = Some(p);
+                    countdown = Some(latency);
+                }
+                if let Some(c) = countdown {
+                    if c == 0 {
+                        valid = true;
+                        value = accepted.unwrap() + 1;
+                        countdown = None;
+                    } else {
+                        countdown = Some(c - 1);
+                    }
+                }
+                if !master.req() {
+                    valid = false;
+                }
+                // Master side.
+                if let Some(r) = master.eval(valid, value) {
+                    prop_assert_eq!(r, payload + 1);
+                    responses += 1;
+                }
+                master.commit();
+                slave.commit();
+                if master.is_idle() && responses > 0 && !valid {
+                    break;
+                }
+            }
+            prop_assert_eq!(responses, 1, "txn {} delivered {} times", txn, responses);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! ASIC implementation model (§III-C, §V).
+//!
+//! The paper emphasizes that the gate-level netlist "can be directly
+//! used by commercial layout tools for chip layout generation", and the
+//! conclusion reports a fabricated digital ASIC (GA module + slew-rate
+//! fitness function) in a radiation-hardened SOI technology. §II-B
+//! compares against the GAA chip (0.5 µm CMOS) and Chen et al.'s GA
+//! chip (0.18 µm TSMC).
+//!
+//! This module prices a netlist in a standard-cell technology: each
+//! primitive has a NAND2-equivalent gate count (the classic area
+//! currency), and a technology node supplies the NAND2 cell area and a
+//! routing overhead factor, giving die-area estimates comparable across
+//! the nodes the related work used.
+
+use crate::netlist::{GateKind, Netlist};
+
+/// A standard-cell technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// NAND2 cell area in µm².
+    pub nand2_area_um2: f64,
+    /// Area multiplier for routing/power/clock overhead after placement.
+    pub routing_overhead: f64,
+}
+
+/// 0.5 µm CMOS — the node of the GAA chip (Wakabayashi et al.).
+pub const NODE_500NM: TechNode = TechNode {
+    name: "0.5um CMOS",
+    nand2_area_um2: 60.0,
+    routing_overhead: 1.8,
+};
+
+/// 0.18 µm TSMC — the node of Chen et al.'s GA chip.
+pub const NODE_180NM: TechNode = TechNode {
+    name: "0.18um TSMC",
+    nand2_area_um2: 9.0,
+    routing_overhead: 1.7,
+};
+
+/// NAND2-equivalents per primitive (standard-cell library folklore:
+/// INV 0.5, 2-input gates 1, XOR2 2.5, mux 2, scan flop 7).
+pub fn nand2_equivalents(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Const0 | GateKind::Const1 | GateKind::Input | GateKind::RegQ => 0.0,
+        GateKind::Buf => 0.5,
+        GateKind::Inv => 0.5,
+        GateKind::And2 | GateKind::Or2 => 1.5,
+        GateKind::Nand2 | GateKind::Nor2 => 1.0,
+        GateKind::Xor2 => 2.5,
+        GateKind::CarryMux => 2.0,
+    }
+}
+
+/// NAND2-equivalents per scan register.
+pub const SCAN_FF_NAND2: f64 = 7.0;
+
+/// Die-area estimate for one netlist in one technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsicReport {
+    /// Technology node used.
+    pub node: TechNode,
+    /// Total NAND2-equivalent gate count.
+    pub nand2_equiv: f64,
+    /// Standard-cell area before routing overhead (mm²).
+    pub cell_area_mm2: f64,
+    /// Estimated placed-and-routed core area (mm²).
+    pub core_area_mm2: f64,
+}
+
+/// Price a netlist on a node.
+pub fn price(nl: &Netlist, node: TechNode) -> AsicReport {
+    let comb: f64 = nl.gates.iter().map(|g| nand2_equivalents(g.kind)).sum();
+    let nand2_equiv = comb + nl.regs.len() as f64 * SCAN_FF_NAND2;
+    let cell_area_mm2 = nand2_equiv * node.nand2_area_um2 * 1e-6;
+    AsicReport {
+        node,
+        nand2_equiv,
+        cell_area_mm2,
+        core_area_mm2: cell_area_mm2 * node.routing_overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    #[test]
+    fn nand2_equivalents_ordering() {
+        // XOR is the most expensive 2-input gate; sources are free.
+        assert!(nand2_equivalents(GateKind::Xor2) > nand2_equivalents(GateKind::And2));
+        assert!(nand2_equivalents(GateKind::And2) > nand2_equivalents(GateKind::Inv));
+        assert_eq!(nand2_equivalents(GateKind::Input), 0.0);
+    }
+
+    #[test]
+    fn smaller_node_means_smaller_die() {
+        let mut b = Builder::new();
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let zero = b.const0();
+        let (s, _) = b.adder(&x, &y, zero);
+        let q = b.reg_bank(&s);
+        b.output("q", &q);
+        let nl = b.finish();
+        let big = price(&nl, NODE_500NM);
+        let small = price(&nl, NODE_180NM);
+        assert_eq!(big.nand2_equiv, small.nand2_equiv);
+        assert!(big.core_area_mm2 > 4.0 * small.core_area_mm2);
+    }
+
+    #[test]
+    fn ga_core_asic_is_plausible_size() {
+        // The GAA chip (a comparable elitist GA accelerator) was a few
+        // tens of mm² in 0.5 µm; our core must land in the same decade.
+        let (nl, _) = crate::gadesign::elaborate_ga_core();
+        let r = price(&nl, NODE_500NM);
+        assert!(
+            r.core_area_mm2 > 0.5 && r.core_area_mm2 < 50.0,
+            "core area {:.2} mm² out of band",
+            r.core_area_mm2
+        );
+        let r180 = price(&nl, NODE_180NM);
+        assert!(r180.core_area_mm2 < r.core_area_mm2 / 4.0);
+    }
+
+    #[test]
+    fn registers_dominate_a_register_file() {
+        let mut b = Builder::new();
+        let d = b.input("d", 64);
+        let q = b.reg_bank(&d);
+        b.output("q", &q);
+        let r = price(&b.finish(), NODE_180NM);
+        assert!((r.nand2_equiv - 64.0 * SCAN_FF_NAND2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,512 @@
+//! The RT-level component library, elaborated into gates.
+//!
+//! These are the "simple components such as adders, multiplexers, etc."
+//! that the AUDI datapath instantiates (§III-A: structural descriptions
+//! over simple components "ensure that these netlists will synthesize
+//! easily using tools from many vendors"). Every builder is checked for
+//! functional equivalence against its arithmetic reference in the test
+//! suite — the gate-level verification step of the paper's flow.
+
+use crate::netlist::{Gate, GateKind, NetId, Netlist, RegCell};
+
+/// Incremental netlist builder.
+#[derive(Debug, Default)]
+pub struct Builder {
+    nl: Netlist,
+}
+
+impl Builder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Finish and return the netlist.
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+
+    fn push(&mut self, kind: GateKind, inputs: Vec<NetId>) -> NetId {
+        let id = self.nl.gates.len() as NetId;
+        self.nl.gates.push(Gate { kind, inputs });
+        id
+    }
+
+    /// Constant 0 net.
+    pub fn const0(&mut self) -> NetId {
+        self.push(GateKind::Const0, vec![])
+    }
+
+    /// Constant 1 net.
+    pub fn const1(&mut self) -> NetId {
+        self.push(GateKind::Const1, vec![])
+    }
+
+    /// Declare a named input bus of `width` bits (LSB first).
+    pub fn input(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        let bits: Vec<NetId> = (0..width).map(|_| self.push(GateKind::Input, vec![])).collect();
+        self.nl.inputs.push((name.to_owned(), bits.clone()));
+        bits
+    }
+
+    /// Declare a named output bus.
+    pub fn output(&mut self, name: &str, bits: &[NetId]) {
+        self.nl.outputs.push((name.to_owned(), bits.to_vec()));
+    }
+
+    /// NOT gate.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Inv, vec![a])
+    }
+
+    /// AND gate.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::And2, vec![a, b])
+    }
+
+    /// OR gate.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Or2, vec![a, b])
+    }
+
+    /// XOR gate.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xor2, vec![a, b])
+    }
+
+    /// NAND gate.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nand2, vec![a, b])
+    }
+
+    /// NOR gate.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nor2, vec![a, b])
+    }
+
+    /// Dedicated carry mux: `sel ? a : b`.
+    pub fn carry_mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::CarryMux, vec![sel, a, b])
+    }
+
+    /// LUT-style 2:1 mux built from gates: `sel ? a : b`.
+    pub fn mux2(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        let ns = self.not(sel);
+        let ta = self.and(sel, a);
+        let tb = self.and(ns, b);
+        self.or(ta, tb)
+    }
+
+    /// Word-wide 2:1 mux.
+    pub fn mux2_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux2(sel, x, y))
+            .collect()
+    }
+
+    /// Scan register bank: creates `width` flip-flops with Q nets
+    /// returned, D pins wired to `d`, appended to the scan chain in bit
+    /// order (the SCAN_REGISTER primitive of the paper's netlists).
+    pub fn reg_bank(&mut self, d: &[NetId]) -> Vec<NetId> {
+        d.iter()
+            .map(|&di| {
+                let q = self.push(GateKind::RegQ, vec![]);
+                self.nl.regs.push(RegCell { d: di, q });
+                q
+            })
+            .collect()
+    }
+
+    /// Ripple-carry adder over the dedicated carry chain (Virtex slice:
+    /// the per-bit propagate XOR lands in the LUT, the carry select in
+    /// MUXCY). Returns (sum bits, carry out).
+    pub fn adder(&mut self, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len());
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let p = self.xor(ai, bi); // propagate
+            let s = self.xor(p, carry);
+            // carry_out = p ? carry_in : a  (MUXCY)
+            carry = self.carry_mux(p, carry, ai);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Subtractor `a - b` (two's complement): returns (difference,
+    /// borrow-free flag = carry out = `a >= b`).
+    pub fn subtractor(&mut self, a: &[NetId], b: &[NetId]) -> (Vec<NetId>, NetId) {
+        let nb: Vec<NetId> = b.iter().map(|&x| self.not(x)).collect();
+        let one = self.const1();
+        self.adder(a, &nb, one)
+    }
+
+    /// Unsigned greater-than comparator: `a > b`.
+    pub fn gt(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        // a > b  ⇔  b - a has a borrow  ⇔  !(b >= a).
+        let (_, b_ge_a) = self.subtractor(b, a);
+        self.not(b_ge_a)
+    }
+
+    /// Unsigned less-than comparator: `a < b`.
+    pub fn lt(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        self.gt(b, a)
+    }
+
+    /// Balanced reduction tree (AND/OR): O(log n) depth instead of the
+    /// O(n) chain a naive fold produces — load-bearing for wide
+    /// comparators on the critical path.
+    pub fn reduce_tree(&mut self, nets: &[NetId], op: GateKind) -> NetId {
+        assert!(!nets.is_empty());
+        assert!(matches!(op, GateKind::And2 | GateKind::Or2 | GateKind::Xor2));
+        let mut level: Vec<NetId> = nets.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.push(op, vec![pair[0], pair[1]])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Equality comparator (XNOR per bit, balanced AND tree).
+    pub fn eq(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        let bits: Vec<NetId> = a
+            .iter()
+            .zip(b)
+            .map(|(&ai, &bi)| {
+                let x = self.xor(ai, bi);
+                self.not(x)
+            })
+            .collect();
+        self.reduce_tree(&bits, GateKind::And2)
+    }
+
+    /// Incrementer (`a + 1`) over the carry chain.
+    pub fn incrementer(&mut self, a: &[NetId]) -> Vec<NetId> {
+        let zeros: Vec<NetId> = (0..a.len()).map(|_| self.const0()).collect();
+        let one = self.const1();
+        self.adder(a, &zeros, one).0
+    }
+
+    /// Binary-to-one-hot decoder (`n` select bits → `2^n` outputs).
+    pub fn decoder(&mut self, sel: &[NetId]) -> Vec<NetId> {
+        let n = sel.len();
+        assert!(n <= 6, "decoder wider than 6 select bits is unrealistic here");
+        let inv: Vec<NetId> = sel.iter().map(|&s| self.not(s)).collect();
+        (0..1usize << n)
+            .map(|v| {
+                let mut acc: Option<NetId> = None;
+                for b in 0..n {
+                    let lit = if (v >> b) & 1 == 1 { sel[b] } else { inv[b] };
+                    acc = Some(match acc {
+                        None => lit,
+                        Some(p) => self.and(p, lit),
+                    });
+                }
+                acc.expect("decoder with zero select bits")
+            })
+            .collect()
+    }
+
+    /// Thermometer mask generator for the crossover operator: output bit
+    /// `i` is 1 iff `i < cut` (the §III-B.3 mask with ones in positions
+    /// 0..cut−1). `cut` is a 4-bit bus; output is 16 bits. Built as a
+    /// constant comparator per bit (shallow) rather than a suffix-OR
+    /// chain (16 levels deep).
+    pub fn thermometer16(&mut self, cut: &[NetId]) -> Vec<NetId> {
+        assert_eq!(cut.len(), 4);
+        (0..16u8)
+            .map(|i| {
+                // cut > i with i constant.
+                let konst: Vec<NetId> = (0..4)
+                    .map(|b| {
+                        if (i >> b) & 1 == 1 {
+                            self.const1()
+                        } else {
+                            self.const0()
+                        }
+                    })
+                    .collect();
+                self.gt(cut, &konst)
+            })
+            .collect()
+    }
+
+    /// The crossover network (Fig. 3): given two 16-bit parents and the
+    /// 4-bit cut, produce both offspring via AND/inverted-AND/OR.
+    pub fn crossover16(
+        &mut self,
+        p1: &[NetId],
+        p2: &[NetId],
+        cut: &[NetId],
+    ) -> (Vec<NetId>, Vec<NetId>) {
+        assert_eq!(p1.len(), 16);
+        assert_eq!(p2.len(), 16);
+        let mask = self.thermometer16(cut);
+        let mut o1 = Vec::with_capacity(16);
+        let mut o2 = Vec::with_capacity(16);
+        for i in 0..16 {
+            let nm = self.not(mask[i]);
+            let a1 = self.and(p1[i], mask[i]);
+            let b1 = self.and(p2[i], nm);
+            o1.push(self.or(a1, b1));
+            let a2 = self.and(p1[i], nm);
+            let b2 = self.and(p2[i], mask[i]);
+            o2.push(self.or(a2, b2));
+        }
+        (o1, o2)
+    }
+
+    /// The mutation network: one-hot decode the 4-bit point and XOR.
+    pub fn mutate16(&mut self, chrom: &[NetId], point: &[NetId]) -> Vec<NetId> {
+        assert_eq!(chrom.len(), 16);
+        let onehot = self.decoder(point);
+        chrom
+            .iter()
+            .zip(&onehot)
+            .map(|(&c, &o)| self.xor(c, o))
+            .collect()
+    }
+
+    /// Unsigned array multiplier `a × b` (full product width). The AUDI
+    /// flow allocates this as a functional unit for the selection
+    /// threshold scaling (`fit_sum · rn >> 16`); the controller gives it
+    /// four clock cycles (`SelMulWait`), which static timing honors as a
+    /// multicycle path. Each row's addition rides the dedicated carry
+    /// chain full-width, so the combinational depth is rows × one carry
+    /// chain, not a quadratic gate ripple.
+    pub fn multiplier(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let zero = self.const0();
+        let mut acc: Vec<NetId> = vec![zero; a.len() + b.len()];
+        for (j, &bj) in b.iter().enumerate() {
+            // Partial product: a AND b[j], shifted by j, zero-extended
+            // over the remaining accumulator width.
+            let mut pp: Vec<NetId> = a.iter().map(|&ai| self.and(ai, bj)).collect();
+            pp.resize(acc.len() - j, zero);
+            let slice: Vec<NetId> = acc[j..].to_vec();
+            let (sum, _cout) = self.adder(&slice, &pp, zero);
+            acc[j..].copy_from_slice(&sum);
+        }
+        acc
+    }
+
+    /// Current gate count (for inventory reporting).
+    pub fn gate_count(&self) -> usize {
+        self.nl.gates.len()
+    }
+
+    /// Current register count (scan-chain position bookkeeping).
+    pub fn reg_count(&self) -> usize {
+        self.nl.regs.len()
+    }
+
+    /// Re-bind the D pins of previously created registers (identified by
+    /// their Q nets). Used by the FSM synthesizer, which must allocate
+    /// the one-hot Q nets before the next-state logic that feeds them —
+    /// the netlist analog of a VHDL signal declared before its driving
+    /// process.
+    pub fn patch_reg_d(&mut self, q_nets: &[NetId], d_nets: &[NetId]) {
+        assert_eq!(q_nets.len(), d_nets.len());
+        for (&q, &d) in q_nets.iter().zip(d_nets) {
+            let cell = self
+                .nl
+                .regs
+                .iter_mut()
+                .find(|r| r.q == q)
+                .expect("patch_reg_d: unknown Q net");
+            cell.d = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{bus_to_u64, u64_to_bus};
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Harness: build a 2-input combinational block and exercise it.
+    fn eval2(
+        widths: (usize, usize),
+        build: impl Fn(&mut Builder, &[NetId], &[NetId]) -> Vec<NetId>,
+        a: u64,
+        b: u64,
+    ) -> u64 {
+        let mut bld = Builder::new();
+        let ia = bld.input("a", widths.0);
+        let ib = bld.input("b", widths.1);
+        let out = build(&mut bld, &ia, &ib);
+        bld.output("y", &out);
+        let nl = bld.finish();
+        let mut inp = HashMap::new();
+        u64_to_bus(nl.input_bus("a").unwrap(), a, &mut inp);
+        u64_to_bus(nl.input_bus("b").unwrap(), b, &mut inp);
+        let vals = nl.eval_comb(&inp, &HashMap::new());
+        bus_to_u64(nl.output_bus("y").unwrap(), &vals)
+    }
+
+    proptest! {
+        #[test]
+        fn adder_equivalence(a in 0u64..1 << 24, b in 0u64..1 << 24) {
+            let sum = eval2((24, 24), |bld, x, y| {
+                let zero = bld.const0();
+                let (s, cout) = bld.adder(x, y, zero);
+                let mut out = s;
+                out.push(cout);
+                out
+            }, a, b);
+            prop_assert_eq!(sum, a + b);
+        }
+
+        #[test]
+        fn subtractor_equivalence(a in 0u64..1 << 16, b in 0u64..1 << 16) {
+            let out = eval2((16, 16), |bld, x, y| {
+                let (d, ge) = bld.subtractor(x, y);
+                let mut o = d;
+                o.push(ge);
+                o
+            }, a, b);
+            let diff = out & 0xFFFF;
+            let ge = out >> 16;
+            prop_assert_eq!(diff, a.wrapping_sub(b) & 0xFFFF);
+            prop_assert_eq!(ge == 1, a >= b);
+        }
+
+        #[test]
+        fn comparator_equivalence(a in 0u64..1 << 24, b in 0u64..1 << 24) {
+            let gt = eval2((24, 24), |bld, x, y| vec![bld.gt(x, y)], a, b);
+            prop_assert_eq!(gt == 1, a > b);
+            let eq = eval2((24, 24), |bld, x, y| vec![bld.eq(x, y)], a, b);
+            prop_assert_eq!(eq == 1, a == b);
+        }
+
+        #[test]
+        fn multiplier_equivalence(a in 0u64..1 << 12, b in 0u64..1 << 8) {
+            let p = eval2((12, 8), |bld, x, y| bld.multiplier(x, y), a, b);
+            prop_assert_eq!(p, a * b);
+        }
+
+        #[test]
+        fn crossover_network_matches_ops(p1 in any::<u16>(), p2 in any::<u16>(), cut in 0u64..16) {
+            let mut bld = Builder::new();
+            let ia = bld.input("a", 16);
+            let ib = bld.input("b", 16);
+            let ic = bld.input("cut", 4);
+            let (o1, o2) = bld.crossover16(&ia, &ib, &ic);
+            bld.output("o1", &o1);
+            bld.output("o2", &o2);
+            let nl = bld.finish();
+            let mut inp = HashMap::new();
+            u64_to_bus(nl.input_bus("a").unwrap(), p1 as u64, &mut inp);
+            u64_to_bus(nl.input_bus("b").unwrap(), p2 as u64, &mut inp);
+            u64_to_bus(nl.input_bus("cut").unwrap(), cut, &mut inp);
+            let vals = nl.eval_comb(&inp, &HashMap::new());
+            let g1 = bus_to_u64(nl.output_bus("o1").unwrap(), &vals) as u16;
+            let g2 = bus_to_u64(nl.output_bus("o2").unwrap(), &vals) as u16;
+            let (r1, r2) = ga_core_ops_crossover(p1, p2, cut as u8);
+            prop_assert_eq!(g1, r1);
+            prop_assert_eq!(g2, r2);
+        }
+
+        #[test]
+        fn mutate_network_flips_one_bit(c in any::<u16>(), point in 0u64..16) {
+            let mut bld = Builder::new();
+            let ic = bld.input("c", 16);
+            let ip = bld.input("p", 4);
+            let o = bld.mutate16(&ic, &ip);
+            bld.output("o", &o);
+            let nl = bld.finish();
+            let mut inp = HashMap::new();
+            u64_to_bus(nl.input_bus("c").unwrap(), c as u64, &mut inp);
+            u64_to_bus(nl.input_bus("p").unwrap(), point, &mut inp);
+            let vals = nl.eval_comb(&inp, &HashMap::new());
+            let out = bus_to_u64(nl.output_bus("o").unwrap(), &vals) as u16;
+            prop_assert_eq!(out, c ^ (1 << point));
+        }
+    }
+
+    /// Reference single-point crossover (duplicated from ga-core to keep
+    /// this crate dependency-free; the bit semantics are asserted
+    /// identical here).
+    fn ga_core_ops_crossover(p1: u16, p2: u16, cut: u8) -> (u16, u16) {
+        let m = ((1u32 << cut) - 1) as u16;
+        ((p1 & m) | (p2 & !m), (p1 & !m) | (p2 & m))
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut bld = Builder::new();
+        let sel = bld.input("s", 4);
+        let out = bld.decoder(&sel);
+        bld.output("o", &out);
+        let nl = bld.finish();
+        for v in 0..16u64 {
+            let mut inp = HashMap::new();
+            u64_to_bus(nl.input_bus("s").unwrap(), v, &mut inp);
+            let vals = nl.eval_comb(&inp, &HashMap::new());
+            let out = bus_to_u64(nl.output_bus("o").unwrap(), &vals);
+            assert_eq!(out, 1 << v);
+        }
+    }
+
+    #[test]
+    fn thermometer_matches_mask_semantics() {
+        let mut bld = Builder::new();
+        let cut = bld.input("cut", 4);
+        let mask = bld.thermometer16(&cut);
+        bld.output("m", &mask);
+        let nl = bld.finish();
+        for c in 0..16u64 {
+            let mut inp = HashMap::new();
+            u64_to_bus(nl.input_bus("cut").unwrap(), c, &mut inp);
+            let vals = nl.eval_comb(&inp, &HashMap::new());
+            let m = bus_to_u64(nl.output_bus("m").unwrap(), &vals) as u16;
+            assert_eq!(m, ((1u32 << c) - 1) as u16, "cut={c}");
+        }
+    }
+
+    #[test]
+    fn reg_bank_joins_scan_chain_in_order() {
+        let mut bld = Builder::new();
+        let d = bld.input("d", 3);
+        let q = bld.reg_bank(&d);
+        bld.output("q", &q);
+        let nl = bld.finish();
+        assert_eq!(nl.regs.len(), 3);
+        assert!(nl.validate().is_ok());
+        for (i, r) in nl.regs.iter().enumerate() {
+            assert_eq!(r.d, nl.input_bus("d").unwrap()[i]);
+        }
+    }
+
+    #[test]
+    fn mux2_bus_selects_whole_word() {
+        let mut bld = Builder::new();
+        let a = bld.input("a", 8);
+        let b = bld.input("b", 8);
+        let s = bld.input("s", 1);
+        let y = bld.mux2_bus(s[0], &a, &b);
+        bld.output("y", &y);
+        let nl = bld.finish();
+        for (sv, expect) in [(1u64, 0xAAu64), (0, 0x55)] {
+            let mut inp = HashMap::new();
+            u64_to_bus(nl.input_bus("a").unwrap(), 0xAA, &mut inp);
+            u64_to_bus(nl.input_bus("b").unwrap(), 0x55, &mut inp);
+            u64_to_bus(nl.input_bus("s").unwrap(), sv, &mut inp);
+            let vals = nl.eval_comb(&inp, &HashMap::new());
+            assert_eq!(bus_to_u64(nl.output_bus("y").unwrap(), &vals), expect);
+        }
+    }
+}

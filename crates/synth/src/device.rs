@@ -1,0 +1,95 @@
+//! Device model for the paper's FPGA: Xilinx Virtex-II Pro
+//! xc2vp30-7ff896.
+//!
+//! Resource totals from the Virtex-II Pro data sheet: 13 696 slices
+//! (each with two 4-input LUTs and two flip-flops plus the dedicated
+//! carry chain), 136 RAMB16 block RAMs, and two embedded PowerPC 405
+//! cores (one of which runs the software baseline of §IV-C).
+
+use crate::mapper::MapReport;
+
+/// The xc2vp30 resource totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xc2vp30;
+
+impl Xc2vp30 {
+    /// Total slices.
+    pub const SLICES: u32 = 13_696;
+    /// LUT4s per slice.
+    pub const LUTS_PER_SLICE: u32 = 2;
+    /// Flip-flops per slice.
+    pub const FFS_PER_SLICE: u32 = 2;
+    /// RAMB16 block RAMs.
+    pub const BRAMS: u32 = 136;
+    /// Embedded PowerPC 405 cores.
+    pub const PPC405: u32 = 2;
+
+    /// Slices occupied by a mapped design. Packing is imperfect in
+    /// practice: the Xilinx packer co-locates a LUT and an unrelated FF
+    /// only when control sets match, so a packing efficiency factor
+    /// (< 1.0) inflates the ideal count; 0.75 matches the typical
+    /// post-PAR slice report for control-heavy designs like this one.
+    pub fn slices_for(map: &MapReport, packing_efficiency: f64) -> u32 {
+        assert!(packing_efficiency > 0.0 && packing_efficiency <= 1.0);
+        let lut_slices = map.lut4 as f64 / Self::LUTS_PER_SLICE as f64;
+        let ff_slices = map.ff as f64 / Self::FFS_PER_SLICE as f64;
+        // Carry muxes ride along with their slice's LUTs (one MUXCY per
+        // LUT position) and only add slices if the carry chain is longer
+        // than the LUT demand, which never happens here.
+        (lut_slices.max(ff_slices) / packing_efficiency).ceil() as u32
+    }
+
+    /// Percent of the device's slices, rounded to nearest.
+    pub fn slice_utilization_pct(slices: u32) -> u32 {
+        ((slices as f64 / Self::SLICES as f64) * 100.0).round() as u32
+    }
+
+    /// Percent of the device's block RAMs, rounded to nearest (with a
+    /// floor of 1% for any nonzero usage, as ISE reports).
+    pub fn bram_utilization_pct(brams: u32) -> u32 {
+        if brams == 0 {
+            return 0;
+        }
+        (((brams as f64 / Self::BRAMS as f64) * 100.0).round() as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_math() {
+        let map = MapReport {
+            lut4: 2000,
+            carry_mux: 100,
+            ff: 500,
+            gates_mapped: 4000,
+        };
+        // LUT-bound: 1000 ideal slices / 0.75 = 1334.
+        assert_eq!(Xc2vp30::slices_for(&map, 0.75), 1334);
+        // FF-bound case.
+        let map2 = MapReport {
+            lut4: 100,
+            carry_mux: 0,
+            ff: 4000,
+            gates_mapped: 200,
+        };
+        assert_eq!(Xc2vp30::slices_for(&map2, 1.0), 2000);
+    }
+
+    #[test]
+    fn utilization_rounds_like_ise() {
+        assert_eq!(Xc2vp30::slice_utilization_pct(1780), 13);
+        assert_eq!(Xc2vp30::bram_utilization_pct(64), 47);
+        assert_eq!(Xc2vp30::bram_utilization_pct(1), 1);
+        assert_eq!(Xc2vp30::bram_utilization_pct(0), 0);
+    }
+
+    #[test]
+    fn device_totals_match_datasheet() {
+        assert_eq!(Xc2vp30::SLICES, 13_696);
+        assert_eq!(Xc2vp30::BRAMS, 136);
+        assert_eq!(Xc2vp30::PPC405, 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! One-hot controller synthesis — the KISS → SIS step of Fig. 1.
+//!
+//! The AUDI flow emits the controller as a state table (KISS format) and
+//! runs it through Berkeley SIS for logic synthesis. Here a controller
+//! is specified as a transition table over one-hot states and a small
+//! set of Boolean condition inputs; synthesis produces the next-state
+//! logic as two-level AND/OR networks feeding a one-hot state register
+//! bank, plus Moore outputs as OR-trees over states.
+
+use crate::builder::Builder;
+use crate::netlist::NetId;
+
+/// A guard over the condition inputs: for each referenced condition
+/// index, the required value. Empty = unconditional.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Guard(pub Vec<(usize, bool)>);
+
+impl Guard {
+    /// Unconditional transition.
+    pub fn always() -> Self {
+        Guard(Vec::new())
+    }
+
+    /// Single-literal guard.
+    pub fn when(cond: usize, value: bool) -> Self {
+        Guard(vec![(cond, value)])
+    }
+
+    /// Evaluate against a condition vector (reference semantics).
+    pub fn eval(&self, conds: &[bool]) -> bool {
+        self.0.iter().all(|&(i, v)| conds[i] == v)
+    }
+}
+
+/// One transition: from `state`, under `guard`, go to `next`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state index.
+    pub from: usize,
+    /// Guard over condition inputs. Transitions are prioritized in
+    /// declaration order; a state with no matching transition holds.
+    pub guard: Guard,
+    /// Destination state index.
+    pub to: usize,
+}
+
+/// A controller specification.
+#[derive(Debug, Clone, Default)]
+pub struct FsmSpec {
+    /// Number of states (one-hot register width).
+    pub n_states: usize,
+    /// Number of Boolean condition inputs.
+    pub n_conds: usize,
+    /// Transition list (priority = order within the same source state).
+    pub transitions: Vec<Transition>,
+}
+
+/// Synthesized controller handles.
+#[derive(Debug, Clone)]
+pub struct SynthesizedFsm {
+    /// One-hot state register Q nets.
+    pub state_q: Vec<NetId>,
+    /// Condition input nets used by the logic.
+    pub cond_nets: Vec<NetId>,
+    /// Gates added by the controller (for inventory reporting).
+    pub gates_added: usize,
+}
+
+impl FsmSpec {
+    /// Reference next-state function for verification.
+    pub fn next_state(&self, current: usize, conds: &[bool]) -> usize {
+        for t in &self.transitions {
+            if t.from == current && t.guard.eval(conds) {
+                return t.to;
+            }
+        }
+        current
+    }
+
+    /// Synthesize the controller into `bld`, taking the condition nets
+    /// as inputs. Returns the one-hot state register nets (state 0 is
+    /// the reset state by construction: its Q is the only one assumed
+    /// high at power-on in simulation harnesses).
+    pub fn synthesize(&self, bld: &mut Builder, cond_nets: &[NetId]) -> SynthesizedFsm {
+        assert_eq!(cond_nets.len(), self.n_conds);
+        let before = bld.gate_count();
+
+        // Forward-declare the one-hot Q nets by building the register
+        // bank last: first compute, per destination state, the OR of
+        // (source-state AND guard) terms. We need the Q nets while
+        // building D logic, so allocate placeholder buffers via a
+        // two-pass approach: pass 1 creates the Q nets through a
+        // temporary zero D; pass 2 rebuilds D and re-binds. Simpler:
+        // create Q nets first as a reg bank over placeholder D nets,
+        // then patch the D pins — the builder exposes no patching, so
+        // we instead synthesize with explicit recurrence:
+        //   D_j = OR over transitions into j of (Q_from AND guard)
+        //         OR (Q_j AND no-transition-out-of-j-fires)
+        // and build the bank at the end with Q placeholders resolved by
+        // the netlist's index discipline (RegQ gates created first).
+        //
+        // Implementation: create the RegQ gates immediately (reg bank
+        // with dummy D = const0), then overwrite each cell's D below.
+        let zero = bld.const0();
+        let dummy_d: Vec<NetId> = (0..self.n_states).map(|_| zero).collect();
+        let state_q = bld.reg_bank(&dummy_d);
+
+        // Literal nets for guards.
+        let cond_inv: Vec<NetId> = cond_nets.iter().map(|&c| bld.not(c)).collect();
+        let guard_net = |bld: &mut Builder, g: &Guard| -> Option<NetId> {
+            let mut acc: Option<NetId> = None;
+            for &(ci, val) in &g.0 {
+                let lit = if val { cond_nets[ci] } else { cond_inv[ci] };
+                acc = Some(match acc {
+                    None => lit,
+                    Some(p) => bld.and(p, lit),
+                });
+            }
+            acc
+        };
+
+        // For priority semantics within a source state: a transition
+        // fires iff its guard holds and no earlier transition from the
+        // same state fired.
+        let mut fire_nets: Vec<NetId> = Vec::with_capacity(self.transitions.len());
+        let mut earlier_fired: Vec<Option<NetId>> = vec![None; self.n_states];
+        for t in &self.transitions {
+            let g = guard_net(bld, &t.guard);
+            let raw = match g {
+                None => state_q[t.from],
+                Some(gn) => bld.and(state_q[t.from], gn),
+            };
+            let fire = match earlier_fired[t.from] {
+                None => raw,
+                Some(e) => {
+                    let ne = bld.not(e);
+                    bld.and(raw, ne)
+                }
+            };
+            earlier_fired[t.from] = Some(match earlier_fired[t.from] {
+                None => fire,
+                Some(e) => bld.or(e, fire),
+            });
+            fire_nets.push(fire);
+        }
+
+        // D_j = OR(fires into j) OR (Q_j AND !any-fire-from-j).
+        let mut d_nets: Vec<NetId> = Vec::with_capacity(self.n_states);
+        for j in 0..self.n_states {
+            let mut acc: Option<NetId> = None;
+            for (ti, t) in self.transitions.iter().enumerate() {
+                if t.to == j {
+                    acc = Some(match acc {
+                        None => fire_nets[ti],
+                        Some(p) => bld.or(p, fire_nets[ti]),
+                    });
+                }
+            }
+            let hold = match earlier_fired[j] {
+                None => state_q[j],
+                Some(any) => {
+                    let n = bld.not(any);
+                    bld.and(state_q[j], n)
+                }
+            };
+            let d = match acc {
+                None => hold,
+                Some(t) => bld.or(t, hold),
+            };
+            d_nets.push(d);
+        }
+
+        // Patch the register D pins (the builder created them with a
+        // dummy constant-zero D).
+        bld.patch_reg_d(&state_q, &d_nets);
+
+        SynthesizedFsm {
+            state_q,
+            cond_nets: cond_nets.to_vec(),
+            gates_added: bld.gate_count() - before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetId;
+    use std::collections::HashMap;
+
+    /// A 3-state controller: Idle → Busy on start; Busy → Done on done;
+    /// Done → Idle always.
+    fn spec() -> FsmSpec {
+        FsmSpec {
+            n_states: 3,
+            n_conds: 2,
+            transitions: vec![
+                Transition { from: 0, guard: Guard::when(0, true), to: 1 },
+                Transition { from: 1, guard: Guard::when(1, true), to: 2 },
+                Transition { from: 2, guard: Guard::always(), to: 0 },
+            ],
+        }
+    }
+
+    fn run_fsm(spec: &FsmSpec, conds_seq: &[Vec<bool>]) -> Vec<usize> {
+        let mut bld = Builder::new();
+        let conds = bld.input("conds", spec.n_conds);
+        let fsm = spec.synthesize(&mut bld, &conds);
+        bld.output("state", &fsm.state_q);
+        let nl = bld.finish();
+        nl.validate().expect("valid fsm netlist");
+        // Start in state 0 (one-hot).
+        let mut reg: HashMap<NetId, bool> =
+            fsm.state_q.iter().enumerate().map(|(i, &q)| (q, i == 0)).collect();
+        let mut states = Vec::new();
+        for conds_now in conds_seq {
+            let mut inp = HashMap::new();
+            for (i, &c) in nl.input_bus("conds").unwrap().iter().enumerate() {
+                inp.insert(c, conds_now[i]);
+            }
+            reg = nl.step_seq(&inp, &reg);
+            let hot: Vec<usize> = fsm
+                .state_q
+                .iter()
+                .enumerate()
+                .filter(|(_, &q)| reg[&q])
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(hot.len(), 1, "state register must stay one-hot: {hot:?}");
+            states.push(hot[0]);
+        }
+        states
+    }
+
+    #[test]
+    fn follows_reference_semantics() {
+        let s = spec();
+        let seq = vec![
+            vec![false, false], // hold Idle
+            vec![true, false],  // → Busy
+            vec![false, false], // hold Busy
+            vec![false, true],  // → Done
+            vec![false, false], // → Idle (unconditional)
+            vec![true, true],   // → Busy
+        ];
+        let got = run_fsm(&s, &seq);
+        // Reference trace.
+        let mut cur = 0;
+        let mut expect = Vec::new();
+        for c in &seq {
+            cur = s.next_state(cur, c);
+            expect.push(cur);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn priority_order_resolves_conflicts() {
+        // Two transitions from state 0; the first in declaration order
+        // wins when both guards hold.
+        let s = FsmSpec {
+            n_states: 3,
+            n_conds: 2,
+            transitions: vec![
+                Transition { from: 0, guard: Guard::when(0, true), to: 1 },
+                Transition { from: 0, guard: Guard::when(1, true), to: 2 },
+            ],
+        };
+        let got = run_fsm(&s, &[vec![true, true]]);
+        assert_eq!(got, vec![1]);
+        let got = run_fsm(&s, &[vec![false, true]]);
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn unreferenced_state_holds() {
+        let s = FsmSpec {
+            n_states: 2,
+            n_conds: 1,
+            transitions: vec![],
+        };
+        let got = run_fsm(&s, &[vec![true], vec![false]]);
+        assert_eq!(got, vec![0, 0]);
+    }
+
+    #[test]
+    fn multi_literal_guard() {
+        let s = FsmSpec {
+            n_states: 2,
+            n_conds: 2,
+            transitions: vec![Transition {
+                from: 0,
+                guard: Guard(vec![(0, true), (1, false)]),
+                to: 1,
+            }],
+        };
+        assert_eq!(run_fsm(&s, &[vec![true, true]]), vec![0]);
+        assert_eq!(run_fsm(&s, &[vec![true, false]]), vec![1]);
+    }
+}

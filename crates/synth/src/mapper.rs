@@ -1,0 +1,248 @@
+//! Technology mapping: gates → Virtex-II Pro 4-input LUTs.
+//!
+//! A greedy maximal fanout-free-cone mapper: walking the netlist in
+//! topological order, each gate's cone absorbs a fanin gate's cone when
+//! the fanin has fanout 1 and the merged cone still has ≤ 4 leaf
+//! inputs. A gate whose cone cannot be absorbed by its (sole) consumer
+//! becomes a LUT root. Carry muxes map to the dedicated MUXCY chain and
+//! consume no LUTs; buffers vanish into routing.
+
+use crate::netlist::{GateKind, NetId, Netlist};
+use std::collections::{HashMap, HashSet};
+
+/// Result of technology mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapReport {
+    /// 4-input LUTs used.
+    pub lut4: usize,
+    /// Dedicated carry muxes (MUXCY).
+    pub carry_mux: usize,
+    /// Flip-flops.
+    pub ff: usize,
+    /// Logic gates mapped (excluding sources/buffers).
+    pub gates_mapped: usize,
+}
+
+/// Map a validated netlist to LUT4s.
+pub fn map_to_lut4(nl: &Netlist) -> MapReport {
+    map_with_roots(nl).0
+}
+
+/// Map and also return, per gate, whether it is a LUT cluster root
+/// (true) or absorbed into its consumer's LUT (false). Sources, buffers
+/// and carry muxes are never roots. Post-mapping static timing charges
+/// LUT delay only at roots.
+pub fn map_with_roots(nl: &Netlist) -> (MapReport, Vec<bool>) {
+    let order = nl.validate().expect("netlist must validate before mapping");
+
+    // Fanout counts (combinational consumers + register D pins +
+    // primary outputs pin the net as a cone root).
+    let n = nl.gates.len();
+    let mut fanout = vec![0u32; n];
+    for g in &nl.gates {
+        for &i in &g.inputs {
+            fanout[i as usize] += 1;
+        }
+    }
+    let mut pinned: HashSet<NetId> = HashSet::new();
+    for r in &nl.regs {
+        pinned.insert(r.d);
+    }
+    for (_, bus) in &nl.outputs {
+        for &b in bus {
+            pinned.insert(b);
+        }
+    }
+
+    let is_logic = |k: GateKind| {
+        matches!(
+            k,
+            GateKind::Inv
+                | GateKind::And2
+                | GateKind::Or2
+                | GateKind::Xor2
+                | GateKind::Nand2
+                | GateKind::Nor2
+        )
+    };
+
+    // leaves[g] = the leaf input set of the cone rooted at g, if g's
+    // cone is still mergeable into a consumer; None once g is a root.
+    let mut leaves: HashMap<NetId, HashSet<NetId>> = HashMap::new();
+    let mut lut_roots: HashSet<NetId> = HashSet::new();
+    let mut carry = 0usize;
+    let mut gates_mapped = 0usize;
+
+    for &id in order.iter() {
+        let g = &nl.gates[id as usize];
+        match g.kind {
+            GateKind::CarryMux => {
+                carry += 1;
+            }
+            k if is_logic(k) => {
+                gates_mapped += 1;
+                // Build this gate's cone leaves by absorbing mergeable
+                // single-fanout fanin cones.
+                let mut cone: HashSet<NetId> = HashSet::new();
+                let mut absorbed: Vec<NetId> = Vec::new();
+                for &inp in &g.inputs {
+                    let can_merge = fanout[inp as usize] == 1
+                        && !pinned.contains(&inp)
+                        && leaves.contains_key(&inp);
+                    if can_merge {
+                        // Tentatively absorb; revert if leaves blow past 4.
+                        absorbed.push(inp);
+                        for &l in &leaves[&inp] {
+                            cone.insert(l);
+                        }
+                    } else {
+                        cone.insert(inp);
+                    }
+                }
+                // If the merged cone exceeds 4 leaves, un-absorb fanins
+                // greedily until it fits (they become their own LUTs).
+                // Evicting the fattest cone first keeps thin siblings
+                // absorbed (e.g. a 4-leaf tree XOR a 2-leaf tree should
+                // map to 2 LUTs, not 3).
+                while cone.len() > 4 && !absorbed.is_empty() {
+                    let fattest = absorbed
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, n)| leaves[n].len())
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let victim = absorbed.remove(fattest);
+                    for l in &leaves[&victim] {
+                        cone.remove(l);
+                    }
+                    // Re-add any leaf still needed by another absorbed
+                    // fanin or directly.
+                    let mut rebuilt: HashSet<NetId> = HashSet::new();
+                    for &inp in &g.inputs {
+                        if absorbed.contains(&inp) {
+                            for &l in &leaves[&inp] {
+                                rebuilt.insert(l);
+                            }
+                        } else {
+                            rebuilt.insert(inp);
+                        }
+                    }
+                    cone = rebuilt;
+                    lut_roots.insert(victim);
+                }
+                if cone.len() > 4 {
+                    // A 2-input gate can always fit (≤ 2 direct leaves);
+                    // this can only trip if arity grows later.
+                    cone = g.inputs.iter().copied().collect();
+                }
+                // Absorbed fanins are no longer roots.
+                for a in &absorbed {
+                    lut_roots.remove(a);
+                }
+                leaves.insert(id, cone);
+                lut_roots.insert(id);
+            }
+            _ => {}
+        }
+    }
+
+    let mut is_root = vec![false; n];
+    for &r in &lut_roots {
+        is_root[r as usize] = true;
+    }
+    (
+        MapReport {
+            lut4: lut_roots.len(),
+            carry_mux: carry,
+            ff: nl.regs.len(),
+            gates_mapped,
+        },
+        is_root,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    #[test]
+    fn single_gate_is_one_lut() {
+        let mut b = Builder::new();
+        let a = b.input("a", 1);
+        let c = b.input("b", 1);
+        let y = b.and(a[0], c[0]);
+        b.output("y", &[y]);
+        let r = map_to_lut4(&b.finish());
+        assert_eq!(r.lut4, 1);
+        assert_eq!(r.carry_mux, 0);
+    }
+
+    #[test]
+    fn four_input_tree_packs_into_one_lut() {
+        // y = (a&b) | (c&d): 3 gates, 4 leaf inputs → 1 LUT4.
+        let mut b = Builder::new();
+        let i = b.input("i", 4);
+        let t1 = b.and(i[0], i[1]);
+        let t2 = b.and(i[2], i[3]);
+        let y = b.or(t1, t2);
+        b.output("y", &[y]);
+        let r = map_to_lut4(&b.finish());
+        assert_eq!(r.lut4, 1, "a 4-leaf tree is exactly one LUT4");
+    }
+
+    #[test]
+    fn six_input_tree_needs_two_luts() {
+        // y = ((a&b)|(c&d)) ^ (e&f): 6 leaves → 2 LUTs.
+        let mut b = Builder::new();
+        let i = b.input("i", 6);
+        let t1 = b.and(i[0], i[1]);
+        let t2 = b.and(i[2], i[3]);
+        let t3 = b.or(t1, t2);
+        let t4 = b.and(i[4], i[5]);
+        let y = b.xor(t3, t4);
+        b.output("y", &[y]);
+        let r = map_to_lut4(&b.finish());
+        assert_eq!(r.lut4, 2);
+    }
+
+    #[test]
+    fn fanout_blocks_absorption() {
+        // t = a&b feeds two consumers: it must be its own LUT.
+        let mut b = Builder::new();
+        let i = b.input("i", 4);
+        let t = b.and(i[0], i[1]);
+        let y1 = b.or(t, i[2]);
+        let y2 = b.xor(t, i[3]);
+        b.output("y1", &[y1]);
+        b.output("y2", &[y2]);
+        let r = map_to_lut4(&b.finish());
+        assert_eq!(r.lut4, 3);
+    }
+
+    #[test]
+    fn adder_uses_carry_chain_not_luts_for_carry() {
+        let mut b = Builder::new();
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let zero = b.const0();
+        let (s, _c) = b.adder(&x, &y, zero);
+        b.output("s", &s);
+        let r = map_to_lut4(&b.finish());
+        assert_eq!(r.carry_mux, 16);
+        // Two XORs per bit fold into ≤ 2 LUTs per bit.
+        assert!(r.lut4 <= 32, "lut4 = {}", r.lut4);
+        assert!(r.lut4 >= 16);
+    }
+
+    #[test]
+    fn registers_count_as_ffs() {
+        let mut b = Builder::new();
+        let d = b.input("d", 8);
+        let q = b.reg_bank(&d);
+        b.output("q", &q);
+        let r = map_to_lut4(&b.finish());
+        assert_eq!(r.ff, 8);
+        assert_eq!(r.lut4, 0, "pure registers use no logic LUTs");
+    }
+}

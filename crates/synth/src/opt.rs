@@ -1,0 +1,377 @@
+//! Logic optimization — the SIS step of the paper's flow (Fig. 1 runs
+//! the controller through Berkeley SIS before gate-level emission).
+//!
+//! Two classical passes, iterated to a fixpoint in one topological
+//! sweep each:
+//!
+//! * **constant folding / identity rewriting** — `AND(x,0)→0`,
+//!   `AND(x,1)→x`, `XOR(x,0)→x`, `XOR(x,x)→0`, buffer elision, carry
+//!   muxes with constant selects, etc. The structural elaboration
+//!   produces many of these (zero-extensions, constant preset values,
+//!   disabled mux legs);
+//! * **dead-gate sweep** — gates unreachable from any primary output or
+//!   register D pin are deleted and the netlist re-indexed.
+//!
+//! Optimization preserves I/O names, bus order and the scan chain;
+//! functional equivalence is checked by randomized co-simulation in the
+//! tests.
+
+use std::collections::HashMap;
+
+use crate::netlist::{Gate, GateKind, NetId, Netlist, RegCell};
+
+/// What the optimizer did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptReport {
+    /// Gates before optimization.
+    pub gates_before: usize,
+    /// Gates after optimization.
+    pub gates_after: usize,
+    /// Gates rewritten to a constant or an existing net.
+    pub folded: usize,
+    /// Gates removed as unreachable.
+    pub swept: usize,
+}
+
+/// Run constant folding + dead-gate elimination.
+pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
+    let order = nl.validate().expect("netlist must validate before optimization");
+    let n = nl.gates.len();
+
+    // Canonical constant nets (first Const0/Const1 encountered, created
+    // lazily into the replacement space if none exist).
+    let mut const0: Option<NetId> = None;
+    let mut const1: Option<NetId> = None;
+    for (i, g) in nl.gates.iter().enumerate() {
+        match g.kind {
+            GateKind::Const0 if const0.is_none() => const0 = Some(i as NetId),
+            GateKind::Const1 if const1.is_none() => const1 = Some(i as NetId),
+            _ => {}
+        }
+    }
+
+    // repl[g]: the net g's output is equivalent to (identity or earlier
+    // net / constant).
+    let mut repl: Vec<NetId> = (0..n as NetId).collect();
+    let mut folded = 0usize;
+
+    // Canonicalize duplicate constant gates first (the elaboration mints
+    // a fresh Const0 per zero-extension bit).
+    for (i, g) in nl.gates.iter().enumerate() {
+        match g.kind {
+            GateKind::Const0 if Some(i as NetId) != const0 => {
+                repl[i] = const0.expect("seen at least one Const0");
+                folded += 1;
+            }
+            GateKind::Const1 if Some(i as NetId) != const1 => {
+                repl[i] = const1.expect("seen at least one Const1");
+                folded += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let is_const = |id: NetId, c0: Option<NetId>, c1: Option<NetId>| -> Option<bool> {
+        if Some(id) == c0 {
+            Some(false)
+        } else if Some(id) == c1 {
+            Some(true)
+        } else {
+            None
+        }
+    };
+
+    for &id in &order {
+        let g = &nl.gates[id as usize];
+        let ins: Vec<NetId> = g.inputs.iter().map(|&i| repl[i as usize]).collect();
+        let cv: Vec<Option<bool>> = ins.iter().map(|&i| is_const(i, const0, const1)).collect();
+        let mut replacement: Option<NetId> = None;
+        match g.kind {
+            GateKind::Buf => replacement = Some(ins[0]),
+            GateKind::Inv => {
+                if cv[0] == Some(false) {
+                    replacement = const1;
+                } else if cv[0] == Some(true) {
+                    replacement = const0;
+                }
+            }
+            GateKind::And2 => {
+                if cv[0] == Some(false) || cv[1] == Some(false) {
+                    replacement = const0;
+                } else if cv[0] == Some(true) {
+                    replacement = Some(ins[1]);
+                } else if cv[1] == Some(true) || ins[0] == ins[1] {
+                    replacement = Some(ins[0]);
+                }
+            }
+            GateKind::Or2 => {
+                if cv[0] == Some(true) || cv[1] == Some(true) {
+                    replacement = const1;
+                } else if cv[0] == Some(false) {
+                    replacement = Some(ins[1]);
+                } else if cv[1] == Some(false) || ins[0] == ins[1] {
+                    replacement = Some(ins[0]);
+                }
+            }
+            GateKind::Xor2 => {
+                if cv[0] == Some(false) {
+                    replacement = Some(ins[1]);
+                } else if cv[1] == Some(false) {
+                    replacement = Some(ins[0]);
+                } else if ins[0] == ins[1] {
+                    replacement = const0;
+                }
+            }
+            GateKind::CarryMux => {
+                if cv[0] == Some(true) {
+                    replacement = Some(ins[1]);
+                } else if cv[0] == Some(false) {
+                    replacement = Some(ins[2]);
+                } else if ins[1] == ins[2] {
+                    replacement = Some(ins[1]);
+                }
+            }
+            _ => {}
+        }
+        if let Some(r) = replacement {
+            repl[id as usize] = r;
+            folded += 1;
+        }
+        // (no-replacement gates keep their identity mapping, including
+        // the constants canonicalized in the pre-pass)
+    }
+
+    // Mark reachable gates: outputs, register D pins (through repl),
+    // plus every RegQ and Input gate (interface/sequential anchors) and
+    // the canonical constants if referenced.
+    let mut live = vec![false; n];
+    let mut stack: Vec<NetId> = Vec::new();
+    let push = |id: NetId, live: &mut Vec<bool>, stack: &mut Vec<NetId>| {
+        if !live[id as usize] {
+            live[id as usize] = true;
+            stack.push(id);
+        }
+    };
+    for (_, bus) in &nl.outputs {
+        for &b in bus {
+            push(repl[b as usize], &mut live, &mut stack);
+        }
+    }
+    for r in &nl.regs {
+        push(repl[r.d as usize], &mut live, &mut stack);
+        push(r.q, &mut live, &mut stack);
+    }
+    for (_, bus) in &nl.inputs {
+        for &b in bus {
+            push(b, &mut live, &mut stack);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        // A gate that is itself replaced contributes nothing; its
+        // replacement was already pushed. Traverse the ORIGINAL gate's
+        // (replaced) inputs only if the gate survives.
+        if repl[id as usize] != id {
+            let r = repl[id as usize];
+            if !live[r as usize] {
+                live[r as usize] = true;
+                stack.push(r);
+            }
+            continue;
+        }
+        for &inp in &nl.gates[id as usize].inputs {
+            let r = repl[inp as usize];
+            if !live[r as usize] {
+                live[r as usize] = true;
+                stack.push(r);
+            }
+        }
+    }
+
+    // Rebuild with compacted ids. Source gates go first: constant
+    // canonicalization introduces edges to the canonical constant that
+    // the original topological order knows nothing about.
+    let mut remap: HashMap<NetId, NetId> = HashMap::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut rebuild_order: Vec<NetId> = Vec::with_capacity(order.len());
+    rebuild_order.extend(order.iter().copied().filter(|&id| nl.gates[id as usize].kind.is_source()));
+    rebuild_order.extend(order.iter().copied().filter(|&id| !nl.gates[id as usize].kind.is_source()));
+    for &id in &rebuild_order {
+        if !live[id as usize] || repl[id as usize] != id {
+            continue;
+        }
+        let g = &nl.gates[id as usize];
+        let new_inputs: Vec<NetId> = g
+            .inputs
+            .iter()
+            .map(|&i| remap[&repl[i as usize]])
+            .collect();
+        let new_id = gates.len() as NetId;
+        gates.push(Gate {
+            kind: g.kind,
+            inputs: new_inputs,
+        });
+        remap.insert(id, new_id);
+    }
+
+    let lookup = |id: NetId| -> NetId { remap[&repl[id as usize]] };
+    let out = Netlist {
+        gates,
+        inputs: nl
+            .inputs
+            .iter()
+            .map(|(name, bus)| (name.clone(), bus.iter().map(|&b| lookup(b)).collect()))
+            .collect(),
+        outputs: nl
+            .outputs
+            .iter()
+            .map(|(name, bus)| (name.clone(), bus.iter().map(|&b| lookup(b)).collect()))
+            .collect(),
+        regs: nl
+            .regs
+            .iter()
+            .map(|r| RegCell {
+                d: lookup(r.d),
+                q: lookup(r.q),
+            })
+            .collect(),
+    };
+    let report = OptReport {
+        gates_before: n,
+        gates_after: out.gates.len(),
+        folded,
+        swept: n - out.gates.len(),
+    };
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::netlist::{bus_to_u64, u64_to_bus};
+    use proptest::prelude::*;
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn folds_constant_and() {
+        let mut b = Builder::new();
+        let i = b.input("i", 1);
+        let zero = b.const0();
+        let dead = b.and(i[0], zero); // → const0
+        let one = b.const1();
+        let live = b.and(i[0], one); // → i[0]
+        let y = b.or(dead, live); // → i[0]
+        b.output("y", &[y]);
+        let (opt, report) = optimize(&b.finish());
+        assert!(report.folded >= 3, "folded = {}", report.folded);
+        assert!(opt.gate_count() < report.gates_before);
+        // Functionally y == i.
+        for v in [0u64, 1] {
+            let mut inp = Map::new();
+            u64_to_bus(opt.input_bus("i").unwrap(), v, &mut inp);
+            let vals = opt.eval_comb(&inp, &Map::new());
+            assert_eq!(bus_to_u64(opt.output_bus("y").unwrap(), &vals), v);
+        }
+    }
+
+    #[test]
+    fn sweeps_unreachable_logic() {
+        let mut b = Builder::new();
+        let i = b.input("i", 2);
+        let _dead = b.xor(i[0], i[1]); // never used
+        let y = b.and(i[0], i[1]);
+        b.output("y", &[y]);
+        let (opt, report) = optimize(&b.finish());
+        assert!(report.swept >= 1);
+        assert!(opt.validate().is_ok());
+    }
+
+    #[test]
+    fn scan_chain_survives_optimization() {
+        let mut b = Builder::new();
+        let d = b.input("d", 4);
+        let q = b.reg_bank(&d);
+        b.output("q", &q);
+        let (opt, _) = optimize(&b.finish());
+        assert_eq!(opt.regs.len(), 4);
+        assert!(opt.validate().is_ok());
+    }
+
+    proptest! {
+        /// Co-simulation equivalence on a representative block: adder +
+        /// comparator + crossover network with constant legs.
+        #[test]
+        fn optimized_netlist_is_equivalent(a in 0u64..1 << 16, c in 0u64..1 << 16, cut in 0u64..16) {
+            let mut b = Builder::new();
+            let x = b.input("x", 16);
+            let y = b.input("y", 16);
+            let cutb = b.input("cut", 4);
+            let zero = b.const0();
+            let (sum, cout) = b.adder(&x, &y, zero);
+            let gt = b.gt(&x, &y);
+            let (o1, o2) = b.crossover16(&x, &y, &cutb);
+            let mut all = sum;
+            all.push(cout);
+            all.push(gt);
+            all.extend(o1);
+            all.extend(o2);
+            b.output("all", &all);
+            let nl = b.finish();
+            let (opt, report) = optimize(&nl);
+            prop_assert!(report.gates_after <= report.gates_before);
+
+            let run = |n: &crate::netlist::Netlist| -> u64 {
+                let mut inp = Map::new();
+                u64_to_bus(n.input_bus("x").unwrap(), a, &mut inp);
+                u64_to_bus(n.input_bus("y").unwrap(), c, &mut inp);
+                u64_to_bus(n.input_bus("cut").unwrap(), cut, &mut inp);
+                let vals = n.eval_comb(&inp, &Map::new());
+                bus_to_u64(&n.output_bus("all").unwrap()[..50], &vals)
+            };
+            prop_assert_eq!(run(&nl), run(&opt));
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent_on_the_ga_core() {
+        // elaborate_ga_core() already runs the optimizer; a second pass
+        // must find (almost) nothing left to do, and never lose state.
+        let (nl, _) = crate::gadesign::elaborate_ga_core();
+        let (opt, report) = optimize(&nl);
+        assert!(opt.validate().is_ok());
+        assert!(
+            report.gates_after >= report.gates_before * 99 / 100,
+            "second optimization pass removed too much: {} → {}",
+            report.gates_before,
+            report.gates_after
+        );
+        assert_eq!(opt.regs.len(), nl.regs.len(), "no registers lost");
+    }
+
+    #[test]
+    fn redundant_elaboration_shrinks_measurably() {
+        // A block in the style the elaboration produces: wide zero
+        // extensions and constant mux legs that must fold away.
+        let mut b = Builder::new();
+        let x = b.input("x", 16);
+        let zero = b.const0();
+        let zeros: Vec<_> = (0..16).map(|_| b.const0()).collect();
+        let (sum, _) = b.adder(&x, &zeros, zero); // x + 0
+        let sel = b.const0();
+        let muxed = b.mux2_bus(sel, &zeros, &sum); // constant-deselect leg
+        let q = b.reg_bank(&muxed);
+        b.output("q", &q);
+        let (opt, report) = optimize(&b.finish());
+        assert!(opt.validate().is_ok());
+        // x+0 folds its propagate XORs and the whole constant mux leg;
+        // the carry-mux chain survives (non-constant selects), so the
+        // shrink is large but not total.
+        assert!(
+            report.gates_after * 4 < report.gates_before * 3,
+            "expected >25% shrink: {} -> {}",
+            report.gates_before,
+            report.gates_after
+        );
+        assert!(report.folded > 30, "folded only {}", report.folded);
+    }
+}

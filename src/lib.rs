@@ -1,0 +1,40 @@
+//! # ga-ip — reproduction of the customizable FPGA GA IP core
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for
+//! the architecture overview, DESIGN.md for the paper-to-module map,
+//! and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! ```
+//! use ga_ip::prelude::*;
+//!
+//! // Program the cycle-accurate GA core over its init handshake and
+//! // run it against a block-ROM fitness module, exactly like the
+//! // paper's test setup (Fig. 4).
+//! let mut system = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+//!     LookupFem::for_function(TestFunction::F3),
+//! )]));
+//! let params = GaParams::new(16, 8, 10, 1, 0x2961);
+//! let run = system.program_and_run(&params, 10_000_000).unwrap();
+//! assert_eq!(run.best.fitness, TestFunction::F3.eval_u16(run.best.chrom));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use carng;
+pub use ga_core;
+pub use ga_ehw;
+pub use ga_fitness;
+pub use ga_synth;
+pub use hwsim;
+pub use swga;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use carng::{CaRng, Lfsr16, Rng16};
+    pub use ga_core::{
+        GaEngine, GaEngine32, GaParams, GaRun, GaSystem, HwRun, Individual, PresetMode, UserIn,
+    };
+    pub use ga_ehw::{healing_fitness, Fault, Vrc, VrcFem};
+    pub use ga_fitness::{CordicFem, FemBank, FemSlot, LookupFem, TestFunction};
+    pub use hwsim::Clocked;
+}

