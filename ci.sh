@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the full test suite, and the static
+# design-rule check over both shipping elaborations. Any failure —
+# including a galint error-severity finding — fails the build.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace"
+cargo test --workspace -q
+
+echo "== galint --format json"
+cargo run -q --release -p galint --bin galint -- --format json
+
+echo "CI OK"

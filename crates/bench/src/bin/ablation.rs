@@ -38,7 +38,11 @@ fn main() {
         "function", "elitist", "non-elitist", "delta"
     );
     println!("{}", "-".repeat(48));
-    for f in [TestFunction::Bf6, TestFunction::Mbf6_2, TestFunction::Mbf7_2] {
+    for f in [
+        TestFunction::Bf6,
+        TestFunction::Mbf6_2,
+        TestFunction::Mbf7_2,
+    ] {
         let with = mean_best(f, true, FieldMode::SharedDraw);
         let without = mean_best(f, false, FieldMode::SharedDraw);
         println!(

@@ -16,9 +16,9 @@
 //! Run with `cargo run --release -p ga-bench --bin ehw_classes`.
 
 use ga_core::{GaParams, GaSystem};
+use ga_ehw::{Vrc, VrcFem};
 use ga_fitness::fem::{Fem, FemIn, FemOut};
 use ga_fitness::{FemBank, FemSlot, LatencyFem};
-use ga_ehw::{Vrc, VrcFem};
 use hwsim::{Clocked, Reg};
 
 /// A deliberately slow FEM: same answer as the inner VRC sweep, but the

@@ -29,10 +29,38 @@ fn main() {
     println!("{}", "-".repeat(64));
 
     let configs: [(&str, IslandConfig); 4] = [
-        ("1 island × 32 gens", IslandConfig { islands: 1, epoch: 32, epochs: 1 }),
-        ("4 islands × 32 gens", IslandConfig { islands: 4, epoch: 8, epochs: 4 }),
-        ("8 islands × 32 gens", IslandConfig { islands: 8, epoch: 8, epochs: 4 }),
-        ("4 islands × 8 gens (equal budget)", IslandConfig { islands: 4, epoch: 2, epochs: 4 }),
+        (
+            "1 island × 32 gens",
+            IslandConfig {
+                islands: 1,
+                epoch: 32,
+                epochs: 1,
+            },
+        ),
+        (
+            "4 islands × 32 gens",
+            IslandConfig {
+                islands: 4,
+                epoch: 8,
+                epochs: 4,
+            },
+        ),
+        (
+            "8 islands × 32 gens",
+            IslandConfig {
+                islands: 8,
+                epoch: 8,
+                epochs: 4,
+            },
+        ),
+        (
+            "4 islands × 8 gens (equal budget)",
+            IslandConfig {
+                islands: 4,
+                epoch: 2,
+                epochs: 4,
+            },
+        ),
     ];
     for (name, cfg) in configs {
         let mut sum = 0.0;

@@ -29,13 +29,48 @@ fn main() {
     println!("total run cycles : {}", run.cycles);
     let total = p.total() as f64;
     let pct = |v: u64| 100.0 * v as f64 / total;
-    println!("{:<18} {:>9} {:>6.1}%", "selection", p.selection, pct(p.selection));
-    println!("{:<18} {:>9} {:>6.1}%", "fitness handshake", p.fitness_wait, pct(p.fitness_wait));
-    println!("{:<18} {:>9} {:>6.1}%", "store/update", p.store, pct(p.store));
-    println!("{:<18} {:>9} {:>6.1}%", "breeding", p.breeding, pct(p.breeding));
-    println!("{:<18} {:>9} {:>6.1}%", "initial pop", p.init_pop, pct(p.init_pop));
-    println!("{:<18} {:>9} {:>6.1}%", "init handshake", p.init_params, pct(p.init_params));
-    println!("{:<18} {:>9} {:>6.1}%", "control", p.control, pct(p.control));
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "selection",
+        p.selection,
+        pct(p.selection)
+    );
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "fitness handshake",
+        p.fitness_wait,
+        pct(p.fitness_wait)
+    );
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "store/update",
+        p.store,
+        pct(p.store)
+    );
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "breeding",
+        p.breeding,
+        pct(p.breeding)
+    );
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "initial pop",
+        p.init_pop,
+        pct(p.init_pop)
+    );
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "init handshake",
+        p.init_params,
+        pct(p.init_params)
+    );
+    println!(
+        "{:<18} {:>9} {:>6.1}%",
+        "control",
+        p.control,
+        pct(p.control)
+    );
 
     // --- software ------------------------------------------------------
     let sw = CountingGa::new(params, |c| row.function.eval_u16(c)).run();
@@ -45,8 +80,18 @@ fn main() {
     println!("modeled cycles   : {:.0}", model.cycles(&sw.ops));
     println!(
         "{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}",
-        "alu", sw.ops.alu, "loads", sw.ops.load, "stores", sw.ops.store, "branches",
-        sw.ops.branch, "multiplies", sw.ops.mul, "bus reads (fitness)", sw.ops.bus_read
+        "alu",
+        sw.ops.alu,
+        "loads",
+        sw.ops.load,
+        "stores",
+        sw.ops.store,
+        "branches",
+        sw.ops.branch,
+        "multiplies",
+        sw.ops.mul,
+        "bus reads (fitness)",
+        sw.ops.bus_read
     );
     let fetch = sw.ops.total_ops() as f64 * model.ifetch;
     println!(

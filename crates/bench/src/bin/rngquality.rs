@@ -21,7 +21,10 @@ fn main() {
             "CA rule 90/150 (0x055F)",
             quality_report(|| CaRng::new(0x2961)),
         ),
-        ("Galois LFSR (0xB400)", quality_report(|| Lfsr16::new(0x2961))),
+        (
+            "Galois LFSR (0xB400)",
+            quality_report(|| Lfsr16::new(0x2961)),
+        ),
         (
             "poor CA (pure rule 90)",
             quality_report(|| CaRng::with_rules(0x2961, 0x0000)),
@@ -31,7 +34,9 @@ fn main() {
         println!(
             "{:<28} {:>8} {:>10.1} {:>10.3} {:>10.4}",
             name,
-            r.period.map(|p| p.to_string()).unwrap_or_else(|| ">cap".into()),
+            r.period
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| ">cap".into()),
             r.chi_square_64,
             r.serial_corr,
             r.worst_bit_bias

@@ -40,9 +40,7 @@ fn main() {
     let run = GaEngine32::new(params, CaRng::new(0x2961), CaRng::new(0x061F), f3_32)
         .with_split_thresholds(per_half, per_half, 1, 1)
         .run();
-    println!(
-        "32-bit run (pop 64, 64 gens, per-half xover threshold {per_half}):"
-    );
+    println!("32-bit run (pop 64, 64 gens, per-half xover threshold {per_half}):");
     println!(
         "  best chromosome {:#010X}, fitness {} / 65535 ({:.2}% of optimum)",
         run.best.chrom,
@@ -50,7 +48,6 @@ fn main() {
         100.0 * run.best.fitness as f64 / 65535.0
     );
     println!("  evaluations: {}", run.evaluations);
-    let final_avg =
-        run.history.last().unwrap().fit_sum as f64 / params.pop_size as f64;
+    let final_avg = run.history.last().unwrap().fit_sum as f64 / params.pop_size as f64;
     println!("  final-generation average fitness: {final_avg:.0}");
 }

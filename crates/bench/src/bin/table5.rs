@@ -14,7 +14,9 @@ fn main() {
         "run", "function", "seed", "pop", "xover", "best fitness", "convergence", "paper best"
     );
     // The paper's printed best-fitness column for runs 1–10.
-    let paper_best = [4047u16, 4271, 4271, 4146, 4047, 3060, 2096, 3060, 3060, 3060];
+    let paper_best = [
+        4047u16, 4271, 4271, 4146, 4047, 3060, 2096, 3060, 3060, 3060,
+    ];
     println!("{}", "-".repeat(84));
     for (row, paper) in TABLE5_RUNS.iter().zip(paper_best) {
         let params = table5_params(row);

@@ -16,7 +16,10 @@ fn main() {
     let fitness_brams = bram16_count(1 << 16, 16);
 
     println!("Table VI — post-place-and-route statistics (xc2vp30-7ff896)");
-    println!("{:<48} {:>12} {:>10}", "design attribute", "this repo", "paper");
+    println!(
+        "{:<48} {:>12} {:>10}",
+        "design attribute", "this repo", "paper"
+    );
     println!("{}", "-".repeat(72));
     println!(
         "{:<48} {:>11}% {:>9}%",
@@ -41,10 +44,16 @@ fn main() {
         48
     );
     println!();
-    println!("detail: {} gates → {} LUT4 + {} MUXCY + {} FF → {} slices",
-        report.gates, report.map.lut4, report.map.carry_mux, report.map.ff, report.slices);
-    println!("        critical path {:.2} ns ({} LUT levels)",
-        report.timing.critical_ns, report.timing.levels);
-    println!("        GA memory {} BRAM, fitness ROM {} BRAM of 136",
-        ga_mem_brams, fitness_brams);
+    println!(
+        "detail: {} gates → {} LUT4 + {} MUXCY + {} FF → {} slices",
+        report.gates, report.map.lut4, report.map.carry_mux, report.map.ff, report.slices
+    );
+    println!(
+        "        critical path {:.2} ns ({} LUT levels)",
+        report.timing.critical_ns, report.timing.levels
+    );
+    println!(
+        "        GA memory {} BRAM, fitness ROM {} BRAM of 136",
+        ga_mem_brams, fitness_brams
+    );
 }

@@ -6,9 +6,9 @@
 //! Run with `cargo run --release -p ga-bench --bin table7_9`.
 
 use carng::seeds::TABLE7_SEEDS;
-use crossbeam::thread;
 use ga_bench::{render_grid, run_hw, table7_params, TABLE7_POPS, TABLE7_XRS};
 use ga_fitness::TestFunction;
+use std::thread;
 
 fn grid_for(f: TestFunction) -> Vec<Vec<u16>> {
     // One worker per seed row (the sweep is embarrassingly parallel —
@@ -17,7 +17,7 @@ fn grid_for(f: TestFunction) -> Vec<Vec<u16>> {
         let handles: Vec<_> = TABLE7_SEEDS
             .iter()
             .map(|&seed| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Paper column order: p32/x10, p32/x12, p64/x10, p64/x12.
                     let mut row = Vec::with_capacity(4);
                     for &pop in &TABLE7_POPS {
@@ -30,9 +30,11 @@ fn grid_for(f: TestFunction) -> Vec<Vec<u16>> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("table row worker panicked"))
+            .collect()
     })
-    .unwrap()
 }
 
 fn main() {
@@ -46,7 +48,10 @@ fn main() {
         println!(
             "{}",
             render_grid(
-                &format!("{table} — best fitness for {} (64 gens, mut 1/16)", f.name()),
+                &format!(
+                    "{table} — best fitness for {} (64 gens, mut 1/16)",
+                    f.name()
+                ),
                 &TABLE7_SEEDS,
                 &cells,
                 optimum

@@ -42,16 +42,76 @@ pub struct Table5Row {
 
 /// The ten experimental runs of Table V, as printed.
 pub const TABLE5_RUNS: [Table5Row; 10] = [
-    Table5Row { run: 1, function: TestFunction::Bf6, seed: 45890, pop: 32, xover: 10 },
-    Table5Row { run: 2, function: TestFunction::Bf6, seed: 45890, pop: 64, xover: 10 },
-    Table5Row { run: 3, function: TestFunction::Bf6, seed: 10593, pop: 32, xover: 10 },
-    Table5Row { run: 4, function: TestFunction::Bf6, seed: 1567, pop: 32, xover: 10 },
-    Table5Row { run: 5, function: TestFunction::Bf6, seed: 1567, pop: 32, xover: 12 },
-    Table5Row { run: 6, function: TestFunction::F2, seed: 45890, pop: 32, xover: 10 },
-    Table5Row { run: 7, function: TestFunction::F2, seed: 45890, pop: 64, xover: 10 },
-    Table5Row { run: 8, function: TestFunction::F2, seed: 10593, pop: 64, xover: 10 },
-    Table5Row { run: 9, function: TestFunction::F2, seed: 10593, pop: 32, xover: 12 },
-    Table5Row { run: 10, function: TestFunction::F3, seed: 1567, pop: 32, xover: 10 },
+    Table5Row {
+        run: 1,
+        function: TestFunction::Bf6,
+        seed: 45890,
+        pop: 32,
+        xover: 10,
+    },
+    Table5Row {
+        run: 2,
+        function: TestFunction::Bf6,
+        seed: 45890,
+        pop: 64,
+        xover: 10,
+    },
+    Table5Row {
+        run: 3,
+        function: TestFunction::Bf6,
+        seed: 10593,
+        pop: 32,
+        xover: 10,
+    },
+    Table5Row {
+        run: 4,
+        function: TestFunction::Bf6,
+        seed: 1567,
+        pop: 32,
+        xover: 10,
+    },
+    Table5Row {
+        run: 5,
+        function: TestFunction::Bf6,
+        seed: 1567,
+        pop: 32,
+        xover: 12,
+    },
+    Table5Row {
+        run: 6,
+        function: TestFunction::F2,
+        seed: 45890,
+        pop: 32,
+        xover: 10,
+    },
+    Table5Row {
+        run: 7,
+        function: TestFunction::F2,
+        seed: 45890,
+        pop: 64,
+        xover: 10,
+    },
+    Table5Row {
+        run: 8,
+        function: TestFunction::F2,
+        seed: 10593,
+        pop: 64,
+        xover: 10,
+    },
+    Table5Row {
+        run: 9,
+        function: TestFunction::F2,
+        seed: 10593,
+        pop: 32,
+        xover: 12,
+    },
+    Table5Row {
+        run: 10,
+        function: TestFunction::F3,
+        seed: 1567,
+        pop: 32,
+        xover: 10,
+    },
 ];
 
 /// Population sizes of the Tables VII–IX hardware grid.
@@ -61,7 +121,9 @@ pub const TABLE7_XRS: [u8; 2] = [10, 12];
 
 /// Build the single-slot hardware system for a paper function.
 pub fn hw_system(f: TestFunction) -> GaSystem {
-    GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(f))]))
+    GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(f),
+    )]))
 }
 
 /// Program + run the cycle-accurate system; panics on watchdog timeout
@@ -125,8 +187,12 @@ mod tests {
     fn table5_matrix_matches_paper() {
         assert_eq!(TABLE5_RUNS.len(), 10);
         // Rows 1–5 are BF6, 6–9 F2, 10 F3.
-        assert!(TABLE5_RUNS[..5].iter().all(|r| r.function == TestFunction::Bf6));
-        assert!(TABLE5_RUNS[5..9].iter().all(|r| r.function == TestFunction::F2));
+        assert!(TABLE5_RUNS[..5]
+            .iter()
+            .all(|r| r.function == TestFunction::Bf6));
+        assert!(TABLE5_RUNS[5..9]
+            .iter()
+            .all(|r| r.function == TestFunction::F2));
         assert_eq!(TABLE5_RUNS[9].function, TestFunction::F3);
         // Run #3 is run #1 with only the seed changed (the paper's
         // seed-sensitivity argument).

@@ -93,7 +93,11 @@ mod tests {
     fn zero_seed_is_remapped() {
         let mut rng = CaRng::new(0);
         assert_eq!(rng.next_u16(), 1);
-        assert_ne!(rng.output(), 0, "CA must never enter the all-zero fixed point");
+        assert_ne!(
+            rng.output(),
+            0,
+            "CA must never enter the all-zero fixed point"
+        );
         rng.reseed(0);
         assert_eq!(rng.output(), 1);
     }

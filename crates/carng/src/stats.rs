@@ -31,7 +31,10 @@ pub fn period(rng: &mut impl Rng16, cap: u32) -> Option<u32> {
 /// expected value is ≈ `buckets − 1`; gross non-uniformity inflates it
 /// by orders of magnitude.
 pub fn chi_square_uniformity(rng: &mut impl Rng16, n: u32, buckets: usize) -> f64 {
-    assert!(buckets >= 2 && (1usize << 16).is_multiple_of(buckets), "buckets must divide 65536");
+    assert!(
+        buckets >= 2 && (1usize << 16).is_multiple_of(buckets),
+        "buckets must divide 65536"
+    );
     let mut counts = vec![0u32; buckets];
     let width = (1usize << 16) / buckets;
     for _ in 0..n {
@@ -107,10 +110,7 @@ pub fn quality_report<R: Rng16>(mut mk: impl FnMut() -> R) -> QualityReport {
     let chi_square_64 = chi_square_uniformity(&mut mk(), 65_535, 64);
     let serial_corr = serial_correlation(&mut mk(), 4_096);
     let balance = bit_balance(&mut mk(), 8_192);
-    let worst_bit_bias = balance
-        .iter()
-        .map(|p| (p - 0.5).abs())
-        .fold(0.0, f64::max);
+    let worst_bit_bias = balance.iter().map(|p| (p - 0.5).abs()).fold(0.0, f64::max);
     QualityReport {
         period,
         chi_square_64,
@@ -188,7 +188,10 @@ mod tests {
             }
         }
         let corr = serial_correlation(&mut Counter(0), 1000);
-        assert!(corr > 0.99, "monotone counter must be almost perfectly correlated");
+        assert!(
+            corr > 0.99,
+            "monotone counter must be almost perfectly correlated"
+        );
     }
 
     #[test]

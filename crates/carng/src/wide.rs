@@ -156,7 +156,10 @@ impl<const N: usize> CaRngW<N> {
     /// Search for a maximal-length rule vector of this width (period
     /// 2^N − 1), scanning from `from`. Exhaustive for small widths.
     pub fn find_maximal_rules(from: u64) -> Option<u64> {
-        assert!(N <= 20, "exhaustive search is only sensible for small widths");
+        assert!(
+            N <= 20,
+            "exhaustive search is only sensible for small widths"
+        );
         let mask = Gf2Matrix::<N>::mask();
         let target = mask; // 2^N − 1
         for rules in from..=mask {
@@ -260,7 +263,11 @@ mod tests {
         let w2 = CaRngW::<2>::new(1, 0b01);
         assert_eq!(w2.period(4), Some(3));
         let w2bad = CaRngW::<2>::new(1, 0b11);
-        assert_eq!(w2bad.period(8), None, "absorbing zero state has no cycle back");
+        assert_eq!(
+            w2bad.period(8),
+            None,
+            "absorbing zero state has no cycle back"
+        );
         let mut w64 = CaRngW::<64>::new(0xDEAD_BEEF_CAFE_F00D, 0x055F_055F_055F_055F);
         let a = w64.next();
         let b = w64.next();

@@ -129,7 +129,10 @@ mod tests {
         let d = diversity(&pop);
         assert_eq!(d.mean_hamming, 16.0);
         assert_eq!(d.distinct_chromosomes, 2);
-        assert!((d.fitness_entropy - 1.0).abs() < 1e-12, "two equiprobable values = 1 bit");
+        assert!(
+            (d.fitness_entropy - 1.0).abs() < 1e-12,
+            "two equiprobable values = 1 bit"
+        );
         assert_eq!(d.takeover_fraction, 0.5);
     }
 

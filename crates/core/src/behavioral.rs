@@ -306,7 +306,13 @@ impl<R: Rng16, F: FnMut(u16) -> u16> GaEngine<R, F> {
         let best = history
             .iter()
             .map(|s| s.best)
-            .fold(Individual::default(), |a, b| if b.fitness > a.fitness { b } else { a });
+            .fold(Individual::default(), |a, b| {
+                if b.fitness > a.fitness {
+                    b
+                } else {
+                    a
+                }
+            });
         GaRun {
             best,
             history,
@@ -367,10 +373,7 @@ mod tests {
     use carng::CaRng;
     use ga_fitness::TestFunction;
 
-    fn engine(
-        f: TestFunction,
-        params: GaParams,
-    ) -> GaEngine<CaRng, impl FnMut(u16) -> u16> {
+    fn engine(f: TestFunction, params: GaParams) -> GaEngine<CaRng, impl FnMut(u16) -> u16> {
         GaEngine::new(params, CaRng::new(params.seed), move |c| f.eval_u16(c))
     }
 
@@ -392,7 +395,11 @@ mod tests {
         let run = engine(TestFunction::Bf6, params).run();
         let mut prev = 0u16;
         for s in &run.history {
-            assert!(s.best.fitness >= prev, "best fitness regressed at gen {}", s.gen);
+            assert!(
+                s.best.fitness >= prev,
+                "best fitness regressed at gen {}",
+                s.gen
+            );
             prev = s.best.fitness;
         }
     }
@@ -432,7 +439,11 @@ mod tests {
                 // Within ~2% of the optimum for every seed (the paper's
                 // own hardware results are within 3.7% on the hard
                 // functions).
-                assert!(run.best.fitness >= 3000, "seed {seed} pop {pop}: {}", run.best.fitness);
+                assert!(
+                    run.best.fitness >= 3000,
+                    "seed {seed} pop {pop}: {}",
+                    run.best.fitness
+                );
                 if run.best.fitness == 3060 {
                     exact += 1;
                 }
@@ -559,7 +570,10 @@ mod tests {
         })
         .with_field_mode(FieldMode::ConsecutiveDraws)
         .run();
-        assert_eq!(shared.best.fitness, 3060, "shared-draw mode must solve F3 in 200 gens");
+        assert_eq!(
+            shared.best.fitness, 3060,
+            "shared-draw mode must solve F3 in 200 gens"
+        );
         assert!(
             naive.best.fitness < 3060,
             "naive mode unexpectedly solved F3 (got {})",

@@ -317,7 +317,10 @@ impl GaCoreHw {
                 self.profile.init_pop += 1;
             }
             State::InitPopFitReq | State::InitPopFitWait => self.profile.fitness_wait += 1,
-            State::SelDraw | State::SelMulWait | State::SelScanAddr | State::SelScanWait
+            State::SelDraw
+            | State::SelMulWait
+            | State::SelScanAddr
+            | State::SelScanWait
             | State::SelScanData => self.profile.selection += 1,
             State::XoverDecide | State::MutDecide => self.profile.breeding += 1,
             State::OffFitReq | State::OffFitWait => self.profile.fitness_wait += 1,
@@ -331,7 +334,11 @@ impl GaCoreHw {
         // (Table II 24–25) — unselected modules keep quiet, so the
         // first asserted valid wins.
         let valid_any = i.fit_valid || i.fit_valid_ext;
-        let value_any = if i.fit_valid { i.fit_value } else { i.fit_value_ext };
+        let value_any = if i.fit_valid {
+            i.fit_value
+        } else {
+            i.fit_value_ext
+        };
 
         let pop = self.pop_size.get();
 
@@ -405,7 +412,8 @@ impl GaCoreHw {
                 }
             }
             State::InitPopStore => {
-                self.mem_address.set(self.cur_base.get().wrapping_add(self.i.get()));
+                self.mem_address
+                    .set(self.cur_base.get().wrapping_add(self.i.get()));
                 self.mem_data_out.set(pack(Individual {
                     chrom: self.cand.get(),
                     fitness: self.fit_reg.get(),
@@ -420,7 +428,10 @@ impl GaCoreHw {
                 let cur_best = self.best_ind();
                 let is_better = self.i.get() == 0 || f > cur_best.fitness;
                 let best_now = if is_better {
-                    let b = Individual { chrom: self.cand.get(), fitness: f };
+                    let b = Individual {
+                        chrom: self.cand.get(),
+                        fitness: f,
+                    };
                     self.best.set(pack(b));
                     b
                 } else {
@@ -460,7 +471,8 @@ impl GaCoreHw {
             }
 
             State::SelDraw => {
-                self.threshold.set(ops::selection_threshold(self.fit_sum.get(), i.rn));
+                self.threshold
+                    .set(ops::selection_threshold(self.fit_sum.get(), i.rn));
                 comb.rn_consume = true;
                 self.rng_draws += 1;
                 self.cum.set(0);
@@ -553,7 +565,8 @@ impl GaCoreHw {
                 }
             }
             State::OffStore => {
-                self.mem_address.set(self.new_base.get().wrapping_add(self.idx.get()));
+                self.mem_address
+                    .set(self.new_base.get().wrapping_add(self.idx.get()));
                 self.mem_data_out.set(pack(Individual {
                     chrom: self.cand.get(),
                     fitness: self.fit_reg.get(),
@@ -621,7 +634,8 @@ impl GaCoreHw {
     fn apply_param_write(&mut self, idx: ParamIndex, value: u16) {
         match idx {
             ParamIndex::NumGensLo => {
-                self.n_gens.set((self.n_gens.get() & 0xFFFF_0000) | value as u32);
+                self.n_gens
+                    .set((self.n_gens.get() & 0xFFFF_0000) | value as u32);
             }
             ParamIndex::NumGensHi => {
                 self.n_gens
@@ -881,7 +895,11 @@ mod tests {
             core.eval(&input);
             core.commit();
         }
-        assert_eq!(core.state.get(), State::Idle, "start_GA ignored in test mode");
+        assert_eq!(
+            core.state.get(),
+            State::Idle,
+            "start_GA ignored in test mode"
+        );
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! disjoint, `carng::wide`), evolving independently for a migration
 //! epoch and then passing its best individual to the next island on a
 //! ring, where it replaces the worst member. Islands execute on
-//! crossbeam scoped threads — the software realization of the
+//! std scoped threads — the software realization of the
 //! multi-FPGA layout those papers prototype, and a faithful model
 //! because inter-island traffic happens only at epoch barriers.
 
-use carng::wide::CaRngW;
 use carng::ca::MAXIMAL_RULE_VECTOR;
+use carng::wide::CaRngW;
 use carng::CaRng;
 
 use crate::behavioral::{GaEngine, Individual};
@@ -74,11 +74,11 @@ where
 
     for _epoch in 0..config.epochs {
         // Parallel evolution for one epoch.
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = engines
                 .drain(..)
                 .map(|mut e| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for _ in 0..config.epoch {
                             e.step_generation();
                         }
@@ -86,9 +86,12 @@ where
                     })
                 })
                 .collect();
-            engines.extend(handles.into_iter().map(|h| h.join().unwrap()));
-        })
-        .unwrap();
+            engines.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("island thread panicked")),
+            );
+        });
 
         // Ring migration at the barrier: island k's best replaces the
         // worst member of island (k+1) mod n.
@@ -152,9 +155,15 @@ mod tests {
         // 32 gens): same generations per island member.
         let rom = FitnessRom::tabulate(TestFunction::Bf6);
         let params = GaParams::new(32, 32, 10, 1, 0xB342);
-        let single = run_islands(params, IslandConfig { islands: 1, epoch: 32, epochs: 1 }, |c| {
-            rom.lookup(c)
-        });
+        let single = run_islands(
+            params,
+            IslandConfig {
+                islands: 1,
+                epoch: 32,
+                epochs: 1,
+            },
+            |c| rom.lookup(c),
+        );
         let multi = run_islands(params, cfg(4), |c| rom.lookup(c));
         assert_eq!(multi.evaluations, 4 * single.evaluations);
         assert!(
@@ -171,7 +180,11 @@ mod tests {
         let params = GaParams::new(16, 16, 10, 1, 0x061F);
         let run = run_islands(
             params,
-            IslandConfig { islands: 4, epoch: 4, epochs: 8 },
+            IslandConfig {
+                islands: 4,
+                epoch: 4,
+                epochs: 8,
+            },
             |c| rom.lookup(c),
         );
         // After 8 migration rounds on a 4-ring, every island has seen
@@ -192,11 +205,20 @@ mod tests {
         // jump-ahead seed derivation with k = 0, which is the identity).
         let rom = FitnessRom::tabulate(TestFunction::Mbf6_2);
         let params = GaParams::new(32, 16, 10, 1, 0xAAAA);
-        let island = run_islands(params, IslandConfig { islands: 1, epoch: 16, epochs: 1 }, |c| {
-            rom.lookup(c)
-        });
+        let island = run_islands(
+            params,
+            IslandConfig {
+                islands: 1,
+                epoch: 16,
+                epochs: 1,
+            },
+            |c| rom.lookup(c),
+        );
         let seed0 = island_seed(params.seed, 0, 1);
-        let p = GaParams { seed: seed0, ..params };
+        let p = GaParams {
+            seed: seed0,
+            ..params
+        };
         let plain = GaEngine::new(p, carng::CaRng::new(seed0), |c| rom.lookup(c)).run();
         assert_eq!(island.best, plain.best);
     }

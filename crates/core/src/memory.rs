@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         for (c, f) in [(0u16, 0u16), (0xFFFF, 0xFFFF), (0x1234, 0xABCD)] {
-            let ind = Individual { chrom: c, fitness: f };
+            let ind = Individual {
+                chrom: c,
+                fitness: f,
+            };
             assert_eq!(unpack(pack(ind)), ind);
         }
     }
@@ -97,8 +100,14 @@ mod tests {
     fn banks_do_not_overlap() {
         assert_eq!(BANK1_BASE - BANK0_BASE, 128);
         let mut m = GaMemory::new();
-        let a = Individual { chrom: 1, fitness: 10 };
-        let b = Individual { chrom: 2, fitness: 20 };
+        let a = Individual {
+            chrom: 1,
+            fitness: 10,
+        };
+        let b = Individual {
+            chrom: 2,
+            fitness: 20,
+        };
         m.eval(BANK0_BASE, pack(a), true);
         m.commit();
         m.eval(BANK1_BASE, pack(b), true);
@@ -110,7 +119,10 @@ mod tests {
     #[test]
     fn read_latency_one_cycle() {
         let mut m = GaMemory::new();
-        let ind = Individual { chrom: 0xBEEF, fitness: 77 };
+        let ind = Individual {
+            chrom: 0xBEEF,
+            fitness: 77,
+        };
         m.eval(5, pack(ind), true);
         m.commit();
         m.eval(5, 0, false);
@@ -122,7 +134,14 @@ mod tests {
     fn max_population_fits_either_bank() {
         let mut m = GaMemory::new();
         for i in 0..128u8 {
-            m.eval(BANK1_BASE + i, pack(Individual { chrom: i as u16, fitness: i as u16 }), true);
+            m.eval(
+                BANK1_BASE + i,
+                pack(Individual {
+                    chrom: i as u16,
+                    fitness: i as u16,
+                }),
+                true,
+            );
             m.commit();
         }
         let pop = m.backdoor_population(BANK1_BASE, 128);

@@ -93,7 +93,13 @@ impl GaParams {
     pub const MAX_POP: u8 = 128;
 
     /// Validated constructor.
-    pub fn new(pop_size: u8, n_gens: u32, xover_threshold: u8, mut_threshold: u8, seed: u16) -> Self {
+    pub fn new(
+        pop_size: u8,
+        n_gens: u32,
+        xover_threshold: u8,
+        mut_threshold: u8,
+        seed: u16,
+    ) -> Self {
         let p = GaParams {
             pop_size,
             n_gens,
@@ -199,11 +205,20 @@ mod tests {
     #[test]
     fn preset_table_iv_values() {
         let s = GaParams::preset(PresetMode::Small).unwrap();
-        assert_eq!((s.pop_size, s.n_gens, s.xover_threshold, s.mut_threshold), (32, 512, 12, 1));
+        assert_eq!(
+            (s.pop_size, s.n_gens, s.xover_threshold, s.mut_threshold),
+            (32, 512, 12, 1)
+        );
         let m = GaParams::preset(PresetMode::Medium).unwrap();
-        assert_eq!((m.pop_size, m.n_gens, m.xover_threshold, m.mut_threshold), (64, 1024, 13, 2));
+        assert_eq!(
+            (m.pop_size, m.n_gens, m.xover_threshold, m.mut_threshold),
+            (64, 1024, 13, 2)
+        );
         let l = GaParams::preset(PresetMode::Large).unwrap();
-        assert_eq!((l.pop_size, l.n_gens, l.xover_threshold, l.mut_threshold), (128, 4096, 14, 3));
+        assert_eq!(
+            (l.pop_size, l.n_gens, l.xover_threshold, l.mut_threshold),
+            (128, 4096, 14, 3)
+        );
         assert!(GaParams::preset(PresetMode::User).is_none());
     }
 
@@ -240,11 +255,36 @@ mod tests {
 
     #[test]
     fn validation_rejects_out_of_range() {
-        assert!(GaParams { pop_size: 1, ..GaParams::default() }.validate().is_err());
-        assert!(GaParams { pop_size: 129, ..GaParams::default() }.validate().is_err());
-        assert!(GaParams { n_gens: 0, ..GaParams::default() }.validate().is_err());
-        assert!(GaParams { xover_threshold: 16, ..GaParams::default() }.validate().is_err());
-        assert!(GaParams { mut_threshold: 200, ..GaParams::default() }.validate().is_err());
+        assert!(GaParams {
+            pop_size: 1,
+            ..GaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            pop_size: 129,
+            ..GaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            n_gens: 0,
+            ..GaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            xover_threshold: 16,
+            ..GaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            mut_threshold: 200,
+            ..GaParams::default()
+        }
+        .validate()
+        .is_err());
         assert!(GaParams::default().validate().is_ok());
     }
 

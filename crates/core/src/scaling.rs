@@ -287,7 +287,10 @@ mod tests {
     fn split_prob_inverts_compose() {
         for target in [0.0, 0.1, 0.5, 0.625, 0.9, 1.0] {
             let p = split_prob(target);
-            assert!((compose_prob(p, p) - target).abs() < 1e-12, "target {target}");
+            assert!(
+                (compose_prob(p, p) - target).abs() < 1e-12,
+                "target {target}"
+            );
         }
     }
 

@@ -10,8 +10,8 @@
 //! whole system — one rising clock edge at 50 MHz.
 
 use ga_fitness::fem::{Fem, FemBank, FemBankIn, FemIn};
-use hwsim::{Clocked, HandshakeMonitor, Sim, SimError, Trace, VcdWriter};
 use hwsim::vcd::VcdVar;
+use hwsim::{Clocked, HandshakeMonitor, Sim, SimError, Trace, VcdWriter};
 
 use crate::behavioral::{GaRun, GenStats, Individual};
 use crate::hwcore::GaCoreHw;
@@ -315,10 +315,7 @@ impl GaSystem {
         if let Some(cap) = self.vcd.as_mut() {
             let t = self.sim.cycles();
             let o = self.modules.core.out();
-            let fem_o = self
-                .modules
-                .fems
-                .out(select, 0, false);
+            let fem_o = self.modules.fems.out(select, 0, false);
             cap.writer.change(cap.candidate, t, o.candidate as u64);
             cap.writer.change(cap.fit_request, t, o.fit_request as u64);
             cap.writer.change(cap.fit_valid, t, fem_o.fit_valid as u64);
@@ -429,7 +426,9 @@ mod tests {
     use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};
 
     fn system_for(f: TestFunction) -> GaSystem {
-        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(f))]))
+        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+            LookupFem::for_function(f),
+        )]))
     }
 
     #[test]
@@ -449,10 +448,7 @@ mod tests {
         assert!(run.cycles > 0);
         assert_eq!(run.history.len(), 5, "gen 0 + 4 generations");
         // Best fitness must equal the fitness of the output candidate.
-        assert_eq!(
-            run.best.fitness,
-            TestFunction::F3.eval_u16(run.best.chrom)
-        );
+        assert_eq!(run.best.fitness, TestFunction::F3.eval_u16(run.best.chrom));
     }
 
     #[test]

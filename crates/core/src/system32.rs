@@ -288,8 +288,7 @@ impl<F: FnMut(u32) -> u16> GaSystem32<F> {
             }
             self.step(UserIn::default());
         }
-        let chrom = ((self.core1.out().candidate as u32) << 16)
-            | self.core2.out().candidate as u32;
+        let chrom = ((self.core1.out().candidate as u32) << 16) | self.core2.out().candidate as u32;
         let fitness = self
             .history
             .last()
@@ -348,8 +347,8 @@ mod tests {
     /// The cycle-accurate composite must match the behavioral dual-core
     /// engine generation for generation.
     fn assert_32bit_models_agree(f: fn(u32) -> u16, params: GaParams) {
-        let sw = GaEngine32::new(params, CaRng::new(params.seed), CaRng::new(!params.seed), f)
-            .run();
+        let sw =
+            GaEngine32::new(params, CaRng::new(params.seed), CaRng::new(!params.seed), f).run();
         let mut hw = GaSystem32::new(f);
         let run = hw
             .program_and_run(&params, 1_000_000_000)

@@ -14,7 +14,9 @@ use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};
 use proptest::prelude::*;
 
 fn hw_system(f: TestFunction) -> GaSystem {
-    GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(f))]))
+    GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(f),
+    )]))
 }
 
 /// Run both models and compare everything observable.
@@ -45,9 +47,12 @@ fn assert_models_agree(f: TestFunction, params: GaParams) {
     // backdoor (like JTAG readback of the block RAM).
     let base = hw.modules().core.current_bank_base();
     let hw_pop = hw.modules().mem.backdoor_population(base, params.pop_size);
-    assert_eq!(hw_pop.as_slice(), GaEngine::new(params, CaRng::new(params.seed), |c| f.eval_u16(c))
-        .replay_final_population()
-        .as_slice());
+    assert_eq!(
+        hw_pop.as_slice(),
+        GaEngine::new(params, CaRng::new(params.seed), |c| f.eval_u16(c))
+            .replay_final_population()
+            .as_slice()
+    );
 }
 
 /// Helper on the behavioral engine: run to completion and return the
@@ -103,7 +108,10 @@ fn models_agree_with_extreme_thresholds() {
 
 #[test]
 fn models_agree_on_max_population() {
-    assert_models_agree(TestFunction::MShubert2D, GaParams::new(128, 4, 13, 2, 0x061F));
+    assert_models_agree(
+        TestFunction::MShubert2D,
+        GaParams::new(128, 4, 13, 2, 0x061F),
+    );
 }
 
 proptest! {
@@ -138,8 +146,10 @@ fn models_agree_with_lfsr_rng() {
     let f = TestFunction::Mbf6_2;
     let sw = GaEngine::new(params, Lfsr16::new(params.seed), |c| f.eval_u16(c)).run();
 
-    let mut hw = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(f))]))
-        .with_rng(RngModule::new_lfsr(1));
+    let mut hw = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(f),
+    )]))
+    .with_rng(RngModule::new_lfsr(1));
     let hw_run = hw.program_and_run(&params, 500_000_000).unwrap();
 
     assert_eq!(hw_run.best.chrom, sw.best.chrom);

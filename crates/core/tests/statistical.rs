@@ -69,7 +69,10 @@ fn crossover_rate_matches_threshold_over_the_full_period() {
         // all-zero state).
         let expected = threshold as u32 * 65_536 / 16;
         let diff = fired.abs_diff(expected);
-        assert!(diff <= 1 + threshold as u32, "threshold {threshold}: fired {fired}, expected {expected}");
+        assert!(
+            diff <= 1 + threshold as u32,
+            "threshold {threshold}: fired {fired}, expected {expected}"
+        );
     }
 }
 
@@ -84,10 +87,7 @@ fn crossover_cut_points_uniform_over_full_period() {
     for (cut, &c) in counts.iter().enumerate() {
         // Each 4-bit field value appears 4096 times per period (4095
         // once, for the field containing the missing zero state).
-        assert!(
-            (4095..=4096).contains(&c),
-            "cut {cut} occurred {c} times"
-        );
+        assert!((4095..=4096).contains(&c), "cut {cut} occurred {c} times");
     }
 }
 

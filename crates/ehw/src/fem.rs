@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn fem_matches_reference_fitness() {
         let target = Vrc::new(0x1B26).truth_table();
-        let fault = Some(Fault::StuckAt { cell: 1, value: true });
+        let fault = Some(Fault::StuckAt {
+            cell: 1,
+            value: true,
+        });
         let mut fem = VrcFem::new(target, fault);
         fem.reset();
         for cfg in [0u16, 0x1B26, 0xFFFF, 0xA5A5] {
@@ -187,7 +190,10 @@ mod tests {
         fem.reset();
         let (healthy, _) = transact(&mut fem, 0x0000);
         assert_eq!(healthy, 16 * 4095);
-        fem.set_fault(Some(Fault::StuckAt { cell: 6, value: false }));
+        fem.set_fault(Some(Fault::StuckAt {
+            cell: 6,
+            value: false,
+        }));
         let (faulted, _) = transact(&mut fem, 0x0000);
         assert!(faulted < healthy);
     }

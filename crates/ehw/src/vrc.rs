@@ -156,10 +156,7 @@ impl Vrc {
 /// 4095, so a perfect match scores 65 520 (a near-full-scale 16-bit
 /// fitness, keeping proportionate selection well conditioned).
 pub fn healing_fitness(config: u16, target: TruthTable, fault: Option<Fault>) -> u16 {
-    let vrc = Vrc {
-        config,
-        fault,
-    };
+    let vrc = Vrc { config, fault };
     let got = vrc.truth_table();
     let matches = (!(got ^ target)).count_ones() as u16;
     matches * 4095
@@ -205,7 +202,10 @@ mod tests {
     #[test]
     fn stuck_fault_changes_behaviour() {
         let vrc = Vrc::new(0x0000);
-        let faulty = vrc.with_fault(Fault::StuckAt { cell: 6, value: false });
+        let faulty = vrc.with_fault(Fault::StuckAt {
+            cell: 6,
+            value: false,
+        });
         // Cell 6 feeds cell 7 (AND): output forced low everywhere
         // except through the u path... with all-AND config, out = t & u
         // and t stuck 0 ⇒ out = 0 everywhere.
@@ -218,12 +218,17 @@ mod tests {
         // With the all-AND configuration a single corrupted cell is
         // masked (out is 1 only on the all-ones row either way) — fault
         // masking is itself worth asserting.
-        let masked = Vrc::new(0x0000)
-            .with_fault(Fault::WrongFn { cell: 0, actual: CellFn::Or });
+        let masked = Vrc::new(0x0000).with_fault(Fault::WrongFn {
+            cell: 0,
+            actual: CellFn::Or,
+        });
         assert_eq!(masked.truth_table(), Vrc::new(0x0000).truth_table());
         // On a mixed configuration the same corruption is observable.
         let healthy = Vrc::new(0x1B26);
-        let faulty = healthy.with_fault(Fault::WrongFn { cell: 0, actual: CellFn::Nand });
+        let faulty = healthy.with_fault(Fault::WrongFn {
+            cell: 0,
+            actual: CellFn::Nand,
+        });
         assert_eq!(healthy.truth_table(), 0x9B9B);
         assert_eq!(faulty.truth_table(), 0x8B8B);
     }
@@ -273,7 +278,10 @@ mod tests {
         // perfect healing configuration exists (the premise of the GA
         // healing demo).
         let target = Vrc::new(0x1B26).truth_table();
-        let fault = Fault::StuckAt { cell: 2, value: true };
+        let fault = Fault::StuckAt {
+            cell: 2,
+            value: true,
+        };
         let healed = (0..=u16::MAX)
             .filter(|&cfg| healing_fitness(cfg, target, Some(fault)) == PERFECT_FITNESS)
             .count();

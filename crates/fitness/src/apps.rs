@@ -76,11 +76,7 @@ pub fn lowpass_target() -> [f64; GRID_POINTS] {
 /// near zero.
 pub fn filter_fitness(chrom: u16, target: &[f64; GRID_POINTS]) -> u16 {
     let got = response_grid(&decode_taps(chrom));
-    let err: f64 = got
-        .iter()
-        .zip(target)
-        .map(|(g, t)| (g - t).abs())
-        .sum();
+    let err: f64 = got.iter().zip(target).map(|(g, t)| (g - t).abs()).sum();
     (65535.0 - 64.0 * err).round().clamp(0.0, 65535.0) as u16
 }
 
@@ -143,7 +139,11 @@ mod tests {
                 optima += 1;
             }
         }
-        assert!(distinct.len() > 1000, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() > 1000,
+            "only {} distinct values",
+            distinct.len()
+        );
         assert!((1..20).contains(&optima), "{optima} sampled optima");
     }
 
@@ -156,6 +156,10 @@ mod tests {
             .filter(|&c| filter_fitness(c, &target) == 65535)
             .collect();
         assert!(optima.contains(&GOLDEN_CHROM));
-        assert!(optima.len() <= 4, "optimum class too large: {}", optima.len());
+        assert!(
+            optima.len() <= 4,
+            "optimum class too large: {}",
+            optima.len()
+        );
     }
 }

@@ -227,7 +227,8 @@ impl Fem for CordicFem {
                     self.countdown.set(cordic_latency(self.function));
                     // Latch the datapath result now; it is presented when
                     // the iteration counter expires.
-                    self.fit_value.set(fixed::eval_fixed(self.function, i.candidate));
+                    self.fit_value
+                        .set(fixed::eval_fixed(self.function, i.candidate));
                     self.state.set(CordicState::Busy);
                 }
             }
@@ -439,7 +440,10 @@ pub struct FemBank {
 impl FemBank {
     /// Build a bank; at most eight slots (3-bit select).
     pub fn new(mut slots: Vec<FemSlot>) -> Self {
-        assert!(slots.len() <= 8, "the select bus is 3 bits: at most 8 slots");
+        assert!(
+            slots.len() <= 8,
+            "the select bus is 3 bits: at most 8 slots"
+        );
         while slots.len() < 8 {
             slots.push(FemSlot::Empty);
         }
@@ -466,7 +470,14 @@ impl FemBank {
         // drain any in-flight handshake and go idle.
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             let active = idx == sel;
-            let slot_in = if active { inner } else { FemIn { fit_request: false, candidate: 0 } };
+            let slot_in = if active {
+                inner
+            } else {
+                FemIn {
+                    fit_request: false,
+                    candidate: 0,
+                }
+            };
             match slot {
                 FemSlot::Lookup(f) => f.eval(slot_in),
                 FemSlot::Cordic(f) => f.eval(slot_in),
@@ -667,7 +678,13 @@ mod tests {
         assert!(bank.ext_request(), "request must be forwarded off-chip");
         // External module answers: outputs mirror the ext ports.
         let o = bank.out(0, 4242, true);
-        assert_eq!(o, FemOut { fit_value: 4242, fit_valid: true });
+        assert_eq!(
+            o,
+            FemOut {
+                fit_value: 4242,
+                fit_valid: true
+            }
+        );
     }
 
     #[test]
@@ -702,7 +719,11 @@ mod tests {
             fem.reset();
             for c in [0u16, 0xFFFF, 0x1234] {
                 let (fit, _) = transact(&mut fem, c);
-                assert_eq!(fit, TestFunction::F3.eval_u16(c), "delay {delay} cand {c:#06x}");
+                assert_eq!(
+                    fit,
+                    TestFunction::F3.eval_u16(c),
+                    "delay {delay} cand {c:#06x}"
+                );
             }
         }
     }
@@ -718,7 +739,10 @@ mod tests {
         let multichip = time(4);
         let multiboard = time(40);
         assert!(multichip > complete);
-        assert!(multiboard > multichip + 60, "two-way 40-cycle wire: {multiboard} vs {multichip}");
+        assert!(
+            multiboard > multichip + 60,
+            "two-way 40-cycle wire: {multiboard} vs {multichip}"
+        );
     }
 
     #[test]

@@ -226,8 +226,16 @@ mod tests {
             let cf = c as f64 / 2f64.powi(30);
             let sf = s as f64 / 2f64.powi(30);
             let xe = x as f64;
-            assert!((cf - xe.cos()).abs() < 1e-6, "cos({x}): {cf} vs {}", xe.cos());
-            assert!((sf - xe.sin()).abs() < 1e-6, "sin({x}): {sf} vs {}", xe.sin());
+            assert!(
+                (cf - xe.cos()).abs() < 1e-6,
+                "cos({x}): {cf} vs {}",
+                xe.cos()
+            );
+            assert!(
+                (sf - xe.sin()).abs() < 1e-6,
+                "sin({x}): {sf} vs {}",
+                xe.sin()
+            );
         }
     }
 
@@ -288,8 +296,14 @@ mod tests {
     #[test]
     fn linear_functions_are_exact() {
         for c in 0..=u16::MAX {
-            assert_eq!(eval_fixed(TestFunction::F2, c), TestFunction::F2.eval_u16(c));
-            assert_eq!(eval_fixed(TestFunction::F3, c), TestFunction::F3.eval_u16(c));
+            assert_eq!(
+                eval_fixed(TestFunction::F2, c),
+                TestFunction::F2.eval_u16(c)
+            );
+            assert_eq!(
+                eval_fixed(TestFunction::F3, c),
+                TestFunction::F3.eval_u16(c)
+            );
         }
     }
 

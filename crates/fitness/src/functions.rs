@@ -74,7 +74,9 @@ pub fn mbf7_2(x: u8, y: u8) -> f64 {
 
 /// The 1-D Shubert sum `Σ_{i=1..5} i·cos((i+1)·x + i)`.
 pub fn shubert1d(x: f64) -> f64 {
-    (1..=5).map(|i| i as f64 * ((i as f64 + 1.0) * x + i as f64).cos()).sum()
+    (1..=5)
+        .map(|i| i as f64 * ((i as f64 + 1.0) * x + i as f64).cos())
+        .sum()
 }
 
 /// Modified 2-D Shubert function (§IV-B):
@@ -256,8 +258,14 @@ mod tests {
         assert_eq!(TestFunction::MShubert2D.global_max(), 65535);
         // Both globally optimal solutions the paper reports finding:
         // (x1,y1) = (C2,4A) and (x2,y2) = (DB,4A).
-        assert_eq!(TestFunction::MShubert2D.eval_u16(encode_xy(0xC2, 0x4A)), 65535);
-        assert_eq!(TestFunction::MShubert2D.eval_u16(encode_xy(0xDB, 0x4A)), 65535);
+        assert_eq!(
+            TestFunction::MShubert2D.eval_u16(encode_xy(0xC2, 0x4A)),
+            65535
+        );
+        assert_eq!(
+            TestFunction::MShubert2D.eval_u16(encode_xy(0xDB, 0x4A)),
+            65535
+        );
     }
 
     #[test]

@@ -34,7 +34,8 @@ fn rom_checksums_are_frozen() {
     for (f, want) in expected {
         let got = fnv1a(&FitnessRom::tabulate(f));
         assert_eq!(
-            got, want,
+            got,
+            want,
             "{} ROM checksum changed: {:#018x} (update only if the formula change is intentional)",
             f.name(),
             got

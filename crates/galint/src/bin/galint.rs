@@ -1,0 +1,73 @@
+//! The `galint` CLI: run every design rule over the shipping
+//! elaborations (GA core + CA RNG) and exit nonzero on errors — the CI
+//! gate for the soft-IP deliverable.
+//!
+//! Usage: `galint [--format text|json] [--list-rules]`
+
+use std::process::ExitCode;
+
+use galint::{registry, run_all, DesignModel};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: galint [--format text|json] [--list-rules]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => usage(),
+            },
+            "--list-rules" => {
+                for rule in registry() {
+                    println!("{:<20} {}", rule.name(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let models = [DesignModel::ga_core(), DesignModel::ca_rng()];
+    let mut reports = Vec::new();
+    for model in models {
+        match model {
+            Ok(m) => reports.push(run_all(&m)),
+            Err(e) => {
+                eprintln!("galint: elaboration failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    match format {
+        Format::Text => {
+            for r in &reports {
+                print!("{}", r.to_text());
+                failed |= r.has_errors();
+            }
+        }
+        Format::Json => {
+            let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            println!("[{}]", body.join(","));
+            failed = reports.iter().any(|r| r.has_errors());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

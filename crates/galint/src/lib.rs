@@ -1,0 +1,26 @@
+//! galint — static design-rule checking for the GA IP core.
+//!
+//! The paper ships the engine as a *soft IP*: a gate-level netlist the
+//! integrator must trust sight-unseen. `galint` is the trust-building
+//! step — a rule-based static analyzer over the synthesized
+//! [`ga_synth::Netlist`] and the controller [`ga_synth::fsm::FsmSpec`]
+//! that checks the properties a silicon design review would:
+//! combinational loops, driver conflicts, floating nets, scan-chain
+//! completeness, controller reachability and handshake liveness, and
+//! the Table VI area/timing budget.
+//!
+//! * [`model::DesignModel`] bundles what the rules look at;
+//! * [`rules::registry`] lists every [`rules::Rule`];
+//! * [`diag::Report`] carries the findings, renderable as text or JSON;
+//! * the `galint` binary runs the registry over both shipping
+//!   elaborations and exits nonzero on errors (the CI gate).
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod model;
+pub mod rules;
+
+pub use diag::{Diagnostic, Element, Report, Severity};
+pub use model::{AreaBudget, AreaStats, DesignModel};
+pub use rules::{registry, run_all, Rule};

@@ -1,0 +1,83 @@
+//! The area/timing budget rule, anchored to the paper's Table VI
+//! figures (13% slice utilization and a 50 MHz clock on the xc2vp30).
+
+use super::Rule;
+use crate::diag::{Element, Report, Severity};
+use crate::model::DesignModel;
+
+/// Gate-count and implementation-figure budget. The gate ceiling always
+/// applies; the slice/fmax checks run only when the model carries
+/// implementation figures (the full GA core does, fixtures may not).
+pub struct AreaBudgetRule;
+
+impl Rule for AreaBudgetRule {
+    fn name(&self) -> &'static str {
+        "area-budget"
+    }
+    fn description(&self) -> &'static str {
+        "netlist stays inside the Table VI area/timing budget"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let budget = &model.budget;
+        let gates = model.netlist.gate_count();
+        if gates > budget.max_gates {
+            out.push(
+                self.name(),
+                Severity::Error,
+                Element::Design,
+                format!("{gates} gates exceed the budget of {}", budget.max_gates),
+            );
+        } else {
+            out.push(
+                self.name(),
+                Severity::Info,
+                Element::Design,
+                format!("{gates} gates within the budget of {}", budget.max_gates),
+            );
+        }
+        let Some(area) = &model.area else { return };
+        if area.slice_pct > budget.max_slice_pct {
+            out.push(
+                self.name(),
+                Severity::Error,
+                Element::Design,
+                format!(
+                    "slice utilization {}% ({} slices) exceeds the Table VI band (≤{}%)",
+                    area.slice_pct, area.slices, budget.max_slice_pct
+                ),
+            );
+        } else {
+            out.push(
+                self.name(),
+                Severity::Info,
+                Element::Design,
+                format!(
+                    "slice utilization {}% ({} slices) inside the Table VI band \
+                     (paper: 13%, budget ≤{}%)",
+                    area.slice_pct, area.slices, budget.max_slice_pct
+                ),
+            );
+        }
+        if area.fmax_mhz < budget.min_fmax_mhz {
+            out.push(
+                self.name(),
+                Severity::Error,
+                Element::Design,
+                format!(
+                    "fmax {:.1} MHz misses the paper's {:.0} MHz clock",
+                    area.fmax_mhz, budget.min_fmax_mhz
+                ),
+            );
+        } else {
+            out.push(
+                self.name(),
+                Severity::Info,
+                Element::Design,
+                format!(
+                    "fmax {:.1} MHz meets the paper's {:.0} MHz clock",
+                    area.fmax_mhz, budget.min_fmax_mhz
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Rules over the controller specification: reachability, guard
+//! satisfiability/shadowing, and handshake liveness. All three no-op on
+//! designs without an FSM (e.g. the standalone CA RNG).
+
+use std::collections::HashSet;
+
+use ga_synth::fsm::{FsmSpec, Guard};
+
+use super::Rule;
+use crate::diag::{Element, Report, Severity};
+use crate::model::DesignModel;
+
+fn state_element(spec: &FsmSpec, idx: usize) -> Element {
+    Element::State {
+        index: idx,
+        name: spec.state_name(idx),
+    }
+}
+
+/// Guard literal set with contradictions detectable: returns `None` if
+/// the guard requires some condition to be both true and false.
+fn literal_set(g: &Guard) -> Option<HashSet<(usize, bool)>> {
+    let mut set = HashSet::new();
+    for &(idx, val) in &g.0 {
+        if set.contains(&(idx, !val)) {
+            return None;
+        }
+        set.insert((idx, val));
+    }
+    Some(set)
+}
+
+/// Unreachable and trap states. Reachability is a BFS from state 0 (the
+/// reset state, by the one-hot synthesis convention); a state with no
+/// outgoing transition can never be left — with the hold-if-no-match
+/// semantics that is a hang, not a final state.
+pub struct FsmDeadState;
+
+impl Rule for FsmDeadState {
+    fn name(&self) -> &'static str {
+        "fsm-dead-state"
+    }
+    fn description(&self) -> &'static str {
+        "every state is reachable from reset and has a way out"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let Some(spec) = &model.fsm else { return };
+        let n = spec.n_states;
+        let mut bad_index = false;
+        for (ti, t) in spec.transitions.iter().enumerate() {
+            if t.from >= n || t.to >= n {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    Element::Transition(ti),
+                    format!("references state {} outside 0..{n}", t.from.max(t.to)),
+                );
+                bad_index = true;
+            }
+        }
+        if bad_index || n == 0 {
+            return;
+        }
+        let mut reachable = vec![false; n];
+        reachable[0] = true;
+        let mut work = vec![0usize];
+        while let Some(s) = work.pop() {
+            for t in spec.transitions.iter().filter(|t| t.from == s) {
+                if !reachable[t.to] {
+                    reachable[t.to] = true;
+                    work.push(t.to);
+                }
+            }
+        }
+        for (s, &r) in reachable.iter().enumerate() {
+            if !r {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    state_element(spec, s),
+                    "unreachable from the reset state — dead controller logic",
+                );
+            }
+            if !spec.transitions.iter().any(|t| t.from == s) {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    state_element(spec, s),
+                    "trap state: no outgoing transitions (holds forever once entered)",
+                );
+            }
+        }
+    }
+}
+
+/// Guard quality: condition indices in range, no self-contradictory
+/// guards (unsatisfiable → the transition can never fire), and no
+/// transition fully shadowed by an earlier one from the same state
+/// (priority semantics make it unreachable).
+pub struct FsmUnsatGuard;
+
+impl Rule for FsmUnsatGuard {
+    fn name(&self) -> &'static str {
+        "fsm-unsat-guard"
+    }
+    fn description(&self) -> &'static str {
+        "every transition guard is satisfiable and not priority-shadowed"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let Some(spec) = &model.fsm else { return };
+        let literals: Vec<Option<HashSet<(usize, bool)>>> = spec
+            .transitions
+            .iter()
+            .map(|t| literal_set(&t.guard))
+            .collect();
+        for (ti, t) in spec.transitions.iter().enumerate() {
+            for &(idx, _) in &t.guard.0 {
+                if idx >= spec.n_conds {
+                    out.push(
+                        self.name(),
+                        Severity::Error,
+                        Element::Transition(ti),
+                        format!(
+                            "guard tests condition {idx}, but the spec only has {} condition(s)",
+                            spec.n_conds
+                        ),
+                    );
+                }
+            }
+            let Some(lits) = &literals[ti] else {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    Element::Transition(ti),
+                    "guard is unsatisfiable (requires a condition both true and false)",
+                );
+                continue;
+            };
+            // Shadowing: an earlier same-source transition whose literal
+            // set is a subset of ours fires whenever we would.
+            for (tj, e) in spec.transitions.iter().enumerate().take(ti) {
+                if e.from != t.from {
+                    continue;
+                }
+                let Some(earlier) = &literals[tj] else {
+                    continue;
+                };
+                if earlier.is_subset(lits) {
+                    out.push(
+                        self.name(),
+                        Severity::Warn,
+                        Element::Transition(ti),
+                        format!(
+                            "never fires: transition {tj} from {} matches first \
+                             under priority order",
+                            spec.state_name(t.from)
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Handshake liveness: the controller's wait states (`FitWait`,
+/// `SelMulWait`, …) park the core on an external handshake; each must
+/// have at least one satisfiable exit transition or the core deadlocks
+/// waiting on a signal it can never accept.
+pub struct HandshakeLiveness;
+
+impl Rule for HandshakeLiveness {
+    fn name(&self) -> &'static str {
+        "handshake-liveness"
+    }
+    fn description(&self) -> &'static str {
+        "every *Wait state has a satisfiable exit transition"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let Some(spec) = &model.fsm else { return };
+        for s in 0..spec.n_states {
+            let name = spec.state_name(s);
+            if !name.ends_with("Wait") {
+                continue;
+            }
+            let has_exit = spec
+                .transitions
+                .iter()
+                .any(|t| t.from == s && t.to != s && literal_set(&t.guard).is_some());
+            if !has_exit {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    state_element(spec, s),
+                    "wait state has no satisfiable exit — the handshake can deadlock",
+                );
+            }
+        }
+    }
+}

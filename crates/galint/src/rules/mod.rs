@@ -1,0 +1,72 @@
+//! The rule registry.
+//!
+//! A [`Rule`] inspects a [`DesignModel`] and appends findings to a
+//! [`Report`]. Rules are independent and order-insensitive; the
+//! registry order only fixes the report layout. Rules must never panic
+//! on malformed input — malformed *is* the interesting case — so each
+//! rule guards its own preconditions (e.g. graph analyses only run when
+//! every net reference is in range, which the `width-mismatch` rule
+//! reports separately).
+
+mod area_rules;
+mod fsm_rules;
+mod netlist_rules;
+
+pub use area_rules::AreaBudgetRule;
+pub use fsm_rules::{FsmDeadState, FsmUnsatGuard, HandshakeLiveness};
+pub use netlist_rules::{
+    CombLoop, FloatingNet, MultiDriver, RegEnableSanity, ScanChain, WidthMismatch,
+};
+
+use crate::diag::Report;
+use crate::model::DesignModel;
+use ga_synth::Netlist;
+
+/// One static design rule.
+pub trait Rule {
+    /// Stable rule identifier (kebab-case; used in diagnostics and CI).
+    fn name(&self) -> &'static str;
+    /// One-line description of what the rule checks.
+    fn description(&self) -> &'static str;
+    /// Inspect the model, appending findings to `out`.
+    fn check(&self, model: &DesignModel, out: &mut Report);
+}
+
+/// All rules, in report order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(WidthMismatch),
+        Box::new(MultiDriver),
+        Box::new(ScanChain),
+        Box::new(CombLoop),
+        Box::new(FloatingNet),
+        Box::new(RegEnableSanity),
+        Box::new(FsmDeadState),
+        Box::new(FsmUnsatGuard),
+        Box::new(HandshakeLiveness),
+        Box::new(AreaBudgetRule),
+    ]
+}
+
+/// Run every registered rule over a model.
+pub fn run_all(model: &DesignModel) -> Report {
+    let mut report = Report::new(model.name.clone());
+    for rule in registry() {
+        rule.check(model, &mut report);
+    }
+    report
+}
+
+/// True when every gate input and register pin references an existing
+/// net — the precondition for the graph analyses. The `width-mismatch`
+/// rule reports violations; other rules use this to bail out safely.
+pub(crate) fn nets_in_range(nl: &Netlist) -> bool {
+    let n = nl.gates.len();
+    nl.gates
+        .iter()
+        .all(|g| g.inputs.iter().all(|&i| (i as usize) < n))
+        && nl
+            .regs
+            .iter()
+            .all(|r| (r.d as usize) < n && (r.q as usize) < n)
+}

@@ -1,0 +1,395 @@
+//! Golden fixtures: one deliberately broken design per rule, asserting
+//! the exact diagnostic fires — plus the clean-design checks on the
+//! shipping elaborations (the CI acceptance contract).
+
+#![allow(clippy::unwrap_used)]
+
+use ga_synth::fsm::{FsmSpec, Guard, Transition};
+use ga_synth::netlist::{Gate, Netlist, RegCell};
+use ga_synth::GateKind;
+use galint::{run_all, AreaBudget, DesignModel, Element, Severity};
+
+fn gate(kind: GateKind, inputs: Vec<u32>) -> Gate {
+    Gate { kind, inputs }
+}
+
+/// An empty FSM shell for rule fixtures.
+fn fsm(n_states: usize, n_conds: usize, transitions: Vec<Transition>) -> FsmSpec {
+    FsmSpec {
+        n_states,
+        n_conds,
+        transitions,
+        state_names: Vec::new(),
+    }
+}
+
+fn t(from: usize, guard: Guard, to: usize) -> Transition {
+    Transition { from, guard, to }
+}
+
+/// Findings of one rule at one severity.
+fn findings(model: &DesignModel, rule: &str, sev: Severity) -> Vec<String> {
+    run_all(model)
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == rule && d.severity == sev)
+        .map(|d| format!("{}: {}", d.element, d.message))
+        .collect()
+}
+
+// ---------------------------------------------------------------- netlist
+
+#[test]
+fn comb_loop_is_an_error() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Buf, vec![1]));
+    nl.gates.push(gate(GateKind::Buf, vec![0]));
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "comb-loop",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(
+        found[0].contains("combinational loop through 2 gate(s)"),
+        "{found:?}"
+    );
+    assert!(found[0].starts_with("gate 0"), "{found:?}");
+}
+
+#[test]
+fn self_feeding_gate_is_a_comb_loop() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.gates.push(gate(GateKind::And2, vec![0, 1])); // feeds itself
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "comb-loop",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+}
+
+#[test]
+fn duplicate_reg_q_is_multi_driver() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::RegQ, vec![]));
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.regs.push(RegCell { d: 1, q: 0 });
+    nl.regs.push(RegCell { d: 1, q: 0 }); // second driver of net 0
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "multi-driver",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(
+        found[0].contains("already driven by register 0"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn register_on_combinational_net_is_multi_driver() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.gates.push(gate(GateKind::Inv, vec![0]));
+    nl.regs.push(RegCell { d: 0, q: 1 }); // q points at the Inv's net
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "multi-driver",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("Inv"), "{found:?}");
+}
+
+#[test]
+fn orphan_regq_is_a_floating_net_error() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::RegQ, vec![])); // no RegCell owns it
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "floating-net",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("orphan RegQ"), "{found:?}");
+}
+
+#[test]
+fn unused_logic_is_a_floating_net_warning() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.gates.push(gate(GateKind::Xor2, vec![0, 1])); // drives nothing
+    nl.inputs.push(("a".into(), vec![0]));
+    nl.inputs.push(("b".into(), vec![1]));
+    let model = DesignModel::new("fixture", nl);
+    let warns = findings(&model, "floating-net", Severity::Warn);
+    assert_eq!(warns.len(), 1, "{warns:?}");
+    assert!(warns[0].starts_with("gate 2"), "{warns:?}");
+    assert!(warns[0].contains("Xor2 output floats"), "{warns:?}");
+}
+
+#[test]
+fn bad_arity_is_a_width_mismatch() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.gates.push(gate(GateKind::And2, vec![0])); // one pin short
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "width-mismatch",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(
+        found[0].contains("has 1 input pin(s), its kind requires 2"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn dangling_net_reference_is_a_width_mismatch() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Inv, vec![7])); // net 7 doesn't exist
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "width-mismatch",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("nonexistent net 7"), "{found:?}");
+}
+
+#[test]
+fn off_chain_flip_flop_breaks_scan_completeness() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::RegQ, vec![])); // on chain
+    nl.gates.push(gate(GateKind::RegQ, vec![])); // NOT on chain
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.regs.push(RegCell { d: 2, q: 0 });
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "scan-chain",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].starts_with("gate 1"), "{found:?}");
+    assert!(found[0].contains("not on the scan chain"), "{found:?}");
+}
+
+#[test]
+fn frozen_and_constant_registers_are_flagged() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::RegQ, vec![]));
+    nl.gates.push(gate(GateKind::RegQ, vec![]));
+    nl.gates.push(gate(GateKind::Const1, vec![]));
+    nl.regs.push(RegCell { d: 0, q: 0 }); // frozen: D = own Q
+    nl.regs.push(RegCell { d: 2, q: 1 }); // constant D
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "reg-enable",
+        Severity::Warn,
+    );
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found[0].contains("never change"), "{found:?}");
+    assert!(found[1].contains("holds a constant"), "{found:?}");
+}
+
+// ------------------------------------------------------------------- fsm
+
+#[test]
+fn unreachable_and_trap_states_are_errors() {
+    // 0 → 1; 2 unreachable; 1 is a trap (no way out).
+    let spec = fsm(
+        3,
+        1,
+        vec![t(0, Guard::always(), 1), t(2, Guard::always(), 0)],
+    );
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "fsm-dead-state", Severity::Error);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found
+        .iter()
+        .any(|f| f.starts_with("state 2") && f.contains("unreachable")));
+    assert!(found
+        .iter()
+        .any(|f| f.starts_with("state 1") && f.contains("trap state")));
+}
+
+#[test]
+fn contradictory_guard_is_unsatisfiable() {
+    let spec = fsm(
+        2,
+        1,
+        vec![
+            t(0, Guard(vec![(0, true), (0, false)]), 1),
+            t(0, Guard::always(), 1),
+        ],
+    );
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "fsm-unsat-guard", Severity::Error);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].starts_with("transition 0"), "{found:?}");
+    assert!(found[0].contains("unsatisfiable"), "{found:?}");
+}
+
+#[test]
+fn out_of_range_condition_is_an_error() {
+    let spec = fsm(
+        2,
+        1,
+        vec![t(0, Guard::when(5, true), 1), t(1, Guard::always(), 0)],
+    );
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "fsm-unsat-guard", Severity::Error);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("condition 5"), "{found:?}");
+}
+
+#[test]
+fn priority_shadowed_transition_is_a_warning() {
+    // The unconditional transition 0 shadows transition 1 forever.
+    let spec = fsm(
+        3,
+        1,
+        vec![
+            t(0, Guard::always(), 1),
+            t(0, Guard::when(0, true), 2),
+            t(1, Guard::always(), 0),
+            t(2, Guard::always(), 0),
+        ],
+    );
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "fsm-unsat-guard", Severity::Warn);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].starts_with("transition 1"), "{found:?}");
+    assert!(found[0].contains("never fires"), "{found:?}");
+}
+
+#[test]
+fn wait_state_without_exit_fails_handshake_liveness() {
+    let spec = FsmSpec {
+        n_states: 2,
+        n_conds: 1,
+        transitions: vec![t(0, Guard::always(), 1)], // FitWait has no exit
+        state_names: vec!["Start".into(), "FitWait".into()],
+    };
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "handshake-liveness", Severity::Error);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("state 1 (FitWait)"), "{found:?}");
+    assert!(found[0].contains("deadlock"), "{found:?}");
+}
+
+#[test]
+fn wait_state_with_guarded_exit_is_live() {
+    let spec = FsmSpec {
+        n_states: 2,
+        n_conds: 1,
+        transitions: vec![t(0, Guard::always(), 1), t(1, Guard::when(0, true), 0)],
+        state_names: vec!["Start".into(), "FitWait".into()],
+    };
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    assert!(findings(&model, "handshake-liveness", Severity::Error).is_empty());
+}
+
+// ------------------------------------------------------------------ area
+
+#[test]
+fn gate_budget_overflow_is_an_error() {
+    let mut nl = Netlist::default();
+    for _ in 0..4 {
+        nl.gates.push(gate(GateKind::Input, vec![]));
+    }
+    let model = DesignModel::new("fixture", nl).with_budget(AreaBudget {
+        max_slice_pct: 18,
+        min_fmax_mhz: 50.0,
+        max_gates: 3,
+    });
+    let found = findings(&model, "area-budget", Severity::Error);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(
+        found[0].contains("4 gates exceed the budget of 3"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn slow_or_oversubscribed_implementation_is_an_error() {
+    let model = DesignModel::new("fixture", Netlist::default()).with_area(galint::AreaStats {
+        slices: 5000,
+        slice_pct: 37,
+        fmax_mhz: 41.0,
+    });
+    let found = findings(&model, "area-budget", Severity::Error);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found[0].contains("37%"), "{found:?}");
+    assert!(found[1].contains("41.0 MHz"), "{found:?}");
+}
+
+// ---------------------------------------------------------- clean designs
+
+#[test]
+fn elaborated_ga_core_is_error_free() {
+    let model = DesignModel::ga_core().expect("elaboration");
+    let report = run_all(&model);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "GA core must lint clean:\n{}",
+        report.to_text()
+    );
+    assert_eq!(
+        report.warn_count(),
+        0,
+        "no warnings either:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn elaborated_ca_rng_is_error_free() {
+    let model = DesignModel::ca_rng().expect("elaboration");
+    let report = run_all(&model);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "CA RNG must lint clean:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn clean_report_serializes_for_ci() {
+    let model = DesignModel::ca_rng().expect("elaboration");
+    let json = run_all(&model).to_json();
+    assert!(json.contains("\"design\":\"ca_rng\""));
+    assert!(json.contains("\"errors\":0"));
+}
+
+#[test]
+fn every_registered_rule_has_a_distinct_name() {
+    let names: Vec<&str> = galint::registry().iter().map(|r| r.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(names.len(), dedup.len(), "{names:?}");
+    assert!(names.len() >= 8, "at least 8 rules: {names:?}");
+}
+
+#[test]
+fn diagnostics_carry_usable_elements() {
+    // The element of a finding must point at the offending item, not a
+    // generic location — spot-check the State element formatting.
+    let spec = fsm(2, 1, vec![t(0, Guard::always(), 0)]);
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let report = run_all(&model);
+    let dead = report.by_rule("fsm-dead-state");
+    assert!(dead.iter().any(|d| d.element
+        == Element::State {
+            index: 1,
+            name: "S1".into()
+        }));
+}

@@ -72,7 +72,11 @@ impl HandshakeMonitor {
                     self.flag("valid asserted with no outstanding request");
                 }
                 if req {
-                    self.state = if valid { MonState::Responding } else { MonState::Requested };
+                    self.state = if valid {
+                        MonState::Responding
+                    } else {
+                        MonState::Requested
+                    };
                 }
             }
             MonState::Requested => {
@@ -100,7 +104,11 @@ impl HandshakeMonitor {
             MonState::Draining => {
                 if req {
                     self.flag("new request started while valid was still draining");
-                    self.state = if valid { MonState::Responding } else { MonState::Requested };
+                    self.state = if valid {
+                        MonState::Responding
+                    } else {
+                        MonState::Requested
+                    };
                 } else if valid {
                     self.drain_count += 1;
                     if self.drain_count > self.drain_bound {
@@ -177,7 +185,10 @@ mod tests {
     fn stuck_valid_flagged() {
         let mut m = HandshakeMonitor::new("fit", 2);
         drive(&mut m, &[(1, 0), (1, 1), (0, 1), (0, 1), (0, 1), (0, 1)]);
-        assert!(m.violations().iter().any(|v| v.contains("failed to deassert")));
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| v.contains("failed to deassert")));
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl<P: Debug + Copy, R: Debug + Copy + PartialEq> Scoreboard<P, R> {
     /// Record an observed completion (in issue order).
     pub fn observe(&mut self, response: R) {
         match self.pending.pop_front() {
-            None => self.err(format!("unexpected response {response:?} with nothing pending")),
+            None => self.err(format!(
+                "unexpected response {response:?} with nothing pending"
+            )),
             Some((payload, expected)) => {
                 self.completed += 1;
                 if response != expected {

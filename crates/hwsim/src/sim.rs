@@ -65,7 +65,10 @@ impl Sim {
     /// A simulator with an explicit clock period in picoseconds.
     pub fn new(period_ps: u64) -> Self {
         assert!(period_ps > 0, "clock period must be positive");
-        Sim { cycle: 0, period_ps }
+        Sim {
+            cycle: 0,
+            period_ps,
+        }
     }
 
     /// The paper's GA-module clock: 50 MHz (20 ns).
@@ -119,7 +122,9 @@ impl Sim {
         let start = self.cycle;
         loop {
             if self.cycle - start >= max_cycles {
-                return Err(SimError::Timeout { cycles: self.cycle - start });
+                return Err(SimError::Timeout {
+                    cycles: self.cycle - start,
+                });
             }
             self.step(system, &mut eval);
             if done(system) {

@@ -57,7 +57,10 @@ impl Trace {
     /// Record `value` for `name` at time `t` (creating the series on
     /// first use).
     pub fn record(&mut self, name: &str, t: u64, value: u64) {
-        self.series.entry(name.to_owned()).or_default().push(t, value);
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push(t, value);
     }
 
     /// Look up a series by name.

@@ -178,7 +178,10 @@ mod tests {
             ..Default::default()
         };
         let m = PpcCostModel::cached();
-        assert!((m.seconds(&c) - 1e-6).abs() < 1e-15, "300 cycles at 300 MHz is 1 µs");
+        assert!(
+            (m.seconds(&c) - 1e-6).abs() < 1e-15,
+            "300 cycles at 300 MHz is 1 µs"
+        );
     }
 
     #[test]

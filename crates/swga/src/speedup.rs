@@ -123,18 +123,8 @@ mod tests {
     #[test]
     fn hardware_time_consistent_across_seeds() {
         let report = speedup_experiment(PpcCostModel::default(), 3);
-        let min = report
-            .samples
-            .iter()
-            .map(|s| s.hw_cycles)
-            .min()
-            .unwrap() as f64;
-        let max = report
-            .samples
-            .iter()
-            .map(|s| s.hw_cycles)
-            .max()
-            .unwrap() as f64;
+        let min = report.samples.iter().map(|s| s.hw_cycles).min().unwrap() as f64;
+        let max = report.samples.iter().map(|s| s.hw_cycles).max().unwrap() as f64;
         // Cycle counts vary only through selection early-exit points.
         assert!(max / min < 1.5, "hw cycles vary too much: {min} vs {max}");
     }

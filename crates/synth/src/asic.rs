@@ -85,6 +85,8 @@ pub fn price(nl: &Netlist, node: TechNode) -> AsicReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::builder::Builder;
 
@@ -102,7 +104,7 @@ mod tests {
         let x = b.input("x", 16);
         let y = b.input("y", 16);
         let zero = b.const0();
-        let (s, _) = b.adder(&x, &y, zero);
+        let (s, _) = b.adder(&x, &y, zero).unwrap();
         let q = b.reg_bank(&s);
         b.output("q", &q);
         let nl = b.finish();

@@ -6,7 +6,14 @@
 //! easily using tools from many vendors"). Every builder is checked for
 //! functional equivalence against its arithmetic reference in the test
 //! suite — the gate-level verification step of the paper's flow.
+//!
+//! Construction that can fail (width mismatches, empty buses, unknown
+//! register Q nets) returns [`SynthError`] rather than panicking, so a
+//! malformed elaboration surfaces as a reportable diagnostic — the same
+//! contract `galint` relies on when it lints deliberately broken
+//! designs.
 
+use crate::error::SynthError;
 use crate::netlist::{Gate, GateKind, NetId, Netlist, RegCell};
 
 /// Incremental netlist builder.
@@ -32,6 +39,28 @@ impl Builder {
         id
     }
 
+    fn check_widths(context: &'static str, a: &[NetId], b: &[NetId]) -> Result<(), SynthError> {
+        if a.len() != b.len() {
+            return Err(SynthError::WidthMismatch {
+                context,
+                left: a.len(),
+                right: b.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_width_is(context: &'static str, bus: &[NetId], want: usize) -> Result<(), SynthError> {
+        if bus.len() != want {
+            return Err(SynthError::WidthMismatch {
+                context,
+                left: bus.len(),
+                right: want,
+            });
+        }
+        Ok(())
+    }
+
     /// Constant 0 net.
     pub fn const0(&mut self) -> NetId {
         self.push(GateKind::Const0, vec![])
@@ -44,7 +73,9 @@ impl Builder {
 
     /// Declare a named input bus of `width` bits (LSB first).
     pub fn input(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        let bits: Vec<NetId> = (0..width).map(|_| self.push(GateKind::Input, vec![])).collect();
+        let bits: Vec<NetId> = (0..width)
+            .map(|_| self.push(GateKind::Input, vec![]))
+            .collect();
         self.nl.inputs.push((name.to_owned(), bits.clone()));
         bits
     }
@@ -98,12 +129,17 @@ impl Builder {
     }
 
     /// Word-wide 2:1 mux.
-    pub fn mux2_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
-        assert_eq!(a.len(), b.len());
-        a.iter()
+    pub fn mux2_bus(
+        &mut self,
+        sel: NetId,
+        a: &[NetId],
+        b: &[NetId],
+    ) -> Result<Vec<NetId>, SynthError> {
+        Self::check_widths("mux2_bus", a, b)?;
+        Ok(a.iter()
             .zip(b)
             .map(|(&x, &y)| self.mux2(sel, x, y))
-            .collect()
+            .collect())
     }
 
     /// Scan register bank: creates `width` flip-flops with Q nets
@@ -122,8 +158,13 @@ impl Builder {
     /// Ripple-carry adder over the dedicated carry chain (Virtex slice:
     /// the per-bit propagate XOR lands in the LUT, the carry select in
     /// MUXCY). Returns (sum bits, carry out).
-    pub fn adder(&mut self, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
-        assert_eq!(a.len(), b.len());
+    pub fn adder(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+        cin: NetId,
+    ) -> Result<(Vec<NetId>, NetId), SynthError> {
+        Self::check_widths("adder", a, b)?;
         let mut carry = cin;
         let mut sum = Vec::with_capacity(a.len());
         for (&ai, &bi) in a.iter().zip(b) {
@@ -133,35 +174,48 @@ impl Builder {
             carry = self.carry_mux(p, carry, ai);
             sum.push(s);
         }
-        (sum, carry)
+        Ok((sum, carry))
     }
 
     /// Subtractor `a - b` (two's complement): returns (difference,
     /// borrow-free flag = carry out = `a >= b`).
-    pub fn subtractor(&mut self, a: &[NetId], b: &[NetId]) -> (Vec<NetId>, NetId) {
+    pub fn subtractor(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+    ) -> Result<(Vec<NetId>, NetId), SynthError> {
+        Self::check_widths("subtractor", a, b)?;
         let nb: Vec<NetId> = b.iter().map(|&x| self.not(x)).collect();
         let one = self.const1();
         self.adder(a, &nb, one)
     }
 
     /// Unsigned greater-than comparator: `a > b`.
-    pub fn gt(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+    pub fn gt(&mut self, a: &[NetId], b: &[NetId]) -> Result<NetId, SynthError> {
         // a > b  ⇔  b - a has a borrow  ⇔  !(b >= a).
-        let (_, b_ge_a) = self.subtractor(b, a);
-        self.not(b_ge_a)
+        let (_, b_ge_a) = self.subtractor(b, a)?;
+        Ok(self.not(b_ge_a))
     }
 
     /// Unsigned less-than comparator: `a < b`.
-    pub fn lt(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+    pub fn lt(&mut self, a: &[NetId], b: &[NetId]) -> Result<NetId, SynthError> {
         self.gt(b, a)
     }
 
     /// Balanced reduction tree (AND/OR): O(log n) depth instead of the
     /// O(n) chain a naive fold produces — load-bearing for wide
     /// comparators on the critical path.
-    pub fn reduce_tree(&mut self, nets: &[NetId], op: GateKind) -> NetId {
-        assert!(!nets.is_empty());
-        assert!(matches!(op, GateKind::And2 | GateKind::Or2 | GateKind::Xor2));
+    pub fn reduce_tree(&mut self, nets: &[NetId], op: GateKind) -> Result<NetId, SynthError> {
+        if nets.is_empty() {
+            return Err(SynthError::EmptyBus {
+                context: "reduce_tree",
+            });
+        }
+        if !matches!(op, GateKind::And2 | GateKind::Or2 | GateKind::Xor2) {
+            return Err(SynthError::BadReduceOp {
+                kind: format!("{op:?}"),
+            });
+        }
         let mut level: Vec<NetId> = nets.to_vec();
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
@@ -174,13 +228,15 @@ impl Builder {
             }
             level = next;
         }
-        level[0]
+        Ok(level[0])
     }
 
     /// Equality comparator (XNOR per bit, balanced AND tree).
-    pub fn eq(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
-        assert_eq!(a.len(), b.len());
-        assert!(!a.is_empty());
+    pub fn eq(&mut self, a: &[NetId], b: &[NetId]) -> Result<NetId, SynthError> {
+        Self::check_widths("eq", a, b)?;
+        if a.is_empty() {
+            return Err(SynthError::EmptyBus { context: "eq" });
+        }
         let bits: Vec<NetId> = a
             .iter()
             .zip(b)
@@ -193,18 +249,23 @@ impl Builder {
     }
 
     /// Incrementer (`a + 1`) over the carry chain.
-    pub fn incrementer(&mut self, a: &[NetId]) -> Vec<NetId> {
+    pub fn incrementer(&mut self, a: &[NetId]) -> Result<Vec<NetId>, SynthError> {
         let zeros: Vec<NetId> = (0..a.len()).map(|_| self.const0()).collect();
         let one = self.const1();
-        self.adder(a, &zeros, one).0
+        Ok(self.adder(a, &zeros, one)?.0)
     }
 
     /// Binary-to-one-hot decoder (`n` select bits → `2^n` outputs).
-    pub fn decoder(&mut self, sel: &[NetId]) -> Vec<NetId> {
+    pub fn decoder(&mut self, sel: &[NetId]) -> Result<Vec<NetId>, SynthError> {
         let n = sel.len();
-        assert!(n <= 6, "decoder wider than 6 select bits is unrealistic here");
+        if n == 0 {
+            return Err(SynthError::EmptyBus { context: "decoder" });
+        }
+        if n > 6 {
+            return Err(SynthError::DecoderTooWide { bits: n });
+        }
         let inv: Vec<NetId> = sel.iter().map(|&s| self.not(s)).collect();
-        (0..1usize << n)
+        Ok((0..1usize << n)
             .map(|v| {
                 let mut acc: Option<NetId> = None;
                 for b in 0..n {
@@ -214,9 +275,9 @@ impl Builder {
                         Some(p) => self.and(p, lit),
                     });
                 }
-                acc.expect("decoder with zero select bits")
+                acc.expect("decoder select width checked nonzero above")
             })
-            .collect()
+            .collect())
     }
 
     /// Thermometer mask generator for the crossover operator: output bit
@@ -224,8 +285,8 @@ impl Builder {
     /// 0..cut−1). `cut` is a 4-bit bus; output is 16 bits. Built as a
     /// constant comparator per bit (shallow) rather than a suffix-OR
     /// chain (16 levels deep).
-    pub fn thermometer16(&mut self, cut: &[NetId]) -> Vec<NetId> {
-        assert_eq!(cut.len(), 4);
+    pub fn thermometer16(&mut self, cut: &[NetId]) -> Result<Vec<NetId>, SynthError> {
+        Self::check_width_is("thermometer16 cut", cut, 4)?;
         (0..16u8)
             .map(|i| {
                 // cut > i with i constant.
@@ -250,10 +311,10 @@ impl Builder {
         p1: &[NetId],
         p2: &[NetId],
         cut: &[NetId],
-    ) -> (Vec<NetId>, Vec<NetId>) {
-        assert_eq!(p1.len(), 16);
-        assert_eq!(p2.len(), 16);
-        let mask = self.thermometer16(cut);
+    ) -> Result<(Vec<NetId>, Vec<NetId>), SynthError> {
+        Self::check_width_is("crossover16 parent1", p1, 16)?;
+        Self::check_width_is("crossover16 parent2", p2, 16)?;
+        let mask = self.thermometer16(cut)?;
         let mut o1 = Vec::with_capacity(16);
         let mut o2 = Vec::with_capacity(16);
         for i in 0..16 {
@@ -265,18 +326,18 @@ impl Builder {
             let b2 = self.and(p2[i], mask[i]);
             o2.push(self.or(a2, b2));
         }
-        (o1, o2)
+        Ok((o1, o2))
     }
 
     /// The mutation network: one-hot decode the 4-bit point and XOR.
-    pub fn mutate16(&mut self, chrom: &[NetId], point: &[NetId]) -> Vec<NetId> {
-        assert_eq!(chrom.len(), 16);
-        let onehot = self.decoder(point);
-        chrom
+    pub fn mutate16(&mut self, chrom: &[NetId], point: &[NetId]) -> Result<Vec<NetId>, SynthError> {
+        Self::check_width_is("mutate16 chromosome", chrom, 16)?;
+        let onehot = self.decoder(point)?;
+        Ok(chrom
             .iter()
             .zip(&onehot)
             .map(|(&c, &o)| self.xor(c, o))
-            .collect()
+            .collect())
     }
 
     /// Unsigned array multiplier `a × b` (full product width). The AUDI
@@ -286,7 +347,7 @@ impl Builder {
     /// multicycle path. Each row's addition rides the dedicated carry
     /// chain full-width, so the combinational depth is rows × one carry
     /// chain, not a quadratic gate ripple.
-    pub fn multiplier(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    pub fn multiplier(&mut self, a: &[NetId], b: &[NetId]) -> Result<Vec<NetId>, SynthError> {
         let zero = self.const0();
         let mut acc: Vec<NetId> = vec![zero; a.len() + b.len()];
         for (j, &bj) in b.iter().enumerate() {
@@ -295,10 +356,10 @@ impl Builder {
             let mut pp: Vec<NetId> = a.iter().map(|&ai| self.and(ai, bj)).collect();
             pp.resize(acc.len() - j, zero);
             let slice: Vec<NetId> = acc[j..].to_vec();
-            let (sum, _cout) = self.adder(&slice, &pp, zero);
+            let (sum, _cout) = self.adder(&slice, &pp, zero)?;
             acc[j..].copy_from_slice(&sum);
         }
-        acc
+        Ok(acc)
     }
 
     /// Current gate count (for inventory reporting).
@@ -316,22 +377,25 @@ impl Builder {
     /// the one-hot Q nets before the next-state logic that feeds them —
     /// the netlist analog of a VHDL signal declared before its driving
     /// process.
-    pub fn patch_reg_d(&mut self, q_nets: &[NetId], d_nets: &[NetId]) {
-        assert_eq!(q_nets.len(), d_nets.len());
+    pub fn patch_reg_d(&mut self, q_nets: &[NetId], d_nets: &[NetId]) -> Result<(), SynthError> {
+        Self::check_widths("patch_reg_d", q_nets, d_nets)?;
         for (&q, &d) in q_nets.iter().zip(d_nets) {
             let cell = self
                 .nl
                 .regs
                 .iter_mut()
                 .find(|r| r.q == q)
-                .expect("patch_reg_d: unknown Q net");
+                .ok_or(SynthError::UnknownRegQ { q })?;
             cell.d = d;
         }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::netlist::{bus_to_u64, u64_to_bus};
     use proptest::prelude::*;
@@ -362,7 +426,7 @@ mod tests {
         fn adder_equivalence(a in 0u64..1 << 24, b in 0u64..1 << 24) {
             let sum = eval2((24, 24), |bld, x, y| {
                 let zero = bld.const0();
-                let (s, cout) = bld.adder(x, y, zero);
+                let (s, cout) = bld.adder(x, y, zero).unwrap();
                 let mut out = s;
                 out.push(cout);
                 out
@@ -373,7 +437,7 @@ mod tests {
         #[test]
         fn subtractor_equivalence(a in 0u64..1 << 16, b in 0u64..1 << 16) {
             let out = eval2((16, 16), |bld, x, y| {
-                let (d, ge) = bld.subtractor(x, y);
+                let (d, ge) = bld.subtractor(x, y).unwrap();
                 let mut o = d;
                 o.push(ge);
                 o
@@ -386,15 +450,15 @@ mod tests {
 
         #[test]
         fn comparator_equivalence(a in 0u64..1 << 24, b in 0u64..1 << 24) {
-            let gt = eval2((24, 24), |bld, x, y| vec![bld.gt(x, y)], a, b);
+            let gt = eval2((24, 24), |bld, x, y| vec![bld.gt(x, y).unwrap()], a, b);
             prop_assert_eq!(gt == 1, a > b);
-            let eq = eval2((24, 24), |bld, x, y| vec![bld.eq(x, y)], a, b);
+            let eq = eval2((24, 24), |bld, x, y| vec![bld.eq(x, y).unwrap()], a, b);
             prop_assert_eq!(eq == 1, a == b);
         }
 
         #[test]
         fn multiplier_equivalence(a in 0u64..1 << 12, b in 0u64..1 << 8) {
-            let p = eval2((12, 8), |bld, x, y| bld.multiplier(x, y), a, b);
+            let p = eval2((12, 8), |bld, x, y| bld.multiplier(x, y).unwrap(), a, b);
             prop_assert_eq!(p, a * b);
         }
 
@@ -404,7 +468,7 @@ mod tests {
             let ia = bld.input("a", 16);
             let ib = bld.input("b", 16);
             let ic = bld.input("cut", 4);
-            let (o1, o2) = bld.crossover16(&ia, &ib, &ic);
+            let (o1, o2) = bld.crossover16(&ia, &ib, &ic).unwrap();
             bld.output("o1", &o1);
             bld.output("o2", &o2);
             let nl = bld.finish();
@@ -425,7 +489,7 @@ mod tests {
             let mut bld = Builder::new();
             let ic = bld.input("c", 16);
             let ip = bld.input("p", 4);
-            let o = bld.mutate16(&ic, &ip);
+            let o = bld.mutate16(&ic, &ip).unwrap();
             bld.output("o", &o);
             let nl = bld.finish();
             let mut inp = HashMap::new();
@@ -449,7 +513,7 @@ mod tests {
     fn decoder_is_one_hot() {
         let mut bld = Builder::new();
         let sel = bld.input("s", 4);
-        let out = bld.decoder(&sel);
+        let out = bld.decoder(&sel).unwrap();
         bld.output("o", &out);
         let nl = bld.finish();
         for v in 0..16u64 {
@@ -465,7 +529,7 @@ mod tests {
     fn thermometer_matches_mask_semantics() {
         let mut bld = Builder::new();
         let cut = bld.input("cut", 4);
-        let mask = bld.thermometer16(&cut);
+        let mask = bld.thermometer16(&cut).unwrap();
         bld.output("m", &mask);
         let nl = bld.finish();
         for c in 0..16u64 {
@@ -497,7 +561,7 @@ mod tests {
         let a = bld.input("a", 8);
         let b = bld.input("b", 8);
         let s = bld.input("s", 1);
-        let y = bld.mux2_bus(s[0], &a, &b);
+        let y = bld.mux2_bus(s[0], &a, &b).unwrap();
         bld.output("y", &y);
         let nl = bld.finish();
         for (sv, expect) in [(1u64, 0xAAu64), (0, 0x55)] {
@@ -508,5 +572,37 @@ mod tests {
             let vals = nl.eval_comb(&inp, &HashMap::new());
             assert_eq!(bus_to_u64(nl.output_bus("y").unwrap(), &vals), expect);
         }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut bld = Builder::new();
+        let a = bld.input("a", 4);
+        let b = bld.input("b", 5);
+        assert!(matches!(
+            bld.adder(&a, &b, 0).unwrap_err(),
+            SynthError::WidthMismatch {
+                context: "adder",
+                left: 4,
+                right: 5
+            }
+        ));
+        assert!(matches!(
+            bld.reduce_tree(&[], GateKind::And2).unwrap_err(),
+            SynthError::EmptyBus { .. }
+        ));
+        assert!(matches!(
+            bld.reduce_tree(&a, GateKind::CarryMux).unwrap_err(),
+            SynthError::BadReduceOp { .. }
+        ));
+        let wide = bld.input("w", 7);
+        assert!(matches!(
+            bld.decoder(&wide).unwrap_err(),
+            SynthError::DecoderTooWide { bits: 7 }
+        ));
+        assert!(matches!(
+            bld.patch_reg_d(&[a[0]], &[a[1]]).unwrap_err(),
+            SynthError::UnknownRegQ { .. }
+        ));
     }
 }

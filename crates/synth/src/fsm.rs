@@ -8,6 +8,7 @@
 //! bank, plus Moore outputs as OR-trees over states.
 
 use crate::builder::Builder;
+use crate::error::SynthError;
 use crate::netlist::NetId;
 
 /// A guard over the condition inputs: for each referenced condition
@@ -53,6 +54,10 @@ pub struct FsmSpec {
     pub n_conds: usize,
     /// Transition list (priority = order within the same source state).
     pub transitions: Vec<Transition>,
+    /// Optional human-readable state names, indexed by state. May be
+    /// empty (anonymous states) or exactly `n_states` long; lint
+    /// diagnostics and reports use these when present.
+    pub state_names: Vec<String>,
 }
 
 /// Synthesized controller handles.
@@ -67,6 +72,14 @@ pub struct SynthesizedFsm {
 }
 
 impl FsmSpec {
+    /// Human-readable name of a state, falling back to `S<idx>`.
+    pub fn state_name(&self, idx: usize) -> String {
+        self.state_names
+            .get(idx)
+            .cloned()
+            .unwrap_or_else(|| format!("S{idx}"))
+    }
+
     /// Reference next-state function for verification.
     pub fn next_state(&self, current: usize, conds: &[bool]) -> usize {
         for t in &self.transitions {
@@ -81,8 +94,17 @@ impl FsmSpec {
     /// as inputs. Returns the one-hot state register nets (state 0 is
     /// the reset state by construction: its Q is the only one assumed
     /// high at power-on in simulation harnesses).
-    pub fn synthesize(&self, bld: &mut Builder, cond_nets: &[NetId]) -> SynthesizedFsm {
-        assert_eq!(cond_nets.len(), self.n_conds);
+    pub fn synthesize(
+        &self,
+        bld: &mut Builder,
+        cond_nets: &[NetId],
+    ) -> Result<SynthesizedFsm, SynthError> {
+        if cond_nets.len() != self.n_conds {
+            return Err(SynthError::CondCountMismatch {
+                want: self.n_conds,
+                got: cond_nets.len(),
+            });
+        }
         let before = bld.gate_count();
 
         // Forward-declare the one-hot Q nets by building the register
@@ -172,18 +194,20 @@ impl FsmSpec {
 
         // Patch the register D pins (the builder created them with a
         // dummy constant-zero D).
-        bld.patch_reg_d(&state_q, &d_nets);
+        bld.patch_reg_d(&state_q, &d_nets)?;
 
-        SynthesizedFsm {
+        Ok(SynthesizedFsm {
             state_q,
             cond_nets: cond_nets.to_vec(),
             gates_added: bld.gate_count() - before,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::netlist::NetId;
     use std::collections::HashMap;
@@ -195,23 +219,40 @@ mod tests {
             n_states: 3,
             n_conds: 2,
             transitions: vec![
-                Transition { from: 0, guard: Guard::when(0, true), to: 1 },
-                Transition { from: 1, guard: Guard::when(1, true), to: 2 },
-                Transition { from: 2, guard: Guard::always(), to: 0 },
+                Transition {
+                    from: 0,
+                    guard: Guard::when(0, true),
+                    to: 1,
+                },
+                Transition {
+                    from: 1,
+                    guard: Guard::when(1, true),
+                    to: 2,
+                },
+                Transition {
+                    from: 2,
+                    guard: Guard::always(),
+                    to: 0,
+                },
             ],
+            state_names: vec!["Idle".into(), "Busy".into(), "Done".into()],
         }
     }
 
     fn run_fsm(spec: &FsmSpec, conds_seq: &[Vec<bool>]) -> Vec<usize> {
         let mut bld = Builder::new();
         let conds = bld.input("conds", spec.n_conds);
-        let fsm = spec.synthesize(&mut bld, &conds);
+        let fsm = spec.synthesize(&mut bld, &conds).expect("fsm synthesis");
         bld.output("state", &fsm.state_q);
         let nl = bld.finish();
         nl.validate().expect("valid fsm netlist");
         // Start in state 0 (one-hot).
-        let mut reg: HashMap<NetId, bool> =
-            fsm.state_q.iter().enumerate().map(|(i, &q)| (q, i == 0)).collect();
+        let mut reg: HashMap<NetId, bool> = fsm
+            .state_q
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q, i == 0))
+            .collect();
         let mut states = Vec::new();
         for conds_now in conds_seq {
             let mut inp = HashMap::new();
@@ -262,9 +303,18 @@ mod tests {
             n_states: 3,
             n_conds: 2,
             transitions: vec![
-                Transition { from: 0, guard: Guard::when(0, true), to: 1 },
-                Transition { from: 0, guard: Guard::when(1, true), to: 2 },
+                Transition {
+                    from: 0,
+                    guard: Guard::when(0, true),
+                    to: 1,
+                },
+                Transition {
+                    from: 0,
+                    guard: Guard::when(1, true),
+                    to: 2,
+                },
             ],
+            ..FsmSpec::default()
         };
         let got = run_fsm(&s, &[vec![true, true]]);
         assert_eq!(got, vec![1]);
@@ -278,6 +328,7 @@ mod tests {
             n_states: 2,
             n_conds: 1,
             transitions: vec![],
+            ..FsmSpec::default()
         };
         let got = run_fsm(&s, &[vec![true], vec![false]]);
         assert_eq!(got, vec![0, 0]);
@@ -293,6 +344,7 @@ mod tests {
                 guard: Guard(vec![(0, true), (1, false)]),
                 to: 1,
             }],
+            ..FsmSpec::default()
         };
         assert_eq!(run_fsm(&s, &[vec![true, true]]), vec![0]);
         assert_eq!(run_fsm(&s, &[vec![true, false]]), vec![1]);

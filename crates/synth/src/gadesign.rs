@@ -4,7 +4,7 @@
 //! Every register of the cycle-accurate model (`ga_core::hwcore`), the
 //! complete datapath component inventory (selection multiplier,
 //! accumulators, comparators, crossover/mutation networks, counters,
-//! D-input mux trees) and the 22-state one-hot controller are
+//! D-input mux trees) and the 23-state one-hot controller are
 //! instantiated through the verified component library and synthesized
 //! into one connected netlist. The CA RNG module is included, matching
 //! the paper's "GA module (GA core, RNG module, and the GA memory)"
@@ -14,9 +14,16 @@
 //! cycle-accurate level (the differential tests); this netlist is the
 //! *physical* model — its component builders are individually proven
 //! equivalent, and its purpose is the Table VI resource/timing report.
+//!
+//! The fallible entry points ([`try_elaborate_ga_core`],
+//! [`try_elaborate_ca_rng`]) surface any construction defect as a
+//! [`SynthError`]; the infallible wrappers keep the original signatures
+//! for benches and examples, and are safe because the elaboration is
+//! covered by tests and `galint`.
 
 use crate::builder::Builder;
 use crate::device::Xc2vp30;
+use crate::error::SynthError;
 use crate::fsm::{FsmSpec, Guard, Transition};
 use crate::mapper::{map_to_lut4, MapReport};
 use crate::netlist::{NetId, Netlist};
@@ -41,13 +48,16 @@ pub struct GaCoreReport {
 
 /// Select-prioritized D-input mux chain: `sources` are (select, value)
 /// pairs scanned in order; when no select is hot the register holds.
-fn mux_word(bld: &mut Builder, hold: &[NetId], sources: &[(NetId, Vec<NetId>)]) -> Vec<NetId> {
+fn mux_word(
+    bld: &mut Builder,
+    hold: &[NetId],
+    sources: &[(NetId, Vec<NetId>)],
+) -> Result<Vec<NetId>, SynthError> {
     let mut acc: Vec<NetId> = hold.to_vec();
     for (sel, val) in sources.iter().rev() {
-        assert_eq!(val.len(), acc.len());
-        acc = bld.mux2_bus(*sel, val, &acc);
+        acc = bld.mux2_bus(*sel, val, &acc)?;
     }
-    acc
+    Ok(acc)
 }
 
 /// Zero-extend a bus.
@@ -64,10 +74,12 @@ fn zero_bit(bld: &mut Builder) -> NetId {
     bld.const0()
 }
 
-/// The controller specification: the 22 states of the cycle-accurate
-/// FSM with its actual branch structure (condition indices documented
-/// inline).
-fn controller_spec() -> FsmSpec {
+/// The GA controller specification: the 23 named states of the
+/// cycle-accurate FSM with its actual branch structure (condition
+/// indices documented inline). Public so the `galint` static checker
+/// can lint the transition table directly — handshake-wait states are
+/// recognized by their `*Wait` names.
+pub fn ga_controller_spec() -> FsmSpec {
     // Condition inputs:
     //  0 start_ga        5 scan_hit (cum>thr or last)   10 i_eq_pop
     //  1 ga_load         6 sel_phase                    11 gen_eq_ngens
@@ -80,8 +92,8 @@ fn controller_spec() -> FsmSpec {
         n_conds: 14,
         transitions: vec![
             // 0 Idle
-            t(0, Guard::when(1, true), 1),  // → InitParams
-            t(0, Guard::when(0, true), 2),  // → Start
+            t(0, Guard::when(1, true), 1), // → InitParams
+            t(0, Guard::when(0, true), 2), // → Start
             // 1 InitParams
             t(1, Guard::when(1, false), 0),
             // 2 Start
@@ -116,7 +128,7 @@ fn controller_spec() -> FsmSpec {
             t(17, Guard::always(), 18),
             t(18, Guard::when(3, true), 19),
             t(19, Guard::always(), 20),
-            t(20, Guard::when(8, true), 21), // idx == pop → GenEnd
+            t(20, Guard::when(8, true), 21),  // idx == pop → GenEnd
             t(20, Guard::when(7, false), 16), // second offspring → MutDecide
             t(20, Guard::always(), 10),       // next pair → SelDraw
             // 21 GenEnd
@@ -124,6 +136,34 @@ fn controller_spec() -> FsmSpec {
             // 22 Done
             t(22, Guard::when(0, true), 2),
         ],
+        state_names: [
+            "Idle",
+            "InitParams",
+            "Start",
+            "InitPopDraw",
+            "FitReq",
+            "FitWait",
+            "Store",
+            "Update",
+            "GenCheck",
+            "ElitWrite",
+            "SelDraw",
+            "SelMulWait",
+            "SelScanAddr",
+            "SelScanWait",
+            "SelScanData",
+            "XoverDecide",
+            "MutDecide",
+            "OffFitReq",
+            "OffFitWait",
+            "OffStore",
+            "OffUpdate",
+            "GenEnd",
+            "Done",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect(),
     }
 }
 
@@ -131,7 +171,7 @@ fn controller_spec() -> FsmSpec {
 /// seed-load and consume-enable inputs. Used for gate-level functional
 /// equivalence testing against the `carng` reference (the one subsystem
 /// small enough to verify exhaustively at the gate level).
-pub fn elaborate_ca_rng() -> Netlist {
+pub fn try_elaborate_ca_rng() -> Result<Netlist, SynthError> {
     let mut b = Builder::new();
     let seed = b.input("seed", 16);
     let ctl = b.input("ctl", 2); // [0] = seed_load, [1] = consume
@@ -149,15 +189,21 @@ pub fn elaborate_ca_rng() -> Netlist {
         });
     }
     // Hold / step / load priority: load > consume > hold.
-    let stepped = b.mux2_bus(ctl[1], &next, &q);
-    let d = b.mux2_bus(ctl[0], &seed, &stepped);
-    b.patch_reg_d(&q, &d);
+    let stepped = b.mux2_bus(ctl[1], &next, &q)?;
+    let d = b.mux2_bus(ctl[0], &seed, &stepped)?;
+    b.patch_reg_d(&q, &d)?;
     b.output("rn", &q);
-    b.finish()
+    Ok(b.finish())
+}
+
+/// Infallible wrapper over [`try_elaborate_ca_rng`] (the elaboration is
+/// statically known-good; covered by tests and `galint`).
+pub fn elaborate_ca_rng() -> Netlist {
+    try_elaborate_ca_rng().expect("CA RNG elaboration is known-good")
 }
 
 /// Elaborate the GA core + RNG into a netlist and produce the report.
-pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
+pub fn try_elaborate_ga_core() -> Result<(Netlist, GaCoreReport), SynthError> {
     let mut b = Builder::new();
 
     // ---- primary inputs ---------------------------------------------
@@ -188,8 +234,8 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
     }
     // Seed-load mux folded into the RNG D path.
     let seed_load = ctl[0]; // reuse start as the load strobe
-    let rng_d_final = b.mux2_bus(seed_load, &value_bus.clone(), &rng_d);
-    b.patch_reg_d(&rng_q, &rng_d_final);
+    let rng_d_final = b.mux2_bus(seed_load, &value_bus.clone(), &rng_d)?;
+    b.patch_reg_d(&rng_q, &rng_d_final)?;
     let rn = rng_q.clone();
     let _ = rn_ext;
 
@@ -231,7 +277,7 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
 
     // ---- datapath ----------------------------------------------------
     // Selection threshold: (fit_sum × rn) >> 16, 24×16 multiplier.
-    let product = b.multiplier(&fitsum_q, &rn);
+    let product = b.multiplier(&fitsum_q, &rn)?;
     let thr_d: Vec<NetId> = product[16..40].to_vec();
 
     // Memory word split.
@@ -241,75 +287,75 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
 
     // Accumulators.
     let zero = b.const0();
-    let (cum_next, _) = b.adder(&cum_q, &mem_fit24, zero);
+    let (cum_next, _) = b.adder(&cum_q, &mem_fit24, zero)?;
     let fit24 = zext(&mut b, &fit_q, 24);
-    let (sum_next, _) = b.adder(&fitsum_q, &fit24, zero);
-    let (newsum_next, _) = b.adder(&newsum_q, &fit24, zero);
+    let (sum_next, _) = b.adder(&fitsum_q, &fit24, zero)?;
+    let (newsum_next, _) = b.adder(&newsum_q, &fit24, zero)?;
 
     // Comparators.
-    let cum_gt_thr = b.gt(&cum_next, &thr_q);
+    let cum_gt_thr = b.gt(&cum_next, &thr_q)?;
     let best_fit: Vec<NetId> = best_q[0..16].to_vec();
     let nbest_fit: Vec<NetId> = nbest_q[0..16].to_vec();
-    let fit_gt_best = b.gt(&fit_q, &best_fit);
-    let fit_gt_nbest = b.gt(&fit_q, &nbest_fit);
+    let fit_gt_best = b.gt(&fit_q, &best_fit)?;
+    let fit_gt_nbest = b.gt(&fit_q, &nbest_fit)?;
     let rn_dec: Vec<NetId> = rn[0..4].to_vec();
-    let dec_x = b.lt(&rn_dec, &xt_q);
-    let dec_m = b.lt(&rn_dec, &mt_q);
-    let gen_eq = b.eq(&gen_q, &ngens_q);
+    let dec_x = b.lt(&rn_dec, &xt_q)?;
+    let dec_m = b.lt(&rn_dec, &mt_q)?;
+    let gen_eq = b.eq(&gen_q, &ngens_q)?;
     let pop16 = pop_q.clone();
-    let idx_eq_pop = b.eq(&idx_q, &pop16);
-    let i_eq_pop = b.eq(&i_q, &pop16);
-    let scan_inc = b.incrementer(&scanidx_q);
-    let scan_last = b.eq(&scan_inc, &pop16);
+    let idx_eq_pop = b.eq(&idx_q, &pop16)?;
+    let i_eq_pop = b.eq(&i_q, &pop16)?;
+    let scan_inc = b.incrementer(&scanidx_q)?;
+    let scan_last = b.eq(&scan_inc, &pop16)?;
     let scan_hit = b.or(cum_gt_thr, scan_last);
     let multcnt_zero = {
         let z = b.const0();
         let zeros = vec![z; 4];
-        b.eq(&multcnt_q, &zeros)
+        b.eq(&multcnt_q, &zeros)?
     };
 
     // Crossover + mutation networks.
     let cut: Vec<NetId> = rn[4..8].to_vec();
-    let (xo1, xo2) = b.crossover16(&p1_q, &p2_q, &cut);
-    let off1_sel = b.mux2_bus(dec_x, &xo1, &p1_q);
-    let off2_sel = b.mux2_bus(dec_x, &xo2, &p2_q);
+    let (xo1, xo2) = b.crossover16(&p1_q, &p2_q, &cut)?;
+    let off1_sel = b.mux2_bus(dec_x, &xo1, &p1_q)?;
+    let off2_sel = b.mux2_bus(dec_x, &xo2, &p2_q)?;
     let mpoint: Vec<NetId> = rn[8..12].to_vec();
     let off_phase = flags_q[5];
-    let off_cur = b.mux2_bus(off_phase, &off2_q, &off1_q);
-    let mutated = b.mutate16(&off_cur, &mpoint);
-    let off_after_mut = b.mux2_bus(dec_m, &mutated, &off_cur);
+    let off_cur = b.mux2_bus(off_phase, &off2_q, &off1_q)?;
+    let mutated = b.mutate16(&off_cur, &mpoint)?;
+    let off_after_mut = b.mux2_bus(dec_m, &mutated, &off_cur)?;
 
     // Counters.
-    let i_inc = b.incrementer(&i_q);
-    let idx_inc = b.incrementer(&idx_q);
-    let gen_inc = b.incrementer(&gen_q);
+    let i_inc = b.incrementer(&i_q)?;
+    let idx_inc = b.incrementer(&idx_q)?;
+    let gen_inc = b.incrementer(&gen_q)?;
 
     // ---- controller ---------------------------------------------------
-    let spec = controller_spec();
+    let spec = ga_controller_spec();
     let sel_phase = flags_q[4];
     let conds: Vec<NetId> = vec![
-        ctl[0],        // 0 start
-        ctl[1],        // 1 ga_load
-        ctl[2],        // 2 data_valid
-        ctl[3],        // 3 fit_valid
-        b.const0(),    // 4 (reserved)
-        scan_hit,      // 5
-        sel_phase,     // 6
-        off_phase,     // 7
-        idx_eq_pop,    // 8
-        b.const0(),    // 9 (reserved)
-        i_eq_pop,      // 10
-        gen_eq,        // 11
-        multcnt_zero,  // 12
-        ctl[4],        // 13 test
+        ctl[0],       // 0 start
+        ctl[1],       // 1 ga_load
+        ctl[2],       // 2 data_valid
+        ctl[3],       // 3 fit_valid
+        b.const0(),   // 4 (reserved)
+        scan_hit,     // 5
+        sel_phase,    // 6
+        off_phase,    // 7
+        idx_eq_pop,   // 8
+        b.const0(),   // 9 (reserved)
+        i_eq_pop,     // 10
+        gen_eq,       // 11
+        multcnt_zero, // 12
+        ctl[4],       // 13 test
     ];
-    let fsm = spec.synthesize(&mut b, &conds);
+    let fsm = spec.synthesize(&mut b, &conds)?;
     let st = &fsm.state_q;
 
     // ---- register D-input mux trees ------------------------------------
     // Parameter registers: written in InitParams (decoded index) and by
     // the preset path in Start.
-    let idx_dec = b.decoder(&index); // 8 outputs
+    let idx_dec = b.decoder(&index)?; // 8 outputs
     let wr_en: Vec<NetId> = idx_dec
         .iter()
         .map(|&d| {
@@ -320,8 +366,8 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
     let preset_hot = b.or(preset[0], preset[1]);
     let preset_load = b.and(st[2], preset_hot);
 
-    let seed_d = mux_word(&mut b, &seed_q, &[(wr_en[5], value_bus.clone())]);
-    b.patch_reg_d(&seed_q, &seed_d);
+    let seed_d = mux_word(&mut b, &seed_q, &[(wr_en[5], value_bus.clone())])?;
+    b.patch_reg_d(&seed_q, &seed_d)?;
     let pop_src: Vec<NetId> = value_bus[0..8].to_vec();
     // Preset population constant (the Table IV ROM; 32 = mode 01 shown,
     // the full constant mux costs the same gates per mode).
@@ -331,18 +377,22 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
         v[5] = one; // 32
         v
     };
-    let pop_d = mux_word(&mut b, &pop_q, &[(wr_en[2], pop_src), (preset_load, preset_pop)]);
-    b.patch_reg_d(&pop_q, &pop_d);
-    let ng_lo = mux_word(&mut b, &ngens_q[0..16], &[(wr_en[0], value_bus.clone())]);
-    let ng_hi = mux_word(&mut b, &ngens_q[16..32], &[(wr_en[1], value_bus.clone())]);
+    let pop_d = mux_word(
+        &mut b,
+        &pop_q,
+        &[(wr_en[2], pop_src), (preset_load, preset_pop)],
+    )?;
+    b.patch_reg_d(&pop_q, &pop_d)?;
+    let ng_lo = mux_word(&mut b, &ngens_q[0..16], &[(wr_en[0], value_bus.clone())])?;
+    let ng_hi = mux_word(&mut b, &ngens_q[16..32], &[(wr_en[1], value_bus.clone())])?;
     let ng_d: Vec<NetId> = ng_lo.into_iter().chain(ng_hi).collect();
-    b.patch_reg_d(&ngens_q, &ng_d);
+    b.patch_reg_d(&ngens_q, &ng_d)?;
     let xt_src: Vec<NetId> = value_bus[0..4].to_vec();
-    let xt_d = mux_word(&mut b, &xt_q, &[(wr_en[3], xt_src)]);
-    b.patch_reg_d(&xt_q, &xt_d);
+    let xt_d = mux_word(&mut b, &xt_q, &[(wr_en[3], xt_src)])?;
+    b.patch_reg_d(&xt_q, &xt_d)?;
     let mt_src: Vec<NetId> = value_bus[0..4].to_vec();
-    let mt_d = mux_word(&mut b, &mt_q, &[(wr_en[4], mt_src)]);
-    b.patch_reg_d(&mt_q, &mt_d);
+    let mt_d = mux_word(&mut b, &mt_q, &[(wr_en[4], mt_src)])?;
+    b.patch_reg_d(&mt_q, &mt_d)?;
 
     // Candidate register: ← rn (InitPopDraw), ← offspring (OffFitReq),
     // ← best chromosome (GenEnd / Done).
@@ -358,12 +408,12 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
             (st[21], nbest_chrom.clone()),
             (st[22], best_chrom.clone()),
         ],
-    );
-    b.patch_reg_d(&cand_q, &cand_d);
+    )?;
+    b.patch_reg_d(&cand_q, &cand_d)?;
 
     // Fitness capture register.
-    let fit_d = mux_word(&mut b, &fit_q, &[(ctl[3], fit_value.clone())]);
-    b.patch_reg_d(&fit_q, &fit_d);
+    let fit_d = mux_word(&mut b, &fit_q, &[(ctl[3], fit_value.clone())])?;
+    b.patch_reg_d(&fit_q, &fit_d)?;
 
     // Parents and offspring.
     let sel_p1 = {
@@ -375,53 +425,81 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
         let hit = b.and(st[14], scan_hit);
         b.and(hit, sel_phase)
     };
-    let p1_d = mux_word(&mut b, &p1_q, &[(sel_p1, mem_chrom.to_vec())]);
-    b.patch_reg_d(&p1_q, &p1_d);
-    let p2_d = mux_word(&mut b, &p2_q, &[(sel_p2, mem_chrom.to_vec())]);
-    b.patch_reg_d(&p2_q, &p2_d);
-    let off1_d = mux_word(&mut b, &off1_q, &[(st[15], off1_sel), (st[16], off_after_mut.clone())]);
-    b.patch_reg_d(&off1_q, &off1_d);
-    let off2_d = mux_word(&mut b, &off2_q, &[(st[15], off2_sel), (st[16], off_after_mut.clone())]);
-    b.patch_reg_d(&off2_q, &off2_d);
+    let p1_d = mux_word(&mut b, &p1_q, &[(sel_p1, mem_chrom.to_vec())])?;
+    b.patch_reg_d(&p1_q, &p1_d)?;
+    let p2_d = mux_word(&mut b, &p2_q, &[(sel_p2, mem_chrom.to_vec())])?;
+    b.patch_reg_d(&p2_q, &p2_d)?;
+    let off1_d = mux_word(
+        &mut b,
+        &off1_q,
+        &[(st[15], off1_sel), (st[16], off_after_mut.clone())],
+    )?;
+    b.patch_reg_d(&off1_q, &off1_d)?;
+    let off2_d = mux_word(
+        &mut b,
+        &off2_q,
+        &[(st[15], off2_sel), (st[16], off_after_mut.clone())],
+    )?;
+    b.patch_reg_d(&off2_q, &off2_d)?;
 
     // Best registers.
     let cand_fit: Vec<NetId> = fit_q.iter().chain(cand_q.iter()).copied().collect();
     let upd_best = b.and(st[7], fit_gt_best);
-    let best_d = mux_word(&mut b, &best_q, &[(upd_best, cand_fit.clone()), (st[21], nbest_q.clone())]);
-    b.patch_reg_d(&best_q, &best_d);
+    let best_d = mux_word(
+        &mut b,
+        &best_q,
+        &[(upd_best, cand_fit.clone()), (st[21], nbest_q.clone())],
+    )?;
+    b.patch_reg_d(&best_q, &best_d)?;
     let upd_nbest = b.and(st[20], fit_gt_nbest);
-    let nbest_d = mux_word(&mut b, &nbest_q, &[(upd_nbest, cand_fit), (st[9], best_q.clone())]);
-    b.patch_reg_d(&nbest_q, &nbest_d);
+    let nbest_d = mux_word(
+        &mut b,
+        &nbest_q,
+        &[(upd_nbest, cand_fit), (st[9], best_q.clone())],
+    )?;
+    b.patch_reg_d(&nbest_q, &nbest_d)?;
 
     // Sums, threshold, cumulative.
-    let fitsum_d = mux_word(&mut b, &fitsum_q, &[(st[7], sum_next), (st[21], newsum_q.clone())]);
-    b.patch_reg_d(&fitsum_q, &fitsum_d);
+    let fitsum_d = mux_word(
+        &mut b,
+        &fitsum_q,
+        &[(st[7], sum_next), (st[21], newsum_q.clone())],
+    )?;
+    b.patch_reg_d(&fitsum_q, &fitsum_d)?;
     let elite_fit24 = zext(&mut b, &best_fit, 24);
-    let newsum_d = mux_word(&mut b, &newsum_q, &[(st[19], newsum_next), (st[9], elite_fit24)]);
-    b.patch_reg_d(&newsum_q, &newsum_d);
-    let thr_d_mux = mux_word(&mut b, &thr_q, &[(st[10], thr_d)]);
-    b.patch_reg_d(&thr_q, &thr_d_mux);
+    let newsum_d = mux_word(
+        &mut b,
+        &newsum_q,
+        &[(st[19], newsum_next), (st[9], elite_fit24)],
+    )?;
+    b.patch_reg_d(&newsum_q, &newsum_d)?;
+    let thr_d_mux = mux_word(&mut b, &thr_q, &[(st[10], thr_d)])?;
+    b.patch_reg_d(&thr_q, &thr_d_mux)?;
     let cum_zero = vec![zero; 24];
-    let cum_d = mux_word(&mut b, &cum_q, &[(st[10], cum_zero), (st[14], cum_next)]);
-    b.patch_reg_d(&cum_q, &cum_d);
+    let cum_d = mux_word(&mut b, &cum_q, &[(st[10], cum_zero), (st[14], cum_next)])?;
+    b.patch_reg_d(&cum_q, &cum_d)?;
 
     // Counters.
     let zero8v = vec![zero; 8];
-    let i_d = mux_word(&mut b, &i_q, &[(st[2], zero8v.clone()), (st[7], i_inc)]);
-    b.patch_reg_d(&i_q, &i_d);
+    let i_d = mux_word(&mut b, &i_q, &[(st[2], zero8v.clone()), (st[7], i_inc)])?;
+    b.patch_reg_d(&i_q, &i_d)?;
     let one8: Vec<NetId> = {
         let one = b.const1();
         let mut v = vec![one];
         v.extend(vec![zero; 7]);
         v
     };
-    let idx_d = mux_word(&mut b, &idx_q, &[(st[9], one8), (st[20], idx_inc)]);
-    b.patch_reg_d(&idx_q, &idx_d);
-    let scan_d = mux_word(&mut b, &scanidx_q, &[(st[10], zero8v.clone()), (st[14], scan_inc)]);
-    b.patch_reg_d(&scanidx_q, &scan_d);
+    let idx_d = mux_word(&mut b, &idx_q, &[(st[9], one8), (st[20], idx_inc)])?;
+    b.patch_reg_d(&idx_q, &idx_d)?;
+    let scan_d = mux_word(
+        &mut b,
+        &scanidx_q,
+        &[(st[10], zero8v.clone()), (st[14], scan_inc)],
+    )?;
+    b.patch_reg_d(&scanidx_q, &scan_d)?;
     let zero32v = vec![zero; 32];
-    let gen_d = mux_word(&mut b, &gen_q, &[(st[2], zero32v), (st[21], gen_inc)]);
-    b.patch_reg_d(&gen_q, &gen_d);
+    let gen_d = mux_word(&mut b, &gen_q, &[(st[2], zero32v), (st[21], gen_inc)])?;
+    b.patch_reg_d(&gen_q, &gen_d)?;
     let three4: Vec<NetId> = {
         let one = b.const1();
         vec![one, one, zero, zero]
@@ -430,10 +508,14 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
         // 4-bit decrementer: subtract 1.
         let one = b.const1();
         let ones = vec![one; 4];
-        b.adder(&multcnt_q, &ones, zero).0
+        b.adder(&multcnt_q, &ones, zero)?.0
     };
-    let multcnt_d = mux_word(&mut b, &multcnt_q, &[(st[10], three4), (st[11], multcnt_dec)]);
-    b.patch_reg_d(&multcnt_q, &multcnt_d);
+    let multcnt_d = mux_word(
+        &mut b,
+        &multcnt_q,
+        &[(st[10], three4), (st[11], multcnt_dec)],
+    )?;
+    b.patch_reg_d(&multcnt_q, &multcnt_d)?;
 
     // Memory interface.
     let addr_cur = {
@@ -456,12 +538,25 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
     let mema_d = mux_word(
         &mut b,
         &mema_q,
-        &[(st[12], addr_cur), (st[19], addr_new.clone()), (st[9], addr_new), (st[6], addr_i)],
-    );
-    b.patch_reg_d(&mema_q, &mema_d);
+        &[
+            (st[12], addr_cur),
+            (st[19], addr_new.clone()),
+            (st[9], addr_new),
+            (st[6], addr_i),
+        ],
+    )?;
+    b.patch_reg_d(&mema_q, &mema_d)?;
     let store_word: Vec<NetId> = fit_q.iter().chain(cand_q.iter()).copied().collect();
-    let memd_d = mux_word(&mut b, &memd_q, &[(st[6], store_word.clone()), (st[19], store_word), (st[9], best_q.clone())]);
-    b.patch_reg_d(&memd_q, &memd_d);
+    let memd_d = mux_word(
+        &mut b,
+        &memd_q,
+        &[
+            (st[6], store_word.clone()),
+            (st[19], store_word),
+            (st[9], best_q.clone()),
+        ],
+    )?;
+    b.patch_reg_d(&memd_q, &memd_d)?;
 
     // Flag registers (memwr, fitreq, gadone, ack, selph, offph, bank, scanout).
     let memwr_d = {
@@ -489,7 +584,7 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
         bank_toggle,
         scanout_d,
     ];
-    b.patch_reg_d(&flags_q, &flags_d);
+    b.patch_reg_d(&flags_q, &flags_d)?;
 
     // ---- primary outputs ----------------------------------------------
     b.output("candidate", &cand_q);
@@ -502,13 +597,13 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
     b.output("scanout", &[flags_q[7]]);
 
     let raw = b.finish();
-    raw.validate().expect("GA core netlist must validate");
+    raw.validate()?;
     // Logic optimization (the SIS step): constant folding + dead-gate
     // sweep before mapping — the elaboration's zero-extensions and
     // constant mux legs fold away here. Register order is preserved, so
     // the multicycle constraint re-attaches to the threshold registers
     // by scan-chain position.
-    let (nl, _opt_report) = crate::opt::optimize(&raw);
+    let (nl, _opt_report) = crate::opt::optimize(&raw)?;
     // The multiplier feeding the threshold register gets the four clock
     // cycles the controller budgets for it (SelDraw + 3 × SelMulWait).
     let multicycle: Vec<(NetId, u32)> = nl.regs[thr_reg_start..thr_reg_start + 24]
@@ -527,7 +622,13 @@ pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
         map,
         timing,
     };
-    (nl, report)
+    Ok((nl, report))
+}
+
+/// Infallible wrapper over [`try_elaborate_ga_core`] (the elaboration is
+/// statically known-good; covered by tests and `galint`).
+pub fn elaborate_ga_core() -> (Netlist, GaCoreReport) {
+    try_elaborate_ga_core().expect("GA core elaboration is known-good")
 }
 
 #[cfg(test)]
@@ -576,5 +677,13 @@ mod tests {
             assert!(seen.insert(r.q), "duplicate scan element");
         }
         assert_eq!(seen.len(), nl.ff_count());
+    }
+
+    #[test]
+    fn controller_spec_names_every_state() {
+        let spec = ga_controller_spec();
+        assert_eq!(spec.state_names.len(), spec.n_states);
+        assert_eq!(spec.state_name(0), "Idle");
+        assert_eq!(spec.state_name(22), "Done");
     }
 }

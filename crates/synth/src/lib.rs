@@ -34,6 +34,7 @@
 pub mod asic;
 pub mod builder;
 pub mod device;
+pub mod error;
 pub mod fsm;
 pub mod gadesign;
 pub mod mapper;
@@ -45,6 +46,7 @@ pub mod verilog;
 
 pub use builder::Builder;
 pub use device::Xc2vp30;
+pub use error::SynthError;
 pub use gadesign::{elaborate_ga_core, GaCoreReport};
 pub use netlist::{GateKind, NetId, Netlist};
 pub use verilog::emit_verilog;

@@ -110,7 +110,7 @@ pub fn map_with_roots(nl: &Netlist) -> (MapReport, Vec<bool>) {
                         .enumerate()
                         .max_by_key(|(_, n)| leaves[n].len())
                         .map(|(i, _)| i)
-                        .unwrap();
+                        .expect("absorbed is non-empty in loop guard");
                     let victim = absorbed.remove(fattest);
                     for l in &leaves[&victim] {
                         cone.remove(l);
@@ -163,6 +163,8 @@ pub fn map_with_roots(nl: &Netlist) -> (MapReport, Vec<bool>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::builder::Builder;
 
@@ -226,7 +228,7 @@ mod tests {
         let x = b.input("x", 16);
         let y = b.input("y", 16);
         let zero = b.const0();
-        let (s, _c) = b.adder(&x, &y, zero);
+        let (s, _c) = b.adder(&x, &y, zero).unwrap();
         b.output("s", &s);
         let r = map_to_lut4(&b.finish());
         assert_eq!(r.carry_mux, 16);

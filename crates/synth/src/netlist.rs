@@ -14,6 +14,7 @@
 //! mapper and the timing engine treat specially (it maps to MUXCY, not
 //! to a LUT).
 
+use crate::error::SynthError;
 use std::collections::HashMap;
 
 /// Net identifier (also the defining gate's index).
@@ -121,46 +122,26 @@ impl Netlist {
         self.regs.len()
     }
 
-    /// Structural validation: arities match, input nets exist, every
-    /// RegQ belongs to exactly one register, combinational logic is
-    /// acyclic. Returns the topological order of all nets on success.
-    pub fn validate(&self) -> Result<Vec<NetId>, String> {
-        let n = self.gates.len();
+    /// Per-net fanout lists over combinational edges (gate input pins).
+    /// Shared by validation, the optimizer, and the `galint` rules.
+    pub fn fanout(&self) -> Vec<Vec<NetId>> {
+        let mut fanout: Vec<Vec<NetId>> = vec![Vec::new(); self.gates.len()];
         for (i, g) in self.gates.iter().enumerate() {
-            if g.inputs.len() != g.kind.arity() {
-                return Err(format!("gate {i} ({:?}) has {} inputs", g.kind, g.inputs.len()));
-            }
             for &inp in &g.inputs {
-                if inp as usize >= n {
-                    return Err(format!("gate {i} references missing net {inp}"));
-                }
+                fanout[inp as usize].push(i as NetId);
             }
         }
-        let mut regq_owner: HashMap<NetId, usize> = HashMap::new();
-        for (ri, r) in self.regs.iter().enumerate() {
-            if r.q as usize >= n || r.d as usize >= n {
-                return Err(format!("register {ri} references missing nets"));
-            }
-            if self.gates[r.q as usize].kind != GateKind::RegQ {
-                return Err(format!("register {ri} Q net is not a RegQ gate"));
-            }
-            if regq_owner.insert(r.q, ri).is_some() {
-                return Err(format!("RegQ net {} owned by two registers", r.q));
-            }
-        }
-        for (i, g) in self.gates.iter().enumerate() {
-            if g.kind == GateKind::RegQ && !regq_owner.contains_key(&(i as NetId)) {
-                return Err(format!("orphan RegQ gate {i}"));
-            }
-        }
-        // Kahn topological sort over combinational edges.
+        fanout
+    }
+
+    /// Kahn topological sort over combinational edges. `None` if the
+    /// gate graph has a cycle (use [`Netlist::comb_sccs`] to find it).
+    pub fn topo_order(&self) -> Option<Vec<NetId>> {
+        let n = self.gates.len();
         let mut indeg = vec![0u32; n];
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let fanout = self.fanout();
         for (i, g) in self.gates.iter().enumerate() {
             indeg[i] = g.inputs.len() as u32;
-            for &inp in &g.inputs {
-                fanout[inp as usize].push(i as u32);
-            }
         }
         let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
@@ -173,10 +154,129 @@ impl Netlist {
                 }
             }
         }
-        if order.len() != n {
-            return Err("combinational cycle detected".into());
+        (order.len() == n).then_some(order)
+    }
+
+    /// Tarjan's strongly connected components over the combinational
+    /// gate graph, returning only the *nontrivial* SCCs (more than one
+    /// gate, or a gate feeding itself) — i.e. the combinational loops.
+    /// This is the same analysis `Netlist::validate` and the `galint`
+    /// `comb-loop` rule share; an empty result means the logic is
+    /// acyclic. Iterative so deep carry chains can't overflow the stack.
+    pub fn comb_sccs(&self) -> Vec<Vec<NetId>> {
+        let n = self.gates.len();
+        let fanout = self.fanout();
+        const UNSET: u32 = u32::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs: Vec<Vec<NetId>> = Vec::new();
+        // Explicit DFS: (node, next-successor-position).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNSET {
+                continue;
+            }
+            call.push((root, 0));
+            while let Some((v, pos)) = call.last().copied() {
+                let vu = v as usize;
+                if pos == 0 {
+                    index[vu] = next_index;
+                    low[vu] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vu] = true;
+                }
+                if let Some(&w) = fanout[vu].get(pos) {
+                    if let Some(frame) = call.last_mut() {
+                        frame.1 += 1;
+                    }
+                    let wu = w as usize;
+                    if index[wu] == UNSET {
+                        call.push((w, 0));
+                    } else if on_stack[wu] {
+                        low[vu] = low[vu].min(index[wu]);
+                    }
+                } else {
+                    // Done with v: close the SCC if v is a root.
+                    if low[vu] == index[vu] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let self_loop = comp.len() == 1 && self.gates[vu].inputs.contains(&v);
+                        if comp.len() > 1 || self_loop {
+                            comp.sort_unstable();
+                            sccs.push(comp);
+                        }
+                    }
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        let pu = p as usize;
+                        low[pu] = low[pu].min(low[vu]);
+                    }
+                }
+            }
         }
-        Ok(order)
+        sccs
+    }
+
+    /// Structural validation: arities match, input nets exist, every
+    /// RegQ belongs to exactly one register, combinational logic is
+    /// acyclic. Returns the topological order of all nets on success.
+    ///
+    /// This is the fast-path structural gate the rest of the crate
+    /// relies on; the `galint` crate runs the same underlying analyses
+    /// ([`Netlist::comb_sccs`], [`Netlist::fanout`]) as individually
+    /// reportable design rules with richer diagnostics.
+    pub fn validate(&self) -> Result<Vec<NetId>, SynthError> {
+        let n = self.gates.len();
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.inputs.len() != g.kind.arity() {
+                return Err(SynthError::BadArity {
+                    gate: i,
+                    kind: format!("{:?}", g.kind),
+                    got: g.inputs.len(),
+                    want: g.kind.arity(),
+                });
+            }
+            for &inp in &g.inputs {
+                if inp as usize >= n {
+                    return Err(SynthError::MissingNet { gate: i, net: inp });
+                }
+            }
+        }
+        let mut regq_owner: HashMap<NetId, usize> = HashMap::new();
+        for (ri, r) in self.regs.iter().enumerate() {
+            if r.q as usize >= n || r.d as usize >= n {
+                return Err(SynthError::RegisterMissingNets { reg: ri });
+            }
+            if self.gates[r.q as usize].kind != GateKind::RegQ {
+                return Err(SynthError::NotARegQ { reg: ri });
+            }
+            if regq_owner.insert(r.q, ri).is_some() {
+                return Err(SynthError::DuplicateRegQ { q: r.q });
+            }
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind == GateKind::RegQ && !regq_owner.contains_key(&(i as NetId)) {
+                return Err(SynthError::OrphanRegQ { gate: i });
+            }
+        }
+        match self.topo_order() {
+            Some(order) => Ok(order),
+            None => {
+                let trapped = self.comb_sccs().iter().map(Vec::len).sum();
+                Err(SynthError::CombinationalCycle { trapped })
+            }
+        }
     }
 
     /// Evaluate the combinational network. `input_values` maps each
@@ -267,6 +367,8 @@ pub fn u64_to_bus(nets: &[NetId], value: u64, map: &mut HashMap<NetId, bool>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn xor_netlist() -> Netlist {
@@ -274,12 +376,30 @@ mod tests {
         let mut nl = Netlist::default();
         let a = 0u32;
         let b = 1u32;
-        nl.gates.push(Gate { kind: GateKind::Input, inputs: vec![] });
-        nl.gates.push(Gate { kind: GateKind::Input, inputs: vec![] });
-        nl.gates.push(Gate { kind: GateKind::Nand2, inputs: vec![a, b] }); // 2
-        nl.gates.push(Gate { kind: GateKind::Nand2, inputs: vec![a, 2] }); // 3
-        nl.gates.push(Gate { kind: GateKind::Nand2, inputs: vec![b, 2] }); // 4
-        nl.gates.push(Gate { kind: GateKind::Nand2, inputs: vec![3, 4] }); // 5
+        nl.gates.push(Gate {
+            kind: GateKind::Input,
+            inputs: vec![],
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::Input,
+            inputs: vec![],
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::Nand2,
+            inputs: vec![a, b],
+        }); // 2
+        nl.gates.push(Gate {
+            kind: GateKind::Nand2,
+            inputs: vec![a, 2],
+        }); // 3
+        nl.gates.push(Gate {
+            kind: GateKind::Nand2,
+            inputs: vec![b, 2],
+        }); // 4
+        nl.gates.push(Gate {
+            kind: GateKind::Nand2,
+            inputs: vec![3, 4],
+        }); // 5
         nl.inputs.push(("a".into(), vec![a]));
         nl.inputs.push(("b".into(), vec![b]));
         nl.outputs.push(("y".into(), vec![5]));
@@ -301,31 +421,50 @@ mod tests {
     #[test]
     fn validation_rejects_cycles() {
         let mut nl = Netlist::default();
-        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![1] });
-        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![0] });
-        assert!(nl.validate().unwrap_err().contains("cycle"));
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![1],
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![0],
+        });
+        assert!(nl.validate().unwrap_err().to_string().contains("cycle"));
+        assert_eq!(nl.comb_sccs().len(), 1);
     }
 
     #[test]
     fn validation_rejects_bad_arity() {
         let mut nl = Netlist::default();
-        nl.gates.push(Gate { kind: GateKind::And2, inputs: vec![0] });
+        nl.gates.push(Gate {
+            kind: GateKind::And2,
+            inputs: vec![0],
+        });
         assert!(nl.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_orphan_regq() {
         let mut nl = Netlist::default();
-        nl.gates.push(Gate { kind: GateKind::RegQ, inputs: vec![] });
-        assert!(nl.validate().unwrap_err().contains("orphan"));
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        });
+        assert!(nl.validate().unwrap_err().to_string().contains("orphan"));
     }
 
     #[test]
     fn sequential_step_latches_d() {
         // A 1-bit toggle: d = !q.
         let mut nl = Netlist::default();
-        nl.gates.push(Gate { kind: GateKind::RegQ, inputs: vec![] }); // 0 = q
-        nl.gates.push(Gate { kind: GateKind::Inv, inputs: vec![0] }); // 1 = d
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        }); // 0 = q
+        nl.gates.push(Gate {
+            kind: GateKind::Inv,
+            inputs: vec![0],
+        }); // 1 = d
         nl.regs.push(RegCell { d: 1, q: 0 });
         let mut state: HashMap<NetId, bool> = [(0u32, false)].into();
         for expected in [true, false, true, false] {
@@ -348,9 +487,15 @@ mod tests {
     fn carry_mux_selects() {
         let mut nl = Netlist::default();
         for _ in 0..3 {
-            nl.gates.push(Gate { kind: GateKind::Input, inputs: vec![] });
+            nl.gates.push(Gate {
+                kind: GateKind::Input,
+                inputs: vec![],
+            });
         }
-        nl.gates.push(Gate { kind: GateKind::CarryMux, inputs: vec![0, 1, 2] });
+        nl.gates.push(Gate {
+            kind: GateKind::CarryMux,
+            inputs: vec![0, 1, 2],
+        });
         let mut inp = HashMap::new();
         inp.insert(0u32, true);
         inp.insert(1u32, true);

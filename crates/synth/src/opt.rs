@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::SynthError;
 use crate::netlist::{Gate, GateKind, NetId, Netlist, RegCell};
 
 /// What the optimizer did.
@@ -33,9 +34,11 @@ pub struct OptReport {
     pub swept: usize,
 }
 
-/// Run constant folding + dead-gate elimination.
-pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
-    let order = nl.validate().expect("netlist must validate before optimization");
+/// Run constant folding + dead-gate elimination. Fails if the input
+/// netlist does not validate (optimizing a broken netlist would mask
+/// the defect).
+pub fn optimize(nl: &Netlist) -> Result<(Netlist, OptReport), SynthError> {
+    let order = nl.validate()?;
     let n = nl.gates.len();
 
     // Canonical constant nets (first Const0/Const1 encountered, created
@@ -193,18 +196,24 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
     let mut remap: HashMap<NetId, NetId> = HashMap::new();
     let mut gates: Vec<Gate> = Vec::new();
     let mut rebuild_order: Vec<NetId> = Vec::with_capacity(order.len());
-    rebuild_order.extend(order.iter().copied().filter(|&id| nl.gates[id as usize].kind.is_source()));
-    rebuild_order.extend(order.iter().copied().filter(|&id| !nl.gates[id as usize].kind.is_source()));
+    rebuild_order.extend(
+        order
+            .iter()
+            .copied()
+            .filter(|&id| nl.gates[id as usize].kind.is_source()),
+    );
+    rebuild_order.extend(
+        order
+            .iter()
+            .copied()
+            .filter(|&id| !nl.gates[id as usize].kind.is_source()),
+    );
     for &id in &rebuild_order {
         if !live[id as usize] || repl[id as usize] != id {
             continue;
         }
         let g = &nl.gates[id as usize];
-        let new_inputs: Vec<NetId> = g
-            .inputs
-            .iter()
-            .map(|&i| remap[&repl[i as usize]])
-            .collect();
+        let new_inputs: Vec<NetId> = g.inputs.iter().map(|&i| remap[&repl[i as usize]]).collect();
         let new_id = gates.len() as NetId;
         gates.push(Gate {
             kind: g.kind,
@@ -241,11 +250,13 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptReport) {
         folded,
         swept: n - out.gates.len(),
     };
-    (out, report)
+    Ok((out, report))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::builder::Builder;
     use crate::netlist::{bus_to_u64, u64_to_bus};
@@ -262,7 +273,7 @@ mod tests {
         let live = b.and(i[0], one); // → i[0]
         let y = b.or(dead, live); // → i[0]
         b.output("y", &[y]);
-        let (opt, report) = optimize(&b.finish());
+        let (opt, report) = optimize(&b.finish()).unwrap();
         assert!(report.folded >= 3, "folded = {}", report.folded);
         assert!(opt.gate_count() < report.gates_before);
         // Functionally y == i.
@@ -281,7 +292,7 @@ mod tests {
         let _dead = b.xor(i[0], i[1]); // never used
         let y = b.and(i[0], i[1]);
         b.output("y", &[y]);
-        let (opt, report) = optimize(&b.finish());
+        let (opt, report) = optimize(&b.finish()).unwrap();
         assert!(report.swept >= 1);
         assert!(opt.validate().is_ok());
     }
@@ -292,7 +303,7 @@ mod tests {
         let d = b.input("d", 4);
         let q = b.reg_bank(&d);
         b.output("q", &q);
-        let (opt, _) = optimize(&b.finish());
+        let (opt, _) = optimize(&b.finish()).unwrap();
         assert_eq!(opt.regs.len(), 4);
         assert!(opt.validate().is_ok());
     }
@@ -307,9 +318,9 @@ mod tests {
             let y = b.input("y", 16);
             let cutb = b.input("cut", 4);
             let zero = b.const0();
-            let (sum, cout) = b.adder(&x, &y, zero);
-            let gt = b.gt(&x, &y);
-            let (o1, o2) = b.crossover16(&x, &y, &cutb);
+            let (sum, cout) = b.adder(&x, &y, zero).unwrap();
+            let gt = b.gt(&x, &y).unwrap();
+            let (o1, o2) = b.crossover16(&x, &y, &cutb).unwrap();
             let mut all = sum;
             all.push(cout);
             all.push(gt);
@@ -317,7 +328,7 @@ mod tests {
             all.extend(o2);
             b.output("all", &all);
             let nl = b.finish();
-            let (opt, report) = optimize(&nl);
+            let (opt, report) = optimize(&nl).unwrap();
             prop_assert!(report.gates_after <= report.gates_before);
 
             let run = |n: &crate::netlist::Netlist| -> u64 {
@@ -337,7 +348,7 @@ mod tests {
         // elaborate_ga_core() already runs the optimizer; a second pass
         // must find (almost) nothing left to do, and never lose state.
         let (nl, _) = crate::gadesign::elaborate_ga_core();
-        let (opt, report) = optimize(&nl);
+        let (opt, report) = optimize(&nl).unwrap();
         assert!(opt.validate().is_ok());
         assert!(
             report.gates_after >= report.gates_before * 99 / 100,
@@ -356,12 +367,12 @@ mod tests {
         let x = b.input("x", 16);
         let zero = b.const0();
         let zeros: Vec<_> = (0..16).map(|_| b.const0()).collect();
-        let (sum, _) = b.adder(&x, &zeros, zero); // x + 0
+        let (sum, _) = b.adder(&x, &zeros, zero).unwrap(); // x + 0
         let sel = b.const0();
-        let muxed = b.mux2_bus(sel, &zeros, &sum); // constant-deselect leg
+        let muxed = b.mux2_bus(sel, &zeros, &sum).unwrap(); // constant-deselect leg
         let q = b.reg_bank(&muxed);
         b.output("q", &q);
-        let (opt, report) = optimize(&b.finish());
+        let (opt, report) = optimize(&b.finish()).unwrap();
         assert!(opt.validate().is_ok());
         // x+0 folds its propagate XORs and the whole constant mux leg;
         // the carry-mux chain survives (non-constant selects), so the

@@ -12,10 +12,13 @@
 
 use std::collections::HashMap;
 
+use crate::error::SynthError;
 use crate::netlist::{Gate, GateKind, NetId, Netlist, RegCell};
 
-/// Parse one emitted module back into a [`Netlist`].
-pub fn parse_verilog(src: &str) -> Result<Netlist, String> {
+/// Parse one emitted module back into a [`Netlist`]. All rejections are
+/// typed [`SynthError`] values (`Parse` for lexical/shape problems; the
+/// final structural check reuses [`Netlist::validate`]'s variants).
+pub fn parse_verilog(src: &str) -> Result<Netlist, SynthError> {
     let mut gates: Vec<Option<Gate>> = Vec::new();
     let mut inputs: Vec<(String, Vec<(usize, NetId)>)> = Vec::new();
     let mut outputs: Vec<(String, Vec<(usize, NetId)>)> = Vec::new();
@@ -87,8 +90,22 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, String> {
             if let Ok(id) = net_of(lhs) {
                 // Constant or input binding.
                 match rhs {
-                    "1'b0" => set_gate(&mut gates, id as usize, Gate { kind: GateKind::Const0, inputs: vec![] })?,
-                    "1'b1" => set_gate(&mut gates, id as usize, Gate { kind: GateKind::Const1, inputs: vec![] })?,
+                    "1'b0" => set_gate(
+                        &mut gates,
+                        id as usize,
+                        Gate {
+                            kind: GateKind::Const0,
+                            inputs: vec![],
+                        },
+                    )?,
+                    "1'b1" => set_gate(
+                        &mut gates,
+                        id as usize,
+                        Gate {
+                            kind: GateKind::Const1,
+                            inputs: vec![],
+                        },
+                    )?,
                     _ => {
                         // name[bit]
                         let (name, bit) = rhs
@@ -99,7 +116,14 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, String> {
                             .ok_or("missing ]")?
                             .parse()
                             .map_err(|e: std::num::ParseIntError| e.to_string())?;
-                        set_gate(&mut gates, id as usize, Gate { kind: GateKind::Input, inputs: vec![] })?;
+                        set_gate(
+                            &mut gates,
+                            id as usize,
+                            Gate {
+                                kind: GateKind::Input,
+                                inputs: vec![],
+                            },
+                        )?;
                         match inputs.iter_mut().find(|(n, _)| n == name) {
                             Some((_, bits)) => bits.push((bit, id)),
                             None => inputs.push((name.to_string(), vec![(bit, id)])),
@@ -159,11 +183,18 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, String> {
             let p = pins(line)?;
             let d = net_of(&p[1])?;
             let q = net_of(&p[2])?;
-            set_gate(&mut gates, q as usize, Gate { kind: GateKind::RegQ, inputs: vec![] })?;
+            set_gate(
+                &mut gates,
+                q as usize,
+                Gate {
+                    kind: GateKind::RegQ,
+                    inputs: vec![],
+                },
+            )?;
             regs.push((ordinal, RegCell { d, q }));
             continue;
         }
-        return Err(format!("unrecognized line: {line:?}"));
+        return Err(SynthError::parse(format!("unrecognized line: {line:?}")));
     }
 
     // Finalize: every net must be defined.
@@ -193,20 +224,36 @@ pub fn parse_verilog(src: &str) -> Result<Netlist, String> {
 /// multiset per kind, same reg count and chain order, same bus shapes.
 pub fn structurally_equal(a: &Netlist, b: &Netlist) -> bool {
     use GateKind::*;
-    let kinds = [Const0, Const1, Input, RegQ, Buf, Inv, And2, Or2, Xor2, Nand2, Nor2, CarryMux];
+    let kinds = [
+        Const0, Const1, Input, RegQ, Buf, Inv, And2, Or2, Xor2, Nand2, Nor2, CarryMux,
+    ];
     let count = |nl: &Netlist| -> HashMap<GateKind, usize> {
         kinds.iter().map(|&k| (k, nl.count_kind(k))).collect()
     };
     count(a) == count(b)
         && a.regs.len() == b.regs.len()
-        && a.inputs.iter().map(|(n, v)| (n.clone(), v.len())).collect::<Vec<_>>()
-            == b.inputs.iter().map(|(n, v)| (n.clone(), v.len())).collect::<Vec<_>>()
-        && a.outputs.iter().map(|(n, v)| (n.clone(), v.len())).collect::<Vec<_>>()
-            == b.outputs.iter().map(|(n, v)| (n.clone(), v.len())).collect::<Vec<_>>()
+        && a.inputs
+            .iter()
+            .map(|(n, v)| (n.clone(), v.len()))
+            .collect::<Vec<_>>()
+            == b.inputs
+                .iter()
+                .map(|(n, v)| (n.clone(), v.len()))
+                .collect::<Vec<_>>()
+        && a.outputs
+            .iter()
+            .map(|(n, v)| (n.clone(), v.len()))
+            .collect::<Vec<_>>()
+            == b.outputs
+                .iter()
+                .map(|(n, v)| (n.clone(), v.len()))
+                .collect::<Vec<_>>()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::builder::Builder;
     use crate::netlist::{bus_to_u64, u64_to_bus};
@@ -217,8 +264,8 @@ mod tests {
         let x = b.input("x", 8);
         let y = b.input("y", 8);
         let zero = b.const0();
-        let (s, c) = b.adder(&x, &y, zero);
-        let gt = b.gt(&x, &y);
+        let (s, c) = b.adder(&x, &y, zero).unwrap();
+        let gt = b.gt(&x, &y).unwrap();
         let mut d = s;
         d.push(c);
         d.push(gt);

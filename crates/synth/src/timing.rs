@@ -106,7 +106,9 @@ fn analyze_inner(
             .inputs
             .iter()
             .map(|&i| (arrival[i as usize], depth[i as usize]))
-            .fold((0.0f64, 0u32), |(a, d), (ia, idep)| (a.max(ia), d.max(idep)));
+            .fold((0.0f64, 0u32), |(a, d), (ia, idep)| {
+                (a.max(ia), d.max(idep))
+            });
         arrival[id as usize] = in_arr + own_delay;
         depth[id as usize] = in_depth + own_level;
     }
@@ -141,13 +143,19 @@ fn analyze_inner(
     let critical = worst;
     TimingReport {
         critical_ns: critical,
-        fmax_mhz: if critical > 0.0 { 1000.0 / critical } else { f64::INFINITY },
+        fmax_mhz: if critical > 0.0 {
+            1000.0 / critical
+        } else {
+            f64::INFINITY
+        },
         levels: worst_depth,
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::builder::Builder;
 
@@ -187,7 +195,7 @@ mod tests {
         let x = b.input("x", 24);
         let y = b.input("y", 24);
         let zero = b.const0();
-        let (s, _c) = b.adder(&x, &y, zero);
+        let (s, _c) = b.adder(&x, &y, zero).unwrap();
         let q = b.reg_bank(&s);
         b.output("q", &q);
         let r = analyze(&b.finish(), &DelayModel::default());

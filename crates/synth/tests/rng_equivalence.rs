@@ -4,6 +4,8 @@
 //! was also simulated ... to verify the functionality"), applied to the
 //! one subsystem small enough to check exhaustively here.
 
+#![allow(clippy::unwrap_used)]
+
 use std::collections::HashMap;
 
 use carng::{CaRng, Rng16};

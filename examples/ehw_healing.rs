@@ -25,11 +25,12 @@ fn main() {
     // of the golden configuration's 16 truth-table rows, and 512 of the
     // 65 536 configurations can restore the target around it (both
     // facts verified by exhaustive enumeration).
-    let fault = Fault::StuckAt { cell: 6, value: false };
+    let fault = Fault::StuckAt {
+        cell: 6,
+        value: false,
+    };
     let broken = healing_fitness(golden_config, target, Some(fault));
-    println!(
-        "after fault {fault:?}: golden config scores {broken}/{PERFECT_FITNESS} — degraded"
-    );
+    println!("after fault {fault:?}: golden config scores {broken}/{PERFECT_FITNESS} — degraded");
 
     // The GA core searches for a healing configuration, evaluating every
     // candidate *intrinsically*: the VRC fabric (on "another chip") is
@@ -40,7 +41,9 @@ fn main() {
     let mut system =
         GaSystem::new(fems).with_external_fem(Box::new(VrcFem::new(target, Some(fault))));
     let params = GaParams::new(64, 64, 10, 2, 0xB342);
-    let run = system.program_and_run(&params, 500_000_000).expect("watchdog");
+    let run = system
+        .program_and_run(&params, 500_000_000)
+        .expect("watchdog");
 
     println!(
         "\nGA healing run: {} cycles ({:.2} ms at 50 MHz)",

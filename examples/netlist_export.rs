@@ -17,7 +17,10 @@ fn main() {
 
     println!("== synthesis report (GA core + CA RNG) ==");
     println!("gates            : {}", report.gates);
-    println!("LUT4 / MUXCY / FF: {} / {} / {}", report.map.lut4, report.map.carry_mux, report.map.ff);
+    println!(
+        "LUT4 / MUXCY / FF: {} / {} / {}",
+        report.map.lut4, report.map.carry_mux, report.map.ff
+    );
     println!(
         "slices           : {} of {} ({}%)",
         report.slices,

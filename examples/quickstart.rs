@@ -49,5 +49,10 @@ fn main() {
     }
     println!("...");
     let last = run.history.last().unwrap();
-    println!("{:>3} {:>6} {:>6.0}", last.gen, last.best.fitness, last.avg());
+    println!(
+        "{:>3} {:>6} {:>6.0}",
+        last.gen,
+        last.best.fitness,
+        last.avg()
+    );
 }

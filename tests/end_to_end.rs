@@ -25,7 +25,8 @@ fn fitfunc_select_switches_without_state_leakage() {
         )]));
         let dedicated_run = dedicated.program_and_run(&params, 100_000_000).unwrap();
         assert_eq!(
-            shared_run.best, dedicated_run.best,
+            shared_run.best,
+            dedicated_run.best,
             "{}: bank result differs from dedicated system",
             f.name()
         );
@@ -38,13 +39,15 @@ fn fitfunc_select_switches_without_state_leakage() {
 #[test]
 fn external_fem_equals_internal_fem() {
     let target = Vrc::new(0x1B26).truth_table();
-    let fault = Some(Fault::StuckAt { cell: 6, value: false });
+    let fault = Some(Fault::StuckAt {
+        cell: 6,
+        value: false,
+    });
     let params = GaParams::new(16, 8, 10, 1, 0x061F);
 
     // Internal: tabulated healing fitness in block ROM.
-    let rom = ga_ip::ga_fitness::rom::FitnessRom::tabulate_fn(|cfg| {
-        healing_fitness(cfg, target, fault)
-    });
+    let rom =
+        ga_ip::ga_fitness::rom::FitnessRom::tabulate_fn(|cfg| healing_fitness(cfg, target, fault));
     let mut internal = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::new(rom))]));
     let run_i = internal.program_and_run(&params, 200_000_000).unwrap();
 
@@ -91,17 +94,28 @@ fn preset_modes_bypass_initialization() {
     )]));
     sys.preset = 0b01; // Small: pop 32, 512 gens, 12/1
     let run = sys.run(500_000_000).unwrap();
-    assert_eq!(run.history.len(), 513, "512 generations + initial population");
+    assert_eq!(
+        run.history.len(),
+        513,
+        "512 generations + initial population"
+    );
     let programmed = sys.modules().core.programmed_params();
     assert_eq!(programmed, GaParams::preset(PresetMode::Small).unwrap());
-    assert!(run.best.fitness >= 3000, "F2 after 512 generations: {}", run.best.fitness);
+    assert!(
+        run.best.fitness >= 3000,
+        "F2 after 512 generations: {}",
+        run.best.fitness
+    );
 }
 
 /// Full intrinsic-healing mission: fault strikes, GA restores function.
 #[test]
 fn ehw_healing_mission_recovers() {
     let target = Vrc::new(0x1B26).truth_table();
-    let fault = Fault::StuckAt { cell: 6, value: false };
+    let fault = Fault::StuckAt {
+        cell: 6,
+        value: false,
+    };
     assert!(
         healing_fitness(0x1B26, target, Some(fault)) < PERFECT_FITNESS,
         "fault must degrade the golden configuration"
@@ -123,9 +137,9 @@ fn ehw_healing_mission_recovers() {
 fn scan_rotation_is_transparent_to_operation() {
     let params = GaParams::new(8, 4, 10, 1, 0xAAAA);
     let mk = || {
-        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(
-            TestFunction::F3,
-        ))]))
+        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+            LookupFem::for_function(TestFunction::F3),
+        )]))
     };
     let mut plain = mk();
     let baseline = plain.program_and_run(&params, 100_000_000).unwrap();
@@ -159,9 +173,9 @@ fn scan_rotation_is_transparent_to_operation() {
 /// the paper's verification flow).
 #[test]
 fn vcd_capture_of_a_run() {
-    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(
-        TestFunction::F3,
-    ))]));
+    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(TestFunction::F3),
+    )]));
     sys.start_vcd();
     let params = GaParams::new(8, 2, 10, 1, 0x2961);
     sys.program_and_run(&params, 1_000_000).unwrap();
@@ -170,7 +184,10 @@ fn vcd_capture_of_a_run() {
         assert!(vcd.contains(var), "missing declared var {var}");
     }
     // Activity: candidate bus toggles many times, GA_done rises once.
-    assert!(vcd.matches('#').count() > 100, "too few timestamped changes");
+    assert!(
+        vcd.matches('#').count() > 100,
+        "too few timestamped changes"
+    );
     assert!(vcd.contains("$enddefinitions $end"));
     // Capture is one-shot: a second finish returns None.
     assert!(sys.finish_vcd().is_none());
@@ -190,15 +207,16 @@ fn results_invariant_to_fem_latency() {
     };
     let lookup = run(FemSlot::Lookup(LookupFem::for_function(f)));
     let delayed = {
-        let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::External])).with_external_fem(
-            Box::new(ga_ip::ga_fitness::LatencyFem::new(
-                LookupFem::for_function(f),
-                17,
-            )),
-        );
+        let mut sys =
+            GaSystem::new(FemBank::new(vec![FemSlot::External])).with_external_fem(Box::new(
+                ga_ip::ga_fitness::LatencyFem::new(LookupFem::for_function(f), 17),
+            ));
         sys.program_and_run(&params, 1_000_000_000).unwrap()
     };
-    assert_eq!(lookup.history, delayed.history, "latency changed the search");
+    assert_eq!(
+        lookup.history, delayed.history,
+        "latency changed the search"
+    );
     assert_eq!(lookup.best, delayed.best);
     assert!(delayed.cycles > lookup.cycles);
 
@@ -207,7 +225,12 @@ fn results_invariant_to_fem_latency() {
     // best within 1 LSB of the lookup run's.
     let cordic = run(FemSlot::Cordic(CordicFem::new(f)));
     let d = (cordic.best.fitness as i32 - lookup.best.fitness as i32).abs();
-    assert!(d <= 100, "CORDIC best diverged: {} vs {}", cordic.best.fitness, lookup.best.fitness);
+    assert!(
+        d <= 100,
+        "CORDIC best diverged: {} vs {}",
+        cordic.best.fitness,
+        lookup.best.fitness
+    );
 }
 
 /// The paper's DCM clocking: GA module at 50 MHz, application modules
@@ -257,9 +280,9 @@ fn fast_application_clock_domain_preserves_results() {
 #[test]
 fn preset_mode_recovers_from_corrupted_parameters() {
     let mk = || {
-        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(
-            TestFunction::F2,
-        ))]))
+        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+            LookupFem::for_function(TestFunction::F2),
+        )]))
     };
     let corrupt = |sys: &mut GaSystem| {
         // Scan in zeros over the whole chain (the SEU storm).
@@ -292,7 +315,11 @@ fn preset_mode_recovers_from_corrupted_parameters() {
     healed.preset = 0b01; // Table IV Small
     let run = healed.run(500_000_000).unwrap();
     assert_eq!(run.history.len(), 513);
-    assert!(run.best.fitness >= 3000, "preset run result: {}", run.best.fitness);
+    assert!(
+        run.best.fitness >= 3000,
+        "preset run result: {}",
+        run.best.fitness
+    );
 }
 
 /// The fitness handshake obeys its four-phase contract for every FEM
@@ -303,8 +330,14 @@ fn preset_mode_recovers_from_corrupted_parameters() {
 fn fitness_protocol_holds_for_all_fem_kinds() {
     let params = GaParams::new(16, 6, 10, 1, 0x2961);
     for (name, slot) in [
-        ("lookup", FemSlot::Lookup(LookupFem::for_function(TestFunction::Mbf6_2))),
-        ("cordic", FemSlot::Cordic(CordicFem::new(TestFunction::Mbf6_2))),
+        (
+            "lookup",
+            FemSlot::Lookup(LookupFem::for_function(TestFunction::Mbf6_2)),
+        ),
+        (
+            "cordic",
+            FemSlot::Cordic(CordicFem::new(TestFunction::Mbf6_2)),
+        ),
     ] {
         let mut sys = GaSystem::new(FemBank::new(vec![slot]));
         sys.enable_protocol_monitor();
@@ -330,16 +363,19 @@ fn fitness_protocol_holds_for_all_fem_kinds() {
 fn core_ignores_spurious_inputs_mid_run() {
     let params = GaParams::new(16, 8, 10, 1, 0xB342);
     let mk = || {
-        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(
-            TestFunction::F2,
-        ))]))
+        GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+            LookupFem::for_function(TestFunction::F2),
+        )]))
     };
     let mut clean = mk();
     let baseline = clean.program_and_run(&params, 1_000_000_000).unwrap();
 
     let mut noisy = mk();
     noisy.program(&params);
-    noisy.step(UserIn { start_ga: true, ..Default::default() });
+    noisy.step(UserIn {
+        start_ga: true,
+        ..Default::default()
+    });
     let mut k = 0u64;
     while !noisy.modules().core.out().ga_done {
         // Glitch the user-side inputs every few cycles.
@@ -371,13 +407,18 @@ fn scoreboard_checks_every_fitness_transaction() {
 
     let f = TestFunction::Mbf7_2;
     let params = GaParams::new(16, 6, 10, 1, 0x061F);
-    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(LookupFem::for_function(f))]));
+    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(f),
+    )]));
     sys.program(&params);
 
     let mut sb: Scoreboard<u16, u16> = Scoreboard::new();
     let mut prev_req = false;
     let mut prev_valid = false;
-    sys.step(UserIn { start_ga: true, ..Default::default() });
+    sys.step(UserIn {
+        start_ga: true,
+        ..Default::default()
+    });
     let mut guard = 0u64;
     while !sys.modules().core.out().ga_done {
         let o = sys.modules().core.out();
@@ -395,5 +436,9 @@ fn scoreboard_checks_every_fitness_transaction() {
         assert!(guard < 100_000_000, "run hung");
     }
     sb.assert_clean();
-    assert_eq!(sb.completed(), 16 + 6 * 15, "one transaction per evaluation");
+    assert_eq!(
+        sb.completed(),
+        16 + 6 * 15,
+        "one transaction per evaluation"
+    );
 }

@@ -9,7 +9,8 @@ fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
     let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
         LookupFem::for_function(f),
     )]));
-    sys.program_and_run(params, 2_000_000_000).expect("watchdog")
+    sys.program_and_run(params, 2_000_000_000)
+        .expect("watchdog")
 }
 
 /// Abstract: "the proposed core either found the globally optimum
@@ -17,7 +18,11 @@ fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
 /// the globally optimal solution."
 #[test]
 fn within_3_7_percent_of_optimum_on_hard_functions() {
-    for f in [TestFunction::Mbf6_2, TestFunction::Mbf7_2, TestFunction::MShubert2D] {
+    for f in [
+        TestFunction::Mbf6_2,
+        TestFunction::Mbf7_2,
+        TestFunction::MShubert2D,
+    ] {
         let optimum = f.global_max() as f64;
         // Best over the Table VII–IX grid (population 64 column, the
         // paper's strongest setting).
@@ -151,8 +156,16 @@ fn speedup_is_paper_magnitude() {
 #[test]
 fn table_vi_reproduces() {
     let (_, report) = ga_ip::ga_synth::elaborate_ga_core();
-    assert!((8..=18).contains(&report.slice_pct), "slices {}%", report.slice_pct);
-    assert!(report.timing.fmax_mhz >= 50.0, "fmax {:.1}", report.timing.fmax_mhz);
+    assert!(
+        (8..=18).contains(&report.slice_pct),
+        "slices {}%",
+        report.slice_pct
+    );
+    assert!(
+        report.timing.fmax_mhz >= 50.0,
+        "fmax {:.1}",
+        report.timing.fmax_mhz
+    );
     // Block-memory rows are exact.
     assert_eq!(ga_ip::ga_fitness::rom::bram16_count(256, 32), 1);
     assert_eq!(ga_ip::ga_fitness::rom::bram16_count(1 << 16, 16), 64);
