@@ -42,6 +42,8 @@ pub enum Element {
     Register(usize),
     /// A named primary input bus.
     InputBus(String),
+    /// A named primary output bus.
+    OutputBus(String),
     /// An FSM state (one-hot index + human name).
     State {
         /// State index.
@@ -60,6 +62,7 @@ impl fmt::Display for Element {
             Element::Gate(i) => write!(f, "gate {i}"),
             Element::Register(i) => write!(f, "register {i}"),
             Element::InputBus(name) => write!(f, "input '{name}'"),
+            Element::OutputBus(name) => write!(f, "output '{name}'"),
             Element::State { index, name } => write!(f, "state {index} ({name})"),
             Element::Transition(i) => write!(f, "transition {i}"),
         }

@@ -178,15 +178,40 @@ impl Rule for HandshakeLiveness {
     }
     fn check(&self, model: &DesignModel, out: &mut Report) {
         let Some(spec) = &model.fsm else { return };
+        let literals: Vec<Option<HashSet<(usize, bool)>>> = spec
+            .transitions
+            .iter()
+            .map(|t| literal_set(&t.guard))
+            .collect();
+        // A transition can actually fire only if its guard is
+        // non-contradictory, tests only real condition inputs, and no
+        // earlier same-state transition matches whenever it would
+        // (priority order). FsmUnsatGuard reports those defects
+        // individually; here they must also disqualify the exit, or a
+        // deadlocked wait state slips through on a phantom transition.
+        let fireable = |ti: usize| -> bool {
+            let t = &spec.transitions[ti];
+            let Some(lits) = &literals[ti] else {
+                return false;
+            };
+            if t.guard.0.iter().any(|&(idx, _)| idx >= spec.n_conds) {
+                return false;
+            }
+            !spec.transitions[..ti].iter().enumerate().any(|(tj, e)| {
+                e.from == t.from
+                    && literals[tj]
+                        .as_ref()
+                        .is_some_and(|earlier| earlier.is_subset(lits))
+            })
+        };
         for s in 0..spec.n_states {
             let name = spec.state_name(s);
             if !name.ends_with("Wait") {
                 continue;
             }
-            let has_exit = spec
-                .transitions
-                .iter()
-                .any(|t| t.from == s && t.to != s && literal_set(&t.guard).is_some());
+            let has_exit = (0..spec.transitions.len()).any(|ti| {
+                spec.transitions[ti].from == s && spec.transitions[ti].to != s && fireable(ti)
+            });
             if !has_exit {
                 out.push(
                     self.name(),

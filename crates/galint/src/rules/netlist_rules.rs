@@ -62,13 +62,22 @@ impl Rule for WidthMismatch {
                 );
             }
         }
-        for (name, bus) in nl.inputs.iter().chain(nl.outputs.iter()) {
+        let buses = nl
+            .inputs
+            .iter()
+            .map(|(name, bus)| (Element::InputBus(name.clone()), bus))
+            .chain(
+                nl.outputs
+                    .iter()
+                    .map(|(name, bus)| (Element::OutputBus(name.clone()), bus)),
+            );
+        for (element, bus) in buses {
             for &b in bus {
                 if b as usize >= n {
                     out.push(
                         self.name(),
                         Severity::Error,
-                        Element::InputBus(name.clone()),
+                        element.clone(),
                         format!("bus bit references nonexistent net {b}"),
                     );
                 }

@@ -163,6 +163,22 @@ fn dangling_net_reference_is_a_width_mismatch() {
 }
 
 #[test]
+fn dangling_output_bus_bit_is_anchored_to_the_output() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.inputs.push(("a".into(), vec![0]));
+    nl.outputs.push(("best".into(), vec![9])); // net 9 doesn't exist
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "width-mismatch",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].starts_with("output 'best'"), "{found:?}");
+    assert!(found[0].contains("nonexistent net 9"), "{found:?}");
+}
+
+#[test]
 fn off_chain_flip_flop_breaks_scan_completeness() {
     let mut nl = Netlist::default();
     nl.gates.push(gate(GateKind::RegQ, vec![])); // on chain
@@ -280,6 +296,42 @@ fn wait_state_without_exit_fails_handshake_liveness() {
     let found = findings(&model, "handshake-liveness", Severity::Error);
     assert_eq!(found.len(), 1, "{found:?}");
     assert!(found[0].contains("state 1 (FitWait)"), "{found:?}");
+    assert!(found[0].contains("deadlock"), "{found:?}");
+}
+
+#[test]
+fn wait_state_whose_exit_tests_a_phantom_condition_is_dead() {
+    // The only exit guards on condition 7, which doesn't exist — the
+    // transition can never fire, so the wait state still deadlocks.
+    let spec = FsmSpec {
+        n_states: 2,
+        n_conds: 1,
+        transitions: vec![t(0, Guard::always(), 1), t(1, Guard::when(7, true), 0)],
+        state_names: vec!["Start".into(), "FitWait".into()],
+    };
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "handshake-liveness", Severity::Error);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("state 1 (FitWait)"), "{found:?}");
+}
+
+#[test]
+fn wait_state_whose_exit_is_priority_shadowed_is_dead() {
+    // An unconditional self-loop is declared before the exit; under
+    // priority order the exit never fires.
+    let spec = FsmSpec {
+        n_states: 2,
+        n_conds: 1,
+        transitions: vec![
+            t(0, Guard::always(), 1),
+            t(1, Guard::always(), 1), // self-loop wins every cycle
+            t(1, Guard::when(0, true), 0),
+        ],
+        state_names: vec!["Start".into(), "FitWait".into()],
+    };
+    let model = DesignModel::new("fixture", Netlist::default()).with_fsm(spec);
+    let found = findings(&model, "handshake-liveness", Severity::Error);
+    assert_eq!(found.len(), 1, "{found:?}");
     assert!(found[0].contains("deadlock"), "{found:?}");
 }
 
