@@ -17,4 +17,17 @@ cargo test --workspace -q
 echo "== galint --format json"
 cargo run -q --release -p galint --bin galint -- --format json
 
+echo "== bench smoke (quick sweep + BENCH_*.json schema + throughput floor)"
+# Reduced workloads: Table V at 4 generations, profile with shortened
+# measurement loops. benchcheck validates the report schema and fails
+# the build if the 64-lane compiled simulator drops below a (very
+# conservative) gate-evaluation throughput floor.
+cargo build -q --release -p ga-bench --bin table5 --bin profile --bin benchcheck
+SMOKE_DIR=target/bench-smoke
+mkdir -p "$SMOKE_DIR"
+GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_GENS=4 ./target/release/table5 > /dev/null
+GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/profile > /dev/null
+./target/release/benchcheck "$SMOKE_DIR/BENCH_table5.json" 'runs>=10'
+./target/release/benchcheck "$SMOKE_DIR/BENCH_profile.json" 'bitsim64_gates_per_sec>=5e7'
+
 echo "CI OK"

@@ -1,0 +1,69 @@
+//! CI validator for `BENCH_<name>.json` reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchcheck <file.json> [KEY>=MIN ...]
+//! ```
+//!
+//! Checks that the file parses, carries the required schema keys
+//! (`name`, `wall_seconds`, `lanes`, `threads`), and that every
+//! `KEY>=MIN` constraint holds against the report's numbers (top-level
+//! fields or metrics — keys are unique across a report). Exits nonzero
+//! with a diagnostic on the first violation, so a perf regression below
+//! a floor fails the build the same way a lint error does.
+
+use ga_bench::report::{json_extract_number, json_extract_string};
+use std::process::ExitCode;
+
+fn check(path: &str, constraints: &[String]) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read ({e})"))?;
+
+    let name = json_extract_string(&json, "name")
+        .ok_or_else(|| format!("{path}: missing required key \"name\""))?;
+    if name.is_empty() {
+        return Err(format!("{path}: empty \"name\""));
+    }
+    for key in ["wall_seconds", "lanes", "threads"] {
+        let v = json_extract_number(&json, key)
+            .ok_or_else(|| format!("{path}: missing required numeric key \"{key}\""))?;
+        if v < 0.0 {
+            return Err(format!("{path}: {key} = {v} is negative"));
+        }
+    }
+
+    for c in constraints {
+        let (key, min) = c
+            .split_once(">=")
+            .ok_or_else(|| format!("bad constraint {c:?} (expected KEY>=MIN)"))?;
+        let min: f64 = min
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad constraint {c:?}: {min:?} is not a number"))?;
+        let got = json_extract_number(&json, key.trim())
+            .ok_or_else(|| format!("{path}: constraint key \"{key}\" not in report"))?;
+        if got < min {
+            return Err(format!(
+                "{path}: {key} = {got:.3e} below required floor {min:.3e}"
+            ));
+        }
+        println!("benchcheck: {name}: {key} = {got:.3e} >= {min:.3e} ok");
+    }
+    println!("benchcheck: {path} ok (name = {name})");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, constraints)) = args.split_first() else {
+        eprintln!("usage: benchcheck <file.json> [KEY>=MIN ...]");
+        return ExitCode::FAILURE;
+    };
+    match check(path, constraints) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("benchcheck: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,13 +4,93 @@
 //! fitness handshake are a few cycles each, while the software pays
 //! instruction-fetch and bus latency on every step.
 //!
+//! Also measures the netlist-simulation engines themselves on the
+//! elaborated CA-RNG netlist: the HashMap interpreter
+//! (`Netlist::step_seq`) against the compiled engine
+//! (`CompiledNetlist`/`BitSim`), scalar and 64-lane bit-sliced — and
+//! emits `BENCH_profile.json` carrying `bitsim64_gates_per_sec`, the
+//! number the CI smoke floor checks. `GA_BENCH_QUICK` shrinks the
+//! measured cycle counts.
+//!
 //! Run with `cargo run --release -p ga-bench --bin profile`.
 
-use ga_bench::{hw_system, table5_params, Table5Row};
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ga_bench::{hw_system, quick, table5_params, BenchReport, Stopwatch, Table5Row};
 use ga_fitness::TestFunction;
+use ga_synth::bitsim::CompiledNetlist;
+use ga_synth::gadesign::elaborate_ca_rng;
+use ga_synth::netlist::u64_to_bus;
 use swga::{CountingGa, PpcCostModel};
 
+/// Gate-evaluations per second of the three simulation paths over the
+/// CA-RNG netlist, free-running in consume mode. "Gates" counts the
+/// logic ops the compiled engine executes per pass (`ops_per_pass`) for
+/// every path, so the paths are compared on identical work.
+struct SimThroughput {
+    ops_per_pass: usize,
+    interp_gps: f64,
+    compiled_scalar_gps: f64,
+    bitsim64_gps: f64,
+}
+
+fn sim_throughput() -> SimThroughput {
+    let nl = elaborate_ca_rng();
+    let cn = CompiledNetlist::compile(&nl).expect("CA RNG netlist compiles");
+    let ops = cn.ops_per_pass();
+    let seed_bus = nl.input_bus("seed").expect("seed bus").to_vec();
+    let ctl_bus = nl.input_bus("ctl").expect("ctl bus").to_vec();
+
+    let (interp_cycles, compiled_cycles) = if quick() {
+        (200u64, 5_000u64)
+    } else {
+        (2_000, 50_000)
+    };
+
+    // Interpreter: per-cycle HashMap in, HashMap out.
+    let mut inputs = HashMap::new();
+    u64_to_bus(&seed_bus, 0x2961, &mut inputs);
+    inputs.insert(ctl_bus[0], true);
+    inputs.insert(ctl_bus[1], false);
+    let mut regs: HashMap<_, _> = nl.regs.iter().map(|r| (r.q, false)).collect();
+    regs = nl.step_seq(&inputs, &regs); // load the seed
+    inputs.insert(ctl_bus[0], false);
+    inputs.insert(ctl_bus[1], true);
+    let t = Instant::now();
+    for _ in 0..interp_cycles {
+        regs = nl.step_seq(&inputs, &regs);
+    }
+    let interp_secs = t.elapsed().as_secs_f64();
+
+    // Compiled: dense u64 state, one bitwise op per gate per pass. The
+    // same run is both measurements — scalar credits one lane of the
+    // word, bit-sliced credits all 64 (they execute identical code).
+    let mut sim = cn.sim();
+    sim.set_bus_all(&seed_bus, 0x2961);
+    sim.set_bus_all(&ctl_bus, 0b01);
+    sim.step();
+    sim.set_bus_all(&ctl_bus, 0b10);
+    let t = Instant::now();
+    for _ in 0..compiled_cycles {
+        sim.step();
+    }
+    let compiled_secs = t.elapsed().as_secs_f64();
+    // Keep the state observable so the loop cannot be optimized away.
+    std::hint::black_box(sim.net(cn.output_bus("rn").expect("rn bus")[0]));
+
+    let gates =
+        |cycles: u64, secs: f64, lanes: u64| ops as f64 * cycles as f64 * lanes as f64 / secs;
+    SimThroughput {
+        ops_per_pass: ops,
+        interp_gps: gates(interp_cycles, interp_secs, 1),
+        compiled_scalar_gps: gates(compiled_cycles, compiled_secs, 1),
+        bitsim64_gps: gates(compiled_cycles, compiled_secs, 64),
+    }
+}
+
 fn main() {
+    let sw = Stopwatch::start();
     // The §IV-C workload: mBF6_2, pop 32, 32 gens.
     let row = Table5Row {
         run: 0,
@@ -73,35 +153,73 @@ fn main() {
     );
 
     // --- software ------------------------------------------------------
-    let sw = CountingGa::new(params, |c| row.function.eval_u16(c)).run();
+    let sw_run = CountingGa::new(params, |c| row.function.eval_u16(c)).run();
     let model = PpcCostModel::default();
     println!("\n== software instruction profile (same workload) ==");
-    println!("total ops        : {}", sw.ops.total_ops());
-    println!("modeled cycles   : {:.0}", model.cycles(&sw.ops));
+    println!("total ops        : {}", sw_run.ops.total_ops());
+    println!("modeled cycles   : {:.0}", model.cycles(&sw_run.ops));
     println!(
         "{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}\n{:<18} {:>9}",
         "alu",
-        sw.ops.alu,
+        sw_run.ops.alu,
         "loads",
-        sw.ops.load,
+        sw_run.ops.load,
         "stores",
-        sw.ops.store,
+        sw_run.ops.store,
         "branches",
-        sw.ops.branch,
+        sw_run.ops.branch,
         "multiplies",
-        sw.ops.mul,
+        sw_run.ops.mul,
         "bus reads (fitness)",
-        sw.ops.bus_read
+        sw_run.ops.bus_read
     );
-    let fetch = sw.ops.total_ops() as f64 * model.ifetch;
+    let fetch = sw_run.ops.total_ops() as f64 * model.ifetch;
     println!(
         "instruction fetch dominates: {:.0} of {:.0} modeled cycles ({:.0}%)",
         fetch,
-        model.cycles(&sw.ops),
-        100.0 * fetch / model.cycles(&sw.ops)
+        model.cycles(&sw_run.ops),
+        100.0 * fetch / model.cycles(&sw_run.ops)
     );
     println!("\nReading: in hardware the selection scan is the biggest consumer —");
     println!("the O(pop) cumulative-sum walk per parent — with the fitness");
     println!("handshake second; in software the same walk turns into loads +");
     println!("branches that each pay the uncached instruction-fetch tax.");
+
+    // --- netlist-simulation engines ------------------------------------
+    let st = sim_throughput();
+    println!(
+        "\n== netlist simulation throughput (CA-RNG netlist, {} logic ops/pass) ==",
+        st.ops_per_pass
+    );
+    println!("{:<26} {:>14}  {:>9}", "engine", "gate-evals/s", "speedup");
+    println!("{}", "-".repeat(52));
+    println!(
+        "{:<26} {:>14.3e}  {:>8.1}x",
+        "interpreter (HashMap)", st.interp_gps, 1.0
+    );
+    println!(
+        "{:<26} {:>14.3e}  {:>8.1}x",
+        "compiled scalar",
+        st.compiled_scalar_gps,
+        st.compiled_scalar_gps / st.interp_gps
+    );
+    println!(
+        "{:<26} {:>14.3e}  {:>8.1}x",
+        "compiled 64-lane",
+        st.bitsim64_gps,
+        st.bitsim64_gps / st.interp_gps
+    );
+
+    BenchReport::new("profile", sw.seconds(), 64, 1)
+        .metric("hw_run_cycles", run.cycles as f64)
+        .metric("sw_modeled_cycles", model.cycles(&sw_run.ops))
+        .metric("netlist_ops_per_pass", st.ops_per_pass as f64)
+        .metric("interp_gates_per_sec", st.interp_gps)
+        .metric("compiled_scalar_gates_per_sec", st.compiled_scalar_gps)
+        .metric("bitsim64_gates_per_sec", st.bitsim64_gps)
+        .metric(
+            "bitsim64_speedup_vs_interp",
+            st.bitsim64_gps / st.interp_gps,
+        )
+        .emit_or_warn();
 }

@@ -12,9 +12,14 @@
 //! * a deliberately poor CA (pure rule 90: period 30),
 //! * a modern software generator (ChaCha via `rand`, the "good PRNG").
 //!
+//! The per-seed runs go through the shared parallel sweep runner and
+//! the binary emits `BENCH_rng_effect.json` (`GA_BENCH_QUICK` shrinks
+//! the sweep to 8 seeds for smoke runs).
+//!
 //! Run with `cargo run --release -p ga-bench --bin rng_effect`.
 
 use carng::{CaRng, Lfsr16, Rng16};
+use ga_bench::{default_threads, quick, run_sweep, BenchReport, Stopwatch};
 use ga_core::{GaEngine, GaParams};
 use ga_fitness::TestFunction;
 use rand::rngs::StdRng;
@@ -61,39 +66,47 @@ fn stats(results: &[u16]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-fn sweep(f: TestFunction, mk: impl Fn(u16) -> Box<dyn Rng16>) -> (f64, f64, u16) {
-    let results: Vec<u16> = (0..64u16)
-        .map(|k| {
-            let seed = 0x1000 + k * 977;
-            let params = GaParams::new(32, 32, 10, 1, seed);
-            let mut rng = mk(seed);
-            rng.reseed(seed);
-            // Generic-over-dyn engine: drive through a small adapter.
-            struct DynRng(Box<dyn Rng16>);
-            impl Rng16 for DynRng {
-                fn output(&self) -> u16 {
-                    self.0.output()
-                }
-                fn step(&mut self) {
-                    self.0.step()
-                }
-                fn reseed(&mut self, s: u16) {
-                    self.0.reseed(s)
-                }
+fn sweep(
+    f: TestFunction,
+    n_seeds: u16,
+    threads: usize,
+    mk: impl Fn(u16) -> Box<dyn Rng16> + Sync,
+) -> (f64, f64, u16) {
+    let seeds: Vec<u16> = (0..n_seeds).map(|k| 0x1000 + k * 977).collect();
+    let results = run_sweep(&seeds, threads, |_, &seed| {
+        let params = GaParams::new(32, 32, 10, 1, seed);
+        // The factory runs inside the worker: `Box<dyn Rng16>` need not
+        // be Send, only the (stateless) factory must be Sync.
+        let mut rng = mk(seed);
+        rng.reseed(seed);
+        // Generic-over-dyn engine: drive through a small adapter.
+        struct DynRng(Box<dyn Rng16>);
+        impl Rng16 for DynRng {
+            fn output(&self) -> u16 {
+                self.0.output()
             }
-            GaEngine::new(params, DynRng(rng), move |c| f.eval_u16(c))
-                .run()
-                .best
-                .fitness
-        })
-        .collect();
+            fn step(&mut self) {
+                self.0.step()
+            }
+            fn reseed(&mut self, s: u16) {
+                self.0.reseed(s)
+            }
+        }
+        GaEngine::new(params, DynRng(rng), move |c| f.eval_u16(c))
+            .run()
+            .best
+            .fitness
+    });
     let (mean, sd) = stats(&results);
     (mean, sd, *results.iter().max().unwrap())
 }
 
 fn main() {
+    let threads = default_threads();
+    let n_seeds: u16 = if quick() { 8 } else { 64 };
+    let sw = Stopwatch::start();
     println!("§II-C — GA performance vs PRNG quality");
-    println!("(BF6, pop 32, 32 gens, XR 10, MR 1; 64 seeds per generator)\n");
+    println!("(BF6, pop 32, 32 gens, XR 10, MR 1; {n_seeds} seeds per generator)\n");
     println!(
         "{:<26} {:>10} {:>8} {:>8}",
         "generator", "mean best", "stddev", "max"
@@ -102,19 +115,27 @@ fn main() {
     let rows: Vec<(&str, (f64, f64, u16))> = vec![
         (
             "CA 90/150 (hardware)",
-            sweep(TestFunction::Bf6, |s| Box::new(CaRng::new(s))),
+            sweep(TestFunction::Bf6, n_seeds, threads, |s| {
+                Box::new(CaRng::new(s))
+            }),
         ),
         (
             "Galois LFSR",
-            sweep(TestFunction::Bf6, |s| Box::new(Lfsr16::new(s))),
+            sweep(TestFunction::Bf6, n_seeds, threads, |s| {
+                Box::new(Lfsr16::new(s))
+            }),
         ),
         (
             "poor CA (rule 90)",
-            sweep(TestFunction::Bf6, |s| Box::new(CaRng::with_rules(s, 0))),
+            sweep(TestFunction::Bf6, n_seeds, threads, |s| {
+                Box::new(CaRng::with_rules(s, 0))
+            }),
         ),
         (
             "ChaCha (rand::StdRng)",
-            sweep(TestFunction::Bf6, |s| Box::new(SoftRng::new(s))),
+            sweep(TestFunction::Bf6, n_seeds, threads, |s| {
+                Box::new(SoftRng::new(s))
+            }),
         ),
     ];
     for (name, (mean, sd, max)) in &rows {
@@ -125,4 +146,15 @@ fn main() {
     println!("hardware generators track the software-quality PRNG closely, while");
     println!("the short-period generator measurably degrades the mean — its period");
     println!("of 30 can't even fill a random initial population of 32.");
+
+    let wall = sw.seconds();
+    BenchReport::new("rng_effect", wall, 1, threads as u64)
+        .metric("seeds_per_generator", n_seeds as f64)
+        .metric("ga_runs", 4.0 * n_seeds as f64)
+        .metric("ga_runs_per_sec", 4.0 * n_seeds as f64 / wall)
+        .metric("mean_best_ca", rows[0].1 .0)
+        .metric("mean_best_lfsr", rows[1].1 .0)
+        .metric("mean_best_poor_ca", rows[2].1 .0)
+        .metric("mean_best_soft", rows[3].1 .0)
+        .emit_or_warn();
 }

@@ -4,33 +4,51 @@
 //! the §II-C criteria: period, uniformity, serial correlation, bit
 //! balance.
 //!
+//! The three batteries run through the shared parallel sweep runner
+//! (each is independent) and the binary emits `BENCH_rngquality.json`.
+//!
 //! Run with `cargo run --release -p ga-bench --bin rngquality`.
 
-use carng::stats::quality_report;
+use carng::stats::{quality_report, QualityReport};
 use carng::{CaRng, Lfsr16};
+use ga_bench::{default_threads, run_sweep, BenchReport, Stopwatch};
+
+/// Which generator a sweep item measures (the factories have distinct
+/// types, so dispatch happens inside the worker).
+#[derive(Clone, Copy)]
+enum Generator {
+    Ca,
+    Lfsr,
+    PoorCa,
+}
+
+fn measure(g: Generator) -> QualityReport {
+    match g {
+        Generator::Ca => quality_report(|| CaRng::new(0x2961)),
+        Generator::Lfsr => quality_report(|| Lfsr16::new(0x2961)),
+        Generator::PoorCa => quality_report(|| CaRng::with_rules(0x2961, 0x0000)),
+    }
+}
 
 fn main() {
+    let threads = default_threads();
+    let sw = Stopwatch::start();
+    let jobs = [Generator::Ca, Generator::Lfsr, Generator::PoorCa];
+    let reports = run_sweep(&jobs, threads, |_, &g| measure(g));
+    let wall = sw.seconds();
+
     println!("§II-C — PRNG quality (period / chi² over 64 buckets / lag-1 corr / worst bit bias)");
     println!(
         "{:<28} {:>8} {:>10} {:>10} {:>10}",
         "generator", "period", "chi2", "corr", "bias"
     );
     println!("{}", "-".repeat(70));
-    let rows: [(&str, carng::stats::QualityReport); 3] = [
-        (
-            "CA rule 90/150 (0x055F)",
-            quality_report(|| CaRng::new(0x2961)),
-        ),
-        (
-            "Galois LFSR (0xB400)",
-            quality_report(|| Lfsr16::new(0x2961)),
-        ),
-        (
-            "poor CA (pure rule 90)",
-            quality_report(|| CaRng::with_rules(0x2961, 0x0000)),
-        ),
+    let names = [
+        "CA rule 90/150 (0x055F)",
+        "Galois LFSR (0xB400)",
+        "poor CA (pure rule 90)",
     ];
-    for (name, r) in rows {
+    for (name, r) in names.iter().zip(&reports) {
         println!(
             "{:<28} {:>8} {:>10.1} {:>10.3} {:>10.4}",
             name,
@@ -46,4 +64,12 @@ fn main() {
     println!("The maximal-length generators traverse all 65535 nonzero states; the");
     println!("pure-rule-90 CA collapses onto a short cycle — the 'poor PRNG' of the");
     println!("Meysenburg/Foster and Cantú-Paz studies the paper discusses.");
+
+    BenchReport::new("rngquality", wall, 1, threads as u64)
+        .metric("generators", reports.len() as f64)
+        .metric("period_ca", reports[0].period.map_or(-1.0, f64::from))
+        .metric("period_lfsr", reports[1].period.map_or(-1.0, f64::from))
+        .metric("period_poor_ca", reports[2].period.map_or(-1.0, f64::from))
+        .metric("chi2_ca", reports[0].chi_square_64)
+        .emit_or_warn();
 }

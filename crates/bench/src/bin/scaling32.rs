@@ -2,11 +2,16 @@
 //!
 //! Prints the probability-composition table (the paper's
 //! `xovProb32 = p_M + p_L − p_M·p_L` algebra with realizable 4-bit
-//! thresholds) and runs the dual-core engine on a 32-bit optimization.
+//! thresholds) and runs the dual-core engine on a 32-bit optimization —
+//! across the six Table VII seeds via the shared parallel sweep runner,
+//! emitting `BENCH_scaling32.json`. `GA_BENCH_GENS` overrides the
+//! generation count for smoke runs.
 //!
 //! Run with `cargo run --release -p ga-bench --bin scaling32`.
 
+use carng::seeds::TABLE7_SEEDS;
 use carng::CaRng;
+use ga_bench::{default_threads, gens_override, run_sweep, BenchReport, Stopwatch};
 use ga_core::scaling::{compose_prob, split_prob, threshold_for_prob, GaEngine32};
 use ga_core::GaParams;
 
@@ -19,6 +24,8 @@ fn f3_32(c: u32) -> u16 {
 }
 
 fn main() {
+    let threads = default_threads();
+    let sw = Stopwatch::start();
     println!("§III-D — probability composition for the dual-core 32-bit GA");
     println!(
         "{:>12} {:>12} {:>12} {:>14}",
@@ -33,21 +40,56 @@ fn main() {
     }
     println!();
 
-    // Run the dual-core engine with per-half thresholds realizing the
-    // paper's favorite overall crossover rate of 0.625.
+    // Run the dual-core engine across the Table VII seed set with
+    // per-half thresholds realizing the paper's favorite overall
+    // crossover rate of 0.625 (the second RNG is reseeded per run with
+    // the complemented seed, mirroring the two independent modules).
     let per_half = threshold_for_prob(split_prob(0.625));
-    let params = GaParams::new(64, 64, per_half, 1, 0x2961);
-    let run = GaEngine32::new(params, CaRng::new(0x2961), CaRng::new(0x061F), f3_32)
-        .with_split_thresholds(per_half, per_half, 1, 1)
-        .run();
-    println!("32-bit run (pop 64, 64 gens, per-half xover threshold {per_half}):");
+    let n_gens = gens_override().unwrap_or(64);
+    let runs = run_sweep(&TABLE7_SEEDS, threads, |_, &seed| {
+        let params = GaParams::new(64, n_gens, per_half, 1, seed);
+        (
+            params,
+            GaEngine32::new(params, CaRng::new(seed), CaRng::new(!seed), f3_32)
+                .with_split_thresholds(per_half, per_half, 1, 1)
+                .run(),
+        )
+    });
+    let wall = sw.seconds();
+
+    println!("32-bit runs (pop 64, {n_gens} gens, per-half xover threshold {per_half}):");
     println!(
-        "  best chromosome {:#010X}, fitness {} / 65535 ({:.2}% of optimum)",
-        run.best.chrom,
-        run.best.fitness,
-        100.0 * run.best.fitness as f64 / 65535.0
+        "{:>8} {:>12} {:>9} {:>8} {:>12} {:>10}",
+        "seed", "best chrom", "fitness", "of opt", "evaluations", "final avg"
     );
-    println!("  evaluations: {}", run.evaluations);
-    let final_avg = run.history.last().unwrap().fit_sum as f64 / params.pop_size as f64;
-    println!("  final-generation average fitness: {final_avg:.0}");
+    println!("{}", "-".repeat(64));
+    let mut evals: u64 = 0;
+    for (&seed, (params, run)) in TABLE7_SEEDS.iter().zip(&runs) {
+        evals += run.evaluations;
+        let final_avg = run.history.last().unwrap().fit_sum as f64 / params.pop_size as f64;
+        println!(
+            "{:>8} {:>#12.8X} {:>9} {:>7.2}% {:>12} {:>10.0}",
+            format!("{seed:04X}"),
+            run.best.chrom,
+            run.best.fitness,
+            100.0 * run.best.fitness as f64 / 65535.0,
+            run.evaluations,
+            final_avg
+        );
+    }
+    let best = runs.iter().map(|(_, r)| r.best.fitness).max().unwrap();
+    let mean = runs.iter().map(|(_, r)| r.best.fitness as f64).sum::<f64>() / runs.len() as f64;
+    println!("{}", "-".repeat(64));
+    println!(
+        "best {best} / 65535 across {} seeds, mean best {mean:.0}",
+        runs.len()
+    );
+
+    BenchReport::new("scaling32", wall, 1, threads as u64)
+        .metric("seeds", runs.len() as f64)
+        .metric("evaluations", evals as f64)
+        .metric("evaluations_per_sec", evals as f64 / wall)
+        .metric("best_fitness", best as f64)
+        .metric("mean_best_fitness", mean)
+        .emit_or_warn();
 }

@@ -3,11 +3,31 @@
 //! convergence generation — the generation where the average fitness
 //! changes by less than 5%).
 //!
+//! The ten runs go through the shared parallel sweep runner (each is an
+//! independent simulated FPGA run) and the binary emits
+//! `BENCH_table5.json` with the wall time and simulated-cycle
+//! throughput. `GA_BENCH_GENS` overrides the generation count (the CI
+//! smoke run uses a short one).
+//!
 //! Run with `cargo run --release -p ga-bench --bin table5`.
 
-use ga_bench::{run_hw, table5_params, TABLE5_RUNS};
+use ga_bench::{
+    default_threads, gens_override, run_hw, run_sweep, table5_params, BenchReport, Stopwatch,
+    TABLE5_RUNS,
+};
 
 fn main() {
+    let threads = default_threads();
+    let sw = Stopwatch::start();
+    let results = run_sweep(&TABLE5_RUNS, threads, |_, row| {
+        let mut params = table5_params(row);
+        if let Some(g) = gens_override() {
+            params.n_gens = g;
+        }
+        run_hw(row.function, &params)
+    });
+    let wall = sw.seconds();
+
     println!("Table V — RT-level results (this implementation vs paper)");
     println!(
         "{:>3} {:>10} {:>6} {:>4} {:>6} | {:>11} {:>12} | {:>10}",
@@ -18,9 +38,9 @@ fn main() {
         4047u16, 4271, 4271, 4146, 4047, 3060, 2096, 3060, 3060, 3060,
     ];
     println!("{}", "-".repeat(84));
-    for (row, paper) in TABLE5_RUNS.iter().zip(paper_best) {
-        let params = table5_params(row);
-        let run = run_hw(row.function, &params);
+    let mut sim_cycles: u64 = 0;
+    for ((row, paper), run) in TABLE5_RUNS.iter().zip(paper_best).zip(&results) {
+        sim_cycles += run.cycles;
         let ga = run.as_ga_run();
         let conv = ga
             .convergence_generation()
@@ -43,4 +63,10 @@ fn main() {
     println!("stream mapping differ from the authors' unpublished RNG, so per-row");
     println!("values differ while the qualitative shape (optimum found only under");
     println!("some settings; seed choice decisive) reproduces. See EXPERIMENTS.md.");
+
+    BenchReport::new("table5", wall, 1, threads as u64)
+        .metric("runs", results.len() as f64)
+        .metric("sim_cycles", sim_cycles as f64)
+        .metric("sim_cycles_per_sec", sim_cycles as f64 / wall)
+        .emit_or_warn();
 }

@@ -3,48 +3,50 @@
 //! under the 24-cell grid (six seeds × two population sizes × two
 //! crossover thresholds; 64 generations; mutation 1/16).
 //!
+//! The grid goes through the shared parallel sweep runner cell-by-cell
+//! (finer-grained than the old one-thread-per-seed-row split, and with
+//! deterministic input-ordered collection), and the binary emits
+//! `BENCH_table7_9.json`. `GA_BENCH_GENS` overrides the generation
+//! count for smoke runs.
+//!
 //! Run with `cargo run --release -p ga-bench --bin table7_9`.
 
 use carng::seeds::TABLE7_SEEDS;
-use ga_bench::{render_grid, run_hw, table7_params, TABLE7_POPS, TABLE7_XRS};
+use ga_bench::{
+    default_threads, gens_override, grid3, render_grid, run_hw, run_sweep, table7_params,
+    BenchReport, Stopwatch, TABLE7_POPS, TABLE7_XRS,
+};
 use ga_fitness::TestFunction;
-use std::thread;
 
-fn grid_for(f: TestFunction) -> Vec<Vec<u16>> {
-    // One worker per seed row (the sweep is embarrassingly parallel —
-    // each cell is an independent simulated FPGA run).
-    thread::scope(|s| {
-        let handles: Vec<_> = TABLE7_SEEDS
-            .iter()
-            .map(|&seed| {
-                s.spawn(move || {
-                    // Paper column order: p32/x10, p32/x12, p64/x10, p64/x12.
-                    let mut row = Vec::with_capacity(4);
-                    for &pop in &TABLE7_POPS {
-                        for &xr in &TABLE7_XRS {
-                            let params = table7_params(seed, pop, xr);
-                            row.push(run_hw(f, &params).best.fitness);
-                        }
-                    }
-                    row
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("table row worker panicked"))
-            .collect()
-    })
+/// One cell per (seed, pop, xr) in `grid3` row-major order — which is
+/// exactly the paper's layout: seed rows, then the p32/x10, p32/x12,
+/// p64/x10, p64/x12 columns.
+fn grid_for(f: TestFunction, threads: usize, sim_cycles: &mut u64) -> Vec<Vec<u16>> {
+    let cells = grid3(&TABLE7_SEEDS, &TABLE7_POPS, &TABLE7_XRS);
+    let runs = run_sweep(&cells, threads, |_, &(seed, pop, xr)| {
+        let mut params = table7_params(seed, pop, xr);
+        if let Some(g) = gens_override() {
+            params.n_gens = g;
+        }
+        run_hw(f, &params)
+    });
+    *sim_cycles += runs.iter().map(|r| r.cycles).sum::<u64>();
+    runs.chunks(TABLE7_POPS.len() * TABLE7_XRS.len())
+        .map(|row| row.iter().map(|r| r.best.fitness).collect())
+        .collect()
 }
 
 fn main() {
+    let threads = default_threads();
+    let sw = Stopwatch::start();
+    let mut sim_cycles: u64 = 0;
     for (f, table, paper_best, paper_optimum) in [
         (TestFunction::Mbf6_2, "Table VII", 8135u16, 8183u16),
         (TestFunction::Mbf7_2, "Table VIII", 61_496, 63_904),
         (TestFunction::MShubert2D, "Table IX", 65_535, 65_535),
     ] {
         let optimum = f.global_max();
-        let cells = grid_for(f);
+        let cells = grid_for(f, threads, &mut sim_cycles);
         println!(
             "{}",
             render_grid(
@@ -66,4 +68,12 @@ fn main() {
     println!("The paper's headline claim — every hardware result within 3.7% of the");
     println!("global optimum, with the optimum itself found for several settings —");
     println!("is checked automatically in tests/paper_claims.rs.");
+
+    let wall = sw.seconds();
+    let n_cells = 3 * TABLE7_SEEDS.len() * TABLE7_POPS.len() * TABLE7_XRS.len();
+    BenchReport::new("table7_9", wall, 1, threads as u64)
+        .metric("grid_cells", n_cells as f64)
+        .metric("sim_cycles", sim_cycles as f64)
+        .metric("sim_cycles_per_sec", sim_cycles as f64 / wall)
+        .emit_or_warn();
 }

@@ -76,6 +76,18 @@ impl Rng16 for CaRng {
     fn reseed(&mut self, seed: u16) {
         self.state = if seed == 0 { 1 } else { seed };
     }
+
+    fn fill_u16s(&mut self, out: &mut [u16]) {
+        // Keep the state in a register for the whole batch instead of
+        // loading/storing `self.state` once per draw.
+        let mut s = self.state;
+        let rules = self.rules;
+        for slot in out {
+            *slot = s;
+            s = Self::step_state(s, rules);
+        }
+        self.state = s;
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +178,22 @@ mod tests {
         let stream_a: Vec<u16> = (0..32).map(|_| a.next_u16()).collect();
         let stream_b: Vec<u16> = (0..32).map(|_| b.next_u16()).collect();
         assert_ne!(stream_a, stream_b);
+    }
+
+    #[test]
+    fn fill_u16s_matches_repeated_next() {
+        let mut batched = CaRng::new(0x2961);
+        let mut stepped = CaRng::new(0x2961);
+        let mut buf = [0u16; 97]; // non-power-of-two to catch edge bugs
+        batched.fill_u16s(&mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, stepped.next_u16(), "diverged at draw {i}");
+        }
+        // The batch must leave the generator where the loop left it.
+        assert_eq!(batched.next_u16(), stepped.next_u16());
+        // Empty batch is a no-op.
+        batched.fill_u16s(&mut []);
+        assert_eq!(batched.output(), stepped.output());
     }
 
     #[test]

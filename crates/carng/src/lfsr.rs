@@ -63,6 +63,16 @@ impl Rng16 for Lfsr16 {
     fn reseed(&mut self, seed: u16) {
         self.state = if seed == 0 { 1 } else { seed };
     }
+
+    fn fill_u16s(&mut self, out: &mut [u16]) {
+        let mut s = self.state;
+        let taps = self.taps;
+        for slot in out {
+            *slot = s;
+            s = Self::step_state(s, taps);
+        }
+        self.state = s;
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +112,18 @@ mod tests {
         let cs: Vec<u16> = (0..16).map(|_| c.next_u16()).collect();
         assert_eq!(ls[0], cs[0], "both start at the seed");
         assert_ne!(ls[1..], cs[1..]);
+    }
+
+    #[test]
+    fn fill_u16s_matches_repeated_next() {
+        let mut batched = Lfsr16::new(0xB342);
+        let mut stepped = Lfsr16::new(0xB342);
+        let mut buf = [0u16; 65];
+        batched.fill_u16s(&mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, stepped.next_u16(), "diverged at draw {i}");
+        }
+        assert_eq!(batched.next_u16(), stepped.next_u16());
     }
 
     #[test]

@@ -64,6 +64,17 @@ pub trait Rng16 {
         v
     }
 
+    /// Batch draw: fill `out` with consecutive samples, exactly as if
+    /// by repeated [`Rng16::next_u16`] calls. The default is the naive
+    /// loop; concrete generators override it with a register-resident
+    /// loop (no per-draw `self` round trip), which is what the 64-lane
+    /// netlist-simulation stimulus builder and the sweep harness call.
+    fn fill_u16s(&mut self, out: &mut [u16]) {
+        for slot in out {
+            *slot = self.next_u16();
+        }
+    }
+
     /// Draw a 4-bit field from the "predefined position" the paper's
     /// core uses for threshold comparisons (crossover/mutation
     /// decisions): the low nibble of a fresh 16-bit draw.

@@ -8,6 +8,7 @@
 
 use ga_synth::fsm::FsmSpec;
 use ga_synth::gadesign::{ga_controller_spec, try_elaborate_ca_rng, try_elaborate_ga_core};
+use ga_synth::netlist::NetId;
 use ga_synth::{Netlist, SynthError};
 
 /// Implementation figures extracted from a `GaCoreReport` (or supplied
@@ -55,6 +56,32 @@ impl Default for AreaBudget {
     }
 }
 
+/// Shared graph analyses over the netlist, computed **once** at model
+/// construction and reused by every rule that needs them (`comb-loop`,
+/// `floating-net`, …). These are the same analyses
+/// [`Netlist::validate`] runs — computing them per-rule would redo a
+/// full fanout build plus Tarjan/Kahn pass each time on a ~10k-gate
+/// core.
+#[derive(Debug, Clone)]
+pub struct NetAnalyses {
+    /// Per-net fanout lists over combinational edges.
+    pub fanout: Vec<Vec<NetId>>,
+    /// Kahn topological order (`None` when the gate graph has a cycle).
+    pub topo: Option<Vec<NetId>>,
+    /// Nontrivial strongly connected components (combinational loops).
+    pub sccs: Vec<Vec<NetId>>,
+}
+
+impl NetAnalyses {
+    fn compute(nl: &Netlist) -> Self {
+        NetAnalyses {
+            fanout: nl.fanout(),
+            topo: nl.topo_order(),
+            sccs: nl.comb_sccs(),
+        }
+    }
+}
+
 /// Everything the rules look at for one design.
 #[derive(Debug, Clone)]
 pub struct DesignModel {
@@ -68,18 +95,32 @@ pub struct DesignModel {
     pub area: Option<AreaStats>,
     /// Budget for the `area-budget` rule.
     pub budget: AreaBudget,
+    /// Cached graph analyses (`None` when the netlist has dangling net
+    /// references — the graph passes would index out of bounds, and the
+    /// `width-mismatch` rule reports those separately). Private so it
+    /// cannot drift from the netlist it was computed for.
+    analyses: Option<NetAnalyses>,
 }
 
 impl DesignModel {
     /// Model from a bare netlist (fixtures, sub-blocks).
     pub fn new(name: impl Into<String>, netlist: Netlist) -> Self {
+        let analyses =
+            crate::rules::nets_in_range(&netlist).then(|| NetAnalyses::compute(&netlist));
         DesignModel {
             name: name.into(),
             netlist,
             fsm: None,
             area: None,
             budget: AreaBudget::default(),
+            analyses,
         }
+    }
+
+    /// The cached graph analyses, when the netlist was well-formed
+    /// enough to compute them.
+    pub fn analyses(&self) -> Option<&NetAnalyses> {
+        self.analyses.as_ref()
     }
 
     /// Attach a controller spec.
@@ -130,6 +171,27 @@ mod tests {
         let area = m.area.expect("area stats");
         assert!(area.slices > 0);
         assert!(area.fmax_mhz > 0.0);
+    }
+
+    #[test]
+    fn analyses_are_cached_for_well_formed_netlists() {
+        let m = DesignModel::ca_rng().expect("elaboration");
+        let a = m.analyses().expect("well-formed netlist has analyses");
+        assert_eq!(a.fanout.len(), m.netlist.gate_count());
+        assert!(a.topo.is_some(), "acyclic netlist has a topo order");
+        assert!(a.sccs.is_empty(), "no combinational loops");
+    }
+
+    #[test]
+    fn analyses_skipped_for_dangling_nets() {
+        use ga_synth::netlist::{Gate, GateKind};
+        let mut nl = Netlist::default();
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![99], // dangling reference
+        });
+        let m = DesignModel::new("broken", nl);
+        assert!(m.analyses().is_none());
     }
 
     #[test]

@@ -192,11 +192,13 @@ impl Rule for CombLoop {
         "the combinational gate graph is acyclic"
     }
     fn check(&self, model: &DesignModel, out: &mut Report) {
-        let nl = &model.netlist;
-        if !nets_in_range(nl) {
+        // The SCCs come from the model's cached analyses (shared with
+        // `Netlist::validate`); absent analyses mean dangling net
+        // references, which width-mismatch reports.
+        let Some(analyses) = model.analyses() else {
             return;
-        }
-        for scc in nl.comb_sccs() {
+        };
+        for scc in &analyses.sccs {
             let shown: Vec<String> = scc.iter().take(8).map(|g| g.to_string()).collect();
             let suffix = if scc.len() > 8 { ", …" } else { "" };
             out.push(
@@ -228,14 +230,13 @@ impl Rule for FloatingNet {
     }
     fn check(&self, model: &DesignModel, out: &mut Report) {
         let nl = &model.netlist;
-        if !nets_in_range(nl) {
+        let Some(analyses) = model.analyses() else {
             return;
-        }
-        let mut used: HashSet<NetId> = HashSet::new();
-        for g in &nl.gates {
-            used.extend(g.inputs.iter().copied());
-        }
-        used.extend(nl.regs.iter().map(|r| r.d));
+        };
+        // Gate-input consumption comes from the cached fanout lists;
+        // register D pins and primary outputs are the two edge kinds
+        // fanout does not cover.
+        let mut used: HashSet<NetId> = nl.regs.iter().map(|r| r.d).collect();
         for (_, bus) in &nl.outputs {
             used.extend(bus.iter().copied());
         }
@@ -243,7 +244,7 @@ impl Rule for FloatingNet {
 
         let mut dead_consts = 0usize;
         for (i, g) in nl.gates.iter().enumerate() {
-            let floats = !used.contains(&(i as NetId));
+            let floats = analyses.fanout[i].is_empty() && !used.contains(&(i as NetId));
             match g.kind {
                 GateKind::RegQ if !owned.contains(&(i as NetId)) => {
                     out.push(

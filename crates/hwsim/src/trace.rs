@@ -6,7 +6,7 @@
 //! same role for the simulation: named series of (time, value) samples
 //! with CSV export for the figure-generation binaries.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// One named sample series.
@@ -43,9 +43,19 @@ impl TraceSeries {
 }
 
 /// A set of named series keyed by signal name.
+///
+/// Recording is the hot path — the scoreboard pushes a sample per
+/// traced signal per generation — so series are stored in a flat
+/// vector with a name→slot index map: a repeated [`Trace::record`] is
+/// one hash lookup and a `Vec` push, with no allocation and no ordered
+/// walk. Name ordering (for [`Trace::iter`] and [`Trace::to_csv`]) is
+/// reconstructed only at read time.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    series: BTreeMap<String, TraceSeries>,
+    /// Series in first-recorded order (the stable slot a name maps to).
+    series: Vec<(String, TraceSeries)>,
+    /// Signal name → slot in `series`.
+    index: HashMap<String, usize>,
 }
 
 impl Trace {
@@ -55,22 +65,38 @@ impl Trace {
     }
 
     /// Record `value` for `name` at time `t` (creating the series on
-    /// first use).
+    /// first use). O(1) per repeated record.
     pub fn record(&mut self, name: &str, t: u64, value: u64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
-            .push(t, value);
+        let slot = match self.index.get(name) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.series.len();
+                self.series.push((name.to_owned(), TraceSeries::default()));
+                self.index.insert(name.to_owned(), slot);
+                slot
+            }
+        };
+        self.series[slot].1.push(t, value);
     }
 
     /// Look up a series by name.
     pub fn series(&self, name: &str) -> Option<&TraceSeries> {
-        self.series.get(name)
+        self.index.get(name).map(|&slot| &self.series[slot].1)
+    }
+
+    /// Slots sorted by series name (the presentation order every
+    /// reader uses, matching the former sorted-map layout).
+    fn slots_by_name(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = (0..self.series.len()).collect();
+        slots.sort_by(|&a, &b| self.series[a].0.cmp(&self.series[b].0));
+        slots
     }
 
     /// Iterate over all (name, series) pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &TraceSeries)> {
-        self.series.iter().map(|(k, v)| (k.as_str(), v))
+        self.slots_by_name()
+            .into_iter()
+            .map(|slot| (self.series[slot].0.as_str(), &self.series[slot].1))
     }
 
     /// Number of series.
@@ -85,28 +111,31 @@ impl Trace {
 
     /// Render the trace as CSV with one row per distinct sample time and
     /// one column per series (empty cell when a series has no sample at
-    /// that time). This is the format consumed by the fig* binaries.
+    /// that time), columns in name order. This is the format consumed by
+    /// the fig* binaries.
     pub fn to_csv(&self) -> String {
+        let slots = self.slots_by_name();
         let mut times: Vec<u64> = self
             .series
-            .values()
-            .flat_map(|s| s.samples.iter().map(|&(t, _)| t))
+            .iter()
+            .flat_map(|(_, s)| s.samples.iter().map(|&(t, _)| t))
             .collect();
         times.sort_unstable();
         times.dedup();
 
         let mut out = String::new();
         out.push_str("time");
-        for name in self.series.keys() {
-            let _ = write!(out, ",{name}");
+        for &slot in &slots {
+            let _ = write!(out, ",{}", self.series[slot].0);
         }
         out.push('\n');
 
         // Per-series cursor for a single linear merge pass.
-        let mut cursors: Vec<usize> = vec![0; self.series.len()];
+        let mut cursors: Vec<usize> = vec![0; slots.len()];
         for &t in &times {
             let _ = write!(out, "{t}");
-            for (ci, s) in self.series.values().enumerate() {
+            for (ci, &slot) in slots.iter().enumerate() {
+                let s = &self.series[slot].1;
                 let cur = &mut cursors[ci];
                 let mut cell: Option<u64> = None;
                 while *cur < s.samples.len() && s.samples[*cur].0 == t {
@@ -165,6 +194,27 @@ mod tests {
         t.record("x", 5, 2);
         let csv = t.to_csv();
         assert!(csv.lines().any(|l| l == "5,2"));
+    }
+
+    #[test]
+    fn csv_is_invariant_under_insertion_order() {
+        // The indexed layout stores series in first-recorded order;
+        // CSV (and iter) must still come out in name order, exactly as
+        // the old sorted-map representation produced.
+        let mut fwd = Trace::new();
+        fwd.record("avg", 0, 50);
+        fwd.record("best", 0, 100);
+        fwd.record("best", 1, 120);
+
+        let mut rev = Trace::new();
+        rev.record("best", 0, 100);
+        rev.record("avg", 0, 50);
+        rev.record("best", 1, 120);
+
+        assert_eq!(fwd.to_csv(), rev.to_csv());
+        assert_eq!(rev.to_csv().lines().next(), Some("time,avg,best"));
+        let names: Vec<&str> = rev.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["avg", "best"]);
     }
 
     #[test]

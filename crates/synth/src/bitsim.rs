@@ -1,0 +1,462 @@
+//! Compiled word-level netlist simulation.
+//!
+//! [`Netlist::eval_comb`](crate::netlist::Netlist::eval_comb) is the
+//! reference interpreter: it re-validates (a full Kahn sort) on every
+//! call, allocates a fresh value vector, and looks inputs up through
+//! `HashMap`s. That is fine for unit tests and hopeless for sweeps — a
+//! Table VII grid steps the sequential model millions of times.
+//!
+//! [`CompiledNetlist`] does the expensive work **once**: validation,
+//! topological ordering, and flattening of the gate graph into a dense
+//! instruction stream (`out ← op(a, b, c)` over plain array indices —
+//! no hashing, no per-call allocation). [`BitSim`] then evaluates that
+//! stream over one `u64` **word per net**, which is the classic
+//! word-level logic-simulation trick: every Boolean gate is a bitwise
+//! instruction, so one pass through the gate array advances **64
+//! independent simulation lanes** at once (64 seeds, 64 grid cells, 64
+//! stimulus streams). Lane *k* of every net word is a complete,
+//! independent simulation — the software analogue of the
+//! full-population parallelism Torquato & Fernandes get from replicated
+//! hardware.
+//!
+//! A scalar caller simply uses lane 0 (the compiled scalar fast path);
+//! [`CompiledNetlist::eval_comb`] / [`CompiledNetlist::step_seq`] are
+//! drop-in equivalents of the `Netlist` methods for existing
+//! testbenches.
+
+use crate::error::SynthError;
+use crate::netlist::{GateKind, NetId, Netlist, RegCell};
+use std::collections::HashMap;
+
+/// Word-level opcode: only gates with inputs become instructions;
+/// sources (constants, inputs, register Q pins) are plain state words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum OpKind {
+    /// `out = a`
+    Buf,
+    /// `out = !a`
+    Inv,
+    /// `out = a & b`
+    And,
+    /// `out = a | b`
+    Or,
+    /// `out = a ^ b`
+    Xor,
+    /// `out = !(a & b)`
+    Nand,
+    /// `out = !(a | b)`
+    Nor,
+    /// `out = (a & b) | (!a & c)` — CarryMux with `a` as select.
+    Mux,
+}
+
+/// One compiled gate: output slot plus up to three input slots, all
+/// dense indices into the per-net state array.
+#[derive(Debug, Clone, Copy)]
+struct CompiledOp {
+    kind: OpKind,
+    out: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+}
+
+/// A netlist compiled for repeated simulation: validated once, with the
+/// topological order baked into a flat instruction stream and every
+/// source net classified up front.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    ops: Vec<CompiledOp>,
+    n_nets: usize,
+    regs: Vec<RegCell>,
+    /// Nets that must read constant one (constant zero is the reset
+    /// value of the state array, so only ones need baking).
+    const_ones: Vec<NetId>,
+    inputs: Vec<(String, Vec<NetId>)>,
+    outputs: Vec<(String, Vec<NetId>)>,
+}
+
+impl CompiledNetlist {
+    /// Validate and compile. All structural errors surface here, so the
+    /// per-cycle hot path is panic- and `Result`-free.
+    pub fn compile(nl: &Netlist) -> Result<Self, SynthError> {
+        let order = nl.validate()?;
+        let mut ops = Vec::with_capacity(nl.gates.len());
+        let mut const_ones = Vec::new();
+        for &id in &order {
+            let g = &nl.gates[id as usize];
+            let kind = match g.kind {
+                GateKind::Const0 | GateKind::Input | GateKind::RegQ => continue,
+                GateKind::Const1 => {
+                    const_ones.push(id);
+                    continue;
+                }
+                GateKind::Buf => OpKind::Buf,
+                GateKind::Inv => OpKind::Inv,
+                GateKind::And2 => OpKind::And,
+                GateKind::Or2 => OpKind::Or,
+                GateKind::Xor2 => OpKind::Xor,
+                GateKind::Nand2 => OpKind::Nand,
+                GateKind::Nor2 => OpKind::Nor,
+                GateKind::CarryMux => OpKind::Mux,
+            };
+            let pin = |i: usize| g.inputs.get(i).copied().unwrap_or(0);
+            ops.push(CompiledOp {
+                kind,
+                out: id,
+                a: pin(0),
+                b: pin(1),
+                c: pin(2),
+            });
+        }
+        Ok(CompiledNetlist {
+            ops,
+            n_nets: nl.gates.len(),
+            regs: nl.regs.clone(),
+            const_ones,
+            inputs: nl.inputs.clone(),
+            outputs: nl.outputs.clone(),
+        })
+    }
+
+    /// Number of nets (state-array length).
+    pub fn n_nets(&self) -> usize {
+        self.n_nets
+    }
+
+    /// Instructions executed per combinational pass (the logic gates;
+    /// sources cost nothing at runtime).
+    pub fn ops_per_pass(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Flip-flop count.
+    pub fn ff_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Look up a named input bus (LSB first), resolved at compile time.
+    pub fn input_bus(&self, name: &str) -> Option<&[NetId]> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Look up a named output bus (LSB first).
+    pub fn output_bus(&self, name: &str) -> Option<&[NetId]> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Fresh simulation state bound to this compiled netlist.
+    pub fn sim(&self) -> BitSim<'_> {
+        let mut vals = vec![0u64; self.n_nets];
+        for &id in &self.const_ones {
+            vals[id as usize] = u64::MAX;
+        }
+        BitSim {
+            cn: self,
+            vals,
+            latch: vec![0u64; self.regs.len()],
+        }
+    }
+
+    /// Drop-in equivalent of [`Netlist::eval_comb`] on the compiled
+    /// netlist (scalar: lane 0). Unmentioned inputs/registers read 0,
+    /// exactly like the interpreter.
+    pub fn eval_comb(
+        &self,
+        input_values: &HashMap<NetId, bool>,
+        reg_values: &HashMap<NetId, bool>,
+    ) -> Vec<bool> {
+        let mut sim = self.sim();
+        for (&net, &v) in input_values.iter().chain(reg_values.iter()) {
+            sim.set_net(net, v as u64);
+        }
+        sim.eval_comb();
+        (0..self.n_nets as u32)
+            .map(|id| sim.lane_bool(id, 0))
+            .collect()
+    }
+
+    /// Drop-in equivalent of [`Netlist::step_seq`]: evaluate, then
+    /// latch every register, returning the new register state.
+    pub fn step_seq(
+        &self,
+        input_values: &HashMap<NetId, bool>,
+        reg_values: &HashMap<NetId, bool>,
+    ) -> HashMap<NetId, bool> {
+        let vals = self.eval_comb(input_values, reg_values);
+        self.regs
+            .iter()
+            .map(|r| (r.q, vals[r.d as usize]))
+            .collect()
+    }
+}
+
+/// Simulation state over a [`CompiledNetlist`]: one `u64` per net, bit
+/// *k* of every word belonging to independent lane *k*.
+#[derive(Debug, Clone)]
+pub struct BitSim<'a> {
+    cn: &'a CompiledNetlist,
+    vals: Vec<u64>,
+    /// Scratch for the register latch (double-buffered so a Q net
+    /// feeding another register's D directly latches the *pre-edge*
+    /// value, as real flip-flops do).
+    latch: Vec<u64>,
+}
+
+impl BitSim<'_> {
+    /// Number of independent simulation lanes in one word.
+    pub const LANES: usize = 64;
+
+    /// The compiled netlist this state belongs to.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        self.cn
+    }
+
+    /// Raw word of a net (all 64 lanes).
+    #[inline]
+    pub fn net(&self, net: NetId) -> u64 {
+        self.vals[net as usize]
+    }
+
+    /// Overwrite the word of a source net (input or register Q). Writing
+    /// a logic net is allowed but will be recomputed by the next pass.
+    #[inline]
+    pub fn set_net(&mut self, net: NetId, word: u64) {
+        self.vals[net as usize] = word;
+    }
+
+    /// Value of one lane of one net.
+    #[inline]
+    pub fn lane_bool(&self, net: NetId, lane: usize) -> bool {
+        debug_assert!(lane < Self::LANES);
+        (self.vals[net as usize] >> lane) & 1 == 1
+    }
+
+    /// Broadcast `value` across **all** lanes of a bus (bit *i* of
+    /// `value` drives every lane of `bus[i]`).
+    pub fn set_bus_all(&mut self, bus: &[NetId], value: u64) {
+        for (i, &net) in bus.iter().enumerate() {
+            self.vals[net as usize] = if (value >> i) & 1 == 1 { u64::MAX } else { 0 };
+        }
+    }
+
+    /// Drive `value` onto one lane of a bus, leaving other lanes alone.
+    pub fn set_bus_lane(&mut self, bus: &[NetId], lane: usize, value: u64) {
+        debug_assert!(lane < Self::LANES);
+        let bit = 1u64 << lane;
+        for (i, &net) in bus.iter().enumerate() {
+            if (value >> i) & 1 == 1 {
+                self.vals[net as usize] |= bit;
+            } else {
+                self.vals[net as usize] &= !bit;
+            }
+        }
+    }
+
+    /// Read a bus back from one lane (LSB first).
+    pub fn bus_lane(&self, bus: &[NetId], lane: usize) -> u64 {
+        debug_assert!(lane < Self::LANES);
+        let mut v = 0u64;
+        for (i, &net) in bus.iter().enumerate() {
+            v |= ((self.vals[net as usize] >> lane) & 1) << i;
+        }
+        v
+    }
+
+    /// One combinational pass: every logic gate once, in topological
+    /// order, all 64 lanes at a time.
+    pub fn eval_comb(&mut self) {
+        let vals = &mut self.vals;
+        for op in &self.cn.ops {
+            let a = vals[op.a as usize];
+            let v = match op.kind {
+                OpKind::Buf => a,
+                OpKind::Inv => !a,
+                OpKind::And => a & vals[op.b as usize],
+                OpKind::Or => a | vals[op.b as usize],
+                OpKind::Xor => a ^ vals[op.b as usize],
+                OpKind::Nand => !(a & vals[op.b as usize]),
+                OpKind::Nor => !(a | vals[op.b as usize]),
+                OpKind::Mux => (a & vals[op.b as usize]) | (!a & vals[op.c as usize]),
+            };
+            vals[op.out as usize] = v;
+        }
+    }
+
+    /// One clock edge: combinational pass, then latch every register
+    /// (`Q ← D`) simultaneously across all lanes.
+    pub fn step(&mut self) {
+        self.eval_comb();
+        for (s, r) in self.latch.iter_mut().zip(&self.cn.regs) {
+            *s = self.vals[r.d as usize];
+        }
+        for (s, r) in self.latch.iter().zip(&self.cn.regs) {
+            self.vals[r.q as usize] = *s;
+        }
+    }
+
+    /// Reset every register word (all lanes) to zero.
+    pub fn clear_regs(&mut self) {
+        for r in &self.cn.regs {
+            self.vals[r.q as usize] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::netlist::{Gate, GateKind};
+
+    fn toggle_netlist() -> Netlist {
+        // q ← !q, plus a Const1-fed AND to cover constant baking.
+        let mut nl = Netlist::default();
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        }); // 0 = q
+        nl.gates.push(Gate {
+            kind: GateKind::Inv,
+            inputs: vec![0],
+        }); // 1 = d
+        nl.gates.push(Gate {
+            kind: GateKind::Const1,
+            inputs: vec![],
+        }); // 2
+        nl.gates.push(Gate {
+            kind: GateKind::And2,
+            inputs: vec![0, 2],
+        }); // 3 = q & 1
+        nl.regs.push(RegCell { d: 1, q: 0 });
+        nl.outputs.push(("y".into(), vec![3]));
+        nl
+    }
+
+    #[test]
+    fn compile_rejects_invalid() {
+        let mut nl = Netlist::default();
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![0],
+        });
+        assert!(matches!(
+            CompiledNetlist::compile(&nl),
+            Err(SynthError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_toggle_matches_interpreter() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut state: HashMap<NetId, bool> = [(0u32, false)].into();
+        let mut cstate = state.clone();
+        for _ in 0..8 {
+            state = nl.step_seq(&HashMap::new(), &state);
+            cstate = cn.step_seq(&HashMap::new(), &cstate);
+            assert_eq!(state, cstate);
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim();
+        // Lane 0 starts at 0, lane 1 starts at 1: they must stay in
+        // antiphase forever.
+        sim.set_net(0, 0b10);
+        for step in 0..16 {
+            sim.step();
+            assert_ne!(
+                sim.lane_bool(0, 0),
+                sim.lane_bool(0, 1),
+                "lanes converged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn const_one_is_baked() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim();
+        sim.set_net(0, u64::MAX);
+        sim.eval_comb();
+        assert_eq!(sim.net(3), u64::MAX, "q & 1 with q = all-ones");
+    }
+
+    #[test]
+    fn bus_lane_roundtrip() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim();
+        let bus = [0u32, 1, 3];
+        sim.set_bus_lane(&bus, 7, 0b101);
+        assert_eq!(sim.bus_lane(&bus, 7), 0b101);
+        assert_eq!(sim.bus_lane(&bus, 6), 0);
+        sim.set_bus_all(&bus, 0b010);
+        assert_eq!(sim.bus_lane(&bus, 0), 0b010);
+        assert_eq!(sim.bus_lane(&bus, 63), 0b010);
+    }
+
+    #[test]
+    fn mux_op_selects_per_lane() {
+        let mut nl = Netlist::default();
+        for _ in 0..3 {
+            nl.gates.push(Gate {
+                kind: GateKind::Input,
+                inputs: vec![],
+            });
+        }
+        nl.gates.push(Gate {
+            kind: GateKind::CarryMux,
+            inputs: vec![0, 1, 2],
+        });
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim();
+        sim.set_net(0, 0b01); // lane 0 selects a, lane 1 selects b
+        sim.set_net(1, 0b11); // a
+        sim.set_net(2, 0b00); // b
+        sim.eval_comb();
+        assert_eq!(sim.net(3) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn step_latches_pre_edge_value_through_reg_chains() {
+        // Two registers in a chain: q1 → d2. After one edge, q2 must
+        // hold q1's *old* value, not the freshly latched one.
+        let mut nl = Netlist::default();
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        }); // 0 = q1
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        }); // 1 = q2
+        nl.gates.push(Gate {
+            kind: GateKind::Inv,
+            inputs: vec![0],
+        }); // 2 = d1 = !q1
+        nl.regs.push(RegCell { d: 2, q: 0 });
+        nl.regs.push(RegCell { d: 0, q: 1 }); // d2 = q1 directly
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim();
+        sim.step(); // q1: 0→1, q2: ←old q1 = 0
+        assert!(sim.lane_bool(0, 0));
+        assert!(!sim.lane_bool(1, 0));
+        sim.step(); // q1: 1→0, q2: ←old q1 = 1
+        assert!(!sim.lane_bool(0, 0));
+        assert!(sim.lane_bool(1, 0));
+    }
+}

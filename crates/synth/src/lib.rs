@@ -15,6 +15,12 @@
 //!   the paper's netlists, plus the dedicated carry mux of the Virtex
 //!   slice), with validation, topological levelization, and both
 //!   combinational and sequential simulation;
+//! * [`bitsim`] — the compiled simulation engine: a [`CompiledNetlist`]
+//!   caches validation + topological order in a dense instruction
+//!   stream, and [`BitSim`] evaluates it with one `u64` word per net —
+//!   64 independent simulation lanes per pass (word-level logic
+//!   simulation, the netlist-regression analogue of the paper's
+//!   population-parallel hardware);
 //! * [`builder`] — the RT-level component library (adders, comparators,
 //!   muxes, decoders, mask networks, an array multiplier, scan register
 //!   banks) elaborated into gates, each builder proven equivalent to
@@ -32,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod asic;
+pub mod bitsim;
 pub mod builder;
 pub mod device;
 pub mod error;
@@ -44,6 +51,7 @@ pub mod parser;
 pub mod timing;
 pub mod verilog;
 
+pub use bitsim::{BitSim, CompiledNetlist};
 pub use builder::Builder;
 pub use device::Xc2vp30;
 pub use error::SynthError;

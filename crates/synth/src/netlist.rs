@@ -282,14 +282,44 @@ impl Netlist {
     /// Evaluate the combinational network. `input_values` maps each
     /// `Input` net to a bit; `reg_values` maps each `RegQ` net. Returns
     /// the value of every net.
+    ///
+    /// Infallible wrapper over [`Netlist::try_eval_comb`]; panics on a
+    /// structurally invalid netlist. Hot paths that evaluate the same
+    /// netlist repeatedly should compile it once with
+    /// [`crate::bitsim::CompiledNetlist`] instead — this interpreter
+    /// re-validates (a full topological sort) on every call.
     pub fn eval_comb(
         &self,
         input_values: &HashMap<NetId, bool>,
         reg_values: &HashMap<NetId, bool>,
     ) -> Vec<bool> {
-        let order = self.validate().expect("invalid netlist");
+        self.try_eval_comb(input_values, reg_values)
+            .expect("invalid netlist")
+    }
+
+    /// Fallible combinational evaluation: surfaces the structural
+    /// defect as a [`SynthError`] instead of panicking.
+    pub fn try_eval_comb(
+        &self,
+        input_values: &HashMap<NetId, bool>,
+        reg_values: &HashMap<NetId, bool>,
+    ) -> Result<Vec<bool>, SynthError> {
+        let order = self.validate()?;
+        Ok(self.eval_comb_with_order(&order, input_values, reg_values))
+    }
+
+    /// Combinational evaluation reusing an already-computed topological
+    /// order (from [`Netlist::validate`] or [`Netlist::topo_order`]),
+    /// skipping the per-call sort. The order must cover every gate of
+    /// *this* netlist.
+    pub fn eval_comb_with_order(
+        &self,
+        order: &[NetId],
+        input_values: &HashMap<NetId, bool>,
+        reg_values: &HashMap<NetId, bool>,
+    ) -> Vec<bool> {
         let mut val = vec![false; self.gates.len()];
-        for &id in &order {
+        for &id in order {
             let g = &self.gates[id as usize];
             let v = match g.kind {
                 GateKind::Const0 => false,
@@ -317,17 +347,30 @@ impl Netlist {
     }
 
     /// One sequential step: evaluate combinationally, then latch every
-    /// register (returns the new register state).
+    /// register (returns the new register state). Infallible wrapper
+    /// over [`Netlist::try_step_seq`].
     pub fn step_seq(
         &self,
         input_values: &HashMap<NetId, bool>,
         reg_values: &HashMap<NetId, bool>,
     ) -> HashMap<NetId, bool> {
-        let vals = self.eval_comb(input_values, reg_values);
-        self.regs
+        self.try_step_seq(input_values, reg_values)
+            .expect("invalid netlist")
+    }
+
+    /// Fallible sequential step, consistent with the crate's `try_*`
+    /// convention.
+    pub fn try_step_seq(
+        &self,
+        input_values: &HashMap<NetId, bool>,
+        reg_values: &HashMap<NetId, bool>,
+    ) -> Result<HashMap<NetId, bool>, SynthError> {
+        let vals = self.try_eval_comb(input_values, reg_values)?;
+        Ok(self
+            .regs
             .iter()
             .map(|r| (r.q, vals[r.d as usize]))
-            .collect()
+            .collect())
     }
 
     /// Look up a named bus in inputs.
@@ -431,6 +474,38 @@ mod tests {
         });
         assert!(nl.validate().unwrap_err().to_string().contains("cycle"));
         assert_eq!(nl.comb_sccs().len(), 1);
+    }
+
+    #[test]
+    fn try_eval_comb_surfaces_typed_errors() {
+        let mut nl = Netlist::default();
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![1],
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![0],
+        });
+        let err = nl.try_eval_comb(&HashMap::new(), &HashMap::new());
+        assert!(matches!(err, Err(SynthError::CombinationalCycle { .. })));
+        assert!(matches!(
+            nl.try_step_seq(&HashMap::new(), &HashMap::new()),
+            Err(SynthError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_comb_with_order_reuses_a_cached_sort() {
+        let nl = xor_netlist();
+        let order = nl.validate().unwrap();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut inp = HashMap::new();
+            inp.insert(0u32, a);
+            inp.insert(1u32, b);
+            let vals = nl.eval_comb_with_order(&order, &inp, &HashMap::new());
+            assert_eq!(vals[5], a ^ b, "a={a} b={b}");
+        }
     }
 
     #[test]
