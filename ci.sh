@@ -30,4 +30,23 @@ GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/profile > /dev/null
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_table5.json" 'runs>=10'
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_profile.json" 'bitsim64_gates_per_sec>=5e7'
 
+echo "== conformance (cross-engine trajectory matrix, quick by default)"
+# Behavioral GA, swga reference, RTL interpreter, and a bitsim CA-RNG
+# lane must agree generation-for-generation. The quick matrix runs
+# here; set GA_CONFORMANCE_FULL=1 for all six fitness functions and
+# longer generation budgets.
+cargo test -q --release --test conformance
+
+echo "== gaserved golden fixture + BENCH_serve.json throughput floor"
+# The serving layer replays the checked-in 16-job fixture; the output
+# must be byte-identical to the committed golden (results are
+# deterministic and carry no timing fields). benchcheck then validates
+# the emitted report and enforces a conservative jobs/sec floor.
+cargo build -q --release -p ga-serve --bin gaserved
+GA_BENCH_OUT="$SMOKE_DIR" ./target/release/gaserved \
+    --input tests/fixtures/jobs16.jsonl \
+    --out "$SMOKE_DIR/results16.jsonl" --threads 4
+diff -u tests/fixtures/results16_golden.jsonl "$SMOKE_DIR/results16.jsonl"
+./target/release/benchcheck "$SMOKE_DIR/BENCH_serve.json" 'jobs>=15' 'jobs_per_sec>=25'
+
 echo "CI OK"

@@ -25,7 +25,7 @@ pub mod report;
 pub mod sweep;
 
 pub use report::{gens_override, quick, BenchReport, Stopwatch};
-pub use sweep::{default_threads, grid3, run_sweep};
+pub use sweep::{default_threads, grid3, lane_chunks, run_sweep};
 
 use ga_core::{GaParams, GaSystem, HwRun};
 use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};

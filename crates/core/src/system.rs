@@ -377,6 +377,19 @@ impl GaSystem {
     /// Pulse `start_GA` and run until `GA_done`. `max_cycles` is the
     /// watchdog bound.
     pub fn run(&mut self, max_cycles: u64) -> Result<HwRun, SimError> {
+        self.run_with_deadline(max_cycles, None)
+    }
+
+    /// [`GaSystem::run`] with an additional wall-clock budget: the
+    /// cycle watchdog bounds *simulated* time, the [`Deadline`] bounds
+    /// *host* time (the serving layer's per-job timeout). The deadline
+    /// is checked between cycles with amortized clock reads, so an
+    /// in-flight cycle always completes.
+    pub fn run_with_deadline(
+        &mut self,
+        max_cycles: u64,
+        mut deadline: Option<&mut hwsim::Deadline>,
+    ) -> Result<HwRun, SimError> {
         self.history.clear();
         let start = self.sim.cycles();
         self.step(UserIn {
@@ -387,6 +400,11 @@ impl GaSystem {
         while !self.modules.core.out().ga_done {
             if guard >= max_cycles {
                 return Err(SimError::Timeout { cycles: guard });
+            }
+            if let Some(d) = deadline.as_deref_mut() {
+                if d.expired() {
+                    return Err(SimError::DeadlineExceeded { cycles: guard });
+                }
             }
             self.step(UserIn::default());
             guard = self.sim.cycles() - start;

@@ -75,6 +75,6 @@ pub use mem::{SpRam, SpRom};
 pub use monitor::HandshakeMonitor;
 pub use reg::Reg;
 pub use scoreboard::Scoreboard;
-pub use sim::{Clocked, Sim, SimError};
+pub use sim::{Clocked, Deadline, Sim, SimError};
 pub use trace::{Trace, TraceSeries};
 pub use vcd::VcdWriter;

@@ -8,6 +8,7 @@
 //! until a caller-supplied condition holds or a watchdog fires.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// A synchronous module driven by a single clock.
 ///
@@ -23,12 +24,18 @@ pub trait Clocked {
     fn commit(&mut self);
 }
 
-/// Errors from [`Sim::run_until`].
+/// Errors from [`Sim::run_until`] and deadline-aware run loops.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The watchdog expired before the condition held.
     Timeout {
         /// Number of cycles that were run before giving up.
+        cycles: u64,
+    },
+    /// A wall-clock [`Deadline`] expired before the condition held —
+    /// the *host* ran out of time, not the simulated hardware.
+    DeadlineExceeded {
+        /// Number of cycles that were run before the deadline fired.
         cycles: u64,
     },
 }
@@ -39,11 +46,76 @@ impl fmt::Display for SimError {
             SimError::Timeout { cycles } => {
                 write!(f, "simulation watchdog expired after {cycles} cycles")
             }
+            SimError::DeadlineExceeded { cycles } => {
+                write!(f, "wall-clock deadline expired after {cycles} cycles")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// A wall-clock budget with amortized checking, for bounding how long a
+/// *host* is allowed to spend inside a simulation loop (as opposed to
+/// the cycle-count watchdog, which bounds *simulated* time).
+///
+/// Reading the OS clock every simulated cycle would dominate a tight
+/// run loop, so [`Deadline::expired`] only consults [`Instant`] once
+/// per `stride` calls. The first call always checks, which makes a
+/// zero-millisecond deadline fire deterministically — the property the
+/// serve-layer timeout tests rely on.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+    stride: u32,
+    countdown: u32,
+}
+
+impl Deadline {
+    /// Check the clock once per this many `expired()` calls.
+    const DEFAULT_STRIDE: u32 = 1024;
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            start: Instant::now(),
+            budget,
+            stride: Self::DEFAULT_STRIDE,
+            countdown: 0,
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Self::after(Duration::from_millis(ms))
+    }
+
+    /// Amortized check: consults the real clock on the first call and
+    /// then once per stride; in between it returns the last verdict
+    /// (which is `false`, since an expired deadline stays expired and
+    /// callers stop on the first `true`).
+    #[inline]
+    pub fn expired(&mut self) -> bool {
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return false;
+        }
+        self.countdown = self.stride - 1;
+        self.is_past()
+    }
+
+    /// Immediate (non-amortized) check against the real clock.
+    #[inline]
+    pub fn is_past(&self) -> bool {
+        self.start.elapsed() >= self.budget
+    }
+
+    /// Time left before expiry (zero once past).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+}
 
 /// Clock/scheduler for a closed system.
 #[derive(Debug, Clone)]
@@ -199,5 +271,32 @@ mod tests {
     #[should_panic]
     fn zero_period_rejected() {
         let _ = Sim::new(0);
+    }
+
+    #[test]
+    fn zero_deadline_expires_on_first_check() {
+        // The amortized path must not defer the very first clock read:
+        // a 0 ms budget fires deterministically on call one.
+        let mut d = Deadline::after_ms(0);
+        assert!(d.expired());
+        assert!(d.is_past());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_expire() {
+        let mut d = Deadline::after(Duration::from_secs(3600));
+        for _ in 0..10_000 {
+            assert!(!d.expired());
+        }
+        assert!(!d.is_past());
+        assert!(d.remaining() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn deadline_error_displays_cycles() {
+        let e = SimError::DeadlineExceeded { cycles: 42 };
+        assert!(e.to_string().contains("42"));
+        assert_ne!(e, SimError::Timeout { cycles: 42 });
     }
 }

@@ -1,0 +1,198 @@
+//! Backend runners: one function per engine, all returning the same
+//! [`JobOutput`] shape so the service layer is engine-agnostic.
+
+use std::time::Instant;
+
+use carng::{CaRng, Rng16};
+use ga_core::behavioral::GaRun;
+use ga_core::{GaEngine, GaSystem};
+use ga_fitness::{FemBank, FemSlot, LookupFem};
+use hwsim::{Deadline, SimError};
+
+use crate::job::{BackendKind, GaJob, JobOutput, JobResult, ServeError};
+use crate::pack::{ca_lane_streams, draws_per_run, StreamRng};
+
+/// Fitness evaluations one full run consumes: the initial population
+/// plus `pop − 1` offspring per generation (the elite slot is copied,
+/// not re-evaluated). Used for the RTL backend, which does not count
+/// evaluations itself.
+pub fn evaluations_for(p: &ga_core::GaParams) -> u64 {
+    p.pop_size as u64 + p.n_gens as u64 * (p.pop_size as u64 - 1)
+}
+
+/// Run one job on its selected backend. Validation happens here, so an
+/// out-of-range job becomes a typed error result, never a panic.
+pub fn run_single(job: &GaJob, rtl_watchdog_cycles: u64) -> Result<JobOutput, ServeError> {
+    job.validate()?;
+    match job.backend {
+        BackendKind::Behavioral => run_engine(job, CaRng::new(job.params.seed)),
+        BackendKind::RtlInterp => run_rtl(job, rtl_watchdog_cycles),
+        BackendKind::BitSim64 => {
+            // A solo bitsim job is a pack of one: the lane stream still
+            // comes from the compiled netlist, not from `CaRng`.
+            let draws = draws_per_run(&job.params) as usize;
+            let stream = ca_lane_streams(&[job.params.seed], draws)
+                .pop()
+                .expect("one lane requested");
+            run_engine(job, StreamRng::new(stream))
+        }
+    }
+}
+
+/// Run a pack of *validated, compatible* bitsim jobs (`idxs` index into
+/// `all`; at most 64, all sharing one [`GaJob::pack_key`]): one
+/// lockstep netlist run extracts every lane's RNG stream, then each
+/// lane finishes as an independent engine run. Per-job latency charges
+/// each job its own engine time plus an even share of the shared
+/// stream-extraction time.
+pub fn run_pack(all: &[GaJob], idxs: &[usize]) -> Vec<JobResult> {
+    debug_assert!(!idxs.is_empty());
+    let draws = draws_per_run(&all[idxs[0]].params) as usize;
+    let seeds: Vec<u16> = idxs.iter().map(|&i| all[i].params.seed).collect();
+    let t = Instant::now();
+    let streams = ca_lane_streams(&seeds, draws);
+    let shared_micros = t.elapsed().as_micros() as u64 / idxs.len() as u64;
+
+    idxs.iter()
+        .zip(streams)
+        .map(|(&i, stream)| {
+            let t = Instant::now();
+            let outcome = run_engine(&all[i], StreamRng::new(stream));
+            JobResult {
+                job: i,
+                backend: BackendKind::BitSim64,
+                outcome,
+                micros: shared_micros + t.elapsed().as_micros() as u64,
+            }
+        })
+        .collect()
+}
+
+/// The behavioral loop shared by the `Behavioral` and `BitSim64`
+/// backends (they differ only in where the RNG stream comes from). The
+/// deadline is checked between generations, so an in-flight generation
+/// always completes.
+fn run_engine<R: Rng16>(job: &GaJob, rng: R) -> Result<JobOutput, ServeError> {
+    let params = job.params;
+    let f = job.function;
+    let mut deadline = job.deadline_ms.map(Deadline::after_ms);
+    let mut engine = GaEngine::new(params, rng, move |c| f.eval_u16(c));
+    let mut history = Vec::with_capacity(params.n_gens as usize + 1);
+    history.push(engine.init_population());
+    for _ in 0..params.n_gens {
+        if let Some(d) = deadline.as_mut() {
+            if d.is_past() {
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
+        history.push(engine.step_generation());
+    }
+    let best = engine.best();
+    let evaluations = engine.evaluations();
+    let run = GaRun {
+        best,
+        history,
+        evaluations,
+        rng_draws: engine.rng_draws(),
+    };
+    Ok(JobOutput {
+        best,
+        generations: params.n_gens,
+        evaluations,
+        conv_gen: run.convergence_generation(),
+        cycles: None,
+    })
+}
+
+/// The cycle-accurate backend: program the hardware system through the
+/// initialization handshake and run to `GA_done` under both a
+/// simulated-cycle watchdog and the job's wall-clock deadline.
+fn run_rtl(job: &GaJob, watchdog_cycles: u64) -> Result<JobOutput, ServeError> {
+    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(job.function),
+    )]));
+    sys.program(&job.params);
+    let mut deadline = job.deadline_ms.map(Deadline::after_ms);
+    let run = sys
+        .run_with_deadline(watchdog_cycles, deadline.as_mut())
+        .map_err(|e| match e {
+            SimError::Timeout { cycles } => ServeError::Watchdog { cycles },
+            SimError::DeadlineExceeded { .. } => ServeError::DeadlineExceeded,
+        })?;
+    Ok(JobOutput {
+        best: run.best,
+        generations: job.params.n_gens,
+        evaluations: evaluations_for(&job.params),
+        conv_gen: run.as_ga_run().convergence_generation(),
+        cycles: Some(run.cycles),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_core::GaParams;
+    use ga_fitness::TestFunction;
+
+    const WATCHDOG: u64 = 2_000_000_000;
+
+    #[test]
+    fn behavioral_and_bitsim_agree_exactly() {
+        let params = GaParams::new(16, 6, 10, 1, 0x2961);
+        let beh = GaJob::new(TestFunction::Bf6, BackendKind::Behavioral, params);
+        let bit = GaJob::new(TestFunction::Bf6, BackendKind::BitSim64, params);
+        let a = run_single(&beh, WATCHDOG).expect("behavioral runs");
+        let b = run_single(&bit, WATCHDOG).expect("bitsim runs");
+        assert_eq!(a, b, "netlist-streamed lane must match the reference RNG");
+    }
+
+    #[test]
+    fn rtl_reports_cycles_and_matching_best() {
+        let params = GaParams::new(8, 4, 10, 1, 0x061F);
+        let rtl = GaJob::new(TestFunction::F3, BackendKind::RtlInterp, params);
+        let beh = GaJob::new(TestFunction::F3, BackendKind::Behavioral, params);
+        let r = run_single(&rtl, WATCHDOG).expect("rtl runs");
+        let b = run_single(&beh, WATCHDOG).expect("behavioral runs");
+        assert!(r.cycles.expect("rtl reports cycles") > 0);
+        assert_eq!(r.best, b.best, "engines must agree on the answer");
+        assert_eq!(r.evaluations, b.evaluations, "evaluation formula");
+    }
+
+    #[test]
+    fn zero_deadline_cancels_each_backend() {
+        let params = GaParams::new(8, 4, 10, 1, 0xB342);
+        for backend in BackendKind::ALL {
+            let job = GaJob::new(TestFunction::F2, backend, params).with_deadline_ms(0);
+            assert_eq!(
+                run_single(&job, WATCHDOG),
+                Err(ServeError::DeadlineExceeded),
+                "{} must honor a 0 ms deadline",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rtl_watchdog_is_typed() {
+        let params = GaParams::new(8, 4, 10, 1, 0xB342);
+        let job = GaJob::new(TestFunction::F2, BackendKind::RtlInterp, params);
+        assert!(matches!(
+            run_single(&job, 10),
+            Err(ServeError::Watchdog { cycles: 10 })
+        ));
+    }
+
+    #[test]
+    fn invalid_params_fail_validation_not_panic() {
+        let mut job = GaJob::new(
+            TestFunction::F2,
+            BackendKind::Behavioral,
+            GaParams::default(),
+        );
+        job.params.n_gens = 0;
+        assert!(matches!(
+            run_single(&job, WATCHDOG),
+            Err(ServeError::InvalidJob { .. })
+        ));
+    }
+}

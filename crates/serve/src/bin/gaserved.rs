@@ -1,0 +1,129 @@
+//! `gaserved` — batch GA execution over JSONL.
+//!
+//! ```text
+//! gaserved --input jobs.jsonl --out results.jsonl [--threads N] [--queue-cap N]
+//! ```
+//!
+//! Reads one job per input line, runs the batch through the sharded
+//! service, and writes exactly one result line per input line, in input
+//! order. Lines that fail to parse become `"backend":"none"` error
+//! lines in the same position — the batch never aborts on a bad line.
+//! A human summary goes to stderr, and the machine-readable throughput
+//! report goes to `BENCH_serve.json` (honoring `GA_BENCH_OUT`).
+
+use std::fs;
+use std::process::ExitCode;
+
+use ga_serve::{jsonl, serve_batch, GaJob, JobResult, ServeConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut out = None;
+    let mut cfg = ServeConfig::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let r = match arg.as_str() {
+            "--input" => value("--input").map(|v| input = Some(v)),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| cfg.threads = n.max(1))
+                    .map_err(|e| format!("--threads: {e}"))
+            }),
+            "--queue-cap" => value("--queue-cap").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| cfg.queue_capacity = n.max(1))
+                    .map_err(|e| format!("--queue-cap: {e}"))
+            }),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gaserved --input jobs.jsonl --out results.jsonl \
+                     [--threads N] [--queue-cap N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument {other:?} (try --help)")),
+        };
+        if let Err(msg) = r {
+            eprintln!("gaserved: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let (Some(input), Some(out)) = (input, out) else {
+        eprintln!("gaserved: --input and --out are required (try --help)");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gaserved: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Parse every line first. Parse failures keep their line slot so
+    // the output stays line-aligned with the input; parseable jobs are
+    // submitted as one batch with their line index as the job id.
+    let mut parse_errors = Vec::new(); // (line index, error line)
+    let mut jobs: Vec<(usize, GaJob)> = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match jsonl::parse_job(line, line_no) {
+            Ok(job) => jobs.push((line_no, job)),
+            Err(e) => parse_errors.push((line_no, jsonl::parse_error_line(line_no, &e))),
+        }
+    }
+
+    let batch: Vec<GaJob> = jobs.iter().map(|&(_, j)| j).collect();
+    let outcome = serve_batch(&batch, &cfg);
+
+    // Re-key batch-relative job ids back to input line numbers, merge
+    // with the parse-error lines, and emit in line order.
+    let mut lines: Vec<(usize, String)> = parse_errors;
+    for r in &outcome.results {
+        let line_no = jobs[r.job].0;
+        let rekeyed = JobResult {
+            job: line_no,
+            ..r.clone()
+        };
+        lines.push((line_no, jsonl::result_line(&rekeyed)));
+    }
+    lines.sort_by_key(|(line_no, _)| *line_no);
+
+    let mut body = String::new();
+    for (_, line) in &lines {
+        body.push_str(line);
+        body.push('\n');
+    }
+    if let Err(e) = fs::write(&out, body) {
+        eprintln!("gaserved: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = &outcome.stats;
+    eprintln!(
+        "gaserved: {} jobs ({} ok, {} errors, {} parse failures) in {:.3}s \
+         [{:.1} jobs/s, {} threads, {} bitsim packs]",
+        lines.len(),
+        stats.jobs() - stats.errors(),
+        stats.errors(),
+        lines.len() - outcome.results.len(),
+        stats.wall_seconds,
+        stats.jobs_per_sec(),
+        cfg.threads,
+        stats.packs,
+    );
+    stats.to_report(cfg.threads).emit_or_warn();
+    ExitCode::SUCCESS
+}

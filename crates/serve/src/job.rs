@@ -1,0 +1,309 @@
+//! Job and result types: the service's wire-level vocabulary.
+
+use std::fmt;
+
+use ga_core::behavioral::Individual;
+use ga_core::GaParams;
+use ga_fitness::TestFunction;
+
+/// The only chromosome width the engines implement today. The job
+/// schema carries a width field so wider cores (the 32-bit scaling
+/// study) can slot in later; until then any other value is rejected
+/// with [`ServeError::UnsupportedWidth`].
+pub const CHROM_WIDTH: u8 = 16;
+
+/// Which engine executes a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The behavioral reference engine (`ga_core::GaEngine`).
+    Behavioral,
+    /// The cycle-accurate hardware system (`ga_core::GaSystem`).
+    RtlInterp,
+    /// The compiled 64-lane netlist simulation: compatible jobs share
+    /// one bit-sliced CA-RNG run, one job per lane.
+    BitSim64,
+}
+
+impl BackendKind {
+    /// Every backend, in dispatch-priority order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Behavioral,
+        BackendKind::RtlInterp,
+        BackendKind::BitSim64,
+    ];
+
+    /// Stable lowercase name used in the JSONL schema and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Behavioral => "behavioral",
+            BackendKind::RtlInterp => "rtl",
+            BackendKind::BitSim64 => "bitsim64",
+        }
+    }
+
+    /// Parse a backend name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Look up a fitness function by its table name (`BF6`, `F2`, …),
+/// case-insensitively.
+pub fn function_by_name(s: &str) -> Option<TestFunction> {
+    TestFunction::ALL
+        .into_iter()
+        .find(|f| f.name().eq_ignore_ascii_case(s))
+}
+
+/// One GA execution request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaJob {
+    /// Chromosome width in bits (only [`CHROM_WIDTH`] is accepted).
+    pub width: u8,
+    /// Fitness-function (FEM) selection.
+    pub function: TestFunction,
+    /// Executing engine.
+    pub backend: BackendKind,
+    /// The Table III parameter set (population, generation budget,
+    /// operator thresholds, RNG seed). Held unvalidated so a bad job
+    /// surfaces as a typed [`ServeError::InvalidJob`] result instead of
+    /// a panic; [`GaJob::validate`] is the gate.
+    pub params: GaParams,
+    /// Optional wall-clock budget. Expiry cancels the job with
+    /// [`ServeError::DeadlineExceeded`]; an in-flight generation (or
+    /// simulated cycle) always completes first.
+    pub deadline_ms: Option<u64>,
+}
+
+impl GaJob {
+    /// A 16-bit job with no deadline.
+    pub fn new(function: TestFunction, backend: BackendKind, params: GaParams) -> Self {
+        GaJob {
+            width: CHROM_WIDTH,
+            function,
+            backend,
+            params,
+            deadline_ms: None,
+        }
+    }
+
+    /// Attach a wall-clock deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// The admission check every backend runs before touching an
+    /// engine: width support plus the hardware parameter ranges.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.width != CHROM_WIDTH {
+            return Err(ServeError::UnsupportedWidth { width: self.width });
+        }
+        self.params
+            .validate()
+            .map_err(|msg| ServeError::InvalidJob { msg })
+    }
+
+    /// Packing compatibility key: two jobs may share a 64-lane bitsim
+    /// run iff they consume RNG draws on the same schedule, which is
+    /// fully determined by population size and generation count (the
+    /// draw count per generation is a function of `pop_size` alone).
+    pub fn pack_key(&self) -> (u8, u32) {
+        (self.params.pop_size, self.params.n_gens)
+    }
+}
+
+/// What a completed job reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOutput {
+    /// Best individual found.
+    pub best: Individual,
+    /// Generations actually run (the full budget on success).
+    pub generations: u32,
+    /// Fitness evaluations consumed.
+    pub evaluations: u64,
+    /// Table V style convergence generation, if the run settled.
+    pub conv_gen: Option<u32>,
+    /// Simulated clock cycles (RTL backend only).
+    pub cycles: Option<u64>,
+}
+
+/// One job's result, tagged with its index in the submitted batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Index of the job in the input batch (results are returned in
+    /// input order; this field makes the invariant checkable).
+    pub job: usize,
+    /// Backend that executed (or rejected) the job.
+    pub backend: BackendKind,
+    /// The output, or a typed failure.
+    pub outcome: Result<JobOutput, ServeError>,
+    /// Measured wall-clock latency. Deliberately *excluded* from the
+    /// JSONL result lines so golden-file diffs stay deterministic;
+    /// latency is aggregated into `BENCH_serve.json` instead.
+    pub micros: u64,
+}
+
+/// Typed service errors — every way a job can fail without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A JSONL request line did not parse.
+    Parse {
+        /// 0-based input line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// Parameters outside the hardware ranges of Table III.
+    InvalidJob {
+        /// The validation failure.
+        msg: String,
+    },
+    /// Chromosome width not implemented by any backend.
+    UnsupportedWidth {
+        /// The requested width.
+        width: u8,
+    },
+    /// The job's wall-clock deadline expired; the job was cancelled.
+    DeadlineExceeded,
+    /// The RTL backend's simulated-cycle watchdog fired.
+    Watchdog {
+        /// Cycles run before giving up.
+        cycles: u64,
+    },
+    /// `try_push` on a full [`crate::BoundedQueue`].
+    QueueFull {
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The queue was closed while submitting.
+    QueueClosed,
+}
+
+impl ServeError {
+    /// Stable machine-readable code for the JSONL `error` field.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Parse { .. } => "parse",
+            ServeError::InvalidJob { .. } => "invalid_job",
+            ServeError::UnsupportedWidth { .. } => "unsupported_width",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::Watchdog { .. } => "watchdog",
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::QueueClosed => "queue_closed",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            ServeError::InvalidJob { msg } => write!(f, "invalid job: {msg}"),
+            ServeError::UnsupportedWidth { width } => {
+                write!(
+                    f,
+                    "chromosome width {width} unsupported (only {CHROM_WIDTH})"
+                )
+            }
+            ServeError::DeadlineExceeded => write!(f, "wall-clock deadline expired"),
+            ServeError::Watchdog { cycles } => {
+                write!(f, "simulation watchdog expired after {cycles} cycles")
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            ServeError::QueueClosed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(b.name()), Some(b));
+            assert_eq!(BackendKind::parse(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(BackendKind::parse("vhdl"), None);
+    }
+
+    #[test]
+    fn function_lookup_matches_table_names() {
+        for f in TestFunction::ALL {
+            assert_eq!(function_by_name(f.name()), Some(f));
+            assert_eq!(function_by_name(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(function_by_name("rosenbrock"), None);
+    }
+
+    #[test]
+    fn validation_is_typed_not_panicking() {
+        let good = GaParams::default();
+        let job = GaJob::new(TestFunction::F3, BackendKind::Behavioral, good);
+        assert!(job.validate().is_ok());
+
+        let wide = GaJob { width: 32, ..job };
+        assert_eq!(
+            wide.validate(),
+            Err(ServeError::UnsupportedWidth { width: 32 })
+        );
+
+        let bad = GaJob {
+            params: GaParams {
+                pop_size: 1,
+                ..good
+            },
+            ..job
+        };
+        assert!(matches!(bad.validate(), Err(ServeError::InvalidJob { .. })));
+    }
+
+    #[test]
+    fn pack_key_is_pop_and_gens_only() {
+        let a = GaJob::new(
+            TestFunction::F2,
+            BackendKind::BitSim64,
+            GaParams::new(32, 8, 10, 1, 0x1111),
+        );
+        let b = GaJob::new(
+            TestFunction::Bf6,
+            BackendKind::BitSim64,
+            GaParams::new(32, 8, 14, 3, 0x2222),
+        );
+        assert_eq!(
+            a.pack_key(),
+            b.pack_key(),
+            "fn/thresholds/seed don't matter"
+        );
+        let c = GaJob {
+            params: GaParams {
+                n_gens: 9,
+                ..a.params
+            },
+            ..a
+        };
+        assert_ne!(a.pack_key(), c.pack_key());
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(ServeError::DeadlineExceeded.code(), "deadline_exceeded");
+        assert_eq!(ServeError::Watchdog { cycles: 1 }.code(), "watchdog");
+        assert_eq!(
+            ServeError::Parse {
+                line: 0,
+                msg: String::new()
+            }
+            .code(),
+            "parse"
+        );
+    }
+}

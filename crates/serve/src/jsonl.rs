@@ -1,0 +1,446 @@
+//! The JSONL request/response schema of `gaserved`.
+//!
+//! One job per input line:
+//!
+//! ```json
+//! {"fn":"F3","backend":"bitsim64","width":16,"pop":32,"gens":32,"xover":10,"mut":1,"seed":1567,"deadline_ms":1000}
+//! ```
+//!
+//! `fn`, `pop`, `gens`, `xover`, `mut`, and `seed` are required;
+//! `backend` defaults to `behavioral`, `width` to 16, `deadline_ms` to
+//! none. Unknown keys are rejected — a typo'd field must not silently
+//! change the experiment.
+//!
+//! One result per output line, **in input order**:
+//!
+//! ```json
+//! {"job":0,"backend":"rtl","ok":true,"best_chrom":34106,"best_fitness":3060,"generations":32,"evaluations":1024,"conv_gen":7,"cycles":335872}
+//! {"job":1,"backend":"behavioral","ok":false,"error":"deadline_exceeded","detail":"wall-clock deadline expired"}
+//! ```
+//!
+//! Result lines carry **no timing fields** — that keeps a golden
+//! `results.jsonl` byte-stable across machines; latency aggregates go
+//! to `BENCH_serve.json` instead. The parser is a hand-rolled
+//! flat-object reader, matching the workspace's no-external-deps rule
+//! (the same reason `ga-bench` hand-rolls its report JSON).
+
+use std::fmt::Write as _;
+
+use ga_core::GaParams;
+
+use crate::job::{function_by_name, BackendKind, GaJob, JobResult, ServeError, CHROM_WIDTH};
+
+/// A flat JSON value (all the schema needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string literal.
+    Str(String),
+    /// Any number (integers included).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parse one flat JSON object into `(key, value)` pairs, preserving
+/// order. Nested objects/arrays are rejected — the job schema is flat
+/// by design.
+pub fn parse_object(s: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.at += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {:?}", byte_name(other))),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err("trailing characters after the object".into());
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected '{}', got {:?}",
+                want as char,
+                byte_name(other)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {:?}", byte_name(other))),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err("nested objects/arrays are not part of the schema".into()),
+            Some(_) => {
+                let start = self.at;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.at += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| "non-UTF8 number")?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number {text:?}"))
+            }
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal (expected {word})"))
+        }
+    }
+}
+
+fn byte_name(b: Option<u8>) -> String {
+    match b {
+        Some(b) => (b as char).to_string(),
+        None => "end of line".into(),
+    }
+}
+
+/// Parse one request line into a [`GaJob`]. `line` is the 0-based input
+/// line number, echoed in [`ServeError::Parse`] diagnostics.
+pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
+    let perr = |msg: String| ServeError::Parse { line, msg };
+    let pairs = parse_object(text).map_err(perr)?;
+
+    let mut function = None;
+    let mut backend = BackendKind::Behavioral;
+    let mut width = CHROM_WIDTH;
+    let mut pop = None;
+    let mut gens = None;
+    let mut xover = None;
+    let mut mutation = None;
+    let mut seed = None;
+    let mut deadline_ms = None;
+
+    for (key, value) in pairs {
+        match key.as_str() {
+            "fn" => {
+                let name = as_str(&key, &value).map_err(perr)?;
+                function = Some(
+                    function_by_name(&name)
+                        .ok_or_else(|| perr(format!("unknown fitness function {name:?}")))?,
+                );
+            }
+            "backend" => {
+                let name = as_str(&key, &value).map_err(perr)?;
+                backend = BackendKind::parse(&name)
+                    .ok_or_else(|| perr(format!("unknown backend {name:?}")))?;
+            }
+            "width" => width = as_int(&key, &value, 0, u8::MAX as u64).map_err(perr)? as u8,
+            "pop" => pop = Some(as_int(&key, &value, 0, u8::MAX as u64).map_err(perr)? as u8),
+            "gens" => gens = Some(as_int(&key, &value, 0, u32::MAX as u64).map_err(perr)? as u32),
+            "xover" => xover = Some(as_int(&key, &value, 0, 255).map_err(perr)? as u8),
+            "mut" => mutation = Some(as_int(&key, &value, 0, 255).map_err(perr)? as u8),
+            "seed" => seed = Some(as_int(&key, &value, 0, u16::MAX as u64).map_err(perr)? as u16),
+            "deadline_ms" => match value {
+                JsonValue::Null => deadline_ms = None,
+                v => deadline_ms = Some(as_int(&key, &v, 0, u64::MAX).map_err(perr)?),
+            },
+            other => return Err(perr(format!("unknown key {other:?}"))),
+        }
+    }
+
+    let req = |name: &str| perr(format!("missing required key \"{name}\""));
+    Ok(GaJob {
+        width,
+        function: function.ok_or_else(|| req("fn"))?,
+        backend,
+        params: GaParams {
+            pop_size: pop.ok_or_else(|| req("pop"))?,
+            n_gens: gens.ok_or_else(|| req("gens"))?,
+            xover_threshold: xover.ok_or_else(|| req("xover"))?,
+            mut_threshold: mutation.ok_or_else(|| req("mut"))?,
+            seed: seed.ok_or_else(|| req("seed"))?,
+        },
+        deadline_ms,
+    })
+}
+
+fn as_str(key: &str, v: &JsonValue) -> Result<String, String> {
+    match v {
+        JsonValue::Str(s) => Ok(s.clone()),
+        other => Err(format!("key {key:?} must be a string, got {other:?}")),
+    }
+}
+
+fn as_int(key: &str, v: &JsonValue, min: u64, max: u64) -> Result<u64, String> {
+    let JsonValue::Num(n) = v else {
+        return Err(format!("key {key:?} must be a number, got {v:?}"));
+    };
+    if n.fract() != 0.0 || *n < min as f64 || *n > max as f64 {
+        return Err(format!(
+            "key {key:?} = {n} outside the integer range {min}..={max}"
+        ));
+    }
+    Ok(*n as u64)
+}
+
+/// Serialize a [`GaJob`] as one request line (fixture generation and
+/// round-trip tests).
+pub fn job_line(job: &GaJob) -> String {
+    let mut out = format!(
+        "{{\"fn\":\"{}\",\"backend\":\"{}\",\"width\":{},\"pop\":{},\"gens\":{},\"xover\":{},\"mut\":{},\"seed\":{}",
+        job.function.name(),
+        job.backend.name(),
+        job.width,
+        job.params.pop_size,
+        job.params.n_gens,
+        job.params.xover_threshold,
+        job.params.mut_threshold,
+        job.params.seed
+    );
+    if let Some(ms) = job.deadline_ms {
+        let _ = write!(out, ",\"deadline_ms\":{ms}");
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize one result line. Fully deterministic: no timing fields.
+pub fn result_line(r: &JobResult) -> String {
+    match &r.outcome {
+        Ok(o) => {
+            let mut out = format!(
+                "{{\"job\":{},\"backend\":\"{}\",\"ok\":true,\"best_chrom\":{},\"best_fitness\":{},\"generations\":{},\"evaluations\":{}",
+                r.job,
+                r.backend.name(),
+                o.best.chrom,
+                o.best.fitness,
+                o.generations,
+                o.evaluations
+            );
+            match o.conv_gen {
+                Some(g) => {
+                    let _ = write!(out, ",\"conv_gen\":{g}");
+                }
+                None => out.push_str(",\"conv_gen\":null"),
+            }
+            if let Some(c) = o.cycles {
+                let _ = write!(out, ",\"cycles\":{c}");
+            }
+            out.push('}');
+            out
+        }
+        Err(e) => format!(
+            "{{\"job\":{},\"backend\":\"{}\",\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
+            r.job,
+            r.backend.name(),
+            e.code(),
+            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+    }
+}
+
+/// Serialize the result line for an input line that failed to parse
+/// (there is no backend to attribute it to).
+pub fn parse_error_line(job: usize, err: &ServeError) -> String {
+    format!(
+        "{{\"job\":{job},\"backend\":\"none\",\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
+        err.code(),
+        err.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobOutput;
+    use ga_core::behavioral::Individual;
+    use ga_fitness::TestFunction;
+
+    #[test]
+    fn job_lines_roundtrip() {
+        let jobs = [
+            GaJob::new(
+                TestFunction::Mbf6_2,
+                BackendKind::BitSim64,
+                GaParams::new(32, 32, 10, 1, 1567),
+            ),
+            GaJob::new(
+                TestFunction::F2,
+                BackendKind::RtlInterp,
+                GaParams::new(8, 4, 12, 2, 0xB342),
+            )
+            .with_deadline_ms(250),
+        ];
+        for job in jobs {
+            let line = job_line(&job);
+            assert_eq!(parse_job(&line, 0), Ok(job), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn defaults_and_required_keys() {
+        let job = parse_job(
+            r#"{"fn":"f3","pop":32,"gens":8,"xover":10,"mut":1,"seed":7}"#,
+            0,
+        )
+        .expect("minimal line parses");
+        assert_eq!(job.backend, BackendKind::Behavioral);
+        assert_eq!(job.width, CHROM_WIDTH);
+        assert_eq!(job.deadline_ms, None);
+
+        let missing = parse_job(r#"{"fn":"F3","pop":32}"#, 3);
+        let Err(ServeError::Parse { line, msg }) = missing else {
+            panic!("missing keys must be a parse error, got {missing:?}");
+        };
+        assert_eq!(line, 3);
+        assert!(msg.contains("gens"), "msg: {msg}");
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_rejected() {
+        for bad in [
+            r#"{"fn":"F3","pop":32,"gens":8,"xover":10,"mut":1,"seed":7,"popsize":1}"#,
+            r#"{"fn":"F9","pop":32,"gens":8,"xover":10,"mut":1,"seed":7}"#,
+            r#"{"fn":"F3","pop":300,"gens":8,"xover":10,"mut":1,"seed":7}"#,
+            r#"{"fn":"F3","pop":32,"gens":8,"xover":10,"mut":1,"seed":1.5}"#,
+            r#"{"fn":"F3","pop":32,"gens":8,"xover":10,"mut":1,"seed":7} extra"#,
+            r#"not json at all"#,
+            r#"{"fn":"F3","nested":{"a":1}}"#,
+        ] {
+            assert!(
+                matches!(parse_job(bad, 0), Err(ServeError::Parse { .. })),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn result_lines_are_deterministic_and_timing_free() {
+        let ok = JobResult {
+            job: 4,
+            backend: BackendKind::RtlInterp,
+            outcome: Ok(JobOutput {
+                best: Individual {
+                    chrom: 0x1234,
+                    fitness: 3060,
+                },
+                generations: 32,
+                evaluations: 1024,
+                conv_gen: Some(7),
+                cycles: Some(335_872),
+            }),
+            micros: 123_456, // must NOT appear in the line
+        };
+        let line = result_line(&ok);
+        assert_eq!(
+            line,
+            "{\"job\":4,\"backend\":\"rtl\",\"ok\":true,\"best_chrom\":4660,\"best_fitness\":3060,\"generations\":32,\"evaluations\":1024,\"conv_gen\":7,\"cycles\":335872}"
+        );
+        assert!(!line.contains("123456"));
+
+        let err = JobResult {
+            job: 5,
+            backend: BackendKind::Behavioral,
+            outcome: Err(ServeError::DeadlineExceeded),
+            micros: 1,
+        };
+        assert_eq!(
+            result_line(&err),
+            "{\"job\":5,\"backend\":\"behavioral\",\"ok\":false,\"error\":\"deadline_exceeded\",\"detail\":\"wall-clock deadline expired\"}"
+        );
+
+        let parse = ServeError::Parse {
+            line: 9,
+            msg: "missing required key \"fn\"".into(),
+        };
+        let line = parse_error_line(9, &parse);
+        assert!(line.contains("\"backend\":\"none\""));
+        assert!(line.contains("\\\"fn\\\""), "quotes escaped: {line}");
+    }
+
+    #[test]
+    fn parse_object_handles_whitespace_and_empty() {
+        assert_eq!(parse_object("{}"), Ok(vec![]));
+        let got = parse_object(" { \"a\" : 1 , \"b\" : \"x\" } ").expect("spaced object");
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), JsonValue::Num(1.0)),
+                ("b".into(), JsonValue::Str("x".into()))
+            ]
+        );
+        assert!(parse_object("{\"a\":1,}").is_err(), "trailing comma");
+    }
+}

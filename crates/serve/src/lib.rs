@@ -1,0 +1,39 @@
+//! # ga-serve — a job-oriented GA execution service
+//!
+//! The first layer where all three engines of the reproduction sit
+//! behind one production-shaped API. A batch of [`GaJob`]s (chromosome
+//! width, fitness-function selection, the Table III parameters, seed,
+//! generation budget, optional wall-clock deadline) is sharded across a
+//! scoped-thread worker pool and each job is dispatched to a pluggable
+//! backend:
+//!
+//! * [`BackendKind::Behavioral`] — the reference algorithm
+//!   (`ga_core::GaEngine` over the `carng` CA PRNG);
+//! * [`BackendKind::RtlInterp`] — the cycle-accurate hardware system
+//!   (`ga_core::GaSystem`), with both a simulated-cycle watchdog and a
+//!   host wall-clock deadline;
+//! * [`BackendKind::BitSim64`] — up to 64 *compatible* jobs (same
+//!   population size and generation count, hence the same RNG draw
+//!   schedule) packed into one 64-lane run of the compiled CA-RNG
+//!   netlist (`ga_synth::bitsim`), each lane feeding its own GA engine.
+//!
+//! The service provides a bounded job queue with backpressure
+//! ([`BoundedQueue`]: the submitter blocks while the queue is full),
+//! per-job timeout/cancellation with a typed [`ServeError`], and
+//! **deterministic, input-ordered results** — result *i* always belongs
+//! to `jobs[i]`, whatever the thread count or backend mix. The
+//! `gaserved` binary drives the service offline over JSONL files and
+//! surfaces per-backend throughput/latency counters through
+//! `ga-bench`'s `BenchReport` as `BENCH_serve.json`.
+
+pub mod backend;
+pub mod job;
+pub mod jsonl;
+pub mod pack;
+pub mod queue;
+pub mod service;
+
+pub use job::{BackendKind, GaJob, JobOutput, JobResult, ServeError, CHROM_WIDTH};
+pub use pack::{ca_lane_streams, draws_per_run, StreamRng};
+pub use queue::BoundedQueue;
+pub use service::{serve_batch, BackendCounters, ServeConfig, ServeOutcome, ServeStats};

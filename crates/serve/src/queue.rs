@@ -1,0 +1,227 @@
+//! A bounded MPMC job queue with blocking backpressure.
+//!
+//! The serving layer deliberately uses a *bounded* queue: a submitter
+//! that outruns the worker pool blocks in [`BoundedQueue::push`] until
+//! a worker drains a slot, so memory stays proportional to
+//! `capacity + workers` however large the offered batch is. The
+//! non-blocking [`BoundedQueue::try_push`] surfaces the same condition
+//! as a typed [`ServeError::QueueFull`] for callers that would rather
+//! shed load than wait.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::job::ServeError;
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer/multi-consumer FIFO (mutex + condvars — the
+/// std-only equivalent of a crossbeam channel, matching the workspace's
+/// no-external-deps constraint).
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a bounded queue needs at least one slot");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, **blocking while the queue is full** (backpressure).
+    /// Fails only if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), ServeError> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if st.closed {
+                return Err(ServeError::QueueClosed);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("queue lock poisoned");
+        }
+    }
+
+    /// Non-blocking enqueue. On failure the item is handed back along
+    /// with the typed reason.
+    pub fn try_push(&self, item: T) -> Result<(), (T, ServeError)> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        if st.closed {
+            return Err((item, ServeError::QueueClosed));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((
+                item,
+                ServeError::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        st.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while empty. Returns `None` once the queue is
+    /// closed *and* drained — the worker-loop termination condition.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: pending items still drain, new pushes fail,
+    /// and blocked poppers wake up with `None` once empty.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).expect("open queue accepts");
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_push_reports_full_with_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("slot 1");
+        q.try_push(2).expect("slot 2");
+        let (item, err) = q.try_push(3).expect_err("third push must fail");
+        assert_eq!(item, 3);
+        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_blocks_until_a_worker_drains() {
+        // One-slot queue: the second push must park until pop frees the
+        // slot — the backpressure contract.
+        let q = BoundedQueue::new(1);
+        q.push(10).expect("first push fits");
+        let second_done = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                q.push(20).expect("unblocks after pop");
+                second_done.store(true, Ordering::SeqCst);
+            });
+            // Give the pusher a moment to park on the full queue.
+            thread::sleep(Duration::from_millis(50));
+            assert!(
+                !second_done.load(Ordering::SeqCst),
+                "push returned while the queue was still full"
+            );
+            assert_eq!(q.pop(), Some(10));
+            // Now the parked push completes.
+            while !second_done.load(Ordering::SeqCst) {
+                thread::yield_now();
+            }
+            assert_eq!(q.pop(), Some(20));
+        });
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers_and_rejects_pushes() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(4);
+        thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().expect("popper exits cleanly"), None);
+        });
+        assert_eq!(q.push(1), Err(ServeError::QueueClosed));
+        let (_, err) = q.try_push(2).expect_err("closed");
+        assert_eq!(err, ServeError::QueueClosed);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = BoundedQueue::new(4);
+        let total = 200usize;
+        let got = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..total / 4 {
+                            q.push(p * 1000 + i).expect("open");
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        got.lock().expect("collector").push(v);
+                    }
+                });
+            }
+            for p in producers {
+                p.join().expect("producer exits");
+            }
+            q.close(); // consumers drain the remainder and see None
+        });
+        let mut all = got.into_inner().expect("collector");
+        all.sort_unstable();
+        assert_eq!(all.len(), total);
+        all.dedup();
+        assert_eq!(all.len(), total, "duplicated or lost items");
+    }
+}

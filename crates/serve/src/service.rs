@@ -1,0 +1,394 @@
+//! The scheduler: shard a batch over a worker pool, pack compatible
+//! bitsim jobs, and return results in input order.
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use ga_bench::{default_threads, lane_chunks, BenchReport, Stopwatch};
+use ga_synth::bitsim::BitSim;
+
+use crate::backend;
+use crate::job::{BackendKind, GaJob, JobResult};
+use crate::queue::BoundedQueue;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (clamped to the number of work units).
+    pub threads: usize,
+    /// Bounded queue capacity — the backpressure window between the
+    /// submitter and the pool.
+    pub queue_capacity: usize,
+    /// Simulated-cycle watchdog for the RTL backend.
+    pub rtl_watchdog_cycles: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: default_threads(),
+            queue_capacity: 64,
+            rtl_watchdog_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// Per-backend throughput/latency counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendCounters {
+    /// Jobs that ran (or were rejected) on this backend.
+    pub jobs: u64,
+    /// Of those, how many ended in a typed error.
+    pub errors: u64,
+    /// Sum of per-job latencies.
+    pub total_micros: u64,
+    /// Largest single-job latency.
+    pub max_micros: u64,
+}
+
+impl BackendCounters {
+    fn absorb(&mut self, micros: u64, ok: bool) {
+        self.jobs += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Mean per-job latency in microseconds (0 when idle).
+    pub fn avg_micros(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Aggregate statistics for one served batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Counters for the behavioral backend.
+    pub behavioral: BackendCounters,
+    /// Counters for the RTL-interpreter backend.
+    pub rtl: BackendCounters,
+    /// Counters for the 64-lane bitsim backend.
+    pub bitsim: BackendCounters,
+    /// Number of 64-lane packs executed.
+    pub packs: u64,
+    /// Total *active* lanes across all packs — equals the number of
+    /// real bitsim jobs, NOT `packs × 64`: idle tail lanes of a short
+    /// pack do not count (the padding-skew fix).
+    pub packed_lanes: u64,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+impl ServeStats {
+    /// Counters for one backend.
+    pub fn counters(&self, b: BackendKind) -> &BackendCounters {
+        match b {
+            BackendKind::Behavioral => &self.behavioral,
+            BackendKind::RtlInterp => &self.rtl,
+            BackendKind::BitSim64 => &self.bitsim,
+        }
+    }
+
+    fn counters_mut(&mut self, b: BackendKind) -> &mut BackendCounters {
+        match b {
+            BackendKind::Behavioral => &mut self.behavioral,
+            BackendKind::RtlInterp => &mut self.rtl,
+            BackendKind::BitSim64 => &mut self.bitsim,
+        }
+    }
+
+    /// Total jobs across backends.
+    pub fn jobs(&self) -> u64 {
+        self.behavioral.jobs + self.rtl.jobs + self.bitsim.jobs
+    }
+
+    /// Total errored jobs across backends.
+    pub fn errors(&self) -> u64 {
+        self.behavioral.errors + self.rtl.errors + self.bitsim.errors
+    }
+
+    /// Batch throughput in jobs per second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.jobs() as f64 / self.wall_seconds
+        }
+    }
+
+    /// Render as a `BenchReport` (emitted as `BENCH_serve.json`). The
+    /// `lanes` field reports the pack width of the bitsim backend when
+    /// any pack ran, else 1.
+    pub fn to_report(&self, threads: usize) -> BenchReport {
+        let lanes = if self.packs > 0 {
+            BitSim::LANES as u64
+        } else {
+            1
+        };
+        BenchReport::new("serve", self.wall_seconds, lanes, threads as u64)
+            .metric("jobs", self.jobs() as f64)
+            .metric("errors", self.errors() as f64)
+            .metric("jobs_per_sec", self.jobs_per_sec())
+            .metric("behavioral_jobs", self.behavioral.jobs as f64)
+            .metric("behavioral_avg_us", self.behavioral.avg_micros())
+            .metric("rtl_jobs", self.rtl.jobs as f64)
+            .metric("rtl_avg_us", self.rtl.avg_micros())
+            .metric("bitsim64_jobs", self.bitsim.jobs as f64)
+            .metric("bitsim64_avg_us", self.bitsim.avg_micros())
+            .metric("bitsim64_packs", self.packs as f64)
+            .metric("bitsim64_active_lanes", self.packed_lanes as f64)
+    }
+}
+
+/// A served batch: results in input order plus the aggregate counters.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// `results[i]` belongs to `jobs[i]`, always.
+    pub results: Vec<JobResult>,
+    /// Aggregate throughput/latency statistics.
+    pub stats: ServeStats,
+}
+
+/// A schedulable unit: one job, or a pack of compatible bitsim jobs.
+enum Unit {
+    Solo(usize),
+    Pack(Vec<usize>),
+}
+
+/// Shard the batch into units. Valid bitsim jobs are grouped by
+/// [`GaJob::pack_key`] in first-appearance order and chunked into packs
+/// of at most 64 (the tail pack simply carries fewer active lanes);
+/// everything else — including *invalid* bitsim jobs, which must
+/// surface their own typed error — runs solo.
+fn plan_units(jobs: &[GaJob]) -> Vec<Unit> {
+    let mut units = Vec::new();
+    let mut groups: Vec<((u8, u32), Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        if job.backend == BackendKind::BitSim64 && job.validate().is_ok() {
+            let key = job.pack_key();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        } else {
+            units.push(Unit::Solo(i));
+        }
+    }
+    for (_, members) in groups {
+        for chunk in lane_chunks(members.len(), BitSim::LANES) {
+            units.push(Unit::Pack(members[chunk].to_vec()));
+        }
+    }
+    units
+}
+
+fn exec_unit(jobs: &[GaJob], unit: &Unit, cfg: &ServeConfig) -> Vec<JobResult> {
+    match unit {
+        Unit::Solo(i) => {
+            let t = Instant::now();
+            let outcome = backend::run_single(&jobs[*i], cfg.rtl_watchdog_cycles);
+            vec![JobResult {
+                job: *i,
+                backend: jobs[*i].backend,
+                outcome,
+                micros: t.elapsed().as_micros() as u64,
+            }]
+        }
+        Unit::Pack(idxs) => backend::run_pack(jobs, idxs),
+    }
+}
+
+/// Execute a batch of jobs and return results **in input order**.
+///
+/// The caller thread feeds a bounded queue (blocking when full — the
+/// backpressure path) while `cfg.threads` scoped workers drain it.
+/// Results land in a slot-per-job table, so the output order is the
+/// input order regardless of thread count, completion order, or how
+/// jobs were packed.
+pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
+    let sw = Stopwatch::start();
+    let units = plan_units(jobs);
+    let mut stats = ServeStats::default();
+    for u in &units {
+        if let Unit::Pack(idxs) = u {
+            stats.packs += 1;
+            stats.packed_lanes += idxs.len() as u64;
+        }
+    }
+
+    let threads = cfg.threads.clamp(1, units.len().max(1));
+    let queue: BoundedQueue<Unit> = BoundedQueue::new(cfg.queue_capacity.max(1));
+    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                while let Some(unit) = queue.pop() {
+                    let produced = exec_unit(jobs, &unit, cfg);
+                    let mut table = slots.lock().expect("result table poisoned");
+                    for r in produced {
+                        let idx = r.job;
+                        debug_assert!(table[idx].is_none(), "job {idx} produced twice");
+                        table[idx] = Some(r);
+                    }
+                }
+            });
+        }
+        for unit in units {
+            // Blocks while the queue is full; the queue is only closed
+            // below, after every unit is in.
+            queue.push(unit).expect("queue closed while feeding");
+        }
+        queue.close();
+    });
+
+    let results: Vec<JobResult> = slots
+        .into_inner()
+        .expect("result table poisoned")
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect();
+    for r in &results {
+        stats
+            .counters_mut(r.backend)
+            .absorb(r.micros, r.outcome.is_ok());
+    }
+    stats.wall_seconds = sw.seconds();
+    ServeOutcome { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ServeError;
+    use ga_core::GaParams;
+    use ga_fitness::TestFunction;
+
+    fn quick_job(backend: BackendKind, seed: u16) -> GaJob {
+        GaJob::new(TestFunction::F3, backend, GaParams::new(8, 3, 10, 1, seed))
+    }
+
+    #[test]
+    fn results_are_input_ordered_for_any_thread_count() {
+        let jobs: Vec<GaJob> = (0..30)
+            .map(|i| {
+                let b = match i % 3 {
+                    0 => BackendKind::Behavioral,
+                    1 => BackendKind::BitSim64,
+                    _ => BackendKind::Behavioral,
+                };
+                quick_job(b, 0x1000 + i as u16)
+            })
+            .collect();
+        let reference = serve_batch(
+            &jobs,
+            &ServeConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2, 8] {
+            let out = serve_batch(
+                &jobs,
+                &ServeConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            for (i, (a, b)) in reference.results.iter().zip(&out.results).enumerate() {
+                assert_eq!(a.job, i);
+                assert_eq!(b.job, i);
+                assert_eq!(a.outcome, b.outcome, "job {i} differs at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn small_queue_capacity_still_completes() {
+        // Backpressure path: 2-slot queue, many units — the feeder must
+        // block and resume rather than drop or deadlock.
+        let jobs: Vec<GaJob> = (0..25)
+            .map(|i| quick_job(BackendKind::Behavioral, 0x2000 + i as u16))
+            .collect();
+        let out = serve_batch(
+            &jobs,
+            &ServeConfig {
+                threads: 3,
+                queue_capacity: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.results.len(), 25);
+        assert_eq!(out.stats.jobs(), 25);
+        assert_eq!(out.stats.errors(), 0);
+    }
+
+    #[test]
+    fn packing_groups_by_key_and_honors_tails() {
+        // 70 compatible bitsim jobs + 5 of another shape: 2 packs
+        // (64 + 6 active lanes) + 1 pack of 5 → lanes counted as jobs,
+        // not as packs × 64.
+        let mut jobs: Vec<GaJob> = (0..70u16)
+            .map(|i| quick_job(BackendKind::BitSim64, 0x3000 + i))
+            .collect();
+        for i in 0..5u16 {
+            jobs.push(GaJob::new(
+                TestFunction::F2,
+                BackendKind::BitSim64,
+                GaParams::new(16, 2, 10, 1, 0x4000 + i),
+            ));
+        }
+        let out = serve_batch(&jobs, &ServeConfig::default());
+        assert_eq!(out.stats.packs, 3);
+        assert_eq!(out.stats.packed_lanes, 75);
+        assert_eq!(out.stats.bitsim.jobs, 75);
+        assert_eq!(out.stats.errors(), 0);
+    }
+
+    #[test]
+    fn invalid_jobs_error_without_poisoning_the_batch() {
+        let mut jobs = vec![
+            quick_job(BackendKind::Behavioral, 1),
+            quick_job(BackendKind::BitSim64, 2),
+        ];
+        jobs[1].params.pop_size = 0; // invalid → solo unit, typed error
+        let mut wide = quick_job(BackendKind::Behavioral, 3);
+        wide.width = 32;
+        jobs.push(wide);
+        let out = serve_batch(&jobs, &ServeConfig::default());
+        assert!(out.results[0].outcome.is_ok());
+        assert!(matches!(
+            out.results[1].outcome,
+            Err(ServeError::InvalidJob { .. })
+        ));
+        assert_eq!(
+            out.results[2].outcome,
+            Err(ServeError::UnsupportedWidth { width: 32 })
+        );
+        assert_eq!(out.stats.errors(), 2);
+        assert_eq!(out.stats.packs, 0, "invalid bitsim jobs never pack");
+    }
+
+    #[test]
+    fn report_carries_the_serve_schema() {
+        let jobs = vec![quick_job(BackendKind::BitSim64, 9)];
+        let out = serve_batch(&jobs, &ServeConfig::default());
+        let json = out.stats.to_report(4).to_json();
+        for key in [
+            "\"name\": \"serve\"",
+            "jobs_per_sec",
+            "bitsim64_packs",
+            "bitsim64_active_lanes",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

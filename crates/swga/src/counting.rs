@@ -11,7 +11,7 @@
 //! (no vectorization on a PPC405).
 
 use carng::{CaRng, Rng16};
-use ga_core::behavioral::Individual;
+use ga_core::behavioral::{GenStats, Individual};
 use ga_core::ops;
 use ga_core::GaParams;
 
@@ -26,6 +26,12 @@ pub struct SwRun {
     pub ops: OpCounts,
     /// Fitness evaluations (each is one bus read).
     pub evaluations: u64,
+    /// Per-generation statistics, generation 0 (initial population)
+    /// included — same shape as the behavioral engine's history, so the
+    /// conformance suite can compare trajectories across engines. The
+    /// recording itself is *not* costed: the measured C program logs
+    /// nothing (the paper reads these values off Chipscope probes).
+    pub history: Vec<GenStats>,
 }
 
 /// The instrumented software GA.
@@ -94,6 +100,7 @@ impl<F: FnMut(u16) -> u16> CountingGa<F> {
     /// Run the full optimization and return the op tally.
     pub fn run(mut self) -> SwRun {
         let pop_n = self.params.pop_size as usize;
+        let mut history = Vec::with_capacity(self.params.n_gens as usize + 1);
 
         // --- initial population ---------------------------------------
         let mut cur: Vec<Individual> = Vec::with_capacity(pop_n);
@@ -112,9 +119,15 @@ impl<F: FnMut(u16) -> u16> CountingGa<F> {
             fit_sum += fitness as u32;
             cur.push(Individual { chrom, fitness });
         }
+        history.push(GenStats {
+            gen: 0,
+            best,
+            fit_sum,
+            pop_size: self.params.pop_size,
+        });
 
         // --- generations ----------------------------------------------
-        for _ in 0..self.params.n_gens {
+        for gen in 0..self.params.n_gens {
             let mut new_pop = Vec::with_capacity(pop_n);
             // Elite copy: two stores + bookkeeping.
             self.counts.store += 2;
@@ -165,12 +178,19 @@ impl<F: FnMut(u16) -> u16> CountingGa<F> {
             cur = new_pop;
             fit_sum = new_sum;
             best = new_best;
+            history.push(GenStats {
+                gen: gen + 1,
+                best,
+                fit_sum,
+                pop_size: self.params.pop_size,
+            });
         }
 
         SwRun {
             best,
             ops: self.counts,
             evaluations: self.evaluations,
+            history,
         }
     }
 }
@@ -193,6 +213,20 @@ mod tests {
         let engine = GaEngine::new(params, CaRng::new(params.seed), |c| f.eval_u16(c)).run();
         assert_eq!(sw.best, engine.best);
         assert_eq!(sw.evaluations, engine.evaluations);
+    }
+
+    #[test]
+    fn history_matches_behavioral_engine_generation_for_generation() {
+        // The trajectory, not just the answer: gen 0 through the final
+        // generation must carry identical (best, fit_sum) at every step.
+        for (pop, gens, seed) in [(32u8, 16u32, 0x2961u16), (15, 8, 0x061F), (64, 8, 45890)] {
+            let params = GaParams::new(pop, gens, 10, 1, seed);
+            let f = TestFunction::Bf6;
+            let sw = CountingGa::new(params, |c| f.eval_u16(c)).run();
+            let engine = GaEngine::new(params, CaRng::new(params.seed), |c| f.eval_u16(c)).run();
+            assert_eq!(sw.history.len(), gens as usize + 1);
+            assert_eq!(sw.history, engine.history, "pop {pop} seed {seed:#06x}");
+        }
     }
 
     #[test]

@@ -214,6 +214,21 @@ impl BitSim<'_> {
     /// Number of independent simulation lanes in one word.
     pub const LANES: usize = 64;
 
+    /// Word mask with one bit set per *active* lane (`active` low
+    /// lanes). A pack that carries fewer than 64 jobs must AND every
+    /// per-net observation with this mask so the idle tail lanes —
+    /// which sit at the all-zero reset state — can never leak into
+    /// results or metrics (the padding-skew fix).
+    #[inline]
+    pub fn lane_mask(active: usize) -> u64 {
+        debug_assert!(active <= Self::LANES);
+        if active >= Self::LANES {
+            u64::MAX
+        } else {
+            (1u64 << active) - 1
+        }
+    }
+
     /// The compiled netlist this state belongs to.
     pub fn compiled(&self) -> &CompiledNetlist {
         self.cn

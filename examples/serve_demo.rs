@@ -1,0 +1,65 @@
+//! The serving layer in one screen: build a mixed batch of GA jobs,
+//! shard it across the worker pool, and read back deterministic,
+//! input-ordered results — bitsim jobs packed 64-to-a-netlist-run.
+//!
+//! Run with `cargo run --release --example serve_demo`.
+
+use ga_ip::prelude::*;
+use ga_serve::{serve_batch, BackendKind, GaJob, ServeConfig};
+
+fn main() {
+    // 40 jobs: every backend, two fitness functions, one seed apiece.
+    // The 14 bitsim jobs share one parameter shape, so they travel as a
+    // single packed lane-group through the compiled CA-RNG netlist.
+    let jobs: Vec<GaJob> = (0..40u16)
+        .map(|i| {
+            let backend = BackendKind::ALL[i as usize % 3];
+            let function = if i % 2 == 0 {
+                TestFunction::Mbf6_2
+            } else {
+                TestFunction::F3
+            };
+            let params = GaParams::new(16, 8, 10, 1, 0x2961 + i * 131);
+            GaJob::new(function, backend, params).with_deadline_ms(5_000)
+        })
+        .collect();
+
+    let outcome = serve_batch(&jobs, &ServeConfig::default());
+
+    println!("job backend     fn          best    fitness  conv");
+    for (job, r) in jobs.iter().zip(&outcome.results) {
+        match &r.outcome {
+            Ok(o) => println!(
+                "{:>3} {:<11} {:<10} {:#06x}  {:>7}  {}",
+                r.job,
+                r.backend.name(),
+                format!("{:?}", job.function),
+                o.best.chrom,
+                o.best.fitness,
+                o.conv_gen
+                    .map(|g| g.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ),
+            Err(e) => println!("{:>3} {:<11} error: {e}", r.job, r.backend.name()),
+        }
+    }
+
+    let s = &outcome.stats;
+    println!(
+        "\n{} jobs in {:.3}s ({:.1} jobs/s) — {} bitsim packs covering {} lanes",
+        s.jobs(),
+        s.wall_seconds,
+        s.jobs_per_sec(),
+        s.packs,
+        s.packed_lanes
+    );
+    println!(
+        "per backend: behavioral {} ({:.0} µs avg), rtl {} ({:.0} µs avg), bitsim64 {} ({:.0} µs avg)",
+        s.behavioral.jobs,
+        s.behavioral.avg_micros(),
+        s.rtl.jobs,
+        s.rtl.avg_micros(),
+        s.bitsim.jobs,
+        s.bitsim.avg_micros()
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-engine conformance: the behavioral engine, the software
+//! reference (`swga`), the cycle-accurate RTL interpreter, and a
+//! bitsim CA-RNG lane must produce **identical best-fitness
+//! trajectories generation-for-generation** over a matrix of seeds ×
+//! Table IV preset shapes × fitness modules.
+//!
+//! The default matrix is the quick one CI runs; set
+//! `GA_CONFORMANCE_FULL=1` for all six fitness functions and longer
+//! generation budgets. (Generation counts are clamped below the
+//! presets' full budgets — the RTL interpreter at pop 128 × 4096 gens
+//! is minutes per cell, and per-generation equality at a shorter
+//! horizon implies it at the full one: every generation is a pure
+//! function of the previous state.)
+//!
+//! The proptest half covers the serving layer's job packing: any ≤64
+//! compatible jobs packed into one 64-lane netlist run must finish
+//! with results equal to each job run solo.
+
+use carng::seeds::PRESET_SEEDS;
+use ga_ip::prelude::*;
+use ga_serve::{ca_lane_streams, draws_per_run};
+use ga_serve::{serve_batch, BackendKind, GaJob, ServeConfig, StreamRng};
+use proptest::prelude::*;
+
+/// One cell of the conformance matrix.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    f: TestFunction,
+    params: GaParams,
+}
+
+fn full() -> bool {
+    std::env::var("GA_CONFORMANCE_FULL").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Seeds × Table IV preset shapes × fitness modules. The preset shapes
+/// (population, crossover/mutation thresholds) are the paper's
+/// Small/Medium/Large rows; generations are clamped as documented
+/// above (4 quick, 32 full).
+fn matrix() -> Vec<Cell> {
+    let gens = if full() { 32 } else { 4 };
+    let shapes: [(u8, u8, u8); 3] = [(32, 12, 1), (64, 13, 2), (128, 14, 3)];
+    let fems: &[TestFunction] = if full() {
+        &TestFunction::ALL
+    } else {
+        &[TestFunction::F3, TestFunction::Mbf6_2]
+    };
+    let mut cells = Vec::new();
+    for &f in fems {
+        for &(pop, xt, mt) in &shapes {
+            for &seed in &PRESET_SEEDS {
+                cells.push(Cell {
+                    f,
+                    params: GaParams::new(pop, gens, xt, mt, seed),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Best-fitness trajectory: one value per generation, gen 0 included.
+type Trajectory = Vec<(u32, u16)>;
+
+fn trajectory_of(history: &[ga_ip::ga_core::GenStats]) -> Trajectory {
+    history.iter().map(|s| (s.gen, s.best.fitness)).collect()
+}
+
+fn behavioral(cell: &Cell) -> Trajectory {
+    let f = cell.f;
+    let run = GaEngine::new(cell.params, CaRng::new(cell.params.seed), move |c| {
+        f.eval_u16(c)
+    })
+    .run();
+    trajectory_of(&run.history)
+}
+
+fn swga_reference(cell: &Cell) -> Trajectory {
+    let f = cell.f;
+    let run = swga::CountingGa::new(cell.params, move |c| f.eval_u16(c)).run();
+    trajectory_of(&run.history)
+}
+
+fn rtl(cell: &Cell) -> Trajectory {
+    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
+        LookupFem::for_function(cell.f),
+    )]));
+    let run = sys
+        .program_and_run(&cell.params, 2_000_000_000)
+        .expect("watchdog");
+    trajectory_of(&run.history)
+}
+
+fn bitsim_lane(cell: &Cell) -> Trajectory {
+    let f = cell.f;
+    let stream = ca_lane_streams(&[cell.params.seed], draws_per_run(&cell.params) as usize)
+        .pop()
+        .expect("one lane");
+    let run = GaEngine::new(cell.params, StreamRng::new(stream), move |c| f.eval_u16(c)).run();
+    trajectory_of(&run.history)
+}
+
+#[test]
+fn all_engines_agree_generation_for_generation() {
+    let cells = matrix();
+    for cell in &cells {
+        let reference = behavioral(cell);
+        assert_eq!(
+            reference.len(),
+            cell.params.n_gens as usize + 1,
+            "history covers gen 0..=n_gens"
+        );
+        for (name, got) in [
+            ("swga", swga_reference(cell)),
+            ("rtl", rtl(cell)),
+            ("bitsim-lane", bitsim_lane(cell)),
+        ] {
+            assert_eq!(
+                got, reference,
+                "{name} trajectory diverged from behavioral on {:?} pop {} seed {:#06x}",
+                cell.f, cell.params.pop_size, cell.params.seed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The job-packing invariant: any number of compatible jobs up to
+    /// the 64-lane width — crossing the one-full-pack boundary —
+    /// produces, per job, exactly the result of running that job solo.
+    #[test]
+    fn packed_jobs_equal_solo_runs(
+        n_jobs in 1usize..=80, // > 64: forces a full pack plus a tail pack
+        pop in 4u8..=20,
+        n_gens in 1u32..=3,
+        seed0 in 0u16..=u16::MAX,
+        func in 0usize..6,
+    ) {
+        let f = TestFunction::ALL[func];
+        let jobs: Vec<GaJob> = (0..n_jobs)
+            .map(|i| {
+                let seed = seed0.wrapping_add((i as u16).wrapping_mul(7919));
+                GaJob::new(f, BackendKind::BitSim64, GaParams::new(pop, n_gens, 10, 1, seed))
+            })
+            .collect();
+        let cfg = ServeConfig { threads: 2, ..ServeConfig::default() };
+        let packed = serve_batch(&jobs, &cfg);
+        prop_assert_eq!(packed.results.len(), n_jobs);
+        for (i, (job, r)) in jobs.iter().zip(&packed.results).enumerate() {
+            prop_assert_eq!(r.job, i);
+            let solo = serve_batch(std::slice::from_ref(job), &cfg);
+            prop_assert_eq!(
+                &r.outcome, &solo.results[0].outcome,
+                "job {} (seed {:#06x}) packed != solo", i, job.params.seed
+            );
+        }
+    }
+}

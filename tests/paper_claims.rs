@@ -1,9 +1,41 @@
-//! The paper's headline quantitative claims, checked end-to-end on the
-//! cycle-accurate system. Each test names the claim and the section it
-//! comes from.
+//! The paper's quantitative claims as **table-driven regression
+//! tests**: every expectation row names the paper table or figure it
+//! encodes, the exact setting (function, seed, population, thresholds),
+//! and the measured-by-this-implementation floor it must keep meeting.
+//! The tolerances are explicit constants below — a failure means either
+//! a real engine regression (the rows are deterministic: same seed ⇒
+//! same run) or a deliberate algorithm change that must update the
+//! tables consciously.
+//!
+//! All runs go through the cycle-accurate system (`run_hw`), which the
+//! differential suite proves draw-identical to the behavioral engine.
 
 use carng::seeds::TABLE7_SEEDS;
 use ga_ip::prelude::*;
+
+// ---------------------------------------------------------------------
+// Explicit tolerances.
+// ---------------------------------------------------------------------
+
+/// Abstract: solutions are "within 3.7% of the value of the globally
+/// optimal solution".
+const ABSTRACT_GAP_PCT: f64 = 3.7;
+
+/// A run counts as converged once its best fitness reaches this
+/// fraction of the run's final best (the paper's figures show the
+/// best-fitness curve flat; with a different RNG the *last* marginal
+/// improvement can land late, so "within 2% of final" is the robust
+/// reading of "found the best solution").
+const NEAR_BEST_FRACTION: f64 = 0.98;
+
+/// Slack in generations on top of each row's measured settling
+/// generation (the 5%-average-change rule of `convergence_generation`).
+const SETTLE_MARGIN_GENS: u32 = 4;
+
+/// §IV-B: at least one figure run evaluates "less than 1.1% of the
+/// solution space"; every figure run must stay under 3%.
+const SEARCH_FRACTION_ANY: f64 = 0.011;
+const SEARCH_FRACTION_ALL: f64 = 0.03;
 
 fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
     let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
@@ -13,114 +45,319 @@ fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
         .expect("watchdog")
 }
 
-/// Abstract: "the proposed core either found the globally optimum
-/// solution or found a solution that was within 3.7% of the value of
-/// the globally optimal solution."
+/// First generation whose best fitness reaches
+/// `NEAR_BEST_FRACTION × final best`.
+fn near_best_generation(run: &GaRun) -> u32 {
+    let near = (run.best.fitness as f64 * NEAR_BEST_FRACTION) as u16;
+    run.history
+        .iter()
+        .find(|s| s.best.fitness >= near)
+        .map(|s| s.gen)
+        .expect("final generation always qualifies")
+}
+
+// ---------------------------------------------------------------------
+// Table V — RT-level simulation runs 1–10 (pop 32/64, 32 generations).
+// ---------------------------------------------------------------------
+
+struct Table5Expectation {
+    run: u8,
+    f: TestFunction,
+    seed: u16,
+    pop: u8,
+    xover: u8,
+    /// Best fitness this implementation reaches (deterministic floor).
+    min_best: u16,
+    /// Settling generation measured at the floor; asserted with
+    /// `SETTLE_MARGIN_GENS` slack.
+    settle_by: u32,
+}
+
+/// Measured on this implementation's CA-RNG (the authors' RNG rule
+/// vector is unpublished, so the per-row values differ from the printed
+/// table while the qualitative shape reproduces — see EXPERIMENTS.md).
+const TABLE5_EXPECTATIONS: [Table5Expectation; 10] = [
+    Table5Expectation {
+        run: 1,
+        f: TestFunction::Bf6,
+        seed: 45890,
+        pop: 32,
+        xover: 10,
+        min_best: 4167,
+        settle_by: 31,
+    },
+    Table5Expectation {
+        run: 2,
+        f: TestFunction::Bf6,
+        seed: 45890,
+        pop: 64,
+        xover: 10,
+        min_best: 4182,
+        settle_by: 31,
+    },
+    Table5Expectation {
+        run: 3,
+        f: TestFunction::Bf6,
+        seed: 10593,
+        pop: 32,
+        xover: 10,
+        min_best: 4265,
+        settle_by: 1,
+    },
+    Table5Expectation {
+        run: 4,
+        f: TestFunction::Bf6,
+        seed: 1567,
+        pop: 32,
+        xover: 10,
+        min_best: 4238,
+        settle_by: 26,
+    },
+    Table5Expectation {
+        run: 5,
+        f: TestFunction::Bf6,
+        seed: 1567,
+        pop: 32,
+        xover: 12,
+        min_best: 4251,
+        settle_by: 28,
+    },
+    Table5Expectation {
+        run: 6,
+        f: TestFunction::F2,
+        seed: 45890,
+        pop: 32,
+        xover: 10,
+        min_best: 3052,
+        settle_by: 14,
+    },
+    Table5Expectation {
+        run: 7,
+        f: TestFunction::F2,
+        seed: 45890,
+        pop: 64,
+        xover: 10,
+        min_best: 3048,
+        settle_by: 13,
+    },
+    Table5Expectation {
+        run: 8,
+        f: TestFunction::F2,
+        seed: 10593,
+        pop: 64,
+        xover: 10,
+        min_best: 3060,
+        settle_by: 6,
+    },
+    Table5Expectation {
+        run: 9,
+        f: TestFunction::F2,
+        seed: 10593,
+        pop: 32,
+        xover: 12,
+        min_best: 3060,
+        settle_by: 9,
+    },
+    Table5Expectation {
+        run: 10,
+        f: TestFunction::F3,
+        seed: 1567,
+        pop: 32,
+        xover: 10,
+        min_best: 3060,
+        settle_by: 8,
+    },
+];
+
 #[test]
-fn within_3_7_percent_of_optimum_on_hard_functions() {
-    for f in [
-        TestFunction::Mbf6_2,
-        TestFunction::Mbf7_2,
-        TestFunction::MShubert2D,
-    ] {
-        let optimum = f.global_max() as f64;
-        // Best over the Table VII–IX grid (population 64 column, the
-        // paper's strongest setting).
-        let mut best = 0u16;
-        for &seed in &TABLE7_SEEDS {
-            for xr in [10u8, 12] {
-                let params = GaParams::new(64, 64, xr, 1, seed);
-                best = best.max(run_hw(f, &params).best.fitness);
-            }
-        }
-        let gap = 100.0 * (optimum - best as f64) / optimum;
+fn table_v_best_fitness_and_settling_generation() {
+    for row in &TABLE5_EXPECTATIONS {
+        let params = GaParams::new(row.pop, 32, row.xover, 1, row.seed);
+        let run = run_hw(row.f, &params);
         assert!(
-            gap <= 3.7,
-            "{}: best {best} is {gap:.2}% below optimum {optimum}",
-            f.name()
+            run.best.fitness >= row.min_best,
+            "Table V run {}: best {} fell below the recorded {}",
+            row.run,
+            run.best.fitness,
+            row.min_best
+        );
+        let settle = run
+            .as_ga_run()
+            .convergence_generation()
+            .unwrap_or(params.n_gens);
+        assert!(
+            settle <= row.settle_by + SETTLE_MARGIN_GENS,
+            "Table V run {}: settled at generation {settle}, bound {} (+{SETTLE_MARGIN_GENS})",
+            row.run,
+            row.settle_by
         );
     }
 }
 
-/// Table IX: "The proposed GA core found more than one globally optimal
-/// solution for many different parameter settings."
+// ---------------------------------------------------------------------
+// Tables VII–IX — the hardware grid: TABLE7_SEEDS × pop {32,64} ×
+// xover {10,12}, 64 generations, mutation 1/16.
+// ---------------------------------------------------------------------
+
+struct GridExpectation {
+    table: &'static str,
+    f: TestFunction,
+    /// Grid-wide best this implementation reaches (deterministic).
+    grid_best: u16,
+    /// Settings (of 24) that find the global optimum — Table IX's
+    /// "more than one globally optimal solution" claim generalized.
+    min_optimal_settings: usize,
+}
+
+const GRID_EXPECTATIONS: [GridExpectation; 3] = [
+    GridExpectation {
+        table: "VII",
+        f: TestFunction::Mbf6_2,
+        grid_best: 8184,
+        min_optimal_settings: 1,
+    },
+    GridExpectation {
+        table: "VIII",
+        f: TestFunction::Mbf7_2,
+        grid_best: 63995,
+        min_optimal_settings: 6,
+    },
+    GridExpectation {
+        table: "IX",
+        f: TestFunction::MShubert2D,
+        grid_best: 65535,
+        min_optimal_settings: 20,
+    },
+];
+
 #[test]
-fn shubert_optimum_found_for_multiple_settings() {
-    let mut optimal_settings = 0;
-    for &seed in &TABLE7_SEEDS {
-        for pop in [32u8, 64] {
-            for xr in [10u8, 12] {
-                let params = GaParams::new(pop, 64, xr, 1, seed);
-                if run_hw(TestFunction::MShubert2D, &params).best.fitness == 65535 {
-                    optimal_settings += 1;
+fn tables_vii_ix_grid_best_within_abstract_tolerance() {
+    for exp in &GRID_EXPECTATIONS {
+        let optimum = exp.f.global_max();
+        let mut grid_best = 0u16;
+        let mut optimal_settings = 0usize;
+        for &seed in &TABLE7_SEEDS {
+            for pop in [32u8, 64] {
+                for xover in [10u8, 12] {
+                    let params = GaParams::new(pop, 64, xover, 1, seed);
+                    let best = run_hw(exp.f, &params).best.fitness;
+                    grid_best = grid_best.max(best);
+                    if best == optimum {
+                        optimal_settings += 1;
+                    }
                 }
             }
         }
+        assert!(
+            grid_best >= exp.grid_best,
+            "Table {}: grid best {grid_best} fell below the recorded {}",
+            exp.table,
+            exp.grid_best
+        );
+        let gap = 100.0 * (optimum as f64 - grid_best as f64) / optimum as f64;
+        assert!(
+            gap <= ABSTRACT_GAP_PCT,
+            "Table {}: best {grid_best} is {gap:.2}% below optimum {optimum} (claim: ≤{ABSTRACT_GAP_PCT}%)",
+            exp.table
+        );
+        assert!(
+            optimal_settings >= exp.min_optimal_settings,
+            "Table {}: only {optimal_settings} of 24 settings found the optimum (recorded {})",
+            exp.table,
+            exp.min_optimal_settings
+        );
     }
-    assert!(
-        optimal_settings >= 2,
-        "only {optimal_settings} settings found the mShubert2D optimum"
-    );
 }
 
-/// §IV-B: "the GA core finds the best solution within the first 10
-/// generations for all three test functions" (we allow a small margin:
-/// within 16 of 64 generations) and "evaluates less than 1.1% of the
-/// solution space before finding the best solution" — we assert < 3%
-/// across the board and that at least one run beats the 1.1% figure.
+// ---------------------------------------------------------------------
+// Figs. 13–16 — hardware convergence curves (§IV-B): "the GA core finds
+// the best solution within the first 10 generations" and "evaluates
+// less than 1.1% of the solution space before finding the best
+// solution".
+// ---------------------------------------------------------------------
+
+struct FigureExpectation {
+    fig: &'static str,
+    f: TestFunction,
+    seed: u16,
+    xover: u8,
+    /// Generations-to-converge upper bound (paper: 10; measured: ≤7).
+    converge_by: u32,
+}
+
+const FIGURE_EXPECTATIONS: [FigureExpectation; 4] = [
+    FigureExpectation {
+        fig: "13",
+        f: TestFunction::Mbf6_2,
+        seed: 0x061F,
+        xover: 10,
+        converge_by: 10,
+    },
+    FigureExpectation {
+        fig: "14",
+        f: TestFunction::Mbf6_2,
+        seed: 0xA0A0,
+        xover: 10,
+        converge_by: 10,
+    },
+    FigureExpectation {
+        fig: "15",
+        f: TestFunction::Mbf7_2,
+        seed: 0xAAAA,
+        xover: 12,
+        converge_by: 10,
+    },
+    FigureExpectation {
+        fig: "16",
+        f: TestFunction::MShubert2D,
+        seed: 0xAAAA,
+        xover: 10,
+        converge_by: 10,
+    },
+];
+
 #[test]
-fn fast_convergence_and_tiny_search_fraction() {
+fn figures_13_16_converge_within_ten_generations() {
     let mut min_fraction = f64::MAX;
-    // The exact settings of the paper's hardware convergence figures
-    // (Figs. 13–16 captions).
-    for (f, seed, xr) in [
-        (TestFunction::Mbf6_2, 0x061Fu16, 10u8),
-        (TestFunction::Mbf6_2, 0xA0A0, 10),
-        (TestFunction::Mbf7_2, 0xAAAA, 12),
-        (TestFunction::MShubert2D, 0xAAAA, 10),
-    ] {
-        let params = GaParams::new(64, 64, xr, 1, seed);
-        let run = run_hw(f, &params);
-        let final_best = run.best.fitness;
-        // The paper's figures show the best-fitness curve flat after
-        // ~10 generations; with a different RNG the *last* marginal
-        // improvement can land later, so the faithful check is that a
-        // solution within 2% of the final best exists early.
-        let near = (final_best as f64 * 0.98) as u16;
-        let found_at = run
-            .history
-            .iter()
-            .find(|s| s.best.fitness >= near)
-            .map(|s| s.gen)
-            .unwrap();
+    for exp in &FIGURE_EXPECTATIONS {
+        let params = GaParams::new(64, 64, exp.xover, 1, exp.seed);
+        let run = run_hw(exp.f, &params).as_ga_run();
+        let found_at = near_best_generation(&run);
         assert!(
-            found_at <= 16,
-            "{}: 98%-of-best only reached at generation {found_at}",
-            f.name()
+            found_at <= exp.converge_by,
+            "Fig. {}: {}%-of-best only reached at generation {found_at}, bound {}",
+            exp.fig,
+            NEAR_BEST_FRACTION * 100.0,
+            exp.converge_by
         );
-        // Candidates evaluated before the best appeared: initial pop +
-        // (pop−1) offspring per generation.
+        // Candidates evaluated before convergence: initial population
+        // plus pop−1 offspring per generation, over a 2^16 space.
         let evaluated = 64 + found_at as u64 * 63;
         let fraction = evaluated as f64 / 65536.0;
         min_fraction = min_fraction.min(fraction);
         assert!(
-            fraction < 0.03,
-            "{}: evaluated {:.2}% of the space",
-            f.name(),
+            fraction < SEARCH_FRACTION_ALL,
+            "Fig. {}: evaluated {:.2}% of the space",
+            exp.fig,
             fraction * 100.0
         );
     }
     assert!(
-        min_fraction < 0.011,
-        "no run matched the paper's <1.1% search fraction: best {:.3}%",
+        min_fraction < SEARCH_FRACTION_ANY,
+        "no run matched the paper's <{:.1}% search fraction: best {:.3}%",
+        SEARCH_FRACTION_ANY * 100.0,
         min_fraction * 100.0
     );
 }
 
+// ---------------------------------------------------------------------
+// Cross-cutting claims.
+// ---------------------------------------------------------------------
+
 /// §IV-A (Table V discussion): "when the RNG seed is changed ... the
 /// convergence of the GA is better and the global optimum is found
-/// under the exact same settings for the other parameters" — seed
-/// choice must change the outcome.
+/// under the exact same settings" — seed choice must change the
+/// outcome.
 #[test]
 fn seed_changes_the_outcome_under_fixed_parameters() {
     let results: Vec<u16> = TABLE7_SEEDS
