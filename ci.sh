@@ -30,6 +30,18 @@ GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/profile > /dev/null
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_table5.json" 'runs>=10'
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_profile.json" 'bitsim64_gates_per_sec>=5e7'
 
+echo "== fault-injection smoke (scan + netlist campaigns, quick grid)"
+# Quick grid: every 8th scan position and one injection cycle per
+# netlist site. The campaign invariant — every injection classified
+# exactly once (masked+detected+corrupted+hung == injected) — is pinned
+# by the paired unclassified floors/ceilings; lane leaks (a fault
+# escaping its 64-lane word slot) must never happen.
+cargo build -q --release -p ga-bench --bin fault_campaign
+GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/fault_campaign > /dev/null
+./target/release/benchcheck "$SMOKE_DIR/BENCH_fault.json" \
+    'injected>=201' 'unclassified>=0' 'unclassified<=0' \
+    'class_sum_gap<=0' 'net_lane_leaks<=0' 'scan_landed>=153'
+
 echo "== conformance (cross-engine trajectory matrix, quick by default)"
 # Behavioral GA, swga reference, RTL interpreter, and a bitsim CA-RNG
 # lane must agree generation-for-generation. The quick matrix runs

@@ -3,15 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! benchcheck <file.json> [KEY>=MIN ...]
+//! benchcheck <file.json> [KEY>=MIN ...] [KEY<=MAX ...]
 //! ```
 //!
 //! Checks that the file parses, carries the required schema keys
 //! (`name`, `wall_seconds`, `lanes`, `threads`), and that every
-//! `KEY>=MIN` constraint holds against the report's numbers (top-level
-//! fields or metrics — keys are unique across a report). Exits nonzero
-//! with a diagnostic on the first violation, so a perf regression below
-//! a floor fails the build the same way a lint error does.
+//! `KEY>=MIN` / `KEY<=MAX` constraint holds against the report's
+//! numbers (top-level fields or metrics — keys are unique across a
+//! report). Pairing a floor with a ceiling pins a metric exactly
+//! (`unclassified>=0 unclassified<=0`). Exits nonzero with a diagnostic
+//! on the first violation, so a perf regression below a floor fails the
+//! build the same way a lint error does.
 
 use ga_bench::report::{json_extract_number, json_extract_string};
 use std::process::ExitCode;
@@ -33,21 +35,32 @@ fn check(path: &str, constraints: &[String]) -> Result<(), String> {
     }
 
     for c in constraints {
-        let (key, min) = c
-            .split_once(">=")
-            .ok_or_else(|| format!("bad constraint {c:?} (expected KEY>=MIN)"))?;
-        let min: f64 = min
+        let (key, op, bound) = if let Some((key, max)) = c.split_once("<=") {
+            (key, "<=", max)
+        } else if let Some((key, min)) = c.split_once(">=") {
+            (key, ">=", min)
+        } else {
+            return Err(format!(
+                "bad constraint {c:?} (expected KEY>=MIN or KEY<=MAX)"
+            ));
+        };
+        let bound: f64 = bound
             .trim()
             .parse()
-            .map_err(|_| format!("bad constraint {c:?}: {min:?} is not a number"))?;
+            .map_err(|_| format!("bad constraint {c:?}: {bound:?} is not a number"))?;
         let got = json_extract_number(&json, key.trim())
             .ok_or_else(|| format!("{path}: constraint key \"{key}\" not in report"))?;
-        if got < min {
+        let violated = match op {
+            "<=" => got > bound,
+            _ => got < bound,
+        };
+        if violated {
+            let kind = if op == "<=" { "ceiling" } else { "floor" };
             return Err(format!(
-                "{path}: {key} = {got:.3e} below required floor {min:.3e}"
+                "{path}: {key} = {got:.3e} violates required {kind} {op} {bound:.3e}"
             ));
         }
-        println!("benchcheck: {name}: {key} = {got:.3e} >= {min:.3e} ok");
+        println!("benchcheck: {name}: {key} = {got:.3e} {op} {bound:.3e} ok");
     }
     println!("benchcheck: {path} ok (name = {name})");
     Ok(())

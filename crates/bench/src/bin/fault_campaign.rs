@@ -1,0 +1,223 @@
+//! `fault_campaign` — scan-chain + netlist SEU campaigns, emitting
+//! `BENCH_fault.json`.
+//!
+//! Two deterministic sweeps (see EXPERIMENTS.md "Fault-injection
+//! campaigns" for how to read the output):
+//!
+//! * **RTL scan campaign** — every scan-chain bit position of the
+//!   cycle-accurate core × {flip, stuck-0, stuck-1}, each injected at a
+//!   per-case cycle sampled from the in-tree `rand` shim, run to
+//!   `GA_done` under a watchdog and graded against the fault-free
+//!   golden run (masked / detected / corrupted / hung).
+//! * **Netlist campaign** — every flip-flop of the compiled CA-RNG
+//!   netlist × the same three polarities × sampled injection cycles,
+//!   grading the extracted RNG stream against the behavioral reference
+//!   and checking word-level lane isolation (a fault in lane 0 must
+//!   never leak into the witness lane).
+//!
+//! The campaign invariant `masked + detected + corrupted + hung ==
+//! injected` is emitted as the `unclassified` / `class_sum_gap` metrics
+//! and pinned to zero by `benchcheck` in CI. `GA_BENCH_QUICK` shrinks
+//! the grid (position stride 8, one cycle sample per netlist site) for
+//! the smoke run; the committed report comes from the full grid.
+
+use ga_bench::{
+    classify_hw, default_threads, golden_hw_run, quick, run_scan_injection, run_sweep, BenchReport,
+    ClassCounts, ScanInjection, Stopwatch,
+};
+use ga_core::{GaCoreHw, GaParams};
+use ga_fitness::TestFunction;
+use ga_synth::bitsim::CompiledNetlist;
+use ga_synth::gadesign::elaborate_ca_rng;
+use ga_synth::{NetFault, NetFaultKind};
+use hwsim::BitFault;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Campaign workload: F3, a small-but-real GA (8 individuals, 4
+/// generations) so the full 408-position × 3-polarity sweep stays
+/// fast while still exercising selection, crossover, mutation and
+/// elitism around every injection.
+const FUNCTION: TestFunction = TestFunction::F3;
+const POP: u8 = 8;
+const GENS: u32 = 4;
+const SEED: u16 = 0x2961;
+
+/// Base seed for the per-case injection-cycle sampling (the only
+/// random choice in the campaign; everything else is a full grid).
+const CYCLE_SEED: u64 = 0xFA01_7CA3;
+
+/// Stuck-at hold duration for the netlist campaign, in edges.
+const STUCK_CYCLES: u64 = 4;
+
+/// Draws extracted per netlist injection (matches the serve layer's
+/// per-lane stream depth order of magnitude, cheap enough for a grid).
+const NET_DRAWS: usize = 64;
+
+fn main() {
+    let sw = Stopwatch::start();
+    let threads = default_threads();
+    let params = GaParams::new(POP, GENS, 10, 1, SEED);
+    let golden = golden_hw_run(FUNCTION, &params);
+
+    // --- RTL scan campaign -------------------------------------------------
+    let stride = if quick() { 8 } else { 1 };
+    let positions: Vec<usize> = (0..GaCoreHw::SCAN_LENGTH).step_by(stride).collect();
+    // Injection window: after the run is warmed up, before it can
+    // finish — so every planned injection lands.
+    let lo = 50u64.min(golden.cycles / 4);
+    let hi = (golden.cycles * 3 / 4).max(lo + 1);
+    let plan: Vec<ScanInjection> = positions
+        .iter()
+        .flat_map(|&position| BitFault::ALL.map(|kind| (position, kind)))
+        .enumerate()
+        .map(|(i, (position, kind))| ScanInjection {
+            position,
+            kind,
+            at_cycle: lo
+                + StdRng::seed_from_u64(CYCLE_SEED.wrapping_add(i as u64)).next_u64() % (hi - lo),
+        })
+        .collect();
+    // Watchdog: 4× golden plus the scan-shift overhead — hung means
+    // "well past any plausible recovery", not "slightly slow".
+    let watchdog = golden.cycles * 4 + 2 * GaCoreHw::SCAN_LENGTH as u64 + 64;
+    let outcomes = run_sweep(&plan, threads, |_, inj| {
+        let outcome = run_scan_injection(FUNCTION, &params, watchdog, *inj);
+        // An Err run also landed its injection: the window ends at 3/4
+        // of the golden cycle count, so a fault-free prefix cannot trip
+        // the 4x-golden watchdog before the injection point.
+        let landed = matches!(outcome, Ok((_, true)) | Err(_));
+        (classify_hw(&golden, &outcome), landed)
+    });
+
+    let mut scan = ClassCounts::default();
+    let mut by_kind = [ClassCounts::default(); 3];
+    let mut landed = 0u64;
+    for (inj, &(class, did_land)) in plan.iter().zip(&outcomes) {
+        scan.add(class);
+        by_kind[BitFault::ALL.iter().position(|k| *k == inj.kind).unwrap()].add(class);
+        landed += u64::from(did_land);
+    }
+
+    println!("## Scan-chain SEU campaign");
+    println!(
+        "workload: {FUNCTION:?} pop={POP} gens={GENS} seed={SEED:04X} \
+         (golden: {} cycles, best fitness {})",
+        golden.cycles, golden.best.fitness
+    );
+    println!(
+        "grid: {} positions (stride {stride}) x {} polarities = {} injections, watchdog {watchdog} cycles",
+        positions.len(),
+        BitFault::ALL.len(),
+        plan.len()
+    );
+    println!(
+        "{:>8} | {:>7} {:>9} {:>10} {:>6}",
+        "polarity", "masked", "detected", "corrupted", "hung"
+    );
+    println!("{}", "-".repeat(48));
+    for (kind, counts) in BitFault::ALL.iter().zip(&by_kind) {
+        println!(
+            "{:>8} | {:>7} {:>9} {:>10} {:>6}",
+            kind.name(),
+            counts.masked,
+            counts.detected,
+            counts.corrupted,
+            counts.hung
+        );
+    }
+    println!(
+        "{:>8} | {:>7} {:>9} {:>10} {:>6}   ({landed}/{} landed)",
+        "total",
+        scan.masked,
+        scan.detected,
+        scan.corrupted,
+        scan.hung,
+        plan.len()
+    );
+
+    // --- Netlist (CA-RNG) campaign -----------------------------------------
+    let cn = CompiledNetlist::compile(&elaborate_ca_rng()).expect("CA-RNG netlist compiles");
+    let n_sites = cn.sim().compiled().regs().len();
+    let cycle_samples = if quick() { 1 } else { 4 };
+    let kinds = [
+        NetFaultKind::Transient,
+        NetFaultKind::Stuck0 {
+            cycles: STUCK_CYCLES,
+        },
+        NetFaultKind::Stuck1 {
+            cycles: STUCK_CYCLES,
+        },
+    ];
+    let net_plan: Vec<NetFault> = (0..n_sites)
+        .flat_map(|site| kinds.map(|kind| (site, kind)))
+        .flat_map(|(site, kind)| (0..cycle_samples).map(move |s| (site, kind, s)))
+        .enumerate()
+        .map(|(i, (site, kind, _))| NetFault {
+            site,
+            lane: 0,
+            at_cycle: StdRng::seed_from_u64(CYCLE_SEED.wrapping_add(0x5EED + i as u64)).next_u64()
+                % (NET_DRAWS as u64 - 1),
+            kind,
+        })
+        .collect();
+    let net_outcomes = run_sweep(&net_plan, threads, |_, fault| {
+        ga_bench::fault::run_net_injection(&cn, SEED, NET_DRAWS, *fault)
+    });
+
+    let mut net = ClassCounts::default();
+    let mut lane_leaks = 0u64;
+    for o in &net_outcomes {
+        net.add(o.class);
+        lane_leaks += u64::from(o.lane_leak);
+    }
+    println!("\n## Netlist (CA-RNG) campaign");
+    println!(
+        "grid: {n_sites} flip-flops x {} polarities x {cycle_samples} cycles = {} injections, {NET_DRAWS} draws each",
+        kinds.len(),
+        net_plan.len()
+    );
+    println!(
+        "masked {}  corrupted {}  lane leaks {lane_leaks}",
+        net.masked, net.corrupted
+    );
+
+    // --- Report ------------------------------------------------------------
+    let mut total = scan;
+    total.merge(net);
+    let injected = (plan.len() + net_plan.len()) as u64;
+    let unclassified = injected as i64 - total.total() as i64;
+    println!(
+        "\ncampaign: {injected} injections, {} classified, {unclassified} unclassified",
+        total.total()
+    );
+
+    BenchReport::new("fault", sw.seconds(), 1, threads as u64)
+        .metric("injected", injected as f64)
+        .metric("masked", total.masked as f64)
+        .metric("detected", total.detected as f64)
+        .metric("corrupted", total.corrupted as f64)
+        .metric("hung", total.hung as f64)
+        .metric("unclassified", unclassified as f64)
+        .metric("class_sum_gap", unclassified.unsigned_abs() as f64)
+        .metric("scan_injected", plan.len() as f64)
+        .metric("scan_landed", landed as f64)
+        .metric("net_injected", net_plan.len() as f64)
+        .metric("net_lane_leaks", lane_leaks as f64)
+        .metric(
+            "masked_fraction",
+            if injected == 0 {
+                0.0
+            } else {
+                total.masked as f64 / injected as f64
+            },
+        )
+        .emit_or_warn();
+
+    if unclassified != 0 || lane_leaks != 0 {
+        eprintln!(
+            "campaign invariant violated (unclassified={unclassified}, lane_leaks={lane_leaks})"
+        );
+        std::process::exit(1);
+    }
+}

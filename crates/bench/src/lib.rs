@@ -21,9 +21,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod report;
 pub mod sweep;
 
+pub use fault::{
+    classify_hw, golden_hw_run, run_net_injection, run_scan_injection, ClassCounts, NetOutcome,
+    ScanInjection,
+};
 pub use report::{gens_override, quick, BenchReport, Stopwatch};
 pub use sweep::{default_threads, grid3, lane_chunks, run_sweep};
 

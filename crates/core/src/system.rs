@@ -388,10 +388,38 @@ impl GaSystem {
     pub fn run_with_deadline(
         &mut self,
         max_cycles: u64,
-        mut deadline: Option<&mut hwsim::Deadline>,
+        deadline: Option<&mut hwsim::Deadline>,
     ) -> Result<HwRun, SimError> {
+        self.run_inner(max_cycles, deadline, None)
+            .map(|(run, _)| run)
+    }
+
+    /// Run to `GA_done` with one scan-chain fault injection: at
+    /// `at_cycle` cycles after `start_GA`, the FSM is frozen in test
+    /// mode and `ops` is applied to the architectural state through the
+    /// scan chain ([`GaSystem::scan_inject`]), then the run resumes.
+    /// The returned flag reports whether the injection actually landed
+    /// (`false` when the run finished before `at_cycle`). The
+    /// scan-shift cycles count toward both the watchdog and the
+    /// reported cycle total, exactly as they would on silicon.
+    pub fn run_with_faults(
+        &mut self,
+        max_cycles: u64,
+        at_cycle: u64,
+        ops: &[hwsim::ScanBitOp],
+    ) -> Result<(HwRun, bool), SimError> {
+        self.run_inner(max_cycles, None, Some((at_cycle, ops)))
+    }
+
+    fn run_inner(
+        &mut self,
+        max_cycles: u64,
+        mut deadline: Option<&mut hwsim::Deadline>,
+        fault: Option<(u64, &[hwsim::ScanBitOp])>,
+    ) -> Result<(HwRun, bool), SimError> {
         self.history.clear();
         let start = self.sim.cycles();
+        let mut injected = false;
         self.step(UserIn {
             start_ga: true,
             ..Default::default()
@@ -406,6 +434,14 @@ impl GaSystem {
                     return Err(SimError::DeadlineExceeded { cycles: guard });
                 }
             }
+            if let Some((at, ops)) = fault {
+                if !injected && guard >= at {
+                    self.scan_inject(ops);
+                    injected = true;
+                    guard = self.sim.cycles() - start;
+                    continue;
+                }
+            }
             self.step(UserIn::default());
             guard = self.sim.cycles() - start;
         }
@@ -415,16 +451,75 @@ impl GaSystem {
             .last()
             .map(|s| s.best.fitness)
             .unwrap_or_default();
-        Ok(HwRun {
-            best: Individual {
-                chrom: self.modules.core.out().candidate,
-                fitness: best_fitness,
+        Ok((
+            HwRun {
+                best: Individual {
+                    chrom: self.modules.core.out().candidate,
+                    fitness: best_fitness,
+                },
+                cycles,
+                seconds: cycles as f64 * self.sim.period_ps() as f64 * 1e-12,
+                history: self.history.clone(),
+                rng_draws: self.modules.core.rng_draws(),
             },
-            cycles,
-            seconds: cycles as f64 * self.sim.period_ps() as f64 * 1e-12,
-            history: self.history.clone(),
-            rng_draws: self.modules.core.rng_draws(),
-        })
+            injected,
+        ))
+    }
+
+    /// Corrupt the core's architectural state **through the scan chain**
+    /// (§III-C.2), the way a DFT-based SEU campaign would on silicon:
+    ///
+    /// 1. raise `test` for [`GaCoreHw::SCAN_LENGTH`] cycles, capturing
+    ///    the chain at `scanout` while shifting zeros in;
+    /// 2. keep `test` high another full length, feeding the captured
+    ///    stream back in with `ops` applied to their chain positions;
+    /// 3. drop `test`, which deserializes the chain into the registers
+    ///    and lets the (frozen, unscanned) FSM state resume.
+    ///
+    /// The RNG holds (no consume wires fire in test mode) and the FSM
+    /// state register is outside the chain, so the only disturbance is
+    /// the injected bits — plus any overwrite the resuming FSM itself
+    /// performs, which is precisely the masking a real campaign
+    /// measures. Returns the *pre-fault* chain contents in scan order
+    /// (position 0 first).
+    pub fn scan_inject(&mut self, ops: &[hwsim::ScanBitOp]) -> Vec<bool> {
+        let len = crate::hwcore::GaCoreHw::SCAN_LENGTH;
+        // Phase 1: capture. The k-th bit out is chain position len-1-k.
+        let mut shifted_out = Vec::with_capacity(len);
+        for _ in 0..len {
+            self.step(UserIn {
+                test: true,
+                scanin: false,
+                ..Default::default()
+            });
+            shifted_out.push(self.modules.core.out().scanout);
+        }
+        // Phase 2: feed the captured stream straight back. Re-feeding
+        // in capture order restores every bit to its original position
+        // (first bit fed ends deepest in the chain). A fault at chain
+        // position p therefore corrupts stream index len-1-p.
+        let mut feed = shifted_out.clone();
+        for op in ops {
+            assert!(
+                op.position < len,
+                "scan position {} out of range",
+                op.position
+            );
+            let k = len - 1 - op.position;
+            feed[k] = op.kind.apply(feed[k]);
+        }
+        for &bit in &feed {
+            self.step(UserIn {
+                test: true,
+                scanin: bit,
+                ..Default::default()
+            });
+        }
+        // Falling edge: deserialize and hand control back to the FSM.
+        self.step(UserIn::default());
+        let mut chain = shifted_out;
+        chain.reverse(); // scan order: position 0 first
+        chain
     }
 
     /// Program, then run: the full usage flow of §III-B.8.
@@ -512,6 +607,74 @@ mod tests {
         let run2 = sys.run(2_000_000).unwrap();
         assert_eq!(run1.best, run2.best, "same seed ⇒ same result");
         assert_eq!(run1.history, run2.history);
+    }
+
+    #[test]
+    fn scan_inject_captures_state_in_documented_order() {
+        let mut sys = system_for(TestFunction::F3);
+        let params = GaParams::new(8, 4, 10, 1, 0xA5C3);
+        sys.program(&params);
+        let chain = sys.scan_inject(&[]);
+        assert_eq!(chain.len(), crate::hwcore::GaCoreHw::SCAN_LENGTH);
+        // Chain head: seed[0..16], pop_size[16..24] (LSB first).
+        let field = |lo: usize, w: usize| -> u64 {
+            (0..w).fold(0u64, |v, b| v | ((chain[lo + b] as u64) << b))
+        };
+        assert_eq!(field(0, 16) as u16, 0xA5C3, "seed field");
+        assert_eq!(field(16, 8) as u8, 8, "pop_size field");
+        assert_eq!(field(24, 32) as u32, 4, "n_gens field");
+    }
+
+    #[test]
+    fn scan_inject_with_no_ops_preserves_the_run() {
+        let params = GaParams::new(8, 4, 10, 1, 0x2961);
+        let mut golden_sys = system_for(TestFunction::F3);
+        let golden = golden_sys.program_and_run(&params, 2_000_000).unwrap();
+
+        let mut sys = system_for(TestFunction::F3);
+        sys.program(&params);
+        let (run, injected) = sys.run_with_faults(2_000_000, 800, &[]).unwrap();
+        assert!(injected, "injection point is mid-run");
+        assert_eq!(run.best, golden.best, "empty fault list is a no-op");
+        assert_eq!(run.history, golden.history);
+        assert_eq!(run.rng_draws, golden.rng_draws);
+        assert!(
+            run.cycles > golden.cycles,
+            "the 2×{}-cycle scan shift must show up in the cycle count",
+            crate::hwcore::GaCoreHw::SCAN_LENGTH
+        );
+    }
+
+    #[test]
+    fn scan_fault_on_generation_counter_hangs_the_fsm() {
+        // Force the MSB of the generation counter (the last chain bit):
+        // the Fig. 6 FSM terminates on `gen == n_gens` (an equality
+        // compare, as synthesized), so a counter thrown *past* the
+        // target can never match and the run must spin until the
+        // watchdog fires — the canonical "hung" outcome class.
+        let params = GaParams::new(8, 4, 10, 1, 0x2961);
+        let mut sys = system_for(TestFunction::F3);
+        sys.program(&params);
+        let op = hwsim::ScanBitOp {
+            position: crate::hwcore::GaCoreHw::SCAN_LENGTH - 1,
+            kind: hwsim::BitFault::Force1,
+        };
+        let err = sys
+            .run_with_faults(200_000, 800, &[op])
+            .expect_err("corrupted gen counter cannot reach GA_done");
+        assert!(matches!(err, SimError::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn run_finishing_before_the_injection_point_reports_no_injection() {
+        let params = GaParams::new(8, 2, 10, 1, 0x2961);
+        let mut sys = system_for(TestFunction::F3);
+        sys.program(&params);
+        let (run, injected) = sys
+            .run_with_faults(2_000_000, u64::MAX, &[])
+            .expect("clean run");
+        assert!(!injected, "fault scheduled after GA_done never lands");
+        assert!(run.cycles > 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ mod netlist_rules;
 pub use area_rules::AreaBudgetRule;
 pub use fsm_rules::{FsmDeadState, FsmUnsatGuard, HandshakeLiveness};
 pub use netlist_rules::{
-    CombLoop, FloatingNet, MultiDriver, RegEnableSanity, ScanChain, WidthMismatch,
+    CombLoop, FloatingNet, MultiDriver, RegEnableSanity, ScanChain, ScanSiteCoverage, WidthMismatch,
 };
 
 use crate::diag::Report;
@@ -38,6 +38,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(WidthMismatch),
         Box::new(MultiDriver),
         Box::new(ScanChain),
+        Box::new(ScanSiteCoverage),
         Box::new(CombLoop),
         Box::new(FloatingNet),
         Box::new(RegEnableSanity),

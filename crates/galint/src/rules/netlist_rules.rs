@@ -179,6 +179,78 @@ impl Rule for ScanChain {
     }
 }
 
+/// Fault-injection reachability: the site list the fault-injection
+/// engine exposes ([`ga_synth::FaultInjector::sites`] — one Q net per
+/// scan position) must be a bijection onto the design's sequential
+/// elements. A flip-flop outside the list is state a campaign silently
+/// cannot reach; an aliased or non-register site corrupts the wrong
+/// thing. The structural checks run on any netlist; when the design
+/// compiles, the list is additionally fetched through the injector's
+/// own API so a drift between `ga-synth`'s mapping and the scan chain
+/// shows up here rather than in a campaign's numbers.
+pub struct ScanSiteCoverage;
+
+impl Rule for ScanSiteCoverage {
+    fn name(&self) -> &'static str {
+        "scan-site-coverage"
+    }
+    fn description(&self) -> &'static str {
+        "the fault injector's site list covers every flip-flop exactly once"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let nl = &model.netlist;
+        if !nets_in_range(nl) {
+            return; // width-mismatch already reported the dangling refs
+        }
+        // The injector defines site s as scan position s's Q net.
+        let sites: Vec<NetId> = nl.regs.iter().map(|r| r.q).collect();
+        let mut owner: HashMap<NetId, usize> = HashMap::new();
+        for (pos, &q) in sites.iter().enumerate() {
+            if nl.gates[q as usize].kind != GateKind::RegQ {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    Element::Register(pos),
+                    format!("fault site {pos} targets net {q}, which is not a flip-flop output"),
+                );
+            }
+            if let Some(&first) = owner.get(&q) {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    Element::Register(pos),
+                    format!("fault site {pos} aliases site {first}: both corrupt net {q}"),
+                );
+            } else {
+                owner.insert(q, pos);
+            }
+        }
+        for (i, g) in nl.gates.iter().enumerate() {
+            if g.kind == GateKind::RegQ && !owner.contains_key(&(i as NetId)) {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    Element::Gate(i),
+                    "flip-flop is not an injectable fault site — state unreachable by a \
+                     scan-chain campaign",
+                );
+            }
+        }
+        // Cross-check against the injector's actual API on a compiled
+        // design (compile failures are other rules' findings).
+        if let Ok(cn) = ga_synth::bitsim::CompiledNetlist::compile(nl) {
+            if ga_synth::FaultInjector::sites(&cn.sim()) != sites {
+                out.push(
+                    self.name(),
+                    Severity::Error,
+                    Element::Design,
+                    "FaultInjector::sites diverges from the netlist's scan-chain order",
+                );
+            }
+        }
+    }
+}
+
 /// Combinational-loop detection via strongly connected components over
 /// the gate graph (register boundaries cut the edges, so a loop through
 /// a flip-flop is fine; a loop purely through gates is not).

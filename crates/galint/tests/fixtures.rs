@@ -196,6 +196,60 @@ fn off_chain_flip_flop_breaks_scan_completeness() {
 }
 
 #[test]
+fn off_chain_flip_flop_is_not_an_injectable_site() {
+    // Same shape as the scan-chain fixture: the fault injector's site
+    // list (one site per chain position) cannot reach gate 1's state.
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::RegQ, vec![]));
+    nl.gates.push(gate(GateKind::RegQ, vec![])); // unreachable
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.regs.push(RegCell { d: 2, q: 0 });
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "scan-site-coverage",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].starts_with("gate 1"), "{found:?}");
+    assert!(
+        found[0].contains("not an injectable fault site"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn aliased_fault_sites_are_an_error() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::RegQ, vec![]));
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.regs.push(RegCell { d: 1, q: 0 });
+    nl.regs.push(RegCell { d: 1, q: 0 }); // site 1 corrupts site 0's FF
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "scan-site-coverage",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].starts_with("register 1"), "{found:?}");
+    assert!(found[0].contains("aliases site 0"), "{found:?}");
+}
+
+#[test]
+fn fault_site_on_combinational_net_is_an_error() {
+    let mut nl = Netlist::default();
+    nl.gates.push(gate(GateKind::Input, vec![]));
+    nl.gates.push(gate(GateKind::Inv, vec![0]));
+    nl.regs.push(RegCell { d: 0, q: 1 }); // site 0 would corrupt an Inv
+    let found = findings(
+        &DesignModel::new("fixture", nl),
+        "scan-site-coverage",
+        Severity::Error,
+    );
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].contains("not a flip-flop output"), "{found:?}");
+}
+
+#[test]
 fn frozen_and_constant_registers_are_flagged() {
     let mut nl = Netlist::default();
     nl.gates.push(gate(GateKind::RegQ, vec![]));

@@ -1,0 +1,139 @@
+//! Fault-injection vocabulary shared by every fault campaign.
+//!
+//! The paper's core is delivered with a full scan chain (§III-C.2:
+//! "all the flip-flops of the sequential part were replaced by scan
+//! flip-flops"), which is exactly the access mechanism a single-event-
+//! upset (SEU) campaign needs: any architectural bit can be read out,
+//! corrupted, and written back without bypassing the silicon's own
+//! datapath. This module defines the *kinds* of corruption and the
+//! *outcome classes*; the mechanisms live next to each model (the
+//! scan-chain shifter in `ga-core`, the register-word injector in
+//! `ga-synth::fault`), and the campaign driver in `ga-bench` sweeps
+//! them.
+
+use std::fmt;
+
+/// How one stored bit is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitFault {
+    /// Transient SEU: invert the bit once.
+    Flip,
+    /// Stuck-at-0: the cell reads 0 for the fault's duration.
+    Force0,
+    /// Stuck-at-1: the cell reads 1 for the fault's duration.
+    Force1,
+}
+
+impl BitFault {
+    /// All fault polarities, in sweep order.
+    pub const ALL: [BitFault; 3] = [BitFault::Flip, BitFault::Force0, BitFault::Force1];
+
+    /// Apply to a single bit value.
+    #[inline]
+    pub fn apply(self, bit: bool) -> bool {
+        match self {
+            BitFault::Flip => !bit,
+            BitFault::Force0 => false,
+            BitFault::Force1 => true,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BitFault::Flip => "flip",
+            BitFault::Force0 => "stuck0",
+            BitFault::Force1 => "stuck1",
+        }
+    }
+}
+
+/// One corruption of one scan-chain position (the unit a scan-based
+/// campaign sweeps). `position` indexes the serialized chain in
+/// scan order — position 0 is the first bit shifted *in* last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanBitOp {
+    /// Bit index into the serialized scan chain.
+    pub position: usize,
+    /// The corruption applied to that bit.
+    pub kind: BitFault,
+}
+
+/// Outcome of one faulted run against its fault-free golden reference.
+///
+/// Classification precedence (checked in this order):
+/// 1. [`Hung`](FaultClass::Hung) — the watchdog fired; the corrupted
+///    control state never reached `GA_done`.
+/// 2. [`Corrupted`](FaultClass::Corrupted) — the run finished but its
+///    final answer differs from the golden answer (silent data
+///    corruption, the class that matters for dependability).
+/// 3. [`Detected`](FaultClass::Detected) — the final answer is correct
+///    but the observable trajectory (per-generation statistics, RNG
+///    draw count, cycle count) diverged: the fault was real, visible to
+///    a checker, and then healed (elitism re-finding the optimum is the
+///    common healer).
+/// 4. [`Masked`](FaultClass::Masked) — nothing observable changed; the
+///    corrupted bit was dead state or rewritten before use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// No observable difference from the golden run.
+    Masked,
+    /// Observable divergence, but the final answer was still correct.
+    Detected,
+    /// The final answer is wrong — silent data corruption.
+    Corrupted,
+    /// The run did not complete under the watchdog.
+    Hung,
+}
+
+impl FaultClass {
+    /// Every class, in report order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::Masked,
+        FaultClass::Detected,
+        FaultClass::Corrupted,
+        FaultClass::Hung,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Masked => "masked",
+            FaultClass::Detected => "detected",
+            FaultClass::Corrupted => "corrupted",
+            FaultClass::Hung => "hung",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_fault_truth_table() {
+        assert!(!BitFault::Flip.apply(true));
+        assert!(BitFault::Flip.apply(false));
+        assert!(!BitFault::Force0.apply(true));
+        assert!(!BitFault::Force0.apply(false));
+        assert!(BitFault::Force1.apply(true));
+        assert!(BitFault::Force1.apply(false));
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+        names.extend(BitFault::ALL.iter().map(|k| k.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate fault names");
+        assert_eq!(FaultClass::Hung.to_string(), "hung");
+    }
+}

@@ -61,6 +61,7 @@
 //! assert_eq!(c.count.get(), 0);
 //! ```
 
+pub mod fault;
 pub mod handshake;
 pub mod mem;
 pub mod monitor;
@@ -70,6 +71,7 @@ pub mod sim;
 pub mod trace;
 pub mod vcd;
 
+pub use fault::{BitFault, FaultClass, ScanBitOp};
 pub use handshake::{AckSlave, ReqMaster};
 pub use mem::{SpRam, SpRom};
 pub use monitor::HandshakeMonitor;

@@ -61,28 +61,44 @@ impl std::error::Error for SimError {}
 ///
 /// Reading the OS clock every simulated cycle would dominate a tight
 /// run loop, so [`Deadline::expired`] only consults [`Instant`] once
-/// per `stride` calls. The first call always checks, which makes a
-/// zero-millisecond deadline fire deterministically — the property the
-/// serve-layer timeout tests rely on.
+/// per skip window. The window is *adaptive*: each clock read measures
+/// the cost of the calls since the previous read and grants a skip that
+/// cannot consume more than half of the remaining budget, growing at
+/// most geometrically from zero so an unmeasured estimate is never
+/// trusted with a large window. The first call always checks, which
+/// makes a zero-millisecond deadline fire deterministically, and once
+/// expired the verdict is sticky — every later call returns `true`.
 #[derive(Debug, Clone)]
 pub struct Deadline {
     start: Instant,
     budget: Duration,
-    stride: u32,
+    /// Calls left to skip before the next clock read.
     countdown: u32,
+    /// Skip window granted at the last clock read (geometric-growth cap).
+    last_skip: u32,
+    /// `expired()` calls answered since the last clock read.
+    calls_since_check: u32,
+    /// `start.elapsed()` observed at the last clock read.
+    last_elapsed: Duration,
+    /// Latched on the first expired verdict; never cleared.
+    tripped: bool,
 }
 
 impl Deadline {
-    /// Check the clock once per this many `expired()` calls.
-    const DEFAULT_STRIDE: u32 = 1024;
+    /// Upper bound on calls between clock reads, however cheap the
+    /// loop body measures.
+    const MAX_STRIDE: u32 = 1024;
 
     /// A deadline `budget` from now.
     pub fn after(budget: Duration) -> Self {
         Deadline {
             start: Instant::now(),
             budget,
-            stride: Self::DEFAULT_STRIDE,
             countdown: 0,
+            last_skip: 0,
+            calls_since_check: 0,
+            last_elapsed: Duration::ZERO,
+            tripped: false,
         }
     }
 
@@ -92,23 +108,47 @@ impl Deadline {
     }
 
     /// Amortized check: consults the real clock on the first call and
-    /// then once per stride; in between it returns the last verdict
-    /// (which is `false`, since an expired deadline stays expired and
-    /// callers stop on the first `true`).
+    /// then once per adaptive skip window; in between it returns
+    /// `false`. After the first `true` the deadline is latched and
+    /// every subsequent call returns `true` without touching the clock.
     #[inline]
     pub fn expired(&mut self) -> bool {
+        if self.tripped {
+            return true;
+        }
         if self.countdown > 0 {
             self.countdown -= 1;
+            self.calls_since_check += 1;
             return false;
         }
-        self.countdown = self.stride - 1;
-        self.is_past()
+        let elapsed = self.start.elapsed();
+        if elapsed >= self.budget {
+            self.tripped = true;
+            return true;
+        }
+        // Size the next window from the measured per-call cost: skip at
+        // most the number of calls that fit half the remaining budget,
+        // at most double-plus-one the previous window, never more than
+        // MAX_STRIDE. A sleep-heavy loop therefore re-checks within
+        // ~half of what remains instead of overshooting by a fixed
+        // 1024-call stride.
+        let calls = u128::from(self.calls_since_check) + 1;
+        let per_call_ns = ((elapsed - self.last_elapsed).as_nanos() / calls).max(1);
+        let fits = (self.budget - elapsed).as_nanos() / 2 / per_call_ns;
+        let cap = u128::from(self.last_skip) * 2 + 1;
+        let skip = fits.min(cap).min(u128::from(Self::MAX_STRIDE)) as u32;
+        self.countdown = skip;
+        self.last_skip = skip;
+        self.calls_since_check = 0;
+        self.last_elapsed = elapsed;
+        false
     }
 
-    /// Immediate (non-amortized) check against the real clock.
+    /// Immediate (non-amortized) check against the real clock (or the
+    /// latched verdict, once [`Deadline::expired`] has tripped).
     #[inline]
     pub fn is_past(&self) -> bool {
-        self.start.elapsed() >= self.budget
+        self.tripped || self.start.elapsed() >= self.budget
     }
 
     /// Time left before expiry (zero once past).
@@ -281,6 +321,41 @@ mod tests {
         assert!(d.expired());
         assert!(d.is_past());
         assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn expired_is_sticky_after_first_trip() {
+        // Once a deadline has fired it must keep reporting expired on
+        // every later call — the old amortized path answered `false`
+        // for the rest of the stride, letting a loop that ignores a
+        // single verdict run another 1023 iterations for free.
+        let mut d = Deadline::after_ms(0);
+        assert!(d.expired());
+        for _ in 0..5_000 {
+            assert!(d.expired(), "expired() must be sticky-monotonic");
+        }
+        assert!(d.is_past());
+    }
+
+    #[test]
+    fn slow_loop_does_not_overshoot_by_a_full_stride() {
+        // A loop whose body costs ~1 ms per call must notice a 50 ms
+        // budget long before the fixed 1024-call stride would (the old
+        // code slept through the whole stride: ≥ 1 s of overshoot).
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut d = Deadline::after(budget);
+        let mut calls = 0u32;
+        while !d.expired() {
+            std::thread::sleep(Duration::from_millis(1));
+            calls += 1;
+            assert!(calls < 4_000, "deadline never tripped");
+        }
+        let overshoot = start.elapsed().saturating_sub(budget);
+        assert!(
+            overshoot < Duration::from_millis(450),
+            "overshot the budget by {overshoot:?}"
+        );
     }
 
     #[test]

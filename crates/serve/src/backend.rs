@@ -9,8 +9,9 @@ use ga_core::{GaEngine, GaSystem};
 use ga_fitness::{FemBank, FemSlot, LookupFem};
 use hwsim::{Deadline, SimError};
 
-use crate::job::{BackendKind, GaJob, JobOutput, JobResult, ServeError};
-use crate::pack::{ca_lane_streams, draws_per_run, StreamRng};
+use crate::job::{BackendKind, Degradation, GaJob, JobOutput, JobResult, ServeError};
+use crate::pack::{draws_per_run, try_ca_lane_streams, StreamRng};
+use crate::service::ServeConfig;
 
 /// Fitness evaluations one full run consumes: the initial population
 /// plus `pop − 1` offspring per generation (the elite slot is copied,
@@ -20,23 +21,67 @@ pub fn evaluations_for(p: &ga_core::GaParams) -> u64 {
     p.pop_size as u64 + p.n_gens as u64 * (p.pop_size as u64 - 1)
 }
 
-/// Run one job on its selected backend. Validation happens here, so an
-/// out-of-range job becomes a typed error result, never a panic.
-pub fn run_single(job: &GaJob, rtl_watchdog_cycles: u64) -> Result<JobOutput, ServeError> {
-    job.validate()?;
-    match job.backend {
-        BackendKind::Behavioral => run_engine(job, CaRng::new(job.params.seed)),
-        BackendKind::RtlInterp => run_rtl(job, rtl_watchdog_cycles),
-        BackendKind::BitSim64 => {
-            // A solo bitsim job is a pack of one: the lane stream still
-            // comes from the compiled netlist, not from `CaRng`.
-            let draws = draws_per_run(&job.params) as usize;
-            let stream = ca_lane_streams(&[job.params.seed], draws)
-                .pop()
-                .expect("one lane requested");
-            run_engine(job, StreamRng::new(stream))
-        }
+/// Run one job on its selected backend, returning the full result (the
+/// executing backend can differ from the requested one when the bitsim
+/// netlist watchdog trips and the job degrades to the behavioral
+/// engine). Validation happens here, so an out-of-range job becomes a
+/// typed error result, never a panic.
+pub fn run_single(job: &GaJob, i: usize, cfg: &ServeConfig) -> JobResult {
+    let t = Instant::now();
+    let (backend, outcome, degraded) = match job.validate() {
+        Err(e) => (job.backend, Err(e), None),
+        Ok(()) => match job.backend {
+            BackendKind::Behavioral => (
+                job.backend,
+                run_engine(job, CaRng::new(job.params.seed)),
+                None,
+            ),
+            BackendKind::RtlInterp => (job.backend, run_rtl(job, cfg.rtl_watchdog_cycles), None),
+            BackendKind::BitSim64 => {
+                // A solo bitsim job is a pack of one: the lane stream
+                // still comes from the compiled netlist, not `CaRng`.
+                let draws = draws_per_run(&job.params) as usize;
+                match try_ca_lane_streams(&[job.params.seed], draws, cfg.bitsim_watchdog_steps) {
+                    Ok(mut streams) => {
+                        let stream = streams.pop().expect("one lane requested");
+                        (job.backend, run_engine(job, StreamRng::new(stream)), None)
+                    }
+                    Err(steps) => degrade_to_behavioral(job, steps),
+                }
+            }
+        },
+    };
+    JobResult {
+        job: i,
+        backend,
+        outcome,
+        micros: t.elapsed().as_micros() as u64,
+        degraded,
     }
+}
+
+/// Graceful degradation: the bitsim64 netlist watchdog tripped, so the
+/// job is answered by the behavioral reference engine instead, with the
+/// switch surfaced as typed [`Degradation`] metadata rather than a
+/// failed result.
+fn degrade_to_behavioral(
+    job: &GaJob,
+    watchdog_steps: u64,
+) -> (
+    BackendKind,
+    Result<JobOutput, ServeError>,
+    Option<Degradation>,
+) {
+    (
+        BackendKind::Behavioral,
+        run_engine(job, CaRng::new(job.params.seed)),
+        Some(Degradation {
+            from: BackendKind::BitSim64,
+            reason: ServeError::Watchdog {
+                cycles: watchdog_steps,
+            },
+        }),
+    )
 }
 
 /// Run a pack of *validated, compatible* bitsim jobs (`idxs` index into
@@ -44,13 +89,32 @@ pub fn run_single(job: &GaJob, rtl_watchdog_cycles: u64) -> Result<JobOutput, Se
 /// lockstep netlist run extracts every lane's RNG stream, then each
 /// lane finishes as an independent engine run. Per-job latency charges
 /// each job its own engine time plus an even share of the shared
-/// stream-extraction time.
-pub fn run_pack(all: &[GaJob], idxs: &[usize]) -> Vec<JobResult> {
+/// stream-extraction time. If the netlist watchdog refuses the
+/// extraction, every lane degrades to the behavioral backend.
+pub fn run_pack(all: &[GaJob], idxs: &[usize], cfg: &ServeConfig) -> Vec<JobResult> {
     debug_assert!(!idxs.is_empty());
     let draws = draws_per_run(&all[idxs[0]].params) as usize;
     let seeds: Vec<u16> = idxs.iter().map(|&i| all[i].params.seed).collect();
     let t = Instant::now();
-    let streams = ca_lane_streams(&seeds, draws);
+    let streams = match try_ca_lane_streams(&seeds, draws, cfg.bitsim_watchdog_steps) {
+        Ok(streams) => streams,
+        Err(steps) => {
+            return idxs
+                .iter()
+                .map(|&i| {
+                    let t = Instant::now();
+                    let (backend, outcome, degraded) = degrade_to_behavioral(&all[i], steps);
+                    JobResult {
+                        job: i,
+                        backend,
+                        outcome,
+                        micros: t.elapsed().as_micros() as u64,
+                        degraded,
+                    }
+                })
+                .collect();
+        }
+    };
     let shared_micros = t.elapsed().as_micros() as u64 / idxs.len() as u64;
 
     idxs.iter()
@@ -63,6 +127,7 @@ pub fn run_pack(all: &[GaJob], idxs: &[usize]) -> Vec<JobResult> {
                 backend: BackendKind::BitSim64,
                 outcome,
                 micros: shared_micros + t.elapsed().as_micros() as u64,
+                degraded: None,
             }
         })
         .collect()
@@ -134,15 +199,17 @@ mod tests {
     use ga_core::GaParams;
     use ga_fitness::TestFunction;
 
-    const WATCHDOG: u64 = 2_000_000_000;
+    fn run(job: &GaJob) -> Result<JobOutput, ServeError> {
+        run_single(job, 0, &ServeConfig::default()).outcome
+    }
 
     #[test]
     fn behavioral_and_bitsim_agree_exactly() {
         let params = GaParams::new(16, 6, 10, 1, 0x2961);
         let beh = GaJob::new(TestFunction::Bf6, BackendKind::Behavioral, params);
         let bit = GaJob::new(TestFunction::Bf6, BackendKind::BitSim64, params);
-        let a = run_single(&beh, WATCHDOG).expect("behavioral runs");
-        let b = run_single(&bit, WATCHDOG).expect("bitsim runs");
+        let a = run(&beh).expect("behavioral runs");
+        let b = run(&bit).expect("bitsim runs");
         assert_eq!(a, b, "netlist-streamed lane must match the reference RNG");
     }
 
@@ -151,8 +218,8 @@ mod tests {
         let params = GaParams::new(8, 4, 10, 1, 0x061F);
         let rtl = GaJob::new(TestFunction::F3, BackendKind::RtlInterp, params);
         let beh = GaJob::new(TestFunction::F3, BackendKind::Behavioral, params);
-        let r = run_single(&rtl, WATCHDOG).expect("rtl runs");
-        let b = run_single(&beh, WATCHDOG).expect("behavioral runs");
+        let r = run(&rtl).expect("rtl runs");
+        let b = run(&beh).expect("behavioral runs");
         assert!(r.cycles.expect("rtl reports cycles") > 0);
         assert_eq!(r.best, b.best, "engines must agree on the answer");
         assert_eq!(r.evaluations, b.evaluations, "evaluation formula");
@@ -164,7 +231,7 @@ mod tests {
         for backend in BackendKind::ALL {
             let job = GaJob::new(TestFunction::F2, backend, params).with_deadline_ms(0);
             assert_eq!(
-                run_single(&job, WATCHDOG),
+                run(&job),
                 Err(ServeError::DeadlineExceeded),
                 "{} must honor a 0 ms deadline",
                 backend.name()
@@ -176,8 +243,12 @@ mod tests {
     fn rtl_watchdog_is_typed() {
         let params = GaParams::new(8, 4, 10, 1, 0xB342);
         let job = GaJob::new(TestFunction::F2, BackendKind::RtlInterp, params);
+        let cfg = ServeConfig {
+            rtl_watchdog_cycles: 10,
+            ..Default::default()
+        };
         assert!(matches!(
-            run_single(&job, 10),
+            run_single(&job, 0, &cfg).outcome,
             Err(ServeError::Watchdog { cycles: 10 })
         ));
     }
@@ -190,9 +261,29 @@ mod tests {
             GaParams::default(),
         );
         job.params.n_gens = 0;
-        assert!(matches!(
-            run_single(&job, WATCHDOG),
-            Err(ServeError::InvalidJob { .. })
-        ));
+        assert!(matches!(run(&job), Err(ServeError::InvalidJob { .. })));
+    }
+
+    #[test]
+    fn bitsim_watchdog_degrades_solo_jobs_to_behavioral() {
+        let params = GaParams::new(16, 6, 10, 1, 0x2961);
+        let bit = GaJob::new(TestFunction::Bf6, BackendKind::BitSim64, params);
+        let beh = GaJob::new(TestFunction::Bf6, BackendKind::Behavioral, params);
+        let cfg = ServeConfig {
+            bitsim_watchdog_steps: 4, // far below the needed draw count
+            ..Default::default()
+        };
+        let r = run_single(&bit, 7, &cfg);
+        assert_eq!(r.job, 7);
+        assert_eq!(r.backend, BackendKind::Behavioral, "executed by fallback");
+        assert_eq!(
+            r.degraded,
+            Some(Degradation {
+                from: BackendKind::BitSim64,
+                reason: ServeError::Watchdog { cycles: 4 },
+            })
+        );
+        // The degraded answer is the behavioral answer, not a failure.
+        assert_eq!(r.outcome, run(&beh), "fallback result matches behavioral");
     }
 }

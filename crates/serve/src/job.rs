@@ -12,6 +12,14 @@ use ga_fitness::TestFunction;
 /// with [`ServeError::UnsupportedWidth`].
 pub const CHROM_WIDTH: u8 = 16;
 
+/// The chromosome widths the job *schema* admits. `width` used to be
+/// parsed with the full 0..=255 range, deferring rejection to the
+/// backend; the parser now refuses anything outside this list up front
+/// with a line-aligned `invalid_job` error. Only [`CHROM_WIDTH`] has
+/// engines today — a 32-bit job parses but is answered with a typed
+/// [`ServeError::UnsupportedWidth`] until the scaling-study core lands.
+pub const SUPPORTED_WIDTHS: [u8; 2] = [16, 32];
+
 /// Which engine executes a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
@@ -130,6 +138,19 @@ pub struct JobOutput {
     pub cycles: Option<u64>,
 }
 
+/// Degradation note attached to a result that was answered by a
+/// different backend than the one requested: the requested backend
+/// failed transiently (e.g. the bitsim64 netlist watchdog tripped) and
+/// the service fell back instead of failing the job. Surfaced as typed
+/// metadata so callers can tell a degraded answer from a native one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The backend the job originally asked for.
+    pub from: BackendKind,
+    /// The typed error that triggered the fallback.
+    pub reason: ServeError,
+}
+
 /// One job's result, tagged with its index in the submitted batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
@@ -144,6 +165,9 @@ pub struct JobResult {
     /// JSONL result lines so golden-file diffs stay deterministic;
     /// latency is aggregated into `BENCH_serve.json` instead.
     pub micros: u64,
+    /// Set when the job was answered by a fallback backend after the
+    /// requested one failed transiently (graceful degradation).
+    pub degraded: Option<Degradation>,
 }
 
 /// Typed service errors — every way a job can fail without panicking.
@@ -180,6 +204,13 @@ pub enum ServeError {
     },
     /// The queue was closed while submitting.
     QueueClosed,
+    /// The job's worker panicked (caught at the pool boundary) or a
+    /// result slot was never filled — a service bug surfaced as a typed
+    /// per-job failure instead of a process crash.
+    Internal {
+        /// The recovered panic message (or invariant description).
+        msg: String,
+    },
 }
 
 impl ServeError {
@@ -193,7 +224,15 @@ impl ServeError {
             ServeError::Watchdog { .. } => "watchdog",
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::QueueClosed => "queue_closed",
+            ServeError::Internal { .. } => "internal",
         }
+    }
+
+    /// Whether a retry could plausibly succeed: only worker-side
+    /// internal failures (panics) qualify — every other error is a
+    /// deterministic property of the job or the queue state.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::Internal { .. })
     }
 }
 
@@ -216,6 +255,7 @@ impl fmt::Display for ServeError {
                 write!(f, "queue full (capacity {capacity})")
             }
             ServeError::QueueClosed => write!(f, "queue closed"),
+            ServeError::Internal { msg } => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -28,7 +28,9 @@ use std::fmt::Write as _;
 
 use ga_core::GaParams;
 
-use crate::job::{function_by_name, BackendKind, GaJob, JobResult, ServeError, CHROM_WIDTH};
+use crate::job::{
+    function_by_name, BackendKind, GaJob, JobResult, ServeError, CHROM_WIDTH, SUPPORTED_WIDTHS,
+};
 
 /// A flat JSON value (all the schema needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -116,22 +118,50 @@ impl Parser<'_> {
 
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Accumulate raw bytes and validate once at the closing quote:
+        // pushing `b as char` would latin-1-mangle multi-byte UTF-8.
+        let mut out: Vec<u8> = Vec::new();
         loop {
             match self.next() {
-                Some(b'"') => return Ok(out),
+                Some(b'"') => {
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into())
+                }
                 Some(b'\\') => match self.next() {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        // `char::from_u32` rejects the surrogate range:
+                        // the schema has no use for surrogate pairs.
+                        let c = char::from_u32(cp)
+                            .ok_or_else(|| format!("\\u{cp:04x} is not a scalar value"))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
                     other => return Err(format!("unsupported escape {:?}", byte_name(other))),
                 },
-                Some(b) => out.push(b as char),
+                Some(b) => out.push(b),
                 None => return Err("unterminated string".into()),
             }
         }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.next().ok_or("unterminated \\u escape")?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {:?} in \\u escape", b as char))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
     }
 
     fn value(&mut self) -> Result<JsonValue, String> {
@@ -169,6 +199,26 @@ impl Parser<'_> {
     }
 }
 
+/// Escape `s` as the body of a JSON string literal — the writer dual of
+/// the parser's string reader, so serialize→parse round-trips exactly.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn byte_name(b: Option<u8>) -> String {
     match b {
         Some(b) => (b as char).to_string(),
@@ -181,6 +231,14 @@ fn byte_name(b: Option<u8>) -> String {
 pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
     let perr = |msg: String| ServeError::Parse { line, msg };
     let pairs = parse_object(text).map_err(perr)?;
+
+    // A duplicated key means one of the two values silently loses;
+    // reject the line instead of guessing which one was meant.
+    for i in 1..pairs.len() {
+        if pairs[..i].iter().any(|(k, _)| *k == pairs[i].0) {
+            return Err(perr(format!("duplicate key {:?}", pairs[i].0)));
+        }
+    }
 
     let mut function = None;
     let mut backend = BackendKind::Behavioral;
@@ -206,7 +264,15 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
                 backend = BackendKind::parse(&name)
                     .ok_or_else(|| perr(format!("unknown backend {name:?}")))?;
             }
-            "width" => width = as_int(&key, &value, 0, u8::MAX as u64).map_err(perr)? as u8,
+            "width" => {
+                let w = as_int(&key, &value, 0, u8::MAX as u64).map_err(perr)? as u8;
+                if !SUPPORTED_WIDTHS.contains(&w) {
+                    return Err(ServeError::InvalidJob {
+                        msg: format!("width {w} is not a supported chromosome width (16 or 32)"),
+                    });
+                }
+                width = w;
+            }
             "pop" => pop = Some(as_int(&key, &value, 0, u8::MAX as u64).map_err(perr)? as u8),
             "gens" => gens = Some(as_int(&key, &value, 0, u32::MAX as u64).map_err(perr)? as u32),
             "xover" => xover = Some(as_int(&key, &value, 0, 255).map_err(perr)? as u8),
@@ -277,8 +343,11 @@ pub fn job_line(job: &GaJob) -> String {
 }
 
 /// Serialize one result line. Fully deterministic: no timing fields.
+/// A degraded result additionally carries the requested backend and the
+/// typed reason (`degraded_from` / `degraded_error`), so a caller can
+/// tell a fallback answer from a native one straight off the wire.
 pub fn result_line(r: &JobResult) -> String {
-    match &r.outcome {
+    let mut out = match &r.outcome {
         Ok(o) => {
             let mut out = format!(
                 "{{\"job\":{},\"backend\":\"{}\",\"ok\":true,\"best_chrom\":{},\"best_fitness\":{},\"generations\":{},\"evaluations\":{}",
@@ -298,17 +367,26 @@ pub fn result_line(r: &JobResult) -> String {
             if let Some(c) = o.cycles {
                 let _ = write!(out, ",\"cycles\":{c}");
             }
-            out.push('}');
             out
         }
         Err(e) => format!(
-            "{{\"job\":{},\"backend\":\"{}\",\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
+            "{{\"job\":{},\"backend\":\"{}\",\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"",
             r.job,
             r.backend.name(),
             e.code(),
-            e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+            escape_string(&e.to_string())
         ),
+    };
+    if let Some(d) = &r.degraded {
+        let _ = write!(
+            out,
+            ",\"degraded_from\":\"{}\",\"degraded_error\":\"{}\"",
+            d.from.name(),
+            d.reason.code()
+        );
     }
+    out.push('}');
+    out
 }
 
 /// Serialize the result line for an input line that failed to parse
@@ -317,7 +395,7 @@ pub fn parse_error_line(job: usize, err: &ServeError) -> String {
     format!(
         "{{\"job\":{job},\"backend\":\"none\",\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
         err.code(),
-        err.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+        escape_string(&err.to_string())
     )
 }
 
@@ -387,6 +465,58 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_widths_rejected_at_parse_time() {
+        // Supported widths parse (32 is then refused by the backend
+        // gate, but the schema admits it for the scaling study).
+        for w in SUPPORTED_WIDTHS {
+            let line =
+                format!("{{\"fn\":\"F3\",\"width\":{w},\"pop\":32,\"gens\":8,\"xover\":10,\"mut\":1,\"seed\":7}}");
+            assert_eq!(parse_job(&line, 0).expect("supported width").width, w);
+        }
+        // Everything else is an invalid_job error at parse time — the
+        // old parser accepted the full 0..=255 range here.
+        for w in [0u8, 1, 8, 15, 17, 24, 31, 33, 64, 255] {
+            let line =
+                format!("{{\"fn\":\"F3\",\"width\":{w},\"pop\":32,\"gens\":8,\"xover\":10,\"mut\":1,\"seed\":7}}");
+            let err = parse_job(&line, 5).expect_err("unsupported width");
+            assert_eq!(err.code(), "invalid_job", "width {w}: {err}");
+            assert!(err.to_string().contains(&format!("width {w}")), "{err}");
+        }
+        // Out-of-u8 widths are still plain parse errors.
+        let huge = r#"{"fn":"F3","width":4096,"pop":32,"gens":8,"xover":10,"mut":1,"seed":7}"#;
+        assert!(matches!(parse_job(huge, 0), Err(ServeError::Parse { .. })));
+    }
+
+    #[test]
+    fn duplicate_keys_are_parse_errors() {
+        let dup = r#"{"fn":"F3","pop":32,"gens":8,"xover":10,"mut":1,"seed":7,"seed":9}"#;
+        let Err(ServeError::Parse { line, msg }) = parse_job(dup, 11) else {
+            panic!("duplicate key must be a parse error");
+        };
+        assert_eq!(line, 11, "diagnostic stays line-aligned");
+        assert!(msg.contains("duplicate key \"seed\""), "msg: {msg}");
+    }
+
+    #[test]
+    fn strings_keep_multibyte_utf8_and_unicode_escapes() {
+        let got = parse_object("{\"k\":\"héllo — ✓\"}").expect("utf-8 string");
+        assert_eq!(got[0].1, JsonValue::Str("héllo — ✓".into()));
+        let got = parse_object(r#"{"k":"A\u00e9\u2713"}"#).expect("\\u escapes");
+        assert_eq!(got[0].1, JsonValue::Str("Aé✓".into()));
+        // Surrogate code units are not scalar values.
+        assert!(parse_object(r#"{"k":"\ud800"}"#).is_err());
+        assert!(parse_object(r#"{"k":"\uZZZZ"}"#).is_err());
+    }
+
+    #[test]
+    fn escape_string_is_the_parsers_dual() {
+        let s = "a\"b\\c\nd\té — ✓\u{1}";
+        let line = format!("{{\"k\":\"{}\"}}", escape_string(s));
+        let got = parse_object(&line).expect("escaped string parses");
+        assert_eq!(got, vec![("k".into(), JsonValue::Str(s.into()))]);
+    }
+
+    #[test]
     fn result_lines_are_deterministic_and_timing_free() {
         let ok = JobResult {
             job: 4,
@@ -402,6 +532,7 @@ mod tests {
                 cycles: Some(335_872),
             }),
             micros: 123_456, // must NOT appear in the line
+            degraded: None,
         };
         let line = result_line(&ok);
         assert_eq!(
@@ -415,10 +546,24 @@ mod tests {
             backend: BackendKind::Behavioral,
             outcome: Err(ServeError::DeadlineExceeded),
             micros: 1,
+            degraded: None,
         };
         assert_eq!(
             result_line(&err),
             "{\"job\":5,\"backend\":\"behavioral\",\"ok\":false,\"error\":\"deadline_exceeded\",\"detail\":\"wall-clock deadline expired\"}"
+        );
+
+        // A degraded result surfaces the requested backend + reason.
+        let degraded = JobResult {
+            degraded: Some(crate::job::Degradation {
+                from: BackendKind::BitSim64,
+                reason: ServeError::Watchdog { cycles: 4 },
+            }),
+            ..ok.clone()
+        };
+        assert_eq!(
+            result_line(&degraded),
+            "{\"job\":4,\"backend\":\"rtl\",\"ok\":true,\"best_chrom\":4660,\"best_fitness\":3060,\"generations\":32,\"evaluations\":1024,\"conv_gen\":7,\"cycles\":335872,\"degraded_from\":\"bitsim64\",\"degraded_error\":\"watchdog\"}"
         );
 
         let parse = ServeError::Parse {

@@ -52,12 +52,29 @@ fn compiled_ca() -> &'static CompiledNetlist {
 /// guard remap (0 → 1), matching `carng::CaRng`; *unseeded* tail lanes
 /// stay at the CA's all-zero fixed point and are never read.
 pub fn ca_lane_streams(seeds: &[u16], draws: usize) -> Vec<Vec<u16>> {
+    try_ca_lane_streams(seeds, draws, u64::MAX).expect("unbounded extraction cannot trip")
+}
+
+/// [`ca_lane_streams`] under a simulated-step watchdog: extracting
+/// `draws` draws costs `draws + 1` netlist steps (one load edge plus
+/// one per draw); if the run would exceed `max_steps` the extraction is
+/// refused up front with `Err(max_steps)` — the step count the watchdog
+/// charged — so the service can degrade the pack to the behavioral
+/// backend instead of burning an unbounded amount of host time.
+pub fn try_ca_lane_streams(
+    seeds: &[u16],
+    draws: usize,
+    max_steps: u64,
+) -> Result<Vec<Vec<u16>>, u64> {
     assert!(
         seeds.len() <= BitSim::LANES,
         "{} seeds exceed the {} lanes of one pack",
         seeds.len(),
         BitSim::LANES
     );
+    if (draws as u64).saturating_add(1) > max_steps {
+        return Err(max_steps);
+    }
     let cn = compiled_ca();
     let seed_bus = cn.input_bus("seed").expect("seed bus").to_vec();
     let ctl_bus = cn.input_bus("ctl").expect("ctl bus").to_vec();
@@ -84,7 +101,7 @@ pub fn ca_lane_streams(seeds: &[u16], draws: usize) -> Vec<Vec<u16>> {
         }
         sim.step();
     }
-    streams
+    Ok(streams)
 }
 
 /// An [`Rng16`] replaying a pre-extracted draw stream — the glue
@@ -180,6 +197,13 @@ mod tests {
     fn more_than_64_seeds_rejected() {
         let seeds: Vec<u16> = (0..65).collect();
         let _ = ca_lane_streams(&seeds, 1);
+    }
+
+    #[test]
+    fn step_watchdog_refuses_oversized_extractions() {
+        assert_eq!(try_ca_lane_streams(&[1], 100, 10), Err(10));
+        let ok = try_ca_lane_streams(&[1], 9, 10).expect("9 draws + 1 load step fit in 10");
+        assert_eq!(ok[0].len(), 9);
     }
 
     #[test]

@@ -9,13 +9,29 @@
 //! shed load than wait.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::job::ServeError;
 
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Take the queue lock, recovering from poisoning.
+///
+/// A worker that panics mid-job poisons every mutex it holds; with
+/// `expect("queue lock poisoned")` that one panic used to cascade
+/// through every producer and consumer parked on the queue, killing the
+/// whole batch. The queue state itself (a `VecDeque` plus a flag) is
+/// updated atomically under the lock with no multi-step invariant a
+/// panic can tear, so the guard inside the `PoisonError` is always
+/// valid to keep using — the panicking job is failed upstream by the
+/// worker pool, and everyone else keeps flowing.
+pub(crate) fn relock<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Bounded multi-producer/multi-consumer FIFO (mutex + condvars — the
@@ -50,7 +66,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        relock(self.state.lock()).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -61,7 +77,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueue, **blocking while the queue is full** (backpressure).
     /// Fails only if the queue is closed.
     pub fn push(&self, item: T) -> Result<(), ServeError> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = relock(self.state.lock());
         loop {
             if st.closed {
                 return Err(ServeError::QueueClosed);
@@ -71,14 +87,14 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            st = self.not_full.wait(st).expect("queue lock poisoned");
+            st = relock(self.not_full.wait(st));
         }
     }
 
     /// Non-blocking enqueue. On failure the item is handed back along
     /// with the typed reason.
     pub fn try_push(&self, item: T) -> Result<(), (T, ServeError)> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = relock(self.state.lock());
         if st.closed {
             return Err((item, ServeError::QueueClosed));
         }
@@ -98,7 +114,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeue, blocking while empty. Returns `None` once the queue is
     /// closed *and* drained — the worker-loop termination condition.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = relock(self.state.lock());
         loop {
             if let Some(item) = st.items.pop_front() {
                 self.not_full.notify_one();
@@ -107,14 +123,14 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("queue lock poisoned");
+            st = relock(self.not_empty.wait(st));
         }
     }
 
     /// Close the queue: pending items still drain, new pushes fail,
     /// and blocked poppers wake up with `None` once empty.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        relock(self.state.lock()).closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
@@ -188,6 +204,29 @@ mod tests {
         assert_eq!(q.push(1), Err(ServeError::QueueClosed));
         let (_, err) = q.try_push(2).expect_err("closed");
         assert_eq!(err, ServeError::QueueClosed);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_cascaded() {
+        // Panic while holding the state mutex (what a crashing worker
+        // does to any lock it holds) and confirm every queue operation
+        // keeps working instead of propagating the poison.
+        let q = BoundedQueue::new(4);
+        q.push(1).expect("pre-poison push");
+        let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = q.state.lock().expect("not yet poisoned");
+            panic!("worker crashed while holding the queue lock");
+        }));
+        assert!(unwind.is_err());
+        assert!(q.state.is_poisoned(), "test must actually poison the lock");
+        assert_eq!(q.len(), 1);
+        q.push(2).expect("push after poison");
+        q.try_push(3).expect("try_push after poison");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        assert_eq!(q.pop(), None, "close still wakes poppers after poison");
     }
 
     #[test]

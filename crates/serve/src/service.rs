@@ -1,16 +1,39 @@
 //! The scheduler: shard a batch over a worker pool, pack compatible
 //! bitsim jobs, and return results in input order.
 
-use std::sync::Mutex;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 use std::thread;
-use std::time::Instant;
+use std::time::Duration;
 
 use ga_bench::{default_threads, lane_chunks, BenchReport, Stopwatch};
 use ga_synth::bitsim::BitSim;
 
 use crate::backend;
-use crate::job::{BackendKind, GaJob, JobResult};
-use crate::queue::BoundedQueue;
+use crate::job::{BackendKind, GaJob, JobResult, ServeError};
+use crate::queue::{relock, BoundedQueue};
+
+/// Retry policy for *transient* job failures (worker panics caught at
+/// the pool boundary). Deterministic errors — validation, watchdogs,
+/// deadlines — are never retried: rerunning them buys nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per work unit, including the first (1 = never
+    /// retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 2,
+            backoff_ms: 5,
+        }
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -22,6 +45,19 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Simulated-cycle watchdog for the RTL backend.
     pub rtl_watchdog_cycles: u64,
+    /// Simulated-step watchdog for bitsim64 stream extraction. A trip
+    /// degrades the affected jobs to the behavioral backend (typed
+    /// [`crate::job::Degradation`] metadata) instead of failing them.
+    pub bitsim_watchdog_steps: u64,
+    /// Retry-with-backoff policy for transient (panic) failures.
+    pub retry: RetryPolicy,
+    /// Chaos/fault-injection hook, called with `(index, job)` right
+    /// before each job executes. A panic here exercises exactly the
+    /// worker-crash path a misbehaving backend would: caught at the
+    /// pool boundary, retried per [`RetryPolicy`], then failed as a
+    /// typed internal error for that unit only. A plain `fn` pointer so
+    /// the config stays `Clone + Debug`.
+    pub pre_exec: Option<fn(usize, &GaJob)>,
 }
 
 impl Default for ServeConfig {
@@ -30,6 +66,9 @@ impl Default for ServeConfig {
             threads: default_threads(),
             queue_capacity: 64,
             rtl_watchdog_cycles: 2_000_000_000,
+            bitsim_watchdog_steps: 2_000_000_000,
+            retry: RetryPolicy::default(),
+            pre_exec: None,
         }
     }
 }
@@ -82,6 +121,9 @@ pub struct ServeStats {
     /// real bitsim jobs, NOT `packs × 64`: idle tail lanes of a short
     /// pack do not count (the padding-skew fix).
     pub packed_lanes: u64,
+    /// Jobs answered by a fallback backend after their requested one
+    /// failed transiently (graceful degradation).
+    pub degraded: u64,
     /// Wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
 }
@@ -144,6 +186,7 @@ impl ServeStats {
             .metric("bitsim64_avg_us", self.bitsim.avg_micros())
             .metric("bitsim64_packs", self.packs as f64)
             .metric("bitsim64_active_lanes", self.packed_lanes as f64)
+            .metric("degraded_jobs", self.degraded as f64)
     }
 }
 
@@ -192,16 +235,92 @@ fn plan_units(jobs: &[GaJob]) -> Vec<Unit> {
 fn exec_unit(jobs: &[GaJob], unit: &Unit, cfg: &ServeConfig) -> Vec<JobResult> {
     match unit {
         Unit::Solo(i) => {
-            let t = Instant::now();
-            let outcome = backend::run_single(&jobs[*i], cfg.rtl_watchdog_cycles);
-            vec![JobResult {
-                job: *i,
-                backend: jobs[*i].backend,
-                outcome,
-                micros: t.elapsed().as_micros() as u64,
-            }]
+            if let Some(hook) = cfg.pre_exec {
+                hook(*i, &jobs[*i]);
+            }
+            vec![backend::run_single(&jobs[*i], *i, cfg)]
         }
-        Unit::Pack(idxs) => backend::run_pack(jobs, idxs),
+        Unit::Pack(idxs) => {
+            if let Some(hook) = cfg.pre_exec {
+                for &i in idxs {
+                    hook(i, &jobs[i]);
+                }
+            }
+            backend::run_pack(jobs, idxs, cfg)
+        }
+    }
+}
+
+/// Recover a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// True when any member result failed with an error worth retrying
+/// ([`ServeError::is_transient`]) — deterministic failures (invalid
+/// job, unsupported width, deadline, watchdog) reproduce identically
+/// and are never retried.
+fn has_transient_failure(results: &[JobResult]) -> bool {
+    results
+        .iter()
+        .any(|r| matches!(&r.outcome, Err(e) if e.is_transient()))
+}
+
+/// Run one unit at the pool boundary: a panic anywhere inside the unit
+/// is caught, and both panics and typed transient failures are retried
+/// per [`RetryPolicy`] (exponential backoff, since a transient fault
+/// that just fired tends to need a beat to clear). If every attempt
+/// crashes, the panic is converted into one typed
+/// [`ServeError::Internal`] result per member job. The worker thread
+/// itself never unwinds, so the rest of the batch keeps flowing.
+fn exec_unit_with_recovery(jobs: &[GaJob], unit: &Unit, cfg: &ServeConfig) -> Vec<JobResult> {
+    let max_attempts = cfg.retry.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| exec_unit(jobs, unit, cfg))) {
+            Ok(results) => {
+                if attempt < max_attempts && has_transient_failure(&results) {
+                    let backoff = cfg.retry.backoff_ms << (attempt - 1);
+                    if backoff > 0 {
+                        thread::sleep(Duration::from_millis(backoff));
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                return results;
+            }
+            Err(payload) => {
+                let msg = panic_message(payload);
+                if attempt < max_attempts {
+                    let backoff = cfg.retry.backoff_ms << (attempt - 1);
+                    if backoff > 0 {
+                        thread::sleep(Duration::from_millis(backoff));
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                let indices: &[usize] = match unit {
+                    Unit::Solo(i) => std::slice::from_ref(i),
+                    Unit::Pack(idxs) => idxs,
+                };
+                return indices
+                    .iter()
+                    .map(|&i| JobResult {
+                        job: i,
+                        backend: jobs[i].backend,
+                        outcome: Err(ServeError::Internal { msg: msg.clone() }),
+                        micros: 0,
+                        degraded: None,
+                    })
+                    .collect();
+            }
+        }
     }
 }
 
@@ -231,8 +350,8 @@ pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
         for _ in 0..threads {
             s.spawn(|| {
                 while let Some(unit) = queue.pop() {
-                    let produced = exec_unit(jobs, &unit, cfg);
-                    let mut table = slots.lock().expect("result table poisoned");
+                    let produced = exec_unit_with_recovery(jobs, &unit, cfg);
+                    let mut table = relock(slots.lock());
                     for r in produced {
                         let idx = r.job;
                         debug_assert!(table[idx].is_none(), "job {idx} produced twice");
@@ -249,17 +368,32 @@ pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
         queue.close();
     });
 
+    // An unfilled slot is a service bug, but it must fail that job with
+    // a typed error — not panic the caller after the batch already ran.
     let results: Vec<JobResult> = slots
         .into_inner()
-        .expect("result table poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| JobResult {
+                job: i,
+                backend: jobs[i].backend,
+                outcome: Err(ServeError::Internal {
+                    msg: format!("job {i} produced no result"),
+                }),
+                micros: 0,
+                degraded: None,
+            })
+        })
         .collect();
     for r in &results {
         stats
             .counters_mut(r.backend)
             .absorb(r.micros, r.outcome.is_ok());
+        if r.degraded.is_some() {
+            stats.degraded += 1;
+        }
     }
     stats.wall_seconds = sw.seconds();
     ServeOutcome { results, stats }
@@ -375,6 +509,140 @@ mod tests {
         );
         assert_eq!(out.stats.errors(), 2);
         assert_eq!(out.stats.packs, 0, "invalid bitsim jobs never pack");
+    }
+
+    /// Chaos hook: crash every attempt of the job seeded 0x5005.
+    fn crash_seed_5005(i: usize, job: &GaJob) {
+        if job.params.seed == 0x5005 {
+            panic!("injected chaos for job {i}");
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_and_batch_stays_input_ordered() {
+        let jobs: Vec<GaJob> = (0..8)
+            .map(|i| quick_job(BackendKind::Behavioral, 0x5000 + i as u16))
+            .collect();
+        let out = serve_batch(
+            &jobs,
+            &ServeConfig {
+                threads: 4,
+                pre_exec: Some(crash_seed_5005),
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    backoff_ms: 0,
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.results.len(), jobs.len());
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.job, i, "input order survives a crashing worker");
+            if jobs[i].params.seed == 0x5005 {
+                assert!(
+                    matches!(&r.outcome,
+                        Err(ServeError::Internal { msg }) if msg.contains("injected chaos")),
+                    "crashing job carries the recovered panic message"
+                );
+            } else {
+                assert!(r.outcome.is_ok(), "job {i} must be unaffected");
+            }
+        }
+        assert_eq!(out.stats.errors(), 1);
+    }
+
+    /// Chaos hook: crash the job seeded 0x6003, but only the first time
+    /// it is attempted — a transient fault the retry policy can absorb.
+    fn crash_seed_6003_once(_i: usize, job: &GaJob) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static FIRED: AtomicBool = AtomicBool::new(false);
+        if job.params.seed == 0x6003 && !FIRED.swap(true, Ordering::SeqCst) {
+            panic!("transient fault");
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_success() {
+        let jobs: Vec<GaJob> = (0..4)
+            .map(|i| quick_job(BackendKind::Behavioral, 0x6000 + i as u16))
+            .collect();
+        let out = serve_batch(
+            &jobs,
+            &ServeConfig {
+                threads: 2,
+                pre_exec: Some(crash_seed_6003_once),
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    backoff_ms: 1,
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stats.errors(), 0, "one retry absorbs a one-shot fault");
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.job, i);
+            assert!(r.outcome.is_ok());
+        }
+    }
+
+    #[test]
+    fn only_transient_errors_qualify_for_retry() {
+        let result = |outcome| JobResult {
+            job: 0,
+            backend: BackendKind::Behavioral,
+            outcome,
+            micros: 0,
+            degraded: None,
+        };
+        assert!(has_transient_failure(&[result(Err(
+            ServeError::Internal {
+                msg: "poisoned".into()
+            }
+        ))]));
+        // Deterministic failures reproduce identically — no retry.
+        assert!(!has_transient_failure(&[
+            result(Err(ServeError::InvalidJob {
+                msg: "pop 0".into()
+            })),
+            result(Err(ServeError::Watchdog { cycles: 7 })),
+            result(Err(ServeError::DeadlineExceeded)),
+        ]));
+        assert!(!has_transient_failure(&[]));
+    }
+
+    #[test]
+    fn bitsim_watchdog_degrades_lanes_without_disturbing_the_batch() {
+        // Mixed batch: bitsim jobs (which will pack) interleaved with
+        // behavioral twins of the same parameters. With the step
+        // watchdog set far below the needed draw count, every bitsim
+        // lane must come back as a *successful* behavioral answer with
+        // typed degradation metadata — and match its twin exactly —
+        // while the native behavioral jobs are untouched.
+        let mut jobs = Vec::new();
+        for i in 0..6u16 {
+            jobs.push(quick_job(BackendKind::BitSim64, 0x7000 + i));
+            jobs.push(quick_job(BackendKind::Behavioral, 0x7000 + i));
+        }
+        let out = serve_batch(
+            &jobs,
+            &ServeConfig {
+                bitsim_watchdog_steps: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stats.errors(), 0, "degradation is not failure");
+        assert_eq!(out.stats.degraded, 6);
+        for pair in out.results.chunks(2) {
+            let (bit, beh) = (&pair[0], &pair[1]);
+            assert_eq!(bit.backend, BackendKind::Behavioral, "fallback executed");
+            let d = bit.degraded.as_ref().expect("degradation is surfaced");
+            assert_eq!(d.from, BackendKind::BitSim64);
+            assert_eq!(d.reason, ServeError::Watchdog { cycles: 4 });
+            assert_eq!(beh.degraded, None, "native jobs carry no metadata");
+            assert_eq!(bit.outcome, beh.outcome, "fallback answer is exact");
+        }
+        let json = out.stats.to_report(1).to_json();
+        assert!(json.contains("\"degraded_jobs\": 6"), "missing in {json}");
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl CompiledNetlist {
         self.regs.len()
     }
 
+    /// The compiled scan registers, in scan-chain order (index =
+    /// fault-injection site ID for [`crate::fault::FaultInjector`]).
+    pub fn regs(&self) -> &[RegCell] {
+        &self.regs
+    }
+
     /// Look up a named input bus (LSB first), resolved at compile time.
     pub fn input_bus(&self, name: &str) -> Option<&[NetId]> {
         self.inputs

@@ -42,6 +42,7 @@ pub mod bitsim;
 pub mod builder;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod fsm;
 pub mod gadesign;
 pub mod mapper;
@@ -55,6 +56,7 @@ pub use bitsim::{BitSim, CompiledNetlist};
 pub use builder::Builder;
 pub use device::Xc2vp30;
 pub use error::SynthError;
+pub use fault::{FaultInjector, NetFault, NetFaultKind};
 pub use gadesign::{elaborate_ga_core, GaCoreReport};
 pub use netlist::{GateKind, NetId, Netlist};
 pub use verilog::emit_verilog;
