@@ -42,23 +42,41 @@ GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/fault_campaign > /de
     'injected>=201' 'unclassified>=0' 'unclassified<=0' \
     'class_sum_gap<=0' 'net_lane_leaks<=0' 'scan_landed>=153'
 
-echo "== conformance (cross-engine trajectory matrix, quick by default)"
-# Behavioral GA, swga reference, RTL interpreter, and a bitsim CA-RNG
-# lane must agree generation-for-generation. The quick matrix runs
-# here; set GA_CONFORMANCE_FULL=1 for all six fitness functions and
-# longer generation budgets.
+echo "== conformance (registry-driven cross-engine matrix, quick by default)"
+# Every 16-bit engine in the registry (behavioral, swga, RTL
+# interpreter, bitsim64 lane) must agree generation-for-generation, and
+# the 32-bit rtl32 composite must match the behavioral dual-core model.
+# The drive loop enumerates ga_engine::global(), so a newly registered
+# backend is enrolled automatically. The quick matrix runs here; set
+# GA_CONFORMANCE_FULL=1 for all six fitness functions and longer
+# generation budgets.
 cargo test -q --release --test conformance
 
-echo "== gaserved golden fixture + BENCH_serve.json throughput floor"
-# The serving layer replays the checked-in 16-job fixture; the output
-# must be byte-identical to the committed golden (results are
-# deterministic and carry no timing fields). benchcheck then validates
-# the emitted report and enforces a conservative jobs/sec floor.
+echo "== engine registry enumeration (gaserved --list-backends)"
+# The serving binary must list every expected backend with its
+# capabilities — a registration regression fails here, not at runtime.
 cargo build -q --release -p ga-serve --bin gaserved
+BACKENDS="$(./target/release/gaserved --list-backends)"
+echo "$BACKENDS"
+[ "$(echo "$BACKENDS" | wc -l)" -ge 5 ] \
+    || { echo "registry lists fewer than 5 backends"; exit 1; }
+for b in behavioral rtl bitsim64 swga rtl32; do
+    echo "$BACKENDS" | grep -q "^$b " \
+        || { echo "backend $b missing from registry"; exit 1; }
+done
+
+echo "== gaserved golden fixture + BENCH_serve.json throughput floors"
+# The serving layer replays the checked-in fixture (16-bit jobs on the
+# narrow engines plus width-32 jobs on rtl32); the output must be
+# byte-identical to the committed golden (results are deterministic and
+# carry no timing fields). benchcheck then validates the emitted
+# report, requires per-backend throughput counters for every registered
+# engine, and enforces a conservative jobs/sec floor.
 GA_BENCH_OUT="$SMOKE_DIR" ./target/release/gaserved \
     --input tests/fixtures/jobs16.jsonl \
     --out "$SMOKE_DIR/results16.jsonl" --threads 4
 diff -u tests/fixtures/results16_golden.jsonl "$SMOKE_DIR/results16.jsonl"
-./target/release/benchcheck "$SMOKE_DIR/BENCH_serve.json" 'jobs>=15' 'jobs_per_sec>=25'
+./target/release/benchcheck "$SMOKE_DIR/BENCH_serve.json" \
+    --require-backend-throughput 'jobs>=15' 'jobs_per_sec>=25'
 
 echo "CI OK"

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! benchcheck <file.json> [KEY>=MIN ...] [KEY<=MAX ...]
+//! benchcheck <file.json> [--require-backend-throughput] [KEY>=MIN ...] [KEY<=MAX ...]
 //! ```
 //!
 //! Checks that the file parses, carries the required schema keys
@@ -11,14 +11,18 @@
 //! `KEY>=MIN` / `KEY<=MAX` constraint holds against the report's
 //! numbers (top-level fields or metrics — keys are unique across a
 //! report). Pairing a floor with a ceiling pins a metric exactly
-//! (`unclassified>=0 unclassified<=0`). Exits nonzero with a diagnostic
+//! (`unclassified>=0 unclassified<=0`). With
+//! `--require-backend-throughput` the report must additionally carry
+//! per-backend throughput counters (`<name>_jobs` and `<name>_avg_us`)
+//! for **every** engine in the registry — so registering a sixth
+//! backend without serving it fails CI. Exits nonzero with a diagnostic
 //! on the first violation, so a perf regression below a floor fails the
 //! build the same way a lint error does.
 
 use ga_bench::report::{json_extract_number, json_extract_string};
 use std::process::ExitCode;
 
-fn check(path: &str, constraints: &[String]) -> Result<(), String> {
+fn check(path: &str, constraints: &[String], require_backends: bool) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read ({e})"))?;
 
     let name = json_extract_string(&json, "name")
@@ -31,6 +35,27 @@ fn check(path: &str, constraints: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("{path}: missing required numeric key \"{key}\""))?;
         if v < 0.0 {
             return Err(format!("{path}: {key} = {v} is negative"));
+        }
+    }
+
+    if require_backends {
+        for kind in ga_engine::global().kinds() {
+            for suffix in ["jobs", "avg_us"] {
+                let key = format!("{}_{suffix}", kind.name());
+                let v = json_extract_number(&json, &key).ok_or_else(|| {
+                    format!(
+                        "{path}: registered backend {} has no \"{key}\" metric",
+                        kind.name()
+                    )
+                })?;
+                if v < 0.0 {
+                    return Err(format!("{path}: {key} = {v} is negative"));
+                }
+            }
+            println!(
+                "benchcheck: {name}: backend {} throughput present ok",
+                kind.name()
+            );
         }
     }
 
@@ -67,12 +92,15 @@ fn check(path: &str, constraints: &[String]) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let n_before = args.len();
+    args.retain(|a| a != "--require-backend-throughput");
+    let require_backends = args.len() != n_before;
     let Some((path, constraints)) = args.split_first() else {
-        eprintln!("usage: benchcheck <file.json> [KEY>=MIN ...]");
+        eprintln!("usage: benchcheck <file.json> [--require-backend-throughput] [KEY>=MIN ...]");
         return ExitCode::FAILURE;
     };
-    match check(path, constraints) {
+    match check(path, constraints, require_backends) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("benchcheck: FAIL: {msg}");

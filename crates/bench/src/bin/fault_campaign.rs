@@ -59,14 +59,15 @@ fn main() {
     let threads = default_threads();
     let params = GaParams::new(POP, GENS, 10, 1, SEED);
     let golden = golden_hw_run(FUNCTION, &params);
+    let golden_cycles = golden.cycles.expect("the rtl backend reports cycles");
 
     // --- RTL scan campaign -------------------------------------------------
     let stride = if quick() { 8 } else { 1 };
     let positions: Vec<usize> = (0..GaCoreHw::SCAN_LENGTH).step_by(stride).collect();
     // Injection window: after the run is warmed up, before it can
     // finish — so every planned injection lands.
-    let lo = 50u64.min(golden.cycles / 4);
-    let hi = (golden.cycles * 3 / 4).max(lo + 1);
+    let lo = 50u64.min(golden_cycles / 4);
+    let hi = (golden_cycles * 3 / 4).max(lo + 1);
     let plan: Vec<ScanInjection> = positions
         .iter()
         .flat_map(|&position| BitFault::ALL.map(|kind| (position, kind)))
@@ -80,7 +81,7 @@ fn main() {
         .collect();
     // Watchdog: 4× golden plus the scan-shift overhead — hung means
     // "well past any plausible recovery", not "slightly slow".
-    let watchdog = golden.cycles * 4 + 2 * GaCoreHw::SCAN_LENGTH as u64 + 64;
+    let watchdog = golden_cycles * 4 + 2 * GaCoreHw::SCAN_LENGTH as u64 + 64;
     let outcomes = run_sweep(&plan, threads, |_, inj| {
         let outcome = run_scan_injection(FUNCTION, &params, watchdog, *inj);
         // An Err run also landed its injection: the window ends at 3/4
@@ -103,7 +104,7 @@ fn main() {
     println!(
         "workload: {FUNCTION:?} pop={POP} gens={GENS} seed={SEED:04X} \
          (golden: {} cycles, best fitness {})",
-        golden.cycles, golden.best.fitness
+        golden_cycles, golden.best_fitness
     );
     println!(
         "grid: {} positions (stride {stride}) x {} polarities = {} injections, watchdog {watchdog} cycles",

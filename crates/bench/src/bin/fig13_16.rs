@@ -27,16 +27,17 @@ fn main() {
         let params = table7_params(seed, 64, xr);
         let run = run_hw(f, &params);
         let mut best_at_10 = 0u16;
-        for s in &run.history {
-            println!("{fig},{},{},{:.1}", s.gen, s.best.fitness, s.avg());
+        for s in &run.trajectory {
+            let avg = s.fit_sum as f64 / params.pop_size as f64;
+            println!("{fig},{},{},{avg:.1}", s.gen, s.best_fitness);
             if s.gen == 10 {
-                best_at_10 = s.best.fitness;
+                best_at_10 = s.best_fitness;
             }
         }
         eprintln!(
             "Fig.{fig} ({}, seed {seed:04X}, XR {xr}): final best {}, best@gen10 {} — the paper finds its best within ~10 generations",
             f.name(),
-            run.best.fitness,
+            run.best_fitness,
             best_at_10
         );
     }

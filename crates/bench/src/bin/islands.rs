@@ -2,6 +2,13 @@
 //! axis (Multi-GAP; Jelodar et al.; Nedjah & Mourelle) realized with
 //! multiple unmodified engines on disjoint jump-ahead RNG streams.
 //!
+//! The ring is driven through the engine layer's [`IslandsEngine`]
+//! composite, so any registered backend with a stepping handle can
+//! serve as the island population engine: the default is `behavioral`;
+//! set `GA_BENCH_BACKEND=bitsim64` to run the same ring over
+//! netlist-extracted lane streams (proven bit-identical by the engine
+//! crate's cross-backend island test).
+//!
 //! Two questions, answered over the six paper seeds on BF6:
 //!
 //! 1. quality at equal wall-clock (each island runs the full schedule
@@ -12,16 +19,23 @@
 //! Run with `cargo run --release -p ga-bench --bin islands`.
 
 use carng::seeds::TABLE7_SEEDS;
-use ga_core::islands::{run_islands, IslandConfig};
+use ga_bench::{bench_backend, BackendKind};
+use ga_core::islands::IslandConfig;
 use ga_core::GaParams;
-use ga_fitness::rom::FitnessRom;
+use ga_engine::{IslandsEngine, RunSpec};
 use ga_fitness::TestFunction;
 
 fn main() {
-    let rom = FitnessRom::tabulate(TestFunction::Bf6);
     let optimum = TestFunction::Bf6.global_max();
+    let kind = bench_backend(BackendKind::Behavioral);
+    let engine = ga_engine::global()
+        .get(kind)
+        .unwrap_or_else(|| panic!("backend {} is not registered", kind.name()));
 
-    println!("Island-model GA on BF6 (pop 32 per island, optimum {optimum})\n");
+    println!(
+        "Island-model GA on BF6 over the `{}` engine (pop 32 per island, optimum {optimum})\n",
+        kind.name()
+    );
     println!(
         "{:<28} {:>10} {:>12} {:>10}",
         "configuration", "mean best", "evals/run", "hits"
@@ -63,12 +77,18 @@ fn main() {
         ),
     ];
     for (name, cfg) in configs {
+        let ring = IslandsEngine::new(engine, cfg).expect("backend exposes a stepping handle");
         let mut sum = 0.0;
         let mut hits = 0u32;
         let mut evals = 0u64;
         for &seed in &TABLE7_SEEDS {
-            let params = GaParams::new(32, 32, 10, 1, seed);
-            let run = run_islands(params, cfg, |c| rom.lookup(c));
+            let spec = RunSpec {
+                width: 16,
+                function: TestFunction::Bf6,
+                params: GaParams::new(32, 32, 10, 1, seed),
+                deadline_ms: None,
+            };
+            let run = ring.run(spec).expect("island ring runs");
             sum += run.best.fitness as f64;
             evals = run.evaluations;
             if run.best.fitness >= optimum - 4 {

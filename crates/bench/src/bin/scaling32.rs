@@ -2,26 +2,26 @@
 //!
 //! Prints the probability-composition table (the paper's
 //! `xovProb32 = p_M + p_L − p_M·p_L` algebra with realizable 4-bit
-//! thresholds) and runs the dual-core engine on a 32-bit optimization —
-//! across the six Table VII seeds via the shared parallel sweep runner,
-//! emitting `BENCH_scaling32.json`. `GA_BENCH_GENS` overrides the
-//! generation count for smoke runs.
+//! thresholds) and runs the ganged dual-core system — dispatched
+//! through the engine registry's `rtl32` backend — on the split 32-bit
+//! F3 optimization, across the six Table VII seeds via the shared
+//! parallel sweep runner, emitting `BENCH_scaling32.json`.
+//! `GA_BENCH_GENS` overrides the generation count for smoke runs.
 //!
 //! Run with `cargo run --release -p ga-bench --bin scaling32`.
 
 use carng::seeds::TABLE7_SEEDS;
-use carng::CaRng;
-use ga_bench::{default_threads, gens_override, run_sweep, BenchReport, Stopwatch};
-use ga_core::scaling::{compose_prob, split_prob, threshold_for_prob, GaEngine32};
+use ga_bench::{
+    default_threads, gens_override, run_on, run_sweep, BackendKind, BenchReport, Stopwatch,
+};
+use ga_core::scaling::{compose_prob, split_prob, threshold_for_prob};
 use ga_core::GaParams;
+use ga_fitness::TestFunction;
 
-/// A 32-bit two-variable test function in the style of the paper's F3:
-/// maximize both 16-bit halves (optimum 65535 at 0xFFFFFFFF).
-fn f3_32(c: u32) -> u16 {
-    let msb = c >> 16;
-    let lsb = c & 0xFFFF;
-    ((msb + lsb) / 2) as u16
-}
+/// The split 32-bit workload: the `rtl32` backend's shared `Fem32`
+/// scores each 16-bit half with F3 and averages, so the optimum is
+/// F3's own global maximum (reached when both halves are optimal).
+const FUNCTION: TestFunction = TestFunction::F3;
 
 fn main() {
     let threads = default_threads();
@@ -40,48 +40,53 @@ fn main() {
     }
     println!();
 
-    // Run the dual-core engine across the Table VII seed set with
-    // per-half thresholds realizing the paper's favorite overall
-    // crossover rate of 0.625 (the second RNG is reseeded per run with
-    // the complemented seed, mirroring the two independent modules).
+    // Run the ganged dual-core system across the Table VII seed set
+    // with per-half thresholds realizing the paper's favorite overall
+    // crossover rate of 0.625 (the second core's RNG is hardware-seeded
+    // with the complemented seed, mirroring the two independent
+    // modules). Each cell is one registry dispatch to `rtl32`.
     let per_half = threshold_for_prob(split_prob(0.625));
     let n_gens = gens_override().unwrap_or(64);
+    let optimum = FUNCTION.global_max();
+    let pop = 64u8;
     let runs = run_sweep(&TABLE7_SEEDS, threads, |_, &seed| {
-        let params = GaParams::new(64, n_gens, per_half, 1, seed);
-        (
-            params,
-            GaEngine32::new(params, CaRng::new(seed), CaRng::new(!seed), f3_32)
-                .with_split_thresholds(per_half, per_half, 1, 1)
-                .run(),
-        )
+        let params = GaParams::new(pop, n_gens, per_half, 1, seed);
+        run_on(BackendKind::Rtl32, FUNCTION, &params)
     });
     let wall = sw.seconds();
 
-    println!("32-bit runs (pop 64, {n_gens} gens, per-half xover threshold {per_half}):");
+    println!(
+        "32-bit {} runs (pop {pop}, {n_gens} gens, per-half xover threshold {per_half}, optimum {optimum}):",
+        FUNCTION.name()
+    );
     println!(
         "{:>8} {:>12} {:>9} {:>8} {:>12} {:>10}",
         "seed", "best chrom", "fitness", "of opt", "evaluations", "final avg"
     );
     println!("{}", "-".repeat(64));
     let mut evals: u64 = 0;
-    for (&seed, (params, run)) in TABLE7_SEEDS.iter().zip(&runs) {
+    for (&seed, run) in TABLE7_SEEDS.iter().zip(&runs) {
         evals += run.evaluations;
-        let final_avg = run.history.last().unwrap().fit_sum as f64 / params.pop_size as f64;
+        let final_avg = run
+            .trajectory
+            .last()
+            .map(|s| s.fit_sum as f64 / pop as f64)
+            .unwrap_or(0.0);
         println!(
             "{:>8} {:>#12.8X} {:>9} {:>7.2}% {:>12} {:>10.0}",
             format!("{seed:04X}"),
-            run.best.chrom,
-            run.best.fitness,
-            100.0 * run.best.fitness as f64 / 65535.0,
+            run.best_chrom,
+            run.best_fitness,
+            100.0 * run.best_fitness as f64 / optimum as f64,
             run.evaluations,
             final_avg
         );
     }
-    let best = runs.iter().map(|(_, r)| r.best.fitness).max().unwrap();
-    let mean = runs.iter().map(|(_, r)| r.best.fitness as f64).sum::<f64>() / runs.len() as f64;
+    let best = runs.iter().map(|r| r.best_fitness).max().unwrap();
+    let mean = runs.iter().map(|r| r.best_fitness as f64).sum::<f64>() / runs.len() as f64;
     println!("{}", "-".repeat(64));
     println!(
-        "best {best} / 65535 across {} seeds, mean best {mean:.0}",
+        "best {best} / {optimum} across {} seeds, mean best {mean:.0}",
         runs.len()
     );
 

@@ -40,10 +40,9 @@ fn main() {
     println!("{}", "-".repeat(84));
     let mut sim_cycles: u64 = 0;
     for ((row, paper), run) in TABLE5_RUNS.iter().zip(paper_best).zip(&results) {
-        sim_cycles += run.cycles;
-        let ga = run.as_ga_run();
-        let conv = ga
-            .convergence_generation()
+        sim_cycles += run.cycles.unwrap_or(0);
+        let conv = run
+            .conv_gen
             .map(|g| g.to_string())
             .unwrap_or_else(|| "-".into());
         println!(
@@ -53,7 +52,7 @@ fn main() {
             row.seed,
             row.pop,
             row.xover,
-            run.best.fitness,
+            run.best_fitness,
             conv,
             paper
         );

@@ -30,9 +30,9 @@ fn grid_for(f: TestFunction, threads: usize, sim_cycles: &mut u64) -> Vec<Vec<u1
         }
         run_hw(f, &params)
     });
-    *sim_cycles += runs.iter().map(|r| r.cycles).sum::<u64>();
+    *sim_cycles += runs.iter().filter_map(|r| r.cycles).sum::<u64>();
     runs.chunks(TABLE7_POPS.len() * TABLE7_XRS.len())
-        .map(|row| row.iter().map(|r| r.best.fitness).collect())
+        .map(|row| row.iter().map(|r| r.best_fitness).collect())
         .collect()
 }
 

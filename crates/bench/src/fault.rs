@@ -23,12 +23,13 @@
 
 use carng::{CaRng, Rng16};
 use ga_core::{GaParams, HwRun};
+use ga_engine::{trajectory16, RunOutcome};
 use ga_fitness::TestFunction;
 use ga_synth::bitsim::CompiledNetlist;
 use ga_synth::{FaultInjector, NetFault};
 use hwsim::{BitFault, FaultClass, ScanBitOp, SimError};
 
-use crate::hw_system;
+use crate::{hw_system, run_on, BackendKind};
 
 /// One planned scan-chain injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,11 +82,12 @@ impl ClassCounts {
     }
 }
 
-/// The fault-free golden run every faulted run is graded against.
-pub fn golden_hw_run(f: TestFunction, params: &GaParams) -> HwRun {
-    hw_system(f)
-        .program_and_run(params, 2_000_000_000)
-        .expect("golden hardware run timed out")
+/// The fault-free golden run every faulted run is graded against —
+/// captured through the engine registry (the cycle-accurate `rtl`
+/// backend), so the reference carries the registry's canonical
+/// observables: final best, per-generation trajectory, RNG draw count.
+pub fn golden_hw_run(f: TestFunction, params: &GaParams) -> RunOutcome {
+    run_on(BackendKind::RtlInterp, f, params)
 }
 
 /// Grade one faulted RTL run against its golden reference.
@@ -95,13 +97,16 @@ pub fn golden_hw_run(f: TestFunction, params: &GaParams) -> HwRun {
 /// masked. Cycle counts are deliberately *not* compared — the scan
 /// shift itself costs `2 × SCAN_LENGTH + 1` cycles, so every injected
 /// run is longer than golden.
-pub fn classify_hw(golden: &HwRun, outcome: &Result<(HwRun, bool), SimError>) -> FaultClass {
+pub fn classify_hw(golden: &RunOutcome, outcome: &Result<(HwRun, bool), SimError>) -> FaultClass {
     match outcome {
         Err(_) => FaultClass::Hung,
         Ok((run, _)) => {
-            if run.best != golden.best {
+            if (run.best.chrom as u32, run.best.fitness) != (golden.best_chrom, golden.best_fitness)
+            {
                 FaultClass::Corrupted
-            } else if run.history != golden.history || run.rng_draws != golden.rng_draws {
+            } else if trajectory16(&run.history) != golden.trajectory
+                || Some(run.rng_draws) != golden.rng_draws
+            {
                 FaultClass::Detected
             } else {
                 FaultClass::Masked
@@ -215,9 +220,23 @@ mod tests {
         }
     }
 
+    /// The registry-shaped view of a fault-free [`fake_run`].
+    fn as_golden(run: &HwRun) -> RunOutcome {
+        RunOutcome {
+            best_chrom: run.best.chrom as u32,
+            best_fitness: run.best.fitness,
+            generations: 0,
+            evaluations: 0,
+            conv_gen: None,
+            cycles: Some(run.cycles),
+            rng_draws: Some(run.rng_draws),
+            trajectory: trajectory16(&run.history),
+        }
+    }
+
     #[test]
     fn classification_precedence_matches_the_contract() {
-        let golden = fake_run(100, 50);
+        let golden = as_golden(&fake_run(100, 50));
         // Hung beats everything.
         assert_eq!(
             classify_hw(&golden, &Err(SimError::Timeout { cycles: 1 })),

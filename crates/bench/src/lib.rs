@@ -32,8 +32,10 @@ pub use fault::{
 pub use report::{gens_override, quick, BenchReport, Stopwatch};
 pub use sweep::{default_threads, grid3, lane_chunks, run_sweep};
 
-use ga_core::{GaParams, GaSystem, HwRun};
+use ga_core::{GaParams, GaSystem};
 use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};
+
+pub use ga_engine::{BackendKind, RunOutcome};
 
 /// One Table V row: run number, function, RNG seed, population size,
 /// crossover threshold (all runs: 32 generations, mutation threshold 1).
@@ -137,12 +139,42 @@ pub fn hw_system(f: TestFunction) -> GaSystem {
     )]))
 }
 
-/// Program + run the cycle-accurate system; panics on watchdog timeout
-/// (the harness bound is generous: ~40 s of simulated 50 MHz time).
-pub fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
-    hw_system(f)
-        .program_and_run(params, 2_000_000_000)
-        .expect("hardware run timed out")
+/// Run `f`/`params` on any registered backend through the engine
+/// registry, at the backend's native chromosome width. Panics on
+/// rejection or failure — the bench matrices are all known-admissible,
+/// and the default [`ga_engine::Limits`] watchdog (~40 s of simulated
+/// 50 MHz time) is generous.
+pub fn run_on(kind: BackendKind, f: TestFunction, params: &GaParams) -> RunOutcome {
+    let engine = ga_engine::global()
+        .get(kind)
+        .unwrap_or_else(|| panic!("backend {} is not registered", kind.name()));
+    let spec = ga_engine::RunSpec {
+        width: engine.capabilities().widths[0],
+        function: f,
+        params: *params,
+        deadline_ms: None,
+    };
+    let prepared = engine.prepare(spec).expect("bench spec admitted");
+    engine
+        .run(&prepared, &ga_engine::Limits::default())
+        .expect("bench run completed")
+}
+
+/// Backend selection for the sweep binaries: `GA_BENCH_BACKEND=<name>`
+/// reroutes a sweep onto any registered engine; otherwise the binary's
+/// default backend is used.
+pub fn bench_backend(default: BackendKind) -> BackendKind {
+    match std::env::var("GA_BENCH_BACKEND") {
+        Ok(name) => BackendKind::parse(&name)
+            .unwrap_or_else(|| panic!("GA_BENCH_BACKEND={name}: unknown backend")),
+        Err(_) => default,
+    }
+}
+
+/// The sweep binaries' default drive path: the cycle-accurate RTL
+/// interpreter via the registry (overridable with `GA_BENCH_BACKEND`).
+pub fn run_hw(f: TestFunction, params: &GaParams) -> RunOutcome {
+    run_on(bench_backend(BackendKind::RtlInterp), f, params)
 }
 
 /// Table V parameters for a row.
@@ -223,6 +255,19 @@ mod tests {
     fn hw_harness_smoke() {
         let params = GaParams::new(8, 2, 10, 1, 0x2961);
         let run = run_hw(TestFunction::F3, &params);
-        assert_eq!(run.history.len(), 3);
+        assert_eq!(run.trajectory.len(), 3);
+        assert!(run.cycles.is_some(), "the RTL path reports cycles");
+    }
+
+    #[test]
+    fn registry_harness_drives_every_backend() {
+        // `run_on` must admit the bench workloads on all five engines
+        // at each engine's native width.
+        let params = GaParams::new(8, 2, 10, 1, 0x2961);
+        for kind in ga_engine::global().kinds() {
+            let run = run_on(kind, TestFunction::F3, &params);
+            assert_eq!(run.generations, 2, "{}", kind.name());
+            assert!(run.best_fitness > 0, "{}", kind.name());
+        }
     }
 }

@@ -14,10 +14,51 @@
 
 use carng::ca::MAXIMAL_RULE_VECTOR;
 use carng::wide::CaRngW;
-use carng::CaRng;
+use carng::{CaRng, Rng16};
 
 use crate::behavioral::{GaEngine, Individual};
 use crate::params::GaParams;
+
+/// One island's engine, as the migration loop sees it: anything that
+/// can initialize a population, evolve it one generation at a time,
+/// report its elite, and accept a migrant. [`GaEngine`] implements it
+/// for every RNG source, which is what lets the engine-layer composite
+/// (`ga-engine`'s `IslandsEngine`) run islands over *any* stepping
+/// backend — behavioral CA, LFSR, or a bitsim64 lane stream.
+pub trait IslandMember: Send {
+    /// Generate and evaluate the random initial population.
+    fn init_population(&mut self);
+    /// Breed one full generation.
+    fn step_generation(&mut self);
+    /// Best individual so far.
+    fn best(&self) -> Individual;
+    /// Replace the worst member with `migrant` (ring migration).
+    fn inject(&mut self, migrant: Individual);
+    /// Fitness evaluations consumed so far.
+    fn evaluations(&self) -> u64;
+}
+
+impl<R: Rng16 + Send, F: FnMut(u16) -> u16 + Send> IslandMember for GaEngine<R, F> {
+    fn init_population(&mut self) {
+        GaEngine::init_population(self);
+    }
+
+    fn step_generation(&mut self) {
+        GaEngine::step_generation(self);
+    }
+
+    fn best(&self) -> Individual {
+        GaEngine::best(self)
+    }
+
+    fn inject(&mut self, migrant: Individual) {
+        GaEngine::inject(self, migrant);
+    }
+
+    fn evaluations(&self) -> u64 {
+        GaEngine::evaluations(self)
+    }
+}
 
 /// Island-model configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,21 +97,37 @@ pub fn run_islands<F>(params: GaParams, config: IslandConfig, fitness: F) -> Isl
 where
     F: Fn(u16) -> u16 + Sync,
 {
-    assert!(config.islands >= 1);
-    assert!(config.epoch >= 1 && config.epochs >= 1);
     let fit = &fitness;
-
-    // Engines live on the coordinating thread between epochs; each
-    // epoch fans the islands out over scoped threads.
-    let mut engines: Vec<_> = (0..config.islands)
+    let members: Vec<Box<dyn IslandMember + '_>> = (0..config.islands)
         .map(|k| {
             let seed = island_seed(params.seed, k, config.islands);
             let p = GaParams { seed, ..params };
-            let mut e = GaEngine::new(p, CaRng::new(seed), fit);
-            e.init_population();
-            e
+            Box::new(GaEngine::new(p, CaRng::new(seed), fit)) as Box<dyn IslandMember + '_>
         })
         .collect();
+    run_islands_over(config, members)
+}
+
+/// The migration loop itself, generic over the member engines: each
+/// member is initialized, evolved for `epoch` generations per round on
+/// its own scoped thread, and at every epoch barrier island *k*'s best
+/// replaces the worst member of island *(k+1) mod n* on the ring.
+/// `members[k]` is island *k*; callers are responsible for seeding the
+/// members with disjoint streams ([`island_seed`]).
+pub fn run_islands_over(
+    config: IslandConfig,
+    members: Vec<Box<dyn IslandMember + '_>>,
+) -> IslandRun {
+    assert!(config.islands >= 1);
+    assert_eq!(members.len(), config.islands, "one member per island");
+    assert!(config.epoch >= 1 && config.epochs >= 1);
+
+    // Members live on the coordinating thread between epochs; each
+    // epoch fans the islands out over scoped threads.
+    let mut engines = members;
+    for e in engines.iter_mut() {
+        e.init_population();
+    }
 
     for _epoch in 0..config.epochs {
         // Parallel evolution for one epoch.

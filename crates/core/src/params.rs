@@ -166,6 +166,16 @@ impl GaParams {
         }
     }
 
+    /// Fitness evaluations one full run consumes: the initial
+    /// population plus `pop − 1` offspring per generation (the elite
+    /// slot is copied, not re-evaluated). This is the single source of
+    /// truth for the formula — the behavioral engine's `evaluations()`
+    /// instrumentation and the serving layer's per-job accounting both
+    /// pin themselves to it.
+    pub fn evaluations_per_run(&self) -> u64 {
+        self.pop_size as u64 + self.n_gens as u64 * (self.pop_size as u64 - 1)
+    }
+
     /// Crossover probability this parameter set realizes (threshold/16).
     pub fn xover_rate(&self) -> f64 {
         self.xover_threshold as f64 / 16.0
@@ -286,6 +296,19 @@ mod tests {
         .validate()
         .is_err());
         assert!(GaParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn evaluation_formula_matches_the_engine_contract() {
+        // pop + gens·(pop−1): both old call sites (the behavioral
+        // engine's counter and the serve backend's RTL accounting) are
+        // regression-pinned to this in their own test suites.
+        assert_eq!(GaParams::new(16, 5, 10, 1, 3).evaluations_per_run(), 91);
+        assert_eq!(GaParams::new(8, 3, 10, 1, 1).evaluations_per_run(), 29);
+        assert_eq!(
+            GaParams::new(128, 4096, 14, 3, 1).evaluations_per_run(),
+            128 + 4096 * 127
+        );
     }
 
     #[test]

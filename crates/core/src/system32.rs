@@ -269,6 +269,19 @@ impl<F: FnMut(u32) -> u16> GaSystem32<F> {
 
     /// Pulse start and run to completion on both cores.
     pub fn run(&mut self, max_cycles: u64) -> Result<GaRun32, SimError> {
+        self.run_with_deadline(max_cycles, None)
+    }
+
+    /// [`GaSystem32::run`] with an additional wall-clock budget,
+    /// mirroring [`crate::GaSystem::run_with_deadline`]: the cycle
+    /// watchdog bounds *simulated* time, the [`hwsim::Deadline`] bounds
+    /// *host* time. Checked between cycles, so an in-flight cycle
+    /// always completes.
+    pub fn run_with_deadline(
+        &mut self,
+        max_cycles: u64,
+        mut deadline: Option<&mut hwsim::Deadline>,
+    ) -> Result<GaRun32, SimError> {
         self.history.clear();
         let start = self.sim.cycles();
         self.step(UserIn {
@@ -281,10 +294,14 @@ impl<F: FnMut(u32) -> u16> GaSystem32<F> {
             if done1 && done2 {
                 break;
             }
-            if self.sim.cycles() - start >= max_cycles {
-                return Err(SimError::Timeout {
-                    cycles: self.sim.cycles() - start,
-                });
+            let guard = self.sim.cycles() - start;
+            if guard >= max_cycles {
+                return Err(SimError::Timeout { cycles: guard });
+            }
+            if let Some(d) = deadline.as_deref_mut() {
+                if d.expired() {
+                    return Err(SimError::DeadlineExceeded { cycles: guard });
+                }
             }
             self.step(UserIn::default());
         }

@@ -1,0 +1,129 @@
+//! The island-model composite: `ga_core::islands::run_islands_over`
+//! lifted onto the engine layer, so the ring-migration driver can run
+//! over *any* registered backend that exposes a stepping handle
+//! ([`crate::Capabilities::stepping`]) — the behavioral CA engine or a
+//! bitsim64 netlist lane stream, interchangeably.
+
+use ga_core::islands::{island_seed, run_islands_over, IslandConfig, IslandRun};
+use ga_core::GaParams;
+
+use crate::spec::{Engine, EngineError, RunSpec};
+
+/// An island-model run over one inner [`Engine`]. Not itself an
+/// `Engine` (its result shape is [`IslandRun`], per-island, not one
+/// [`crate::RunOutcome`]); it is the composition layer the `islands`
+/// bench bin and `examples/islands_engine.rs` drive.
+pub struct IslandsEngine<'a> {
+    inner: &'a dyn Engine,
+    config: IslandConfig,
+}
+
+impl<'a> IslandsEngine<'a> {
+    /// Compose over `inner`, which must advertise stepping support.
+    pub fn new(inner: &'a dyn Engine, config: IslandConfig) -> Result<Self, EngineError> {
+        if !inner.capabilities().stepping {
+            return Err(EngineError::InvalidSpec {
+                msg: format!(
+                    "backend {} has no stepping handle; islands need one",
+                    inner.kind().name()
+                ),
+            });
+        }
+        Ok(IslandsEngine { inner, config })
+    }
+
+    /// Run the ring. Island *k* gets the shared CA stream jumped ahead
+    /// to its [`island_seed`] slot and a generation budget of
+    /// `epoch × epochs` (so stream-backed members extract exactly the
+    /// draws the schedule will consume); `spec.params.n_gens` is
+    /// superseded by the island schedule.
+    pub fn run(&self, spec: RunSpec) -> Result<IslandRun, EngineError> {
+        let total_gens = self.config.epoch * self.config.epochs;
+        let members = (0..self.config.islands)
+            .map(|k| {
+                let seed = island_seed(spec.params.seed, k, self.config.islands);
+                let p = GaParams {
+                    seed,
+                    n_gens: total_gens,
+                    ..spec.params
+                };
+                let prepared = self.inner.prepare(RunSpec { params: p, ..spec })?;
+                self.inner
+                    .stepper(&prepared)
+                    .ok_or_else(|| EngineError::InvalidSpec {
+                        msg: format!("{} refused a stepping handle", self.inner.kind().name()),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(run_islands_over(self.config, members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{BehavioralEngine, BitSim64Engine, SwgaEngine};
+    use ga_fitness::TestFunction;
+
+    fn spec(params: GaParams) -> RunSpec {
+        RunSpec {
+            width: 16,
+            function: TestFunction::Bf6,
+            params,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn composite_matches_the_core_island_runner() {
+        // Over the behavioral backend the composite must reproduce
+        // ga_core::run_islands exactly: same seeds, same engines.
+        let params = GaParams::new(32, 32, 10, 1, 0x2961);
+        let config = IslandConfig {
+            islands: 4,
+            epoch: 8,
+            epochs: 4,
+        };
+        let composite = IslandsEngine::new(&BehavioralEngine, config)
+            .expect("behavioral steps")
+            .run(spec(params))
+            .expect("runs");
+        let f = TestFunction::Bf6;
+        let direct = ga_core::run_islands(params, config, |c| f.eval_u16(c));
+        assert_eq!(composite, direct);
+    }
+
+    #[test]
+    fn bitsim_islands_match_behavioral_islands() {
+        // The strongest cross-backend check: netlist-extracted lane
+        // streams drive the same ring to the same result.
+        let params = GaParams::new(16, 16, 10, 1, 0xB342);
+        let config = IslandConfig {
+            islands: 3,
+            epoch: 4,
+            epochs: 4,
+        };
+        let beh = IslandsEngine::new(&BehavioralEngine, config)
+            .expect("steps")
+            .run(spec(params))
+            .expect("runs");
+        let bit = IslandsEngine::new(&BitSim64Engine, config)
+            .expect("steps")
+            .run(spec(params))
+            .expect("runs");
+        assert_eq!(beh, bit, "stream-backed islands must be bit-identical");
+    }
+
+    #[test]
+    fn non_stepping_backends_are_refused_up_front() {
+        let config = IslandConfig {
+            islands: 2,
+            epoch: 2,
+            epochs: 2,
+        };
+        assert!(matches!(
+            IslandsEngine::new(&SwgaEngine, config),
+            Err(EngineError::InvalidSpec { .. })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ga-engine — the unified engine layer
+//!
+//! One vocabulary over every GA execution backend in the repo. A
+//! backend is an [`Engine`]: it advertises [`Capabilities`] (supported
+//! chromosome widths, deadline/watchdog behavior, pack width, stepping
+//! support, degradation target), admits jobs through
+//! [`Engine::prepare`], and executes them into the backend-neutral
+//! [`RunOutcome`] shape. The [`EngineRegistry`] enumerates the
+//! backends; serve dispatch, bench sweeps, the fault campaign's golden
+//! runs, and the conformance suite all go through it rather than
+//! naming engines.
+//!
+//! Five backends are registered by default ([`registry::global`]):
+//!
+//! | kind | engine | widths |
+//! |---|---|---|
+//! | `behavioral` | `ga_core::GaEngine` over the CA RNG | 16 |
+//! | `rtl` | `ga_core::GaSystem` (cycle-accurate) | 16 |
+//! | `bitsim64` | compiled netlist lane streams, 64-lane packs | 16 |
+//! | `swga` | `swga::CountingGa` (PowerPC reference) | 16 |
+//! | `rtl32` | `ga_core::GaSystem32Hw` (ganged dual core, Fig. 6) | 32 |
+//!
+//! [`IslandsEngine`] composes the ring-migration island model over any
+//! backend with a stepping handle. See DESIGN.md for the layer diagram
+//! and the add-a-backend recipe.
+
+#![forbid(unsafe_code)]
+
+pub mod adapters;
+pub mod islands;
+pub mod pack;
+pub mod registry;
+pub mod spec;
+
+pub use adapters::{
+    trajectory16, trajectory32, BehavioralEngine, BitSim64Engine, Rtl32Engine, RtlInterpEngine,
+    SwgaEngine,
+};
+pub use islands::IslandsEngine;
+pub use pack::{ca_lane_streams, draws_per_run, try_ca_lane_streams, StreamRng};
+pub use registry::{global, EngineRegistry};
+pub use spec::{
+    convergence_generation, BackendKind, Capabilities, Engine, EngineError, Limits, Prepared,
+    RunOutcome, RunSpec, TrajPoint,
+};

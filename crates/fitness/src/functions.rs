@@ -158,6 +158,18 @@ impl TestFunction {
         quantize(self.eval_f64(chrom))
     }
 
+    /// 32-bit split evaluation for the ganged dual-core system (§III-D):
+    /// the shared `Fem32` sees the concatenated `{MSB, LSB}` candidate
+    /// and scores each 16-bit half with the ROM-form function, averaging
+    /// so the result still fits the 16-bit fitness bus. The same shape
+    /// as the split-threshold algebra of `ga_core::scaling` — each half
+    /// contributes independently, matching the per-half operator rates.
+    pub fn eval_u32_split(self, chrom: u32) -> u16 {
+        let msb = (chrom >> 16) as u16;
+        let lsb = (chrom & 0xFFFF) as u16;
+        ((self.eval_u16(msb) as u32 + self.eval_u16(lsb) as u32) / 2) as u16
+    }
+
     /// Globally maximal quantized fitness, by exhaustive enumeration.
     pub fn global_max(self) -> u16 {
         (0..=u16::MAX).map(|c| self.eval_u16(c)).max().unwrap()
@@ -190,6 +202,17 @@ mod tests {
         assert_eq!(quantize(65534.6), 65535);
         assert_eq!(quantize(1e9), 65535);
         assert_eq!(quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn u32_split_averages_the_halves() {
+        for f in TestFunction::ALL {
+            // Equal halves: the average IS the half's score.
+            assert_eq!(f.eval_u32_split(0x1234_1234), f.eval_u16(0x1234));
+            // Mixed halves: the integer mean of the two half scores.
+            let want = ((f.eval_u16(0xFFFF) as u32 + f.eval_u16(0x0000) as u32) / 2) as u16;
+            assert_eq!(f.eval_u32_split(0xFFFF_0000), want);
+        }
     }
 
     #[test]

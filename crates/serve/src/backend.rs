@@ -1,55 +1,47 @@
-//! Backend runners: one function per engine, all returning the same
-//! [`JobOutput`] shape so the service layer is engine-agnostic.
+//! Backend dispatch: every job goes through the engine registry
+//! (`ga_engine::global`), so this module contains **no per-engine drive
+//! loops** — it admits a job against the registered backend's
+//! capabilities, runs it under the service's [`ga_engine::Limits`], and
+//! applies the generic degradation policy: an *infrastructure* failure
+//! (watchdog) on an engine that declares a
+//! [`ga_engine::Capabilities::degrades_to`] edge is re-answered by the
+//! fallback engine with typed [`Degradation`] metadata instead of
+//! failing the job.
 
 use std::time::Instant;
 
-use carng::{CaRng, Rng16};
-use ga_core::behavioral::GaRun;
-use ga_core::{GaEngine, GaSystem};
-use ga_fitness::{FemBank, FemSlot, LookupFem};
-use hwsim::{Deadline, SimError};
+use ga_engine::{global, EngineError, Limits, Prepared};
 
 use crate::job::{BackendKind, Degradation, GaJob, JobOutput, JobResult, ServeError};
-use crate::pack::{draws_per_run, try_ca_lane_streams, StreamRng};
 use crate::service::ServeConfig;
 
-/// Fitness evaluations one full run consumes: the initial population
-/// plus `pop − 1` offspring per generation (the elite slot is copied,
-/// not re-evaluated). Used for the RTL backend, which does not count
-/// evaluations itself.
+/// Fitness evaluations one full run consumes. Delegates to the single
+/// source of truth, [`ga_core::GaParams::evaluations_per_run`]; kept as
+/// a named re-export because the serve tests and docs reason about the
+/// service in terms of this formula.
 pub fn evaluations_for(p: &ga_core::GaParams) -> u64 {
-    p.pop_size as u64 + p.n_gens as u64 * (p.pop_size as u64 - 1)
+    p.evaluations_per_run()
+}
+
+/// The engine-layer budgets this service runs under.
+fn limits(cfg: &ServeConfig) -> Limits {
+    Limits {
+        sim_watchdog_cycles: cfg.rtl_watchdog_cycles,
+        stream_watchdog_steps: cfg.bitsim_watchdog_steps,
+    }
 }
 
 /// Run one job on its selected backend, returning the full result (the
-/// executing backend can differ from the requested one when the bitsim
-/// netlist watchdog trips and the job degrades to the behavioral
-/// engine). Validation happens here, so an out-of-range job becomes a
+/// executing backend can differ from the requested one when an
+/// infrastructure watchdog trips and the engine declares a degradation
+/// edge). Validation happens here, so an out-of-range job becomes a
 /// typed error result, never a panic.
 pub fn run_single(job: &GaJob, i: usize, cfg: &ServeConfig) -> JobResult {
     let t = Instant::now();
-    let (backend, outcome, degraded) = match job.validate() {
-        Err(e) => (job.backend, Err(e), None),
-        Ok(()) => match job.backend {
-            BackendKind::Behavioral => (
-                job.backend,
-                run_engine(job, CaRng::new(job.params.seed)),
-                None,
-            ),
-            BackendKind::RtlInterp => (job.backend, run_rtl(job, cfg.rtl_watchdog_cycles), None),
-            BackendKind::BitSim64 => {
-                // A solo bitsim job is a pack of one: the lane stream
-                // still comes from the compiled netlist, not `CaRng`.
-                let draws = draws_per_run(&job.params) as usize;
-                match try_ca_lane_streams(&[job.params.seed], draws, cfg.bitsim_watchdog_steps) {
-                    Ok(mut streams) => {
-                        let stream = streams.pop().expect("one lane requested");
-                        (job.backend, run_engine(job, StreamRng::new(stream)), None)
-                    }
-                    Err(steps) => degrade_to_behavioral(job, steps),
-                }
-            }
-        },
+    let engine = global().get(job.backend).expect("all kinds registered");
+    let (backend, outcome, degraded) = match engine.prepare(job.spec()) {
+        Err(e) => (job.backend, Err(e.into()), None),
+        Ok(p) => settle(job, engine.run(&p, &limits(cfg)), cfg),
     };
     JobResult {
         job: i,
@@ -60,137 +52,86 @@ pub fn run_single(job: &GaJob, i: usize, cfg: &ServeConfig) -> JobResult {
     }
 }
 
-/// Graceful degradation: the bitsim64 netlist watchdog tripped, so the
-/// job is answered by the behavioral reference engine instead, with the
-/// switch surfaced as typed [`Degradation`] metadata rather than a
-/// failed result.
-fn degrade_to_behavioral(
+/// Fold an engine result into the service's (backend, outcome,
+/// degradation) triple, applying the capability-driven fallback: only
+/// [`EngineError::is_infrastructure`] failures degrade, and only along
+/// the requested engine's declared edge.
+fn settle(
     job: &GaJob,
-    watchdog_steps: u64,
+    result: Result<JobOutput, EngineError>,
+    cfg: &ServeConfig,
 ) -> (
     BackendKind,
     Result<JobOutput, ServeError>,
     Option<Degradation>,
 ) {
-    (
-        BackendKind::Behavioral,
-        run_engine(job, CaRng::new(job.params.seed)),
-        Some(Degradation {
-            from: BackendKind::BitSim64,
-            reason: ServeError::Watchdog {
-                cycles: watchdog_steps,
-            },
-        }),
-    )
+    match result {
+        Ok(o) => (job.backend, Ok(o), None),
+        Err(e) => {
+            let caps = global()
+                .get(job.backend)
+                .expect("all kinds registered")
+                .capabilities();
+            match caps.degrades_to.filter(|_| e.is_infrastructure()) {
+                None => (job.backend, Err(e.into()), None),
+                Some(to) => {
+                    let fallback = global().get(to).expect("fallback engine registered");
+                    let outcome = fallback
+                        .prepare(job.spec())
+                        .and_then(|p| fallback.run(&p, &limits(cfg)))
+                        .map_err(ServeError::from);
+                    (
+                        to,
+                        outcome,
+                        Some(Degradation {
+                            from: job.backend,
+                            reason: e.into(),
+                        }),
+                    )
+                }
+            }
+        }
+    }
 }
 
-/// Run a pack of *validated, compatible* bitsim jobs (`idxs` index into
-/// `all`; at most 64, all sharing one [`GaJob::pack_key`]): one
-/// lockstep netlist run extracts every lane's RNG stream, then each
-/// lane finishes as an independent engine run. Per-job latency charges
-/// each job its own engine time plus an even share of the shared
-/// stream-extraction time. If the netlist watchdog refuses the
-/// extraction, every lane degrades to the behavioral backend.
+/// Run a pack of *validated, compatible* jobs (`idxs` index into `all`;
+/// at most the engine's pack width, all sharing one
+/// [`GaJob::pack_key`]): one [`ga_engine::Engine::run_pack`] invocation
+/// shares the lockstep work across lanes. Per-job latency charges each
+/// job an even share of the shared pack time plus its own settling
+/// time. If the engine fails a lane on infrastructure, that lane
+/// degrades along the engine's declared edge like any solo job.
 pub fn run_pack(all: &[GaJob], idxs: &[usize], cfg: &ServeConfig) -> Vec<JobResult> {
     debug_assert!(!idxs.is_empty());
-    let draws = draws_per_run(&all[idxs[0]].params) as usize;
-    let seeds: Vec<u16> = idxs.iter().map(|&i| all[i].params.seed).collect();
+    let kind = all[idxs[0]].backend;
+    debug_assert!(idxs.iter().all(|&i| all[i].backend == kind));
+    let engine = global().get(kind).expect("all kinds registered");
     let t = Instant::now();
-    let streams = match try_ca_lane_streams(&seeds, draws, cfg.bitsim_watchdog_steps) {
-        Ok(streams) => streams,
-        Err(steps) => {
-            return idxs
-                .iter()
-                .map(|&i| {
-                    let t = Instant::now();
-                    let (backend, outcome, degraded) = degrade_to_behavioral(&all[i], steps);
-                    JobResult {
-                        job: i,
-                        backend,
-                        outcome,
-                        micros: t.elapsed().as_micros() as u64,
-                        degraded,
-                    }
-                })
-                .collect();
-        }
-    };
+    let prepared: Vec<Prepared> = idxs
+        .iter()
+        .map(|&i| {
+            engine
+                .prepare(all[i].spec())
+                .expect("packed jobs pre-validated")
+        })
+        .collect();
+    let outcomes = engine.run_pack(&prepared, &limits(cfg));
     let shared_micros = t.elapsed().as_micros() as u64 / idxs.len() as u64;
 
     idxs.iter()
-        .zip(streams)
-        .map(|(&i, stream)| {
+        .zip(outcomes)
+        .map(|(&i, result)| {
             let t = Instant::now();
-            let outcome = run_engine(&all[i], StreamRng::new(stream));
+            let (backend, outcome, degraded) = settle(&all[i], result, cfg);
             JobResult {
                 job: i,
-                backend: BackendKind::BitSim64,
+                backend,
                 outcome,
                 micros: shared_micros + t.elapsed().as_micros() as u64,
-                degraded: None,
+                degraded,
             }
         })
         .collect()
-}
-
-/// The behavioral loop shared by the `Behavioral` and `BitSim64`
-/// backends (they differ only in where the RNG stream comes from). The
-/// deadline is checked between generations, so an in-flight generation
-/// always completes.
-fn run_engine<R: Rng16>(job: &GaJob, rng: R) -> Result<JobOutput, ServeError> {
-    let params = job.params;
-    let f = job.function;
-    let mut deadline = job.deadline_ms.map(Deadline::after_ms);
-    let mut engine = GaEngine::new(params, rng, move |c| f.eval_u16(c));
-    let mut history = Vec::with_capacity(params.n_gens as usize + 1);
-    history.push(engine.init_population());
-    for _ in 0..params.n_gens {
-        if let Some(d) = deadline.as_mut() {
-            if d.is_past() {
-                return Err(ServeError::DeadlineExceeded);
-            }
-        }
-        history.push(engine.step_generation());
-    }
-    let best = engine.best();
-    let evaluations = engine.evaluations();
-    let run = GaRun {
-        best,
-        history,
-        evaluations,
-        rng_draws: engine.rng_draws(),
-    };
-    Ok(JobOutput {
-        best,
-        generations: params.n_gens,
-        evaluations,
-        conv_gen: run.convergence_generation(),
-        cycles: None,
-    })
-}
-
-/// The cycle-accurate backend: program the hardware system through the
-/// initialization handshake and run to `GA_done` under both a
-/// simulated-cycle watchdog and the job's wall-clock deadline.
-fn run_rtl(job: &GaJob, watchdog_cycles: u64) -> Result<JobOutput, ServeError> {
-    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
-        LookupFem::for_function(job.function),
-    )]));
-    sys.program(&job.params);
-    let mut deadline = job.deadline_ms.map(Deadline::after_ms);
-    let run = sys
-        .run_with_deadline(watchdog_cycles, deadline.as_mut())
-        .map_err(|e| match e {
-            SimError::Timeout { cycles } => ServeError::Watchdog { cycles },
-            SimError::DeadlineExceeded { .. } => ServeError::DeadlineExceeded,
-        })?;
-    Ok(JobOutput {
-        best: run.best,
-        generations: job.params.n_gens,
-        evaluations: evaluations_for(&job.params),
-        conv_gen: run.as_ga_run().convergence_generation(),
-        cycles: Some(run.cycles),
-    })
 }
 
 #[cfg(test)]
@@ -201,6 +142,21 @@ mod tests {
 
     fn run(job: &GaJob) -> Result<JobOutput, ServeError> {
         run_single(job, 0, &ServeConfig::default()).outcome
+    }
+
+    #[test]
+    fn evaluation_formula_is_the_params_contract() {
+        // The dedicated helper must stay a pure delegation to
+        // GaParams::evaluations_per_run — the one formula everything
+        // (serve, engines, bench) shares.
+        for (pop, gens) in [(2u8, 1u32), (8, 3), (16, 6), (128, 512)] {
+            let p = GaParams::new(pop, gens, 10, 1, 1);
+            assert_eq!(evaluations_for(&p), p.evaluations_per_run());
+            assert_eq!(
+                evaluations_for(&p),
+                pop as u64 + gens as u64 * (pop as u64 - 1)
+            );
+        }
     }
 
     #[test]
@@ -221,15 +177,41 @@ mod tests {
         let r = run(&rtl).expect("rtl runs");
         let b = run(&beh).expect("behavioral runs");
         assert!(r.cycles.expect("rtl reports cycles") > 0);
-        assert_eq!(r.best, b.best, "engines must agree on the answer");
+        assert_eq!(
+            (r.best_chrom, r.best_fitness),
+            (b.best_chrom, b.best_fitness),
+            "engines must agree on the answer"
+        );
         assert_eq!(r.evaluations, b.evaluations, "evaluation formula");
+    }
+
+    #[test]
+    fn rtl32_serves_width32_jobs() {
+        let params = GaParams::new(8, 4, 10, 1, 0x2961);
+        let job = GaJob::new32(TestFunction::F3, params);
+        let r = run_single(&job, 0, &ServeConfig::default());
+        assert_eq!(r.backend, BackendKind::Rtl32);
+        let o = r.outcome.expect("rtl32 runs");
+        assert!(o.cycles.expect("rtl32 reports cycles") > 0);
+        assert_eq!(o.evaluations, params.evaluations_per_run());
+        assert!(o.best_chrom > u16::MAX as u32, "a real 32-bit answer");
     }
 
     #[test]
     fn zero_deadline_cancels_each_backend() {
         let params = GaParams::new(8, 4, 10, 1, 0xB342);
         for backend in BackendKind::ALL {
-            let job = GaJob::new(TestFunction::F2, backend, params).with_deadline_ms(0);
+            // Aim each job at a width its backend actually implements,
+            // so the deadline — not the width gate — is what fires.
+            let width = ga_engine::global()
+                .get(backend)
+                .expect("registered")
+                .capabilities()
+                .widths[0];
+            let job = GaJob {
+                width,
+                ..GaJob::new(TestFunction::F2, backend, params).with_deadline_ms(0)
+            };
             assert_eq!(
                 run(&job),
                 Err(ServeError::DeadlineExceeded),

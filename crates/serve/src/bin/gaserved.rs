@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gaserved --input jobs.jsonl --out results.jsonl [--threads N] [--queue-cap N]
+//! gaserved --list-backends
 //! ```
 //!
 //! Reads one job per input line, runs the batch through the sharded
@@ -42,10 +43,26 @@ fn main() -> ExitCode {
                     .map(|n: usize| cfg.queue_capacity = n.max(1))
                     .map_err(|e| format!("--queue-cap: {e}"))
             }),
+            "--list-backends" => {
+                // One line per registered engine, machine-greppable:
+                // the CI registry-enumeration check parses this.
+                for e in ga_engine::global().engines() {
+                    let caps = e.capabilities();
+                    let widths: Vec<String> = caps.widths.iter().map(|w| w.to_string()).collect();
+                    println!(
+                        "{} widths={} pack_width={} degrades_to={}",
+                        e.kind().name(),
+                        widths.join(","),
+                        caps.pack_width,
+                        caps.degrades_to.map_or("none", |k| k.name()),
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gaserved --input jobs.jsonl --out results.jsonl \
-                     [--threads N] [--queue-cap N]"
+                     [--threads N] [--queue-cap N] | gaserved --list-backends"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -1,61 +1,27 @@
 //! Job and result types: the service's wire-level vocabulary.
+//!
+//! The execution vocabulary itself ([`BackendKind`], [`JobOutput`])
+//! comes from the engine layer (`ga_engine`); this module adds the
+//! service-side wrapping — the JSONL-schema job shape, typed service
+//! errors, and per-result degradation metadata.
 
 use std::fmt;
 
-use ga_core::behavioral::Individual;
 use ga_core::GaParams;
+use ga_engine::{EngineError, RunSpec};
 use ga_fitness::TestFunction;
 
-/// The only chromosome width the engines implement today. The job
-/// schema carries a width field so wider cores (the 32-bit scaling
-/// study) can slot in later; until then any other value is rejected
-/// with [`ServeError::UnsupportedWidth`].
+pub use ga_engine::BackendKind;
+
+/// The default chromosome width of the IP core (the 16-bit engines).
 pub const CHROM_WIDTH: u8 = 16;
 
-/// The chromosome widths the job *schema* admits. `width` used to be
-/// parsed with the full 0..=255 range, deferring rejection to the
-/// backend; the parser now refuses anything outside this list up front
-/// with a line-aligned `invalid_job` error. Only [`CHROM_WIDTH`] has
-/// engines today — a 32-bit job parses but is answered with a typed
-/// [`ServeError::UnsupportedWidth`] until the scaling-study core lands.
+/// The chromosome widths the job *schema* admits: the 16-bit core and
+/// the ganged 32-bit composite (`rtl32`). The parser refuses anything
+/// outside this list up front with a line-aligned `invalid_job` error;
+/// whether a *specific backend* implements the width is the engine
+/// registry's admission check ([`GaJob::validate`]).
 pub const SUPPORTED_WIDTHS: [u8; 2] = [16, 32];
-
-/// Which engine executes a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum BackendKind {
-    /// The behavioral reference engine (`ga_core::GaEngine`).
-    Behavioral,
-    /// The cycle-accurate hardware system (`ga_core::GaSystem`).
-    RtlInterp,
-    /// The compiled 64-lane netlist simulation: compatible jobs share
-    /// one bit-sliced CA-RNG run, one job per lane.
-    BitSim64,
-}
-
-impl BackendKind {
-    /// Every backend, in dispatch-priority order.
-    pub const ALL: [BackendKind; 3] = [
-        BackendKind::Behavioral,
-        BackendKind::RtlInterp,
-        BackendKind::BitSim64,
-    ];
-
-    /// Stable lowercase name used in the JSONL schema and reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            BackendKind::Behavioral => "behavioral",
-            BackendKind::RtlInterp => "rtl",
-            BackendKind::BitSim64 => "bitsim64",
-        }
-    }
-
-    /// Parse a backend name (case-insensitive).
-    pub fn parse(s: &str) -> Option<Self> {
-        Self::ALL
-            .into_iter()
-            .find(|b| b.name().eq_ignore_ascii_case(s))
-    }
-}
 
 /// Look up a fitness function by its table name (`BF6`, `F2`, …),
 /// case-insensitively.
@@ -68,7 +34,8 @@ pub fn function_by_name(s: &str) -> Option<TestFunction> {
 /// One GA execution request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GaJob {
-    /// Chromosome width in bits (only [`CHROM_WIDTH`] is accepted).
+    /// Chromosome width in bits (checked against the backend's
+    /// [`ga_engine::Capabilities::widths`] at validation).
     pub width: u8,
     /// Fitness-function (FEM) selection.
     pub function: TestFunction,
@@ -97,21 +64,47 @@ impl GaJob {
         }
     }
 
+    /// A 32-bit job for the ganged composite with no deadline.
+    pub fn new32(function: TestFunction, params: GaParams) -> Self {
+        GaJob {
+            width: 32,
+            function,
+            backend: BackendKind::Rtl32,
+            params,
+            deadline_ms: None,
+        }
+    }
+
     /// Attach a wall-clock deadline in milliseconds.
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
         self
     }
 
-    /// The admission check every backend runs before touching an
-    /// engine: width support plus the hardware parameter ranges.
-    pub fn validate(&self) -> Result<(), ServeError> {
-        if self.width != CHROM_WIDTH {
-            return Err(ServeError::UnsupportedWidth { width: self.width });
+    /// The engine-layer spec this job requests.
+    pub fn spec(&self) -> RunSpec {
+        RunSpec {
+            width: self.width,
+            function: self.function,
+            params: self.params,
+            deadline_ms: self.deadline_ms,
         }
-        self.params
-            .validate()
-            .map_err(|msg| ServeError::InvalidJob { msg })
+    }
+
+    /// The admission check every backend runs before touching an
+    /// engine: the registered backend's capability gate (width support
+    /// first, then the hardware parameter ranges).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let engine =
+            ga_engine::global()
+                .get(self.backend)
+                .ok_or_else(|| ServeError::InvalidJob {
+                    msg: format!("backend {} is not registered", self.backend.name()),
+                })?;
+        engine
+            .capabilities()
+            .admit(&self.spec())
+            .map_err(ServeError::from)
     }
 
     /// Packing compatibility key: two jobs may share a 64-lane bitsim
@@ -123,26 +116,17 @@ impl GaJob {
     }
 }
 
-/// What a completed job reports back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct JobOutput {
-    /// Best individual found.
-    pub best: Individual,
-    /// Generations actually run (the full budget on success).
-    pub generations: u32,
-    /// Fitness evaluations consumed.
-    pub evaluations: u64,
-    /// Table V style convergence generation, if the run settled.
-    pub conv_gen: Option<u32>,
-    /// Simulated clock cycles (RTL backend only).
-    pub cycles: Option<u64>,
-}
+/// What a completed job reports back — the engine layer's
+/// backend-neutral outcome, verbatim.
+pub type JobOutput = ga_engine::RunOutcome;
 
 /// Degradation note attached to a result that was answered by a
 /// different backend than the one requested: the requested backend
-/// failed transiently (e.g. the bitsim64 netlist watchdog tripped) and
-/// the service fell back instead of failing the job. Surfaced as typed
-/// metadata so callers can tell a degraded answer from a native one.
+/// failed on infrastructure (e.g. the bitsim64 netlist watchdog
+/// tripped) and the service fell back along the engine's declared
+/// [`ga_engine::Capabilities::degrades_to`] edge instead of failing the
+/// job. Surfaced as typed metadata so callers can tell a degraded
+/// answer from a native one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Degradation {
     /// The backend the job originally asked for.
@@ -185,14 +169,14 @@ pub enum ServeError {
         /// The validation failure.
         msg: String,
     },
-    /// Chromosome width not implemented by any backend.
+    /// Chromosome width not implemented by the requested backend.
     UnsupportedWidth {
         /// The requested width.
         width: u8,
     },
     /// The job's wall-clock deadline expired; the job was cancelled.
     DeadlineExceeded,
-    /// The RTL backend's simulated-cycle watchdog fired.
+    /// A simulated-work watchdog fired (RTL cycles or bitsim steps).
     Watchdog {
         /// Cycles run before giving up.
         cycles: u64,
@@ -211,6 +195,17 @@ pub enum ServeError {
         /// The recovered panic message (or invariant description).
         msg: String,
     },
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::InvalidSpec { msg } => ServeError::InvalidJob { msg },
+            EngineError::UnsupportedWidth { width } => ServeError::UnsupportedWidth { width },
+            EngineError::DeadlineExceeded => ServeError::DeadlineExceeded,
+            EngineError::Watchdog { cycles } => ServeError::Watchdog { cycles },
+        }
+    }
 }
 
 impl ServeError {
@@ -242,10 +237,7 @@ impl fmt::Display for ServeError {
             ServeError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
             ServeError::InvalidJob { msg } => write!(f, "invalid job: {msg}"),
             ServeError::UnsupportedWidth { width } => {
-                write!(
-                    f,
-                    "chromosome width {width} unsupported (only {CHROM_WIDTH})"
-                )
+                write!(f, "chromosome width {width} unsupported by this backend")
             }
             ServeError::DeadlineExceeded => write!(f, "wall-clock deadline expired"),
             ServeError::Watchdog { cycles } => {
@@ -307,6 +299,27 @@ mod tests {
     }
 
     #[test]
+    fn width_admission_is_backend_relative() {
+        // 32-bit jobs are first-class on the ganged composite…
+        let wide = GaJob::new32(TestFunction::F3, GaParams::default());
+        assert_eq!(wide.validate(), Ok(()));
+        // …while a 16-bit job aimed at it is refused, symmetrically.
+        let narrow = GaJob {
+            width: CHROM_WIDTH,
+            ..wide
+        };
+        assert_eq!(
+            narrow.validate(),
+            Err(ServeError::UnsupportedWidth { width: 16 })
+        );
+        // Width support is exactly what the registry advertises.
+        assert_eq!(
+            ga_engine::global().supporting_width(32),
+            vec![BackendKind::Rtl32]
+        );
+    }
+
+    #[test]
     fn pack_key_is_pop_and_gens_only() {
         let a = GaJob::new(
             TestFunction::F2,
@@ -331,6 +344,26 @@ mod tests {
             ..a
         };
         assert_ne!(a.pack_key(), c.pack_key());
+    }
+
+    #[test]
+    fn engine_errors_map_onto_serve_errors() {
+        assert_eq!(
+            ServeError::from(EngineError::Watchdog { cycles: 9 }),
+            ServeError::Watchdog { cycles: 9 }
+        );
+        assert_eq!(
+            ServeError::from(EngineError::DeadlineExceeded),
+            ServeError::DeadlineExceeded
+        );
+        assert_eq!(
+            ServeError::from(EngineError::UnsupportedWidth { width: 8 }),
+            ServeError::UnsupportedWidth { width: 8 }
+        );
+        assert!(matches!(
+            ServeError::from(EngineError::InvalidSpec { msg: "x".into() }),
+            ServeError::InvalidJob { .. }
+        ));
     }
 
     #[test]

@@ -353,8 +353,8 @@ pub fn result_line(r: &JobResult) -> String {
                 "{{\"job\":{},\"backend\":\"{}\",\"ok\":true,\"best_chrom\":{},\"best_fitness\":{},\"generations\":{},\"evaluations\":{}",
                 r.job,
                 r.backend.name(),
-                o.best.chrom,
-                o.best.fitness,
+                o.best_chrom,
+                o.best_fitness,
                 o.generations,
                 o.evaluations
             );
@@ -403,7 +403,6 @@ pub fn parse_error_line(job: usize, err: &ServeError) -> String {
 mod tests {
     use super::*;
     use crate::job::JobOutput;
-    use ga_core::behavioral::Individual;
     use ga_fitness::TestFunction;
 
     #[test]
@@ -466,8 +465,9 @@ mod tests {
 
     #[test]
     fn unsupported_widths_rejected_at_parse_time() {
-        // Supported widths parse (32 is then refused by the backend
-        // gate, but the schema admits it for the scaling study).
+        // Supported widths parse (16 runs on the narrow engines, 32 on
+        // the ganged `rtl32` composite; aiming a width at a backend
+        // that lacks it is the registry's typed admission error).
         for w in SUPPORTED_WIDTHS {
             let line =
                 format!("{{\"fn\":\"F3\",\"width\":{w},\"pop\":32,\"gens\":8,\"xover\":10,\"mut\":1,\"seed\":7}}");
@@ -522,14 +522,14 @@ mod tests {
             job: 4,
             backend: BackendKind::RtlInterp,
             outcome: Ok(JobOutput {
-                best: Individual {
-                    chrom: 0x1234,
-                    fitness: 3060,
-                },
+                best_chrom: 0x1234,
+                best_fitness: 3060,
                 generations: 32,
                 evaluations: 1024,
                 conv_gen: Some(7),
                 cycles: Some(335_872),
+                rng_draws: None,
+                trajectory: Vec::new(),
             }),
             micros: 123_456, // must NOT appear in the line
             degraded: None,

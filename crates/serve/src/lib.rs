@@ -1,21 +1,16 @@
 //! # ga-serve — a job-oriented GA execution service
 //!
-//! The first layer where all three engines of the reproduction sit
-//! behind one production-shaped API. A batch of [`GaJob`]s (chromosome
-//! width, fitness-function selection, the Table III parameters, seed,
+//! The layer where every engine of the reproduction sits behind one
+//! production-shaped API. A batch of [`GaJob`]s (chromosome width,
+//! fitness-function selection, the Table III parameters, seed,
 //! generation budget, optional wall-clock deadline) is sharded across a
-//! scoped-thread worker pool and each job is dispatched to a pluggable
-//! backend:
-//!
-//! * [`BackendKind::Behavioral`] — the reference algorithm
-//!   (`ga_core::GaEngine` over the `carng` CA PRNG);
-//! * [`BackendKind::RtlInterp`] — the cycle-accurate hardware system
-//!   (`ga_core::GaSystem`), with both a simulated-cycle watchdog and a
-//!   host wall-clock deadline;
-//! * [`BackendKind::BitSim64`] — up to 64 *compatible* jobs (same
-//!   population size and generation count, hence the same RNG draw
-//!   schedule) packed into one 64-lane run of the compiled CA-RNG
-//!   netlist (`ga_synth::bitsim`), each lane feeding its own GA engine.
+//! scoped-thread worker pool and each job is dispatched through the
+//! **engine registry** (`ga_engine::global`) to whichever backend it
+//! names — `behavioral`, `rtl`, `bitsim64`, `swga`, or the 32-bit
+//! `rtl32` composite. The service itself contains no per-engine drive
+//! loops: admission, packing eligibility (`pack_width`), and the
+//! degradation policy (`degrades_to`) are all read off each engine's
+//! [`ga_engine::Capabilities`].
 //!
 //! The service provides a bounded job queue with backpressure
 //! ([`BoundedQueue`]: the submitter blocks while the queue is full),

@@ -8,7 +8,6 @@ use std::thread;
 use std::time::Duration;
 
 use ga_bench::{default_threads, lane_chunks, BenchReport, Stopwatch};
-use ga_synth::bitsim::BitSim;
 
 use crate::backend;
 use crate::job::{BackendKind, GaJob, JobResult, ServeError};
@@ -106,19 +105,19 @@ impl BackendCounters {
     }
 }
 
-/// Aggregate statistics for one served batch.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Aggregate statistics for one served batch. Counters are kept per
+/// registered [`BackendKind`] (one slot per kind, registry order), so
+/// adding a backend to the engine registry automatically adds its
+/// throughput row here and in `BENCH_serve.json` — no hardcoded
+/// per-backend fields.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
-    /// Counters for the behavioral backend.
-    pub behavioral: BackendCounters,
-    /// Counters for the RTL-interpreter backend.
-    pub rtl: BackendCounters,
-    /// Counters for the 64-lane bitsim backend.
-    pub bitsim: BackendCounters,
-    /// Number of 64-lane packs executed.
+    /// `(kind, counters)` per registered backend, registry order.
+    per_backend: Vec<(BackendKind, BackendCounters)>,
+    /// Number of lockstep packs executed.
     pub packs: u64,
     /// Total *active* lanes across all packs — equals the number of
-    /// real bitsim jobs, NOT `packs × 64`: idle tail lanes of a short
+    /// real packed jobs, NOT `packs × 64`: idle tail lanes of a short
     /// pack do not count (the padding-skew fix).
     pub packed_lanes: u64,
     /// Jobs answered by a fallback backend after their requested one
@@ -128,32 +127,52 @@ pub struct ServeStats {
     pub wall_seconds: f64,
 }
 
-impl ServeStats {
-    /// Counters for one backend.
-    pub fn counters(&self, b: BackendKind) -> &BackendCounters {
-        match b {
-            BackendKind::Behavioral => &self.behavioral,
-            BackendKind::RtlInterp => &self.rtl,
-            BackendKind::BitSim64 => &self.bitsim,
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            per_backend: ga_engine::global()
+                .kinds()
+                .into_iter()
+                .map(|k| (k, BackendCounters::default()))
+                .collect(),
+            packs: 0,
+            packed_lanes: 0,
+            degraded: 0,
+            wall_seconds: 0.0,
         }
+    }
+}
+
+impl ServeStats {
+    /// Counters for one backend (zeroed when it never ran).
+    pub fn counters(&self, b: BackendKind) -> BackendCounters {
+        self.per_backend
+            .iter()
+            .find(|(k, _)| *k == b)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
     }
 
     fn counters_mut(&mut self, b: BackendKind) -> &mut BackendCounters {
-        match b {
-            BackendKind::Behavioral => &mut self.behavioral,
-            BackendKind::RtlInterp => &mut self.rtl,
-            BackendKind::BitSim64 => &mut self.bitsim,
-        }
+        let at = self
+            .per_backend
+            .iter()
+            .position(|(k, _)| *k == b)
+            .unwrap_or_else(|| {
+                self.per_backend.push((b, BackendCounters::default()));
+                self.per_backend.len() - 1
+            });
+        &mut self.per_backend[at].1
     }
 
     /// Total jobs across backends.
     pub fn jobs(&self) -> u64 {
-        self.behavioral.jobs + self.rtl.jobs + self.bitsim.jobs
+        self.per_backend.iter().map(|(_, c)| c.jobs).sum()
     }
 
     /// Total errored jobs across backends.
     pub fn errors(&self) -> u64 {
-        self.behavioral.errors + self.rtl.errors + self.bitsim.errors
+        self.per_backend.iter().map(|(_, c)| c.errors).sum()
     }
 
     /// Batch throughput in jobs per second.
@@ -165,25 +184,31 @@ impl ServeStats {
         }
     }
 
-    /// Render as a `BenchReport` (emitted as `BENCH_serve.json`). The
-    /// `lanes` field reports the pack width of the bitsim backend when
-    /// any pack ran, else 1.
+    /// Render as a `BenchReport` (emitted as `BENCH_serve.json`) with a
+    /// `<name>_jobs` / `<name>_avg_us` pair for **every** backend in
+    /// the stats — the per-backend throughput floor `benchcheck
+    /// --require-backend-throughput` asserts. The `lanes` field reports
+    /// the widest registered pack when any pack ran, else 1.
     pub fn to_report(&self, threads: usize) -> BenchReport {
         let lanes = if self.packs > 0 {
-            BitSim::LANES as u64
+            ga_engine::global()
+                .engines()
+                .map(|e| e.capabilities().pack_width)
+                .max()
+                .unwrap_or(1) as u64
         } else {
             1
         };
-        BenchReport::new("serve", self.wall_seconds, lanes, threads as u64)
+        let mut report = BenchReport::new("serve", self.wall_seconds, lanes, threads as u64)
             .metric("jobs", self.jobs() as f64)
             .metric("errors", self.errors() as f64)
-            .metric("jobs_per_sec", self.jobs_per_sec())
-            .metric("behavioral_jobs", self.behavioral.jobs as f64)
-            .metric("behavioral_avg_us", self.behavioral.avg_micros())
-            .metric("rtl_jobs", self.rtl.jobs as f64)
-            .metric("rtl_avg_us", self.rtl.avg_micros())
-            .metric("bitsim64_jobs", self.bitsim.jobs as f64)
-            .metric("bitsim64_avg_us", self.bitsim.avg_micros())
+            .metric("jobs_per_sec", self.jobs_per_sec());
+        for (kind, c) in &self.per_backend {
+            report = report
+                .metric(format!("{}_jobs", kind.name()), c.jobs as f64)
+                .metric(format!("{}_avg_us", kind.name()), c.avg_micros());
+        }
+        report
             .metric("bitsim64_packs", self.packs as f64)
             .metric("bitsim64_active_lanes", self.packed_lanes as f64)
             .metric("degraded_jobs", self.degraded as f64)
@@ -199,33 +224,39 @@ pub struct ServeOutcome {
     pub stats: ServeStats,
 }
 
-/// A schedulable unit: one job, or a pack of compatible bitsim jobs.
+/// A schedulable unit: one job, or a pack of compatible packable jobs.
 enum Unit {
     Solo(usize),
     Pack(Vec<usize>),
 }
 
-/// Shard the batch into units. Valid bitsim jobs are grouped by
-/// [`GaJob::pack_key`] in first-appearance order and chunked into packs
-/// of at most 64 (the tail pack simply carries fewer active lanes);
-/// everything else — including *invalid* bitsim jobs, which must
-/// surface their own typed error — runs solo.
+/// Shard the batch into units, driven by the registry's capabilities:
+/// valid jobs whose backend advertises `pack_width > 1` are grouped by
+/// `(backend, pack_key)` in first-appearance order and chunked into
+/// packs of at most the backend's pack width (the tail pack simply
+/// carries fewer active lanes); everything else — including *invalid*
+/// packable jobs, which must surface their own typed error — runs solo.
 fn plan_units(jobs: &[GaJob]) -> Vec<Unit> {
+    type PackGroup = ((BackendKind, (u8, u32)), usize, Vec<usize>);
     let mut units = Vec::new();
-    let mut groups: Vec<((u8, u32), Vec<usize>)> = Vec::new();
+    let mut groups: Vec<PackGroup> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
-        if job.backend == BackendKind::BitSim64 && job.validate().is_ok() {
-            let key = job.pack_key();
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, members)) => members.push(i),
-                None => groups.push((key, vec![i])),
+        let pack_width = ga_engine::global()
+            .get(job.backend)
+            .map(|e| e.capabilities().pack_width)
+            .unwrap_or(1);
+        if pack_width > 1 && job.validate().is_ok() {
+            let key = (job.backend, job.pack_key());
+            match groups.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, _, members)) => members.push(i),
+                None => groups.push((key, pack_width, vec![i])),
             }
         } else {
             units.push(Unit::Solo(i));
         }
     }
-    for (_, members) in groups {
-        for chunk in lane_chunks(members.len(), BitSim::LANES) {
+    for (_, pack_width, members) in groups {
+        for chunk in lane_chunks(members.len(), pack_width) {
             units.push(Unit::Pack(members[chunk].to_vec()));
         }
     }
@@ -483,8 +514,36 @@ mod tests {
         let out = serve_batch(&jobs, &ServeConfig::default());
         assert_eq!(out.stats.packs, 3);
         assert_eq!(out.stats.packed_lanes, 75);
-        assert_eq!(out.stats.bitsim.jobs, 75);
+        assert_eq!(out.stats.counters(BackendKind::BitSim64).jobs, 75);
         assert_eq!(out.stats.errors(), 0);
+    }
+
+    #[test]
+    fn every_registered_backend_serves_in_one_batch() {
+        // One job per registered kind, each at a width its backend
+        // implements — the batch must come back fully green with every
+        // backend's counter row populated and present in the report.
+        let jobs: Vec<GaJob> = ga_engine::global()
+            .engines()
+            .enumerate()
+            .map(|(i, e)| GaJob {
+                width: e.capabilities().widths[0],
+                ..quick_job(e.kind(), 0x8000 + i as u16)
+            })
+            .collect();
+        assert_eq!(jobs.len(), BackendKind::ALL.len());
+        let out = serve_batch(&jobs, &ServeConfig::default());
+        assert_eq!(out.stats.errors(), 0);
+        let json = out.stats.to_report(2).to_json();
+        for kind in ga_engine::global().kinds() {
+            assert_eq!(out.stats.counters(kind).jobs, 1, "{}", kind.name());
+            for key in [
+                format!("\"{}_jobs\"", kind.name()),
+                format!("\"{}_avg_us\"", kind.name()),
+            ] {
+                assert!(json.contains(&key), "missing {key} in {json}");
+            }
+        }
     }
 
     #[test]

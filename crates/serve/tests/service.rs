@@ -10,7 +10,8 @@ use ga_serve::{
     draws_per_run, serve_batch, BackendKind, GaJob, JobResult, ServeConfig, ServeError,
 };
 
-/// The acceptance fixture: 200 jobs cycling through all three backends,
+/// The acceptance fixture: 200 jobs cycling through every registered
+/// backend (including 32-bit jobs on the ganged `rtl32` composite),
 /// all six fitness functions, and a few parameter shapes (including two
 /// bitsim shapes so packing produces multiple groups with tails).
 fn mixed_batch_200() -> Vec<GaJob> {
@@ -21,15 +22,20 @@ fn mixed_batch_200() -> Vec<GaJob> {
     ];
     (0..200)
         .map(|i| {
-            let backend = BackendKind::ALL[i % 3];
+            let backend = BackendKind::ALL[i % BackendKind::ALL.len()];
             let function = TestFunction::ALL[i % TestFunction::ALL.len()];
             let mut params = shapes[(i / 3) % shapes.len()];
-            // RTL interpretation is the slow path; keep its jobs small.
-            if backend == BackendKind::RtlInterp {
+            // The cycle-accurate interpreters are the slow path; keep
+            // their jobs small.
+            if matches!(backend, BackendKind::RtlInterp | BackendKind::Rtl32) {
                 params = GaParams::new(8, 4, 10, 1, 1);
             }
             params.seed = (i as u16).wrapping_mul(2654).wrapping_add(17);
-            GaJob::new(function, backend, params)
+            if backend == BackendKind::Rtl32 {
+                GaJob::new32(function, params)
+            } else {
+                GaJob::new(function, backend, params)
+            }
         })
         .collect()
 }
@@ -129,10 +135,12 @@ fn draw_schedule_formula_matches_engine_instrumentation() {
 }
 
 #[test]
-fn all_three_backends_agree_on_the_answer() {
+fn all_width16_backends_agree_on_the_answer() {
+    let kinds = ga_engine::global().supporting_width(16);
+    assert!(kinds.len() >= 4, "expected every 16-bit engine registered");
     for &seed in PRESET_SEEDS.iter().chain(&TABLE5_SEEDS) {
         let params = GaParams::new(16, 8, 10, 1, seed);
-        let outs: Vec<_> = BackendKind::ALL
+        let outs: Vec<_> = kinds
             .iter()
             .map(|&b| {
                 let job = GaJob::new(TestFunction::Mbf6_2, b, params);
@@ -142,13 +150,26 @@ fn all_three_backends_agree_on_the_answer() {
                     .expect("backend runs")
             })
             .collect();
-        assert_eq!(outs[0].best, outs[1].best, "behavioral vs rtl, seed {seed}");
-        assert_eq!(
-            outs[0].best, outs[2].best,
-            "behavioral vs bitsim, seed {seed}"
-        );
-        assert_eq!(outs[0].conv_gen, outs[1].conv_gen, "seed {seed}");
-        assert_eq!(outs[0].evaluations, outs[1].evaluations, "seed {seed}");
+        for (kind, out) in kinds.iter().zip(&outs).skip(1) {
+            assert_eq!(
+                (outs[0].best_chrom, outs[0].best_fitness),
+                (out.best_chrom, out.best_fitness),
+                "behavioral vs {}, seed {seed}",
+                kind.name()
+            );
+            assert_eq!(
+                outs[0].conv_gen,
+                out.conv_gen,
+                "{} seed {seed}",
+                kind.name()
+            );
+            assert_eq!(
+                outs[0].evaluations,
+                out.evaluations,
+                "{} seed {seed}",
+                kind.name()
+            );
+        }
     }
 }
 

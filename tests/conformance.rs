@@ -1,8 +1,12 @@
-//! Cross-engine conformance: the behavioral engine, the software
-//! reference (`swga`), the cycle-accurate RTL interpreter, and a
-//! bitsim CA-RNG lane must produce **identical best-fitness
-//! trajectories generation-for-generation** over a matrix of seeds ×
-//! Table IV preset shapes × fitness modules.
+//! Cross-engine conformance, driven off the engine registry: every
+//! registered 16-bit backend (`behavioral`, `rtl`, `bitsim64`, `swga`)
+//! must produce **identical trajectories generation-for-generation** —
+//! same best, same population fitness sum — over a matrix of seeds ×
+//! Table IV preset shapes × fitness modules, and the 32-bit `rtl32`
+//! composite must match the behavioral dual-core model on the same
+//! seeds. No backend is named in the drive loop: the matrix enumerates
+//! `ga_engine::global()`, so registering a sixth engine automatically
+//! enrolls it here.
 //!
 //! The default matrix is the quick one CI runs; set
 //! `GA_CONFORMANCE_FULL=1` for all six fitness functions and longer
@@ -17,9 +21,10 @@
 //! with results equal to each job run solo.
 
 use carng::seeds::PRESET_SEEDS;
+use ga_core::scaling::GaEngine32;
+use ga_engine::{trajectory32, BackendKind, Limits, RunOutcome, RunSpec};
 use ga_ip::prelude::*;
-use ga_serve::{ca_lane_streams, draws_per_run};
-use ga_serve::{serve_batch, BackendKind, GaJob, ServeConfig, StreamRng};
+use ga_serve::{serve_batch, GaJob, ServeConfig};
 use proptest::prelude::*;
 
 /// One cell of the conformance matrix.
@@ -59,68 +64,81 @@ fn matrix() -> Vec<Cell> {
     cells
 }
 
-/// Best-fitness trajectory: one value per generation, gen 0 included.
-type Trajectory = Vec<(u32, u16)>;
-
-fn trajectory_of(history: &[ga_ip::ga_core::GenStats]) -> Trajectory {
-    history.iter().map(|s| (s.gen, s.best.fitness)).collect()
-}
-
-fn behavioral(cell: &Cell) -> Trajectory {
-    let f = cell.f;
-    let run = GaEngine::new(cell.params, CaRng::new(cell.params.seed), move |c| {
-        f.eval_u16(c)
-    })
-    .run();
-    trajectory_of(&run.history)
-}
-
-fn swga_reference(cell: &Cell) -> Trajectory {
-    let f = cell.f;
-    let run = swga::CountingGa::new(cell.params, move |c| f.eval_u16(c)).run();
-    trajectory_of(&run.history)
-}
-
-fn rtl(cell: &Cell) -> Trajectory {
-    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
-        LookupFem::for_function(cell.f),
-    )]));
-    let run = sys
-        .program_and_run(&cell.params, 2_000_000_000)
-        .expect("watchdog");
-    trajectory_of(&run.history)
-}
-
-fn bitsim_lane(cell: &Cell) -> Trajectory {
-    let f = cell.f;
-    let stream = ca_lane_streams(&[cell.params.seed], draws_per_run(&cell.params) as usize)
-        .pop()
-        .expect("one lane");
-    let run = GaEngine::new(cell.params, StreamRng::new(stream), move |c| f.eval_u16(c)).run();
-    trajectory_of(&run.history)
+/// Dispatch one cell to a registered backend at its native width.
+fn run_via(kind: BackendKind, cell: &Cell) -> RunOutcome {
+    let engine = ga_engine::global().get(kind).expect("backend registered");
+    let spec = RunSpec {
+        width: engine.capabilities().widths[0],
+        function: cell.f,
+        params: cell.params,
+        deadline_ms: None,
+    };
+    let prepared = engine.prepare(spec).expect("conformance cell admitted");
+    engine
+        .run(&prepared, &Limits::default())
+        .expect("conformance cell runs")
 }
 
 #[test]
-fn all_engines_agree_generation_for_generation() {
+fn all_width16_engines_agree_generation_for_generation() {
+    let kinds = ga_engine::global().supporting_width(16);
+    assert!(
+        kinds.len() >= 4,
+        "behavioral, rtl, bitsim64 and swga must all serve width 16"
+    );
     let cells = matrix();
     for cell in &cells {
-        let reference = behavioral(cell);
+        let reference = run_via(BackendKind::Behavioral, cell);
         assert_eq!(
-            reference.len(),
+            reference.trajectory.len(),
             cell.params.n_gens as usize + 1,
-            "history covers gen 0..=n_gens"
+            "trajectory covers gen 0..=n_gens"
         );
-        for (name, got) in [
-            ("swga", swga_reference(cell)),
-            ("rtl", rtl(cell)),
-            ("bitsim-lane", bitsim_lane(cell)),
-        ] {
+        for &kind in kinds.iter().filter(|&&k| k != BackendKind::Behavioral) {
+            let got = run_via(kind, cell);
             assert_eq!(
-                got, reference,
-                "{name} trajectory diverged from behavioral on {:?} pop {} seed {:#06x}",
-                cell.f, cell.params.pop_size, cell.params.seed
+                got.trajectory,
+                reference.trajectory,
+                "{} trajectory diverged from behavioral on {:?} pop {} seed {:#06x}",
+                kind.name(),
+                cell.f,
+                cell.params.pop_size,
+                cell.params.seed
             );
+            assert_eq!(
+                (got.best_chrom, got.best_fitness),
+                (reference.best_chrom, reference.best_fitness),
+                "{} final best differs",
+                kind.name()
+            );
+            assert_eq!(got.conv_gen, reference.conv_gen, "{}", kind.name());
         }
+    }
+}
+
+#[test]
+fn rtl32_composite_matches_the_dual_core_model() {
+    // Width-32 conformance: the ganged hardware system behind the
+    // registry's `rtl32` entry against the behavioral dual-core engine
+    // (second RNG seeded with the complemented seed, like the hardware).
+    for &seed in &PRESET_SEEDS {
+        let f = TestFunction::Mbf6_2;
+        let params = GaParams::new(16, 6, 10, 1, seed);
+        let got = run_via(BackendKind::Rtl32, &Cell { f, params });
+        let oracle = GaEngine32::new(params, CaRng::new(seed), CaRng::new(!seed), move |c| {
+            f.eval_u32_split(c)
+        })
+        .run();
+        assert_eq!(
+            (got.best_chrom, got.best_fitness),
+            (oracle.best.chrom, oracle.best.fitness),
+            "rtl32 final best diverged from the dual-core model, seed {seed:#06x}"
+        );
+        assert_eq!(
+            got.trajectory,
+            trajectory32(&oracle.history),
+            "rtl32 trajectory diverged, seed {seed:#06x}"
+        );
     }
 }
 

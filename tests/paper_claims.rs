@@ -7,10 +7,13 @@
 //! same run) or a deliberate algorithm change that must update the
 //! tables consciously.
 //!
-//! All runs go through the cycle-accurate system (`run_hw`), which the
-//! differential suite proves draw-identical to the behavioral engine.
+//! All runs dispatch through the engine registry (`run_via`) — the
+//! cycle-accurate `rtl` backend by default, and Table V additionally on
+//! every registered 16-bit backend, which the conformance suite proves
+//! trajectory-identical.
 
 use carng::seeds::TABLE7_SEEDS;
+use ga_engine::{BackendKind, Limits, RunOutcome, RunSpec};
 use ga_ip::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -37,21 +40,32 @@ const SETTLE_MARGIN_GENS: u32 = 4;
 const SEARCH_FRACTION_ANY: f64 = 0.011;
 const SEARCH_FRACTION_ALL: f64 = 0.03;
 
-fn run_hw(f: TestFunction, params: &GaParams) -> HwRun {
-    let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
-        LookupFem::for_function(f),
-    )]));
-    sys.program_and_run(params, 2_000_000_000)
-        .expect("watchdog")
+/// Dispatch one run to a registered backend at its native width.
+fn run_via(kind: BackendKind, f: TestFunction, params: &GaParams) -> RunOutcome {
+    let engine = ga_engine::global().get(kind).expect("backend registered");
+    let spec = RunSpec {
+        width: engine.capabilities().widths[0],
+        function: f,
+        params: *params,
+        deadline_ms: None,
+    };
+    let prepared = engine.prepare(spec).expect("claim row admitted");
+    engine
+        .run(&prepared, &Limits::default())
+        .expect("claim row runs")
+}
+
+fn run_hw(f: TestFunction, params: &GaParams) -> RunOutcome {
+    run_via(BackendKind::RtlInterp, f, params)
 }
 
 /// First generation whose best fitness reaches
 /// `NEAR_BEST_FRACTION × final best`.
-fn near_best_generation(run: &GaRun) -> u32 {
-    let near = (run.best.fitness as f64 * NEAR_BEST_FRACTION) as u16;
-    run.history
+fn near_best_generation(run: &RunOutcome) -> u32 {
+    let near = (run.best_fitness as f64 * NEAR_BEST_FRACTION) as u16;
+    run.trajectory
         .iter()
-        .find(|s| s.best.fitness >= near)
+        .find(|s| s.best_fitness >= near)
         .map(|s| s.gen)
         .expect("final generation always qualifies")
 }
@@ -171,26 +185,31 @@ const TABLE5_EXPECTATIONS: [Table5Expectation; 10] = [
 
 #[test]
 fn table_v_best_fitness_and_settling_generation() {
+    // Every registered 16-bit backend must meet every row's floor —
+    // the registry is the source of truth for what "the engine" is.
+    let kinds = ga_engine::global().supporting_width(16);
+    assert!(kinds.len() >= 4, "expected every 16-bit engine registered");
     for row in &TABLE5_EXPECTATIONS {
         let params = GaParams::new(row.pop, 32, row.xover, 1, row.seed);
-        let run = run_hw(row.f, &params);
-        assert!(
-            run.best.fitness >= row.min_best,
-            "Table V run {}: best {} fell below the recorded {}",
-            row.run,
-            run.best.fitness,
-            row.min_best
-        );
-        let settle = run
-            .as_ga_run()
-            .convergence_generation()
-            .unwrap_or(params.n_gens);
-        assert!(
-            settle <= row.settle_by + SETTLE_MARGIN_GENS,
-            "Table V run {}: settled at generation {settle}, bound {} (+{SETTLE_MARGIN_GENS})",
-            row.run,
-            row.settle_by
-        );
+        for &kind in &kinds {
+            let run = run_via(kind, row.f, &params);
+            assert!(
+                run.best_fitness >= row.min_best,
+                "Table V run {} on {}: best {} fell below the recorded {}",
+                row.run,
+                kind.name(),
+                run.best_fitness,
+                row.min_best
+            );
+            let settle = run.conv_gen.unwrap_or(params.n_gens);
+            assert!(
+                settle <= row.settle_by + SETTLE_MARGIN_GENS,
+                "Table V run {} on {}: settled at generation {settle}, bound {} (+{SETTLE_MARGIN_GENS})",
+                row.run,
+                kind.name(),
+                row.settle_by
+            );
+        }
     }
 }
 
@@ -240,7 +259,7 @@ fn tables_vii_ix_grid_best_within_abstract_tolerance() {
             for pop in [32u8, 64] {
                 for xover in [10u8, 12] {
                     let params = GaParams::new(pop, 64, xover, 1, seed);
-                    let best = run_hw(exp.f, &params).best.fitness;
+                    let best = run_hw(exp.f, &params).best_fitness;
                     grid_best = grid_best.max(best);
                     if best == optimum {
                         optimal_settings += 1;
@@ -321,7 +340,7 @@ fn figures_13_16_converge_within_ten_generations() {
     let mut min_fraction = f64::MAX;
     for exp in &FIGURE_EXPECTATIONS {
         let params = GaParams::new(64, 64, exp.xover, 1, exp.seed);
-        let run = run_hw(exp.f, &params).as_ga_run();
+        let run = run_hw(exp.f, &params);
         let found_at = near_best_generation(&run);
         assert!(
             found_at <= exp.converge_by,
@@ -364,7 +383,7 @@ fn seed_changes_the_outcome_under_fixed_parameters() {
         .iter()
         .map(|&seed| {
             let params = GaParams::new(32, 32, 10, 1, seed);
-            run_hw(TestFunction::Bf6, &params).best.fitness
+            run_hw(TestFunction::Bf6, &params).best_fitness
         })
         .collect();
     let distinct: std::collections::HashSet<u16> = results.iter().copied().collect();
