@@ -17,6 +17,9 @@ cargo test --workspace -q
 echo "== galint --format json"
 cargo run -q --release -p galint --bin galint -- --format json
 
+echo "== galint --observability (424-site static fault report)"
+cargo run -q --release -p galint --bin galint -- --observability > /dev/null
+
 echo "== bench smoke (quick sweep + BENCH_*.json schema + throughput floor)"
 # Reduced workloads: Table V at 4 generations, profile with shortened
 # measurement loops. benchcheck validates the report schema and fails
@@ -41,6 +44,19 @@ GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/fault_campaign > /de
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_fault.json" \
     'injected>=201' 'unclassified>=0' 'unclassified<=0' \
     'class_sum_gap<=0' 'net_lane_leaks<=0' 'scan_landed>=153'
+
+echo "== fault-injection static cross-check (full grid, galint observability join)"
+# The headline soundness gate: rerun the full 1416-injection grid,
+# verify its aggregates match the committed BENCH_fault.json, and join
+# every injection with galint's static observability verdict — a
+# statically-unobservable site that was dynamically detected, corrupted
+# or hung is an unsound static claim and fails the build. benchcheck
+# additionally pins: zero unsound sites, and the statically-masked
+# population is present (16 seed sites, 48 confirmed-masked injections).
+GA_BENCH_OUT="$SMOKE_DIR" ./target/release/fault_campaign --xcheck > /dev/null
+./target/release/benchcheck "$SMOKE_DIR/BENCH_fault.json" \
+    'xcheck_unsound_sites<=0' 'static_unobservable_sites>=16' \
+    'static_unobservable_sites<=16' 'static_masked_injections>=48'
 
 echo "== conformance (registry-driven cross-engine matrix, quick by default)"
 # Every 16-bit engine in the registry (behavioral, swga, RTL

@@ -20,17 +20,27 @@
 //! and pinned to zero by `benchcheck` in CI. `GA_BENCH_QUICK` shrinks
 //! the grid (position stride 8, one cycle sample per netlist site) for
 //! the smoke run; the committed report comes from the full grid.
+//!
+//! `--xcheck` cross-validates the dynamic campaign against galint's
+//! *static* fault-observability report: it reruns the full grid, joins
+//! every injection with the 424-site static verdict, and fails if any
+//! statically-unobservable site was dynamically detected, corrupted or
+//! hung — that would mean the static analysis claimed a provably-masked
+//! site that demonstrably is not (an unsound verdict). It also checks
+//! the rerun's aggregate counts against the committed
+//! `BENCH_fault.json` (override the path with `GA_BENCH_FAULT_REF`), so
+//! the soundness claim provably covers the committed campaign.
 
 use ga_bench::{
-    classify_hw, default_threads, golden_hw_run, quick, run_scan_injection, run_sweep, BenchReport,
-    ClassCounts, ScanInjection, Stopwatch,
+    classify_hw, default_threads, golden_hw_run, json_extract_number, quick, run_scan_injection,
+    run_sweep, BenchReport, ClassCounts, ScanInjection, Stopwatch,
 };
 use ga_core::{GaCoreHw, GaParams};
 use ga_fitness::TestFunction;
 use ga_synth::bitsim::CompiledNetlist;
 use ga_synth::gadesign::elaborate_ca_rng;
 use ga_synth::{NetFault, NetFaultKind};
-use hwsim::BitFault;
+use hwsim::{BitFault, FaultClass};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -55,6 +65,23 @@ const STUCK_CYCLES: u64 = 4;
 const NET_DRAWS: usize = 64;
 
 fn main() {
+    let mut xcheck = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--xcheck" => xcheck = true,
+            _ => {
+                eprintln!("usage: fault_campaign [--xcheck]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // The cross-check must cover the committed full-grid campaign; a
+    // strided rerun could not match its aggregates.
+    let quick_run = quick() && !xcheck;
+    if quick() && xcheck {
+        eprintln!("fault_campaign: --xcheck ignores GA_BENCH_QUICK (full grid required)");
+    }
+
     let sw = Stopwatch::start();
     let threads = default_threads();
     let params = GaParams::new(POP, GENS, 10, 1, SEED);
@@ -62,7 +89,7 @@ fn main() {
     let golden_cycles = golden.cycles.expect("the rtl backend reports cycles");
 
     // --- RTL scan campaign -------------------------------------------------
-    let stride = if quick() { 8 } else { 1 };
+    let stride = if quick_run { 8 } else { 1 };
     let positions: Vec<usize> = (0..GaCoreHw::SCAN_LENGTH).step_by(stride).collect();
     // Injection window: after the run is warmed up, before it can
     // finish — so every planned injection lands.
@@ -140,7 +167,7 @@ fn main() {
     // --- Netlist (CA-RNG) campaign -----------------------------------------
     let cn = CompiledNetlist::compile(&elaborate_ca_rng()).expect("CA-RNG netlist compiles");
     let n_sites = cn.sim().compiled().regs().len();
-    let cycle_samples = if quick() { 1 } else { 4 };
+    let cycle_samples = if quick_run { 1 } else { 4 };
     let kinds = [
         NetFaultKind::Transient,
         NetFaultKind::Stuck0 {
@@ -183,6 +210,90 @@ fn main() {
         net.masked, net.corrupted
     );
 
+    // --- Static cross-check ------------------------------------------------
+    let mut unsound = 0u64;
+    let mut static_masked = 0u64;
+    let mut static_unobservable_sites = 0u64;
+    let mut ref_mismatch = false;
+    if xcheck {
+        let report = galint::observability_report().expect("shipping designs elaborate");
+        static_unobservable_sites = report.unobservable() as u64;
+        println!("\n## Static cross-check (galint observability x dynamic campaign)");
+        println!(
+            "static report: {} sites, {} statically unobservable",
+            report.sites.len(),
+            report.unobservable()
+        );
+
+        // Join each injection with its site's static verdict. An
+        // injection into a statically-unobservable site must be masked:
+        // anything else is an unsound "provably cannot reach an output"
+        // claim.
+        let scan_join = plan
+            .iter()
+            .zip(&outcomes)
+            .map(|(inj, &(class, _))| (report.scan_site(inj.position), class, inj.position));
+        let net_join = net_plan
+            .iter()
+            .zip(&net_outcomes)
+            .map(|(f, o)| (report.net_site(f.site), o.class, f.site));
+        for (verdict, class, index) in scan_join.chain(net_join) {
+            let verdict = verdict.expect("every campaign site has a static verdict");
+            if verdict.observable {
+                continue;
+            }
+            if class == FaultClass::Masked {
+                static_masked += 1;
+            } else {
+                unsound += 1;
+                eprintln!(
+                    "UNSOUND: {} ({} site {index}) is statically unobservable \
+                     but was dynamically {class:?}",
+                    verdict.field,
+                    verdict.domain.as_str()
+                );
+            }
+        }
+        println!(
+            "join: {static_masked} statically-masked injections confirmed masked, \
+             {unsound} unsound verdict(s)"
+        );
+
+        // Tie the rerun to the committed campaign: identical aggregate
+        // class counts prove the soundness claim covers the checked-in
+        // BENCH_fault.json, not just this process's rerun.
+        let ref_path =
+            std::env::var("GA_BENCH_FAULT_REF").unwrap_or_else(|_| "BENCH_fault.json".to_string());
+        match std::fs::read_to_string(&ref_path) {
+            Ok(reference) => {
+                let expected = [
+                    ("injected", (plan.len() + net_plan.len()) as f64),
+                    ("masked", (scan.masked + net.masked) as f64),
+                    ("detected", (scan.detected + net.detected) as f64),
+                    ("corrupted", (scan.corrupted + net.corrupted) as f64),
+                    ("hung", (scan.hung + net.hung) as f64),
+                ];
+                for (key, got) in expected {
+                    let committed = json_extract_number(&reference, key);
+                    if committed != Some(got) {
+                        eprintln!(
+                            "xcheck: {ref_path} disagrees on '{key}': committed \
+                             {committed:?}, rerun {got}"
+                        );
+                        ref_mismatch = true;
+                    }
+                }
+                if !ref_mismatch {
+                    println!("aggregates match the committed {ref_path}");
+                }
+            }
+            Err(e) => eprintln!(
+                "xcheck: cannot read reference {ref_path} ({e}); skipping the \
+                 committed-aggregate comparison"
+            ),
+        }
+    }
+
     // --- Report ------------------------------------------------------------
     let mut total = scan;
     total.merge(net);
@@ -193,7 +304,17 @@ fn main() {
         total.total()
     );
 
-    BenchReport::new("fault", sw.seconds(), 1, threads as u64)
+    let mut report = BenchReport::new("fault", sw.seconds(), 1, threads as u64);
+    if xcheck {
+        report = report
+            .metric("xcheck_unsound_sites", unsound as f64)
+            .metric(
+                "static_unobservable_sites",
+                static_unobservable_sites as f64,
+            )
+            .metric("static_masked_injections", static_masked as f64);
+    }
+    report
         .metric("injected", injected as f64)
         .metric("masked", total.masked as f64)
         .metric("detected", total.detected as f64)
@@ -218,6 +339,12 @@ fn main() {
     if unclassified != 0 || lane_leaks != 0 {
         eprintln!(
             "campaign invariant violated (unclassified={unclassified}, lane_leaks={lane_leaks})"
+        );
+        std::process::exit(1);
+    }
+    if unsound != 0 || ref_mismatch {
+        eprintln!(
+            "static cross-check failed (unsound={unsound}, reference mismatch={ref_mismatch})"
         );
         std::process::exit(1);
     }

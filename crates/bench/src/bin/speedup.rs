@@ -43,13 +43,22 @@ fn main() {
     println!("paper: hw 7.290 ms, sw 37.615 ms → speedup 5.16×");
     println!();
 
-    // Sensitivity: the optimistic cached-PPC variant.
+    // Sensitivity: the optimistic cached-PPC variant. Its wall-clock
+    // "speedup" drops below 1 — not because the engine does less work
+    // per cycle, but because the comparison pits a 50 MHz fabric clock
+    // against a 300 MHz processor clock. The clock-normalized
+    // (cycle-for-cycle) ratio factors that 6× handicap out.
     let cached = speedup_experiment(PpcCostModel::cached(), n_seeds);
     println!(
         "sensitivity (caches enabled on the PPC405): sw {:.3} ms → speedup {:.2}×",
         cached.sw_seconds * 1e3,
         cached.speedup
     );
+    println!(
+        "clock-normalized (equal clocks): uncached {:.2}×, cached {:.2}× —",
+        report.speedup_equal_clock, cached.speedup_equal_clock
+    );
+    println!("the cached wall-clock loss is entirely the 300 MHz / 50 MHz clock gap.");
     println!();
     println!("Our scheduling is tighter than the authors' HLS output on both sides,");
     println!("so absolute times are smaller; the ratio — hardware wins by ~5× with");
@@ -61,5 +70,7 @@ fn main() {
         .metric("sw_ms", report.sw_seconds * 1e3)
         .metric("speedup_uncached", report.speedup)
         .metric("speedup_cached", cached.speedup)
+        .metric("speedup_uncached_equal_clock", report.speedup_equal_clock)
+        .metric("speedup_cached_equal_clock", cached.speedup_equal_clock)
         .emit_or_warn();
 }

@@ -29,7 +29,9 @@ pub use fault::{
     classify_hw, golden_hw_run, run_net_injection, run_scan_injection, ClassCounts, NetOutcome,
     ScanInjection,
 };
-pub use report::{gens_override, quick, BenchReport, Stopwatch};
+pub use report::{
+    gens_override, json_extract_number, json_extract_string, quick, BenchReport, Stopwatch,
+};
 pub use sweep::{default_threads, grid3, lane_chunks, run_sweep};
 
 use ga_core::{GaParams, GaSystem};

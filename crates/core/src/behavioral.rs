@@ -194,13 +194,19 @@ impl<R: Rng16, F: FnMut(u16) -> u16> GaEngine<R, F> {
     }
 
     /// Generate and evaluate the random initial population (generation 0).
+    /// The chromosomes come from one batched [`Rng16::fill_u16s`] call —
+    /// by the trait contract this is the same stream as `pop_size`
+    /// repeated draws, and on a replayed stream (the 64-lane pack path)
+    /// it is a straight slice copy.
     pub fn init_population(&mut self) -> GenStats {
         self.cur.clear();
         self.fit_sum = 0;
         self.gen = 0;
+        let mut chroms = vec![0u16; self.params.pop_size as usize];
+        self.rng.fill_u16s(&mut chroms);
+        self.rng_draws += chroms.len() as u64;
         let mut best = Individual::default();
-        for i in 0..self.params.pop_size {
-            let chrom = self.draw();
+        for (i, &chrom) in chroms.iter().enumerate() {
             let fitness = self.evaluate(chrom);
             let ind = Individual { chrom, fitness };
             self.cur.push(ind);

@@ -744,6 +744,35 @@ impl GaCoreHw {
     /// Total scan-chain length in bits.
     pub const SCAN_LENGTH: usize = 16 + 8 + 32 + 4 + 4 + 16 * 6 + 32 * 6 + 8 * 3 + 32;
 
+    /// `(field, width)` of every architectural register on the scan
+    /// chain, in serialization order (LSB first within each field).
+    /// This is the bit-position map of `scan_serialize` /
+    /// `scan_deserialize`; static analyses join fault-campaign scan
+    /// positions with gate-level register indices through it.
+    pub const SCAN_FIELDS: &'static [(&'static str, usize)] = &[
+        ("seed", 16),
+        ("pop_size", 8),
+        ("n_gens", 32),
+        ("xover_threshold", 4),
+        ("mut_threshold", 4),
+        ("cand", 16),
+        ("fit_reg", 16),
+        ("parent1", 16),
+        ("parent2", 16),
+        ("off1", 16),
+        ("off2", 16),
+        ("best", 32),
+        ("new_best", 32),
+        ("fit_sum", 32),
+        ("new_sum", 32),
+        ("threshold", 32),
+        ("cum", 32),
+        ("i", 8),
+        ("idx", 8),
+        ("scan_idx", 8),
+        ("gen", 32),
+    ];
+
     fn eval_scan(&mut self, i: &GaCoreIn) {
         let rising = i.test && !self.test_prev.get();
         let falling = !i.test && self.test_prev.get();
@@ -827,6 +856,52 @@ mod tests {
         let core = GaCoreHw::new();
         assert_eq!(core.scan_serialize().len(), GaCoreHw::SCAN_LENGTH);
         assert_eq!(GaCoreHw::SCAN_LENGTH, 408);
+    }
+
+    #[test]
+    fn scan_fields_tile_the_chain() {
+        let total: usize = GaCoreHw::SCAN_FIELDS.iter().map(|&(_, w)| w).sum();
+        assert_eq!(total, GaCoreHw::SCAN_LENGTH);
+        // Field positions must match the serializer: setting one field
+        // to all-ones lights up exactly its bit span.
+        let mut offset = 0usize;
+        for &(name, width) in GaCoreHw::SCAN_FIELDS {
+            let mut core = GaCoreHw::new();
+            match name {
+                "seed" => core.seed.reset_to(0xFFFF),
+                "pop_size" => core.pop_size.reset_to(0xFF),
+                "n_gens" => core.n_gens.reset_to(u32::MAX),
+                "xover_threshold" => core.xover_threshold.reset_to(0xF),
+                "mut_threshold" => core.mut_threshold.reset_to(0xF),
+                "cand" => core.cand.reset_to(0xFFFF),
+                "fit_reg" => core.fit_reg.reset_to(0xFFFF),
+                "parent1" => core.parent1.reset_to(0xFFFF),
+                "parent2" => core.parent2.reset_to(0xFFFF),
+                "off1" => core.off1.reset_to(0xFFFF),
+                "off2" => core.off2.reset_to(0xFFFF),
+                "best" => core.best.reset_to(u32::MAX),
+                "new_best" => core.new_best.reset_to(u32::MAX),
+                "fit_sum" => core.fit_sum.reset_to(u32::MAX),
+                "new_sum" => core.new_sum.reset_to(u32::MAX),
+                "threshold" => core.threshold.reset_to(u32::MAX),
+                "cum" => core.cum.reset_to(u32::MAX),
+                "i" => core.i.reset_to(0xFF),
+                "idx" => core.idx.reset_to(0xFF),
+                "scan_idx" => core.scan_idx.reset_to(0xFF),
+                "gen" => core.gen.reset_to(u32::MAX),
+                other => panic!("unmapped scan field {other}"),
+            }
+            let baseline = GaCoreHw::new().scan_serialize();
+            let bits = core.scan_serialize();
+            for (i, (&b, &base)) in bits.iter().zip(&baseline).enumerate() {
+                if (offset..offset + width).contains(&i) {
+                    assert!(b, "field '{name}' bit {i} not in its span");
+                } else {
+                    assert_eq!(b, base, "field '{name}' leaked into bit {i}");
+                }
+            }
+            offset += width;
+        }
     }
 
     #[test]

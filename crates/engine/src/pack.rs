@@ -92,12 +92,23 @@ pub fn try_ca_lane_streams(
     // The rn output bus IS the register bank, so after the load edge it
     // already reads the seed; sample-then-advance from here on matches
     // `Rng16::next_u16` (first draw after reseed is the seed itself).
+    // Per step, the 16 lane-packed bus words are read once and every
+    // active lane's draw is assembled from them — 16 net reads per
+    // step instead of 16 per lane per step.
     let mut streams: Vec<Vec<u16>> = (0..seeds.len())
         .map(|_| Vec::with_capacity(draws))
         .collect();
+    let mut words = [0u64; 16];
     for _ in 0..draws {
+        for (w, &n) in words.iter_mut().zip(&rn_bus) {
+            *w = sim.net(n);
+        }
         for (lane, stream) in streams.iter_mut().enumerate() {
-            stream.push(sim.bus_lane(&rn_bus, lane) as u16);
+            let mut v = 0u16;
+            for (bit, w) in words.iter().enumerate() {
+                v |= (((w >> lane) & 1) as u16) << bit;
+            }
+            stream.push(v);
         }
         sim.step();
     }
@@ -135,6 +146,13 @@ impl Rng16 for StreamRng {
 
     fn step(&mut self) {
         self.pos += 1;
+    }
+
+    fn fill_u16s(&mut self, out: &mut [u16]) {
+        // Batch replay is a slice copy — the stream already holds the
+        // consecutive draws. Panics past the end like `next_u16` would.
+        out.copy_from_slice(&self.stream[self.pos..self.pos + out.len()]);
+        self.pos += out.len();
     }
 
     fn reseed(&mut self, seed: u16) {

@@ -2,11 +2,15 @@
 //! elaborations (GA core + CA RNG) and exit nonzero on errors — the CI
 //! gate for the soft-IP deliverable.
 //!
-//! Usage: `galint [--format text|json] [--list-rules]`
+//! Usage: `galint [--format text|json] [--list-rules] [--observability]`
+//!
+//! `--observability` skips the rule registry and instead prints the
+//! 424-site static fault-observability report as JSON — the artifact
+//! `fault_campaign --xcheck` joins against the dynamic campaign.
 
 use std::process::ExitCode;
 
-use galint::{registry, run_all, DesignModel};
+use galint::{observability_report, registry, run_all, DesignModel};
 
 enum Format {
     Text,
@@ -14,7 +18,7 @@ enum Format {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: galint [--format text|json] [--list-rules]");
+    eprintln!("usage: galint [--format text|json] [--list-rules] [--observability]");
     std::process::exit(2);
 }
 
@@ -34,6 +38,21 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--observability" => match observability_report() {
+                Ok(report) => {
+                    println!("{}", report.to_json());
+                    eprintln!(
+                        "galint: {} sites, {} statically unobservable",
+                        report.sites.len(),
+                        report.unobservable()
+                    );
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => {
+                    eprintln!("galint: elaboration failed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }

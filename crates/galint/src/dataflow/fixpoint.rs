@@ -1,0 +1,134 @@
+//! The ternary least-fixpoint over the sequential loop.
+
+use ga_synth::{CompiledNetlist, Tern};
+
+/// Result of the sequential ternary fixpoint: an over-approximation of
+/// every value each net can take in any reachable state (under free
+/// primary inputs).
+#[derive(Debug, Clone)]
+pub struct TernFixpoint {
+    /// Per-net reachable value, indexed by net id. `Zero`/`One` means
+    /// the net is provably stuck at that value.
+    pub nets: Vec<Tern>,
+    /// Per-register reachable Q value, indexed by scan position.
+    pub reg_q: Vec<Tern>,
+    /// Sequential iterations until convergence.
+    pub iterations: usize,
+}
+
+/// Run the abstract sequential loop to its least fixpoint.
+///
+/// `reg_init` is the register-initialization lattice (length =
+/// `ff_count`): a reset value per register, or `X` for registers with
+/// no defined power-on value (scan-programmed state). Primary inputs
+/// are free (`X`) on every cycle. Each iteration evaluates one
+/// abstract clock cycle and joins the next-state values into the
+/// register lattice; since every register can rise at most once
+/// (constant → `X`) and a non-final iteration raises at least one, the
+/// loop converges within `ff_count + 1` iterations.
+pub fn ternary_fixpoint(cn: &CompiledNetlist, reg_init: &[Tern]) -> TernFixpoint {
+    assert_eq!(
+        reg_init.len(),
+        cn.ff_count(),
+        "reg_init must cover every flip-flop"
+    );
+    let mut reg_q: Vec<Tern> = reg_init.to_vec();
+    let eval = |reg_q: &[Tern]| -> Vec<Tern> {
+        let mut state = cn.tern_state();
+        for (_, bus) in cn.inputs() {
+            for &n in bus {
+                state[n as usize] = Tern::X;
+            }
+        }
+        for (r, &v) in cn.regs().iter().zip(reg_q) {
+            state[r.q as usize] = v;
+        }
+        cn.eval_comb_tern(&mut state);
+        state
+    };
+
+    let cap = cn.ff_count() + 2;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let state = eval(&reg_q);
+        let mut changed = false;
+        for (i, r) in cn.regs().iter().enumerate() {
+            let next = reg_q[i].join(state[r.d as usize]);
+            if next != reg_q[i] {
+                reg_q[i] = next;
+                changed = true;
+            }
+        }
+        if !changed || iterations >= cap {
+            break;
+        }
+    }
+    // One more pass so `nets` is consistent with the final register
+    // lattice (also covers the defensive-cap exit).
+    let nets = eval(&reg_q);
+    TernFixpoint {
+        nets,
+        reg_q,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use ga_synth::netlist::{Gate, GateKind, Netlist, RegCell};
+
+    /// q0 toggles; q1 is frozen at reset (D = own Q); y = q1 & q0.
+    fn netlist() -> Netlist {
+        let mut nl = Netlist::default();
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        }); // 0 = q0
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        }); // 1 = q1
+        nl.gates.push(Gate {
+            kind: GateKind::Inv,
+            inputs: vec![0],
+        }); // 2 = d0
+        nl.gates.push(Gate {
+            kind: GateKind::And2,
+            inputs: vec![1, 0],
+        }); // 3 = y
+        nl.regs.push(RegCell { d: 2, q: 0 });
+        nl.regs.push(RegCell { d: 1, q: 1 });
+        nl.outputs.push(("y".into(), vec![3]));
+        nl
+    }
+
+    #[test]
+    fn frozen_register_keeps_its_reset_constant() {
+        let cn = CompiledNetlist::compile(&netlist()).unwrap();
+        let fix = ternary_fixpoint(&cn, &[Tern::Zero, Tern::Zero]);
+        assert_eq!(fix.reg_q[0], Tern::X, "the toggler reaches both values");
+        assert_eq!(fix.reg_q[1], Tern::Zero, "the frozen register stays 0");
+        assert_eq!(fix.nets[3], Tern::Zero, "y = 0 & X is stuck at 0");
+    }
+
+    #[test]
+    fn unknown_init_washes_out_the_constant() {
+        let cn = CompiledNetlist::compile(&netlist()).unwrap();
+        let fix = ternary_fixpoint(&cn, &[Tern::X, Tern::X]);
+        assert_eq!(fix.reg_q[1], Tern::X);
+        assert_eq!(fix.nets[3], Tern::X);
+        // All-X init is already a fixpoint: one iteration.
+        assert_eq!(fix.iterations, 1);
+    }
+
+    #[test]
+    fn converges_within_the_stated_bound() {
+        let cn = CompiledNetlist::compile(&netlist()).unwrap();
+        let fix = ternary_fixpoint(&cn, &[Tern::Zero, Tern::Zero]);
+        assert!(fix.iterations <= cn.ff_count() + 1, "{}", fix.iterations);
+    }
+}

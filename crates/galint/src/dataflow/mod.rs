@@ -1,0 +1,41 @@
+//! Static dataflow analyses over the compiled netlist.
+//!
+//! Three passes build on each other:
+//!
+//! 1. [`ternary_fixpoint`] — a 0/1/X abstract interpretation of the
+//!    sequential loop: starting from a register-initialization lattice
+//!    (reset values, or all-`X` for scan-programmed parts) with primary
+//!    inputs free (`X`), it joins the register state across clock edges
+//!    to a least fixpoint. The result over-approximates every reachable
+//!    per-net value: a net reported `Zero`/`One` is provably stuck.
+//! 2. [`fault_cone`] — a structural observability pass: forward taint
+//!    from one flip-flop through combinational fanout and sequential
+//!    D→Q edges to the primary outputs, with controllability-aware
+//!    pruning from the constant lattice (taint through an AND is
+//!    blocked by an untainted constant-0 side input, through an OR by a
+//!    constant-1, through a mux leg by a constant select pointing the
+//!    other way). A site whose cone reaches no output provably cannot
+//!    change any observable behavior — "statically masked".
+//! 3. [`observability_report`] — the joined verdict for every one of
+//!    the fault-campaign's 424 sites: the 408 cycle-accurate scan-chain
+//!    positions (mapped onto gate-level registers through
+//!    `GaCoreHw::SCAN_FIELDS` × `GA_CORE_REG_LAYOUT`) plus the 16
+//!    CA-RNG netlist flip-flops. `fault_campaign --xcheck` joins this
+//!    with the dynamic campaign and fails if any statically-masked site
+//!    was dynamically detected or corrupted.
+//!
+//! Soundness: the ternary gate ops cover their Boolean counterparts
+//! (see `ga_synth::tern`), and the taint pruning only fires when the
+//! blocking side input is both untainted (so it follows the fault-free
+//! dynamics) and lattice-constant (so its value is known in every
+//! reachable state). Claiming *observable* is always safe; claiming
+//! *unobservable* is what the cross-check and the soundness proptest
+//! guard.
+
+mod fixpoint;
+mod observe;
+mod sites;
+
+pub use fixpoint::{ternary_fixpoint, TernFixpoint};
+pub use observe::{fault_cone, ConeReport};
+pub use sites::{observability_report, ObservabilityReport, SiteDomain, SiteVerdict};

@@ -1,0 +1,214 @@
+//! Structural fault observability: forward taint with
+//! controllability-aware cone pruning.
+
+use ga_synth::{CompiledNetlist, CompiledOp, OpKind, Tern};
+
+/// The forward fanout cone of one fault site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeReport {
+    /// True when the cone reaches at least one primary-output net.
+    pub observable: bool,
+    /// Number of tainted nets at the fixpoint (the cone, including the
+    /// site's own Q net).
+    pub cone_size: usize,
+    /// Number of flip-flops whose state the fault can reach.
+    pub tainted_regs: usize,
+    /// Name of the first output bus the cone reaches, when observable.
+    pub first_output: Option<String>,
+}
+
+/// Taint transfer through one gate, pruned by the constant lattice.
+///
+/// A tainted input propagates unless the gate's *other* input is both
+/// untainted (it follows the fault-free dynamics, so the reachable-value
+/// lattice applies to it in the faulted run too) and lattice-constant at
+/// the gate's controlling value — then the output is pinned in both runs
+/// and the fault cannot pass:
+///
+/// * AND/NAND: blocked by an untainted constant-0 side input;
+/// * OR/NOR:   blocked by an untainted constant-1 side input;
+/// * mux:      the high (low) leg is blocked by an untainted constant-0
+///   (constant-1) select; a tainted *select* is blocked when both data
+///   legs are untainted and agree on a constant;
+/// * BUF/INV/XOR: never blocked (any input flip flips the output).
+fn op_taint(op: &CompiledOp, taint: &[bool], consts: &[Tern]) -> bool {
+    let ta = taint[op.a as usize];
+    let tb = taint[op.b as usize];
+    match op.kind {
+        OpKind::Buf | OpKind::Inv => ta,
+        OpKind::Xor => ta || tb,
+        OpKind::And | OpKind::Nand => {
+            let a_pins = !ta && consts[op.a as usize] == Tern::Zero;
+            let b_pins = !tb && consts[op.b as usize] == Tern::Zero;
+            (ta && !b_pins) || (tb && !a_pins)
+        }
+        OpKind::Or | OpKind::Nor => {
+            let a_pins = !ta && consts[op.a as usize] == Tern::One;
+            let b_pins = !tb && consts[op.b as usize] == Tern::One;
+            (ta && !b_pins) || (tb && !a_pins)
+        }
+        OpKind::Mux => {
+            // a = select, b = high leg, c = low leg.
+            let tc = taint[op.c as usize];
+            let sel = consts[op.a as usize];
+            let hi_blocked = !ta && sel == Tern::Zero;
+            let lo_blocked = !ta && sel == Tern::One;
+            let legs_pinned = !tb
+                && !tc
+                && consts[op.b as usize].is_const()
+                && consts[op.b as usize] == consts[op.c as usize];
+            (tb && !hi_blocked) || (tc && !lo_blocked) || (ta && !legs_pinned)
+        }
+    }
+}
+
+/// Compute the forward fault cone of scan site `site` (a register
+/// index): taint fixpoint over combinational fanout plus sequential
+/// D→Q edges. `consts` is the reachable-value lattice from
+/// [`super::ternary_fixpoint`] — pass an all-`X` vector to disable
+/// pruning (pure structural cone).
+pub fn fault_cone(cn: &CompiledNetlist, consts: &[Tern], site: usize) -> ConeReport {
+    assert!(site < cn.ff_count(), "site {site} out of range");
+    assert_eq!(consts.len(), cn.n_nets());
+    let mut taint = vec![false; cn.n_nets()];
+    taint[cn.regs()[site].q as usize] = true;
+    loop {
+        // One topological pass closes the combinational fanout for the
+        // current register taints.
+        for op in cn.ops() {
+            if !taint[op.out as usize] && op_taint(op, &taint, consts) {
+                taint[op.out as usize] = true;
+            }
+        }
+        // Sequential edges: a tainted D taints the Q next cycle. Each
+        // outer round taints at least one new flip-flop or terminates.
+        let mut new_reg = false;
+        for r in cn.regs() {
+            if taint[r.d as usize] && !taint[r.q as usize] {
+                taint[r.q as usize] = true;
+                new_reg = true;
+            }
+        }
+        if !new_reg {
+            break;
+        }
+    }
+
+    let mut first_output = None;
+    'outer: for (name, bus) in cn.outputs() {
+        for &n in bus {
+            if taint[n as usize] {
+                first_output = Some(name.clone());
+                break 'outer;
+            }
+        }
+    }
+    ConeReport {
+        observable: first_output.is_some(),
+        cone_size: taint.iter().filter(|&&t| t).count(),
+        tainted_regs: cn.regs().iter().filter(|r| taint[r.q as usize]).count(),
+        first_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use ga_synth::netlist::{Gate, GateKind, Netlist, RegCell};
+
+    fn gate(kind: GateKind, inputs: Vec<u32>) -> Gate {
+        Gate { kind, inputs }
+    }
+
+    /// q0 gated to the output by an AND whose other leg is register q1;
+    /// q1 holds its reset value forever (D = Q).
+    fn gated() -> Netlist {
+        let mut nl = Netlist::default();
+        nl.gates.push(gate(GateKind::RegQ, vec![])); // 0 = q0
+        nl.gates.push(gate(GateKind::RegQ, vec![])); // 1 = q1 (frozen)
+        nl.gates.push(gate(GateKind::Input, vec![])); // 2 = d0 source
+        nl.gates.push(gate(GateKind::And2, vec![0, 1])); // 3 = y
+        nl.regs.push(RegCell { d: 2, q: 0 });
+        nl.regs.push(RegCell { d: 1, q: 1 });
+        nl.inputs.push(("in".into(), vec![2]));
+        nl.outputs.push(("y".into(), vec![3]));
+        nl
+    }
+
+    #[test]
+    fn constant_zero_gate_leg_prunes_the_cone() {
+        let cn = CompiledNetlist::compile(&gated()).unwrap();
+        // Reset-0: q1 is provably stuck at 0, so q0's cone is pruned at
+        // the AND and never reaches y.
+        let fix = super::super::ternary_fixpoint(&cn, &[Tern::X, Tern::Zero]);
+        assert_eq!(fix.nets[1], Tern::Zero);
+        let cone = fault_cone(&cn, &fix.nets, 0);
+        assert!(!cone.observable, "{cone:?}");
+        assert_eq!(cone.cone_size, 1, "only the site itself");
+    }
+
+    #[test]
+    fn unknown_gate_leg_keeps_the_cone_open() {
+        let cn = CompiledNetlist::compile(&gated()).unwrap();
+        // Scan-programmed init: q1 may be 1, the AND passes the fault.
+        let fix = super::super::ternary_fixpoint(&cn, &[Tern::X, Tern::X]);
+        let cone = fault_cone(&cn, &fix.nets, 0);
+        assert!(cone.observable);
+        assert_eq!(cone.first_output.as_deref(), Some("y"));
+        assert!(cone.cone_size >= 2);
+    }
+
+    #[test]
+    fn faulted_gating_register_is_itself_observable() {
+        let cn = CompiledNetlist::compile(&gated()).unwrap();
+        // A fault *on q1* breaks the very constant that pruned q0's
+        // cone — q1 is tainted, so no pruning applies on its own path.
+        let fix = super::super::ternary_fixpoint(&cn, &[Tern::X, Tern::Zero]);
+        let cone = fault_cone(&cn, &fix.nets, 1);
+        assert!(cone.observable, "{cone:?}");
+    }
+
+    #[test]
+    fn taint_crosses_register_boundaries() {
+        // in → [q0] → inv → [q1] → y: two sequential stages.
+        let mut nl = Netlist::default();
+        nl.gates.push(gate(GateKind::RegQ, vec![])); // 0 = q0
+        nl.gates.push(gate(GateKind::RegQ, vec![])); // 1 = q1
+        nl.gates.push(gate(GateKind::Input, vec![])); // 2
+        nl.gates.push(gate(GateKind::Inv, vec![0])); // 3
+        nl.regs.push(RegCell { d: 2, q: 0 });
+        nl.regs.push(RegCell { d: 3, q: 1 });
+        nl.inputs.push(("in".into(), vec![2]));
+        nl.outputs.push(("y".into(), vec![1]));
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let consts = vec![Tern::X; cn.n_nets()];
+        let cone = fault_cone(&cn, &consts, 0);
+        assert!(cone.observable);
+        assert_eq!(cone.tainted_regs, 2);
+    }
+
+    #[test]
+    fn hold_only_register_is_unobservable() {
+        // A register whose Q feeds only its own hold mux — the seed
+        // shape: d = mux(load, input, q); q drives nothing else.
+        let mut nl = Netlist::default();
+        nl.gates.push(gate(GateKind::RegQ, vec![])); // 0 = q
+        nl.gates.push(gate(GateKind::Input, vec![])); // 1 = load
+        nl.gates.push(gate(GateKind::Input, vec![])); // 2 = value
+        nl.gates.push(gate(GateKind::CarryMux, vec![1, 2, 0])); // 3 = d
+        nl.gates.push(gate(GateKind::Input, vec![])); // 4 = other
+        nl.regs.push(RegCell { d: 3, q: 0 });
+        nl.inputs.push(("load".into(), vec![1]));
+        nl.inputs.push(("value".into(), vec![2]));
+        nl.inputs.push(("other".into(), vec![4]));
+        nl.outputs.push(("y".into(), vec![4]));
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let consts = vec![Tern::X; cn.n_nets()];
+        let cone = fault_cone(&cn, &consts, 0);
+        assert!(!cone.observable, "{cone:?}");
+        // Cone: q, the mux output (its own D), nothing more.
+        assert_eq!(cone.cone_size, 2);
+    }
+}

@@ -201,7 +201,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

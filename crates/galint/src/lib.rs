@@ -10,6 +10,8 @@
 //! the Table VI area/timing budget.
 //!
 //! * [`model::DesignModel`] bundles what the rules look at;
+//! * [`dataflow`] holds the ternary (0/1/X) abstract interpreter and
+//!   the fault-observability passes the dataflow rules build on;
 //! * [`rules::registry`] lists every [`rules::Rule`];
 //! * [`diag::Report`] carries the findings, renderable as text or JSON;
 //! * the `galint` binary runs the registry over both shipping
@@ -17,10 +19,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dataflow;
 pub mod diag;
 pub mod model;
 pub mod rules;
 
+pub use dataflow::{
+    fault_cone, observability_report, ternary_fixpoint, ConeReport, ObservabilityReport,
+    SiteDomain, SiteVerdict, TernFixpoint,
+};
 pub use diag::{Diagnostic, Element, Report, Severity};
-pub use model::{AreaBudget, AreaStats, DesignModel};
+pub use model::{AreaBudget, AreaStats, DesignModel, RegInit};
 pub use rules::{registry, run_all, Rule};

@@ -9,7 +9,7 @@
 use ga_synth::fsm::FsmSpec;
 use ga_synth::gadesign::{ga_controller_spec, try_elaborate_ca_rng, try_elaborate_ga_core};
 use ga_synth::netlist::NetId;
-use ga_synth::{Netlist, SynthError};
+use ga_synth::{Netlist, SynthError, Tern};
 
 /// Implementation figures extracted from a `GaCoreReport` (or supplied
 /// by hand for fixtures).
@@ -56,6 +56,51 @@ impl Default for AreaBudget {
     }
 }
 
+/// How the design's registers come up at power-on — the seed of the
+/// ternary dataflow analyses ([`crate::dataflow`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RegInit {
+    /// No register has a defined power-on value: the part is programmed
+    /// through the scan chain before use, so every analysis must hold
+    /// for *any* initial state. This is the contract of both shipping
+    /// designs (the elaborated reset nets tie to 0, but the simulation
+    /// harnesses scan real state in before running).
+    #[default]
+    AllUnknown,
+    /// Registers reset to 0 except the listed scan positions, which are
+    /// uninitialized (`X`). Used by fixtures and by designs with a true
+    /// hardware reset.
+    ResetExcept(Vec<usize>),
+}
+
+impl RegInit {
+    /// Expand to the per-register lattice the fixpoint consumes.
+    pub fn lattice(&self, ff_count: usize) -> Vec<Tern> {
+        match self {
+            RegInit::AllUnknown => vec![Tern::X; ff_count],
+            RegInit::ResetExcept(uninit) => {
+                let mut l = vec![Tern::Zero; ff_count];
+                for &r in uninit {
+                    if r < ff_count {
+                        l[r] = Tern::X;
+                    }
+                }
+                l
+            }
+        }
+    }
+
+    /// Scan positions declared uninitialized under a reset regime
+    /// (empty for [`RegInit::AllUnknown`], where *every* register is —
+    /// by contract, not by accident).
+    pub fn declared_uninit(&self) -> &[usize] {
+        match self {
+            RegInit::AllUnknown => &[],
+            RegInit::ResetExcept(uninit) => uninit,
+        }
+    }
+}
+
 /// Shared graph analyses over the netlist, computed **once** at model
 /// construction and reused by every rule that needs them (`comb-loop`,
 /// `floating-net`, …). These are the same analyses
@@ -95,6 +140,8 @@ pub struct DesignModel {
     pub area: Option<AreaStats>,
     /// Budget for the `area-budget` rule.
     pub budget: AreaBudget,
+    /// Register power-on contract (drives the ternary dataflow rules).
+    pub reg_init: RegInit,
     /// Cached graph analyses (`None` when the netlist has dangling net
     /// references — the graph passes would index out of bounds, and the
     /// `width-mismatch` rule reports those separately). Private so it
@@ -113,6 +160,7 @@ impl DesignModel {
             fsm: None,
             area: None,
             budget: AreaBudget::default(),
+            reg_init: RegInit::ResetExcept(vec![]),
             analyses,
         }
     }
@@ -141,6 +189,21 @@ impl DesignModel {
         self
     }
 
+    /// Declare a reset-to-0 regime with the listed scan positions
+    /// uninitialized (the `x-prop` rule tracks whether their `X` can
+    /// reach an output).
+    pub fn with_uninit_regs(mut self, uninit: Vec<usize>) -> Self {
+        self.reg_init = RegInit::ResetExcept(uninit);
+        self
+    }
+
+    /// Declare the scan-programmed contract: no register has a defined
+    /// power-on value.
+    pub fn with_scan_programmed_init(mut self) -> Self {
+        self.reg_init = RegInit::AllUnknown;
+        self
+    }
+
     /// The full GA core: optimized netlist + the 23-state controller
     /// spec + the Table VI report figures.
     pub fn ga_core() -> Result<Self, SynthError> {
@@ -151,12 +214,14 @@ impl DesignModel {
                 slices: report.slices,
                 slice_pct: report.slice_pct,
                 fmax_mhz: report.timing.fmax_mhz,
-            }))
+            })
+            .with_scan_programmed_init())
     }
 
     /// The standalone CA RNG module (netlist only — it has no FSM).
+    /// Scan-programmed like the core: its seed is loaded, not reset.
     pub fn ca_rng() -> Result<Self, SynthError> {
-        Ok(DesignModel::new("ca_rng", try_elaborate_ca_rng()?))
+        Ok(DesignModel::new("ca_rng", try_elaborate_ca_rng()?).with_scan_programmed_init())
     }
 }
 
@@ -192,6 +257,15 @@ mod tests {
         });
         let m = DesignModel::new("broken", nl);
         assert!(m.analyses().is_none());
+    }
+
+    #[test]
+    fn reg_init_lattice_expansion() {
+        assert_eq!(RegInit::AllUnknown.lattice(3), vec![Tern::X; 3]);
+        let l = RegInit::ResetExcept(vec![1]).lattice(3);
+        assert_eq!(l, vec![Tern::Zero, Tern::X, Tern::Zero]);
+        let m = DesignModel::ga_core().expect("elaboration");
+        assert_eq!(m.reg_init, RegInit::AllUnknown, "scan-programmed contract");
     }
 
     #[test]

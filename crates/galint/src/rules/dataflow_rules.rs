@@ -1,0 +1,141 @@
+//! Rules built on the ternary dataflow analyses ([`crate::dataflow`]):
+//! constant (dead) logic, X reaching the output boundary, and scan
+//! sites whose faults provably cannot be observed.
+
+use ga_synth::{CompiledNetlist, Tern};
+
+use super::{nets_in_range, Rule};
+use crate::dataflow::{fault_cone, ternary_fixpoint, TernFixpoint};
+use crate::diag::{Element, Report, Severity};
+use crate::model::{DesignModel, RegInit};
+
+/// Compile the model's netlist and run the sequential ternary fixpoint
+/// under the model's register-init contract. `None` when the netlist is
+/// malformed — the `width-mismatch` rule reports that separately, and
+/// dataflow rules must stay silent rather than panic.
+fn compiled_fixpoint(model: &DesignModel) -> Option<(CompiledNetlist, TernFixpoint)> {
+    if !nets_in_range(&model.netlist) {
+        return None;
+    }
+    let cn = CompiledNetlist::compile(&model.netlist).ok()?;
+    let init = model.reg_init.lattice(cn.ff_count());
+    let fix = ternary_fixpoint(&cn, &init);
+    Some((cn, fix))
+}
+
+/// Combinational logic whose output is provably stuck at 0 or 1 in
+/// every reachable state (under the model's power-on contract, with
+/// free primary inputs). Stuck logic is dead area: it either survived
+/// elaboration unoptimized or guards a path that can never change.
+pub struct ConstNet;
+
+impl Rule for ConstNet {
+    fn name(&self) -> &'static str {
+        "const-net"
+    }
+    fn description(&self) -> &'static str {
+        "no combinational output is stuck at a constant in every reachable state"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let Some((cn, fix)) = compiled_fixpoint(model) else {
+            return;
+        };
+        for op in cn.ops() {
+            if let Some(v) = fix.nets[op.out as usize].as_bool() {
+                out.push(
+                    self.name(),
+                    Severity::Warn,
+                    Element::Gate(op.out as usize),
+                    format!(
+                        "{:?} output is stuck at {} in every reachable state (dead logic)",
+                        op.kind, v as u8
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Registers declared uninitialized under a reset regime whose unknown
+/// (`X`) power-on value can still be observed at a primary output — the
+/// classic X-propagation hazard: readout depends on a value nobody set.
+/// Silent for scan-programmed models ([`RegInit::AllUnknown`]), where
+/// *every* register is uninitialized by contract and the programming
+/// sequence is what defines the state.
+pub struct XProp;
+
+impl Rule for XProp {
+    fn name(&self) -> &'static str {
+        "x-prop"
+    }
+    fn description(&self) -> &'static str {
+        "no declared-uninitialized register leaks X to a primary output"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let RegInit::ResetExcept(uninit) = &model.reg_init else {
+            return;
+        };
+        if uninit.is_empty() {
+            return;
+        }
+        let Some((cn, fix)) = compiled_fixpoint(model) else {
+            return;
+        };
+        for &reg in uninit {
+            if reg >= cn.ff_count() || fix.reg_q[reg] != Tern::X {
+                continue;
+            }
+            let cone = fault_cone(&cn, &fix.nets, reg);
+            if let Some(output) = cone.first_output {
+                out.push(
+                    self.name(),
+                    Severity::Warn,
+                    Element::Register(reg),
+                    format!(
+                        "uninitialized register's X reaches output '{output}' \
+                         ({} nets downstream see an undefined power-on value)",
+                        cone.cone_size
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scan sites (flip-flops) with no structural path to any primary
+/// output: a fault injected there provably cannot change observable
+/// behavior — "statically masked". Useful state should be readable;
+/// state that is write-only is either wasted area or (as with the GA
+/// core's seed shadow register) an intentional hold-only design that
+/// the fault campaign's cross-check relies on knowing about.
+pub struct UnobservableFaultSite;
+
+impl Rule for UnobservableFaultSite {
+    fn name(&self) -> &'static str {
+        "unobservable-fault-site"
+    }
+    fn description(&self) -> &'static str {
+        "every scan site has a structural path to a primary output"
+    }
+    fn check(&self, model: &DesignModel, out: &mut Report) {
+        let Some((cn, fix)) = compiled_fixpoint(model) else {
+            return;
+        };
+        for site in 0..cn.ff_count() {
+            let cone = fault_cone(&cn, &fix.nets, site);
+            if !cone.observable {
+                out.push(
+                    self.name(),
+                    Severity::Warn,
+                    Element::Register(site),
+                    format!(
+                        "no structural path to any primary output: faults \
+                         here are statically masked ({}-net cone, {} \
+                         register(s))",
+                        cone.cone_size, cone.tainted_regs
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -9,10 +9,12 @@
 //! reports separately).
 
 mod area_rules;
+mod dataflow_rules;
 mod fsm_rules;
 mod netlist_rules;
 
 pub use area_rules::AreaBudgetRule;
+pub use dataflow_rules::{ConstNet, UnobservableFaultSite, XProp};
 pub use fsm_rules::{FsmDeadState, FsmUnsatGuard, HandshakeLiveness};
 pub use netlist_rules::{
     CombLoop, FloatingNet, MultiDriver, RegEnableSanity, ScanChain, ScanSiteCoverage, WidthMismatch,
@@ -46,6 +48,9 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(FsmUnsatGuard),
         Box::new(HandshakeLiveness),
         Box::new(AreaBudgetRule),
+        Box::new(ConstNet),
+        Box::new(XProp),
+        Box::new(UnobservableFaultSite),
     ]
 }
 

@@ -1,0 +1,195 @@
+//! Soundness of the ternary abstract interpreter: for random netlists
+//! and random concrete executions, the concrete value of every net on
+//! every cycle must be covered by the fixpoint's abstract value
+//! (`X` covers both Booleans; `Zero`/`One` cover only themselves).
+//!
+//! The netlists are sound-by-construction — register-Q and input gates
+//! come first so combinational gates can only reference earlier nets,
+//! which makes every generated netlist acyclic with a trivially valid
+//! topological order.
+
+use std::collections::HashMap;
+
+use ga_synth::netlist::{Gate, GateKind, NetId, Netlist, RegCell};
+use ga_synth::{CompiledNetlist, Tern};
+use galint::ternary_fixpoint;
+use proptest::prelude::*;
+
+/// Deterministic stream for building one test case from a seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+const COMB_KINDS: &[GateKind] = &[
+    GateKind::Buf,
+    GateKind::Inv,
+    GateKind::And2,
+    GateKind::Or2,
+    GateKind::Xor2,
+    GateKind::Nand2,
+    GateKind::Nor2,
+    GateKind::CarryMux,
+    GateKind::Const0,
+    GateKind::Const1,
+];
+
+/// A random acyclic netlist: registers and inputs first, then
+/// combinational gates over earlier nets, random register D pins and
+/// one output bus.
+fn random_netlist(mix: &mut Mix) -> Netlist {
+    let n_regs = 1 + mix.below(5) as usize;
+    let n_inputs = mix.below(4) as usize;
+    let n_comb = 1 + mix.below(24) as usize;
+    let mut nl = Netlist::default();
+    for _ in 0..n_regs {
+        nl.gates.push(Gate {
+            kind: GateKind::RegQ,
+            inputs: vec![],
+        });
+    }
+    let mut input_bus = Vec::new();
+    for _ in 0..n_inputs {
+        input_bus.push(nl.gates.len() as NetId);
+        nl.gates.push(Gate {
+            kind: GateKind::Input,
+            inputs: vec![],
+        });
+    }
+    if !input_bus.is_empty() {
+        nl.inputs.push(("in".into(), input_bus));
+    }
+    for _ in 0..n_comb {
+        let kind = COMB_KINDS[mix.below(COMB_KINDS.len() as u64) as usize];
+        let avail = nl.gates.len() as u64;
+        let inputs = (0..kind.arity())
+            .map(|_| mix.below(avail) as NetId)
+            .collect();
+        nl.gates.push(Gate { kind, inputs });
+    }
+    let total = nl.gates.len() as u64;
+    for q in 0..n_regs {
+        nl.regs.push(RegCell {
+            d: mix.below(total) as NetId,
+            q: q as NetId,
+        });
+    }
+    let out_bus = (0..1 + mix.below(3))
+        .map(|_| mix.below(total) as NetId)
+        .collect();
+    nl.outputs.push(("out".into(), out_bus));
+    nl
+}
+
+/// Run `steps` concrete sequential cycles from `reg_state` with random
+/// inputs, asserting every net of every cycle is covered by `fix_nets`.
+fn check_refinement(
+    nl: &Netlist,
+    fix_nets: &[Tern],
+    mut reg_state: Vec<bool>,
+    steps: usize,
+    mix: &mut Mix,
+) {
+    for step in 0..steps {
+        let mut inputs: HashMap<NetId, bool> = HashMap::new();
+        for (_, bus) in &nl.inputs {
+            for &n in bus {
+                inputs.insert(n, mix.flip());
+            }
+        }
+        let regs: HashMap<NetId, bool> = nl
+            .regs
+            .iter()
+            .zip(&reg_state)
+            .map(|(r, &v)| (r.q, v))
+            .collect();
+        let vals = nl.eval_comb(&inputs, &regs);
+        for (net, &concrete) in vals.iter().enumerate() {
+            prop_assert!(
+                fix_nets[net].covers(concrete),
+                "step {step}, net {net}: abstract {:?} does not cover \
+                 concrete {concrete} ({:?})",
+                fix_nets[net],
+                nl.gates[net].kind
+            );
+        }
+        reg_state = nl.regs.iter().map(|r| vals[r.d as usize]).collect();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All-X register init (the scan-programmed contract): the fixpoint
+    /// must cover concrete runs started from *any* register state.
+    #[test]
+    fn fixpoint_covers_arbitrary_initial_states(seed in any::<u64>()) {
+        let mut mix = Mix(seed | 1);
+        let nl = random_netlist(&mut mix);
+        let cn = CompiledNetlist::compile(&nl).expect("sound by construction");
+        let fix = ternary_fixpoint(&cn, &vec![Tern::X; cn.ff_count()]);
+        let init: Vec<bool> = (0..cn.ff_count()).map(|_| mix.flip()).collect();
+        check_refinement(&nl, &fix.nets, init, 8, &mut mix);
+    }
+
+    /// Reset-to-0 init: the fixpoint from the zero lattice must cover
+    /// every state the netlist actually reaches from reset.
+    #[test]
+    fn fixpoint_covers_the_reset_trajectory(seed in any::<u64>()) {
+        let mut mix = Mix(seed.rotate_left(17) | 1);
+        let nl = random_netlist(&mut mix);
+        let cn = CompiledNetlist::compile(&nl).expect("sound by construction");
+        let fix = ternary_fixpoint(&cn, &vec![Tern::Zero; cn.ff_count()]);
+        check_refinement(&nl, &fix.nets, vec![false; cn.ff_count()], 12, &mut mix);
+    }
+
+    /// The register fixpoint is itself covered: `reg_q` must cover the
+    /// concrete register value on every reachable cycle (reset regime —
+    /// the strongest lattice, so the most likely to be unsound).
+    #[test]
+    fn register_lattice_covers_reached_states(seed in any::<u64>()) {
+        let mut mix = Mix(seed.rotate_left(33) | 1);
+        let nl = random_netlist(&mut mix);
+        let cn = CompiledNetlist::compile(&nl).expect("sound by construction");
+        let fix = ternary_fixpoint(&cn, &vec![Tern::Zero; cn.ff_count()]);
+        let mut reg_state = vec![false; cn.ff_count()];
+        for step in 0..12 {
+            for (i, &v) in reg_state.iter().enumerate() {
+                prop_assert!(
+                    fix.reg_q[i].covers(v),
+                    "step {step}, register {i}: {:?} does not cover {v}",
+                    fix.reg_q[i]
+                );
+            }
+            let mut inputs: HashMap<NetId, bool> = HashMap::new();
+            for (_, bus) in &nl.inputs {
+                for &n in bus {
+                    inputs.insert(n, mix.flip());
+                }
+            }
+            let regs: HashMap<NetId, bool> = nl
+                .regs
+                .iter()
+                .zip(&reg_state)
+                .map(|(r, &v)| (r.q, v))
+                .collect();
+            let vals = nl.eval_comb(&inputs, &regs);
+            reg_state = nl.regs.iter().map(|r| vals[r.d as usize]).collect();
+        }
+    }
+}

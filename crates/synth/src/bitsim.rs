@@ -26,13 +26,16 @@
 
 use crate::error::SynthError;
 use crate::netlist::{GateKind, NetId, Netlist, RegCell};
+use crate::tern::Tern;
 use std::collections::HashMap;
 
 /// Word-level opcode: only gates with inputs become instructions;
 /// sources (constants, inputs, register Q pins) are plain state words.
+/// Public so static analyses (`galint`'s dataflow passes) can walk the
+/// compiled instruction stream instead of re-deriving the gate graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
-enum OpKind {
+pub enum OpKind {
     /// `out = a`
     Buf,
     /// `out = !a`
@@ -52,14 +55,20 @@ enum OpKind {
 }
 
 /// One compiled gate: output slot plus up to three input slots, all
-/// dense indices into the per-net state array.
+/// dense indices into the per-net state array. Unused input slots read
+/// net 0 and are ignored by the opcode.
 #[derive(Debug, Clone, Copy)]
-struct CompiledOp {
-    kind: OpKind,
-    out: u32,
-    a: u32,
-    b: u32,
-    c: u32,
+pub struct CompiledOp {
+    /// Opcode.
+    pub kind: OpKind,
+    /// Output net.
+    pub out: u32,
+    /// First input net (the select, for [`OpKind::Mux`]).
+    pub a: u32,
+    /// Second input net (the select-high leg, for [`OpKind::Mux`]).
+    pub b: u32,
+    /// Third input net (the select-low leg, for [`OpKind::Mux`]).
+    pub c: u32,
 }
 
 /// A netlist compiled for repeated simulation: validated once, with the
@@ -156,6 +165,57 @@ impl CompiledNetlist {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, b)| b.as_slice())
+    }
+
+    /// The compiled instruction stream, in topological order. Static
+    /// analyses walk this to get the gate graph with validation and
+    /// ordering already done.
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// All named input buses, in declaration order.
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// All named output buses, in declaration order.
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Fresh ternary state vector matching [`CompiledNetlist::sim`]'s
+    /// reset semantics: every net `Zero`, constant-one sources baked to
+    /// `One`. Callers then drive inputs/registers before evaluating.
+    pub fn tern_state(&self) -> Vec<Tern> {
+        let mut state = vec![Tern::Zero; self.n_nets];
+        for &id in &self.const_ones {
+            state[id as usize] = Tern::One;
+        }
+        state
+    }
+
+    /// One ternary combinational pass: the abstract-interpretation
+    /// analogue of [`BitSim::eval_comb`] — every logic gate once, in
+    /// topological order, over the [`Tern`] domain. Because each gate
+    /// op is a sound abstraction of its Boolean counterpart, a concrete
+    /// evaluation from covered sources is covered on every net.
+    pub fn eval_comb_tern(&self, state: &mut [Tern]) {
+        debug_assert_eq!(state.len(), self.n_nets);
+        for op in &self.ops {
+            let a = state[op.a as usize];
+            let v = match op.kind {
+                OpKind::Buf => a,
+                OpKind::Inv => a.not(),
+                OpKind::And => a.and(state[op.b as usize]),
+                OpKind::Or => a.or(state[op.b as usize]),
+                OpKind::Xor => a.xor(state[op.b as usize]),
+                OpKind::Nand => a.and(state[op.b as usize]).not(),
+                OpKind::Nor => a.or(state[op.b as usize]).not(),
+                OpKind::Mux => Tern::mux(a, state[op.b as usize], state[op.c as usize]),
+            };
+            state[op.out as usize] = v;
+        }
     }
 
     /// Fresh simulation state bound to this compiled netlist.
@@ -450,6 +510,52 @@ mod tests {
         sim.set_net(2, 0b00); // b
         sim.eval_comb();
         assert_eq!(sim.net(3) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn ternary_eval_covers_concrete_eval() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        // Abstract: register q unknown. Concretely try both q values and
+        // check coverage on every net.
+        let mut abs = cn.tern_state();
+        abs[0] = Tern::X;
+        cn.eval_comb_tern(&mut abs);
+        for q in [false, true] {
+            let mut sim = cn.sim();
+            sim.set_net(0, if q { u64::MAX } else { 0 });
+            sim.eval_comb();
+            for net in 0..cn.n_nets() as u32 {
+                assert!(
+                    abs[net as usize].covers(sim.lane_bool(net, 0)),
+                    "net {net} with q={q}"
+                );
+            }
+        }
+        // Precision: d = !q and y = q & 1 must be X, the baked Const1
+        // must stay One.
+        assert_eq!(abs[1], Tern::X);
+        assert_eq!(abs[2], Tern::One);
+        assert_eq!(abs[3], Tern::X);
+    }
+
+    #[test]
+    fn ternary_eval_propagates_constants() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut abs = cn.tern_state();
+        abs[0] = Tern::One; // pin q to a known value
+        cn.eval_comb_tern(&mut abs);
+        assert_eq!(abs[1], Tern::Zero, "d = !q");
+        assert_eq!(abs[3], Tern::One, "y = q & 1");
+    }
+
+    #[test]
+    fn ops_view_matches_pass_count() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        assert_eq!(cn.ops().len(), cn.ops_per_pass());
+        assert!(cn.outputs().iter().any(|(n, _)| n == "y"));
     }
 
     #[test]

@@ -167,6 +167,53 @@ pub fn ga_controller_spec() -> FsmSpec {
     }
 }
 
+/// Named register-bank layout of the elaborated GA core, in scan-chain
+/// order: `(field, first register index, width)`. The indices mirror
+/// the `reg_bank` creation order in [`try_elaborate_ga_core`] — the
+/// optimizer preserves register order, so they are stable through the
+/// shipping netlist. Field names match the cycle-accurate model's
+/// scan-chain serialization (`ga_core::hwcore`) where a counterpart
+/// exists; note that the hardware accumulators (`fit_sum`, `new_sum`,
+/// `threshold`, `cum`) are 32-bit there but 24-bit here, and `best` /
+/// `new_best` pack `{chrom[16..32], fitness[0..16]}`.
+pub const GA_CORE_REG_LAYOUT: &[(&str, usize, usize)] = &[
+    ("rng", 0, 16),
+    ("seed", 16, 16),
+    ("pop_size", 32, 8),
+    ("n_gens", 40, 32),
+    ("xover_threshold", 72, 4),
+    ("mut_threshold", 76, 4),
+    ("cand", 80, 16),
+    ("fit_reg", 96, 16),
+    ("parent1", 112, 16),
+    ("parent2", 128, 16),
+    ("off1", 144, 16),
+    ("off2", 160, 16),
+    ("best", 176, 32),
+    ("new_best", 208, 32),
+    ("fit_sum", 240, 24),
+    ("new_sum", 264, 24),
+    ("threshold", 288, 24),
+    ("cum", 312, 24),
+    ("i", 336, 8),
+    ("idx", 344, 8),
+    ("scan_idx", 352, 8),
+    ("gen", 360, 32),
+    ("multcnt", 392, 4),
+    ("mem_addr", 396, 8),
+    ("mem_data", 404, 32),
+    ("flags", 436, 8),
+    ("fsm", 444, 23),
+];
+
+/// Look up a named field of [`GA_CORE_REG_LAYOUT`].
+pub fn ga_core_reg_field(name: &str) -> Option<(usize, usize)> {
+    GA_CORE_REG_LAYOUT
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, start, width)| (start, width))
+}
+
 /// Elaborate the CA RNG module alone: 16 hybrid rule-90/150 cells with
 /// seed-load and consume-enable inputs. Used for gate-level functional
 /// equivalence testing against the `carng` reference (the one subsystem
@@ -677,6 +724,34 @@ mod tests {
             assert!(seen.insert(r.q), "duplicate scan element");
         }
         assert_eq!(seen.len(), nl.ff_count());
+    }
+
+    #[test]
+    fn reg_layout_is_contiguous_and_covers_every_ff() {
+        let mut expect = 0usize;
+        for &(name, start, width) in GA_CORE_REG_LAYOUT {
+            assert_eq!(start, expect, "field '{name}' not contiguous");
+            assert!(width > 0);
+            expect = start + width;
+        }
+        let (nl, _) = elaborate_ga_core();
+        assert_eq!(expect, nl.ff_count(), "layout must cover the scan chain");
+        assert_eq!(ga_core_reg_field("seed"), Some((16, 16)));
+        assert_eq!(ga_core_reg_field("fsm"), Some((444, 23)));
+        assert_eq!(ga_core_reg_field("nope"), None);
+    }
+
+    #[test]
+    fn reg_layout_spot_checks_against_the_structure() {
+        // The fsm field must cover exactly the 23 one-hot state FFs and
+        // sit at the end of the chain; the rng field heads it.
+        let spec = ga_controller_spec();
+        let (fsm_start, fsm_width) = ga_core_reg_field("fsm").expect("fsm field exists");
+        assert_eq!(fsm_width, spec.n_states);
+        let (nl, _) = elaborate_ga_core();
+        assert_eq!(fsm_start + fsm_width, nl.ff_count());
+        let (rng_start, rng_width) = ga_core_reg_field("rng").expect("rng field exists");
+        assert_eq!((rng_start, rng_width), (0, 16));
     }
 
     #[test]

@@ -49,14 +49,16 @@ pub mod mapper;
 pub mod netlist;
 pub mod opt;
 pub mod parser;
+pub mod tern;
 pub mod timing;
 pub mod verilog;
 
-pub use bitsim::{BitSim, CompiledNetlist};
+pub use bitsim::{BitSim, CompiledNetlist, CompiledOp, OpKind};
 pub use builder::Builder;
 pub use device::Xc2vp30;
 pub use error::SynthError;
 pub use fault::{FaultInjector, NetFault, NetFaultKind};
 pub use gadesign::{elaborate_ga_core, GaCoreReport};
 pub use netlist::{GateKind, NetId, Netlist};
+pub use tern::Tern;
 pub use verilog::emit_verilog;

@@ -1,0 +1,215 @@
+//! Ternary (0/1/X) logic — the abstract domain for static dataflow
+//! analysis over compiled netlists.
+//!
+//! [`Tern`] is the three-point lattice `0, 1 ⊑ X`: a net is `Zero` or
+//! `One` when its value is the same in **every** execution covered by
+//! the analysis, and `X` when it may differ. The gate operations here
+//! are the standard ternary extensions of the Boolean ones (Kleene
+//! logic), so each is a *sound abstraction*: if the operands cover the
+//! concrete inputs, the result covers the concrete output. That is the
+//! refinement property `galint`'s soundness proptest checks against
+//! concrete [`BitSim`](crate::bitsim::BitSim) runs.
+//!
+//! The mux gets the *precise* ternary semantics (select unknown but
+//! both data legs equal and known ⇒ known) rather than the weaker
+//! AND/OR decomposition — still sound, and it is exactly the case that
+//! matters when a register's hold mux has a constant data leg.
+
+/// One ternary value: a definite bit or "unknown/varies" (`X`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tern {
+    /// Definitely 0 in every covered execution.
+    #[default]
+    Zero,
+    /// Definitely 1 in every covered execution.
+    One,
+    /// Unknown — may be 0 in some executions and 1 in others.
+    X,
+}
+
+impl Tern {
+    /// Lift a concrete bit.
+    #[inline]
+    pub fn from_bool(b: bool) -> Tern {
+        if b {
+            Tern::One
+        } else {
+            Tern::Zero
+        }
+    }
+
+    /// The definite value, when there is one.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Tern::Zero => Some(false),
+            Tern::One => Some(true),
+            Tern::X => None,
+        }
+    }
+
+    /// True for `Zero`/`One`.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self != Tern::X
+    }
+
+    /// Lattice join (least upper bound): equal values stay, disagreement
+    /// goes to `X`.
+    #[inline]
+    pub fn join(self, other: Tern) -> Tern {
+        if self == other {
+            self
+        } else {
+            Tern::X
+        }
+    }
+
+    /// Refinement check: does the concrete bit `b` lie under this
+    /// abstract value? (`X` covers everything; a constant covers only
+    /// itself.)
+    #[inline]
+    pub fn covers(self, b: bool) -> bool {
+        match self {
+            Tern::X => true,
+            v => v == Tern::from_bool(b),
+        }
+    }
+
+    /// Ternary NOT. An inherent method like its `and`/`or`/`xor`
+    /// siblings — the Kleene ops form one family, not operator
+    /// overloads.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Tern {
+        match self {
+            Tern::Zero => Tern::One,
+            Tern::One => Tern::Zero,
+            Tern::X => Tern::X,
+        }
+    }
+
+    /// Ternary AND: a definite 0 dominates either way.
+    #[inline]
+    pub fn and(self, o: Tern) -> Tern {
+        match (self, o) {
+            (Tern::Zero, _) | (_, Tern::Zero) => Tern::Zero,
+            (Tern::One, Tern::One) => Tern::One,
+            _ => Tern::X,
+        }
+    }
+
+    /// Ternary OR: a definite 1 dominates either way.
+    #[inline]
+    pub fn or(self, o: Tern) -> Tern {
+        match (self, o) {
+            (Tern::One, _) | (_, Tern::One) => Tern::One,
+            (Tern::Zero, Tern::Zero) => Tern::Zero,
+            _ => Tern::X,
+        }
+    }
+
+    /// Ternary XOR: definite only when both operands are.
+    #[inline]
+    pub fn xor(self, o: Tern) -> Tern {
+        match (self.as_bool(), o.as_bool()) {
+            (Some(a), Some(b)) => Tern::from_bool(a ^ b),
+            _ => Tern::X,
+        }
+    }
+
+    /// Precise ternary 2:1 mux, `sel ? hi : lo`: a definite select
+    /// picks its leg; an unknown select still yields a definite value
+    /// when both legs agree on one.
+    #[inline]
+    pub fn mux(sel: Tern, hi: Tern, lo: Tern) -> Tern {
+        match sel {
+            Tern::One => hi,
+            Tern::Zero => lo,
+            Tern::X => {
+                if hi == lo && hi.is_const() {
+                    hi
+                } else {
+                    Tern::X
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tern; 3] = [Tern::Zero, Tern::One, Tern::X];
+
+    /// Every concrete bit covered by an abstract operand.
+    fn gamma(t: Tern) -> Vec<bool> {
+        match t {
+            Tern::Zero => vec![false],
+            Tern::One => vec![true],
+            Tern::X => vec![false, true],
+        }
+    }
+
+    #[test]
+    fn join_is_lub() {
+        for a in ALL {
+            assert_eq!(a.join(a), a);
+            assert_eq!(a.join(Tern::X), Tern::X);
+        }
+        assert_eq!(Tern::Zero.join(Tern::One), Tern::X);
+    }
+
+    #[test]
+    fn unary_and_binary_ops_are_sound_and_exhaustive() {
+        // Soundness: for every abstract operand pair and every concrete
+        // refinement, the concrete result is covered by the abstract one.
+        for a in ALL {
+            for ca in gamma(a) {
+                assert!(a.not().covers(!ca), "not {a:?}");
+            }
+            for b in ALL {
+                for ca in gamma(a) {
+                    for cb in gamma(b) {
+                        assert!(a.and(b).covers(ca & cb), "and {a:?} {b:?}");
+                        assert!(a.or(b).covers(ca | cb), "or {a:?} {b:?}");
+                        assert!(a.xor(b).covers(ca ^ cb), "xor {a:?} {b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_is_sound_and_precise_on_agreeing_legs() {
+        for s in ALL {
+            for hi in ALL {
+                for lo in ALL {
+                    let abs = Tern::mux(s, hi, lo);
+                    for cs in gamma(s) {
+                        for chi in gamma(hi) {
+                            for clo in gamma(lo) {
+                                let concrete = if cs { chi } else { clo };
+                                assert!(abs.covers(concrete), "mux {s:?} {hi:?} {lo:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The precision case the AND/OR decomposition would lose.
+        assert_eq!(Tern::mux(Tern::X, Tern::One, Tern::One), Tern::One);
+        assert_eq!(Tern::mux(Tern::X, Tern::Zero, Tern::Zero), Tern::Zero);
+        assert_eq!(Tern::mux(Tern::X, Tern::X, Tern::X), Tern::X);
+    }
+
+    #[test]
+    fn constant_queries() {
+        assert!(Tern::Zero.is_const() && Tern::One.is_const() && !Tern::X.is_const());
+        assert_eq!(Tern::from_bool(true).as_bool(), Some(true));
+        assert_eq!(Tern::X.as_bool(), None);
+        assert!(Tern::X.covers(false) && Tern::X.covers(true));
+        assert!(!Tern::Zero.covers(true));
+    }
+}
