@@ -31,7 +31,12 @@ mkdir -p "$SMOKE_DIR"
 GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_GENS=4 ./target/release/table5 > /dev/null
 GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/profile > /dev/null
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_table5.json" 'runs>=10'
-./target/release/benchcheck "$SMOKE_DIR/BENCH_profile.json" 'bitsim64_gates_per_sec>=5e7'
+# Wide-lane floors: the 256-lane simulator must beat a conservative
+# absolute throughput floor AND deliver at least 2x the 64-lane rate —
+# the acceptance criterion for the word-array widening.
+./target/release/benchcheck "$SMOKE_DIR/BENCH_profile.json" \
+    'bitsim64_gates_per_sec>=5e7' 'bitsim128_gates_per_sec>=1e8' \
+    'bitsim256_gates_per_sec>=2e8' 'bitsim256_speedup_vs_64>=2'
 
 echo "== fault-injection smoke (scan + netlist campaigns, quick grid)"
 # Quick grid: every 8th scan position and one injection cycle per
@@ -74,9 +79,9 @@ echo "== engine registry enumeration (gaserved --list-backends)"
 cargo build -q --release -p ga-serve --bin gaserved
 BACKENDS="$(./target/release/gaserved --list-backends)"
 echo "$BACKENDS"
-[ "$(echo "$BACKENDS" | wc -l)" -ge 5 ] \
-    || { echo "registry lists fewer than 5 backends"; exit 1; }
-for b in behavioral rtl bitsim64 swga rtl32; do
+[ "$(echo "$BACKENDS" | wc -l)" -ge 7 ] \
+    || { echo "registry lists fewer than 7 backends"; exit 1; }
+for b in behavioral rtl bitsim64 bitsim128 bitsim256 swga rtl32; do
     echo "$BACKENDS" | grep -q "^$b " \
         || { echo "backend $b missing from registry"; exit 1; }
 done
@@ -93,6 +98,17 @@ GA_BENCH_OUT="$SMOKE_DIR" ./target/release/gaserved \
     --out "$SMOKE_DIR/results16.jsonl" --threads 4
 diff -u tests/fixtures/results16_golden.jsonl "$SMOKE_DIR/results16.jsonl"
 ./target/release/benchcheck "$SMOKE_DIR/BENCH_serve.json" \
-    --require-backend-throughput 'jobs>=15' 'jobs_per_sec>=25'
+    --require-backend-throughput 'jobs>=15' 'jobs_per_sec>=25' \
+    'netlist_cache_hits>=1' 'degraded_jobs<=0'
+
+echo "== serve bench (200-job acceptance batch, pack-path throughput floor)"
+# The wide-lane + cache acceptance gate: the packed bitsim path must
+# clear >=10x the pre-widening 1202.89 jobs/s snapshot, with zero
+# degraded lanes and at least one compiled-netlist cache hit.
+cargo build -q --release -p ga-serve --bin serve_bench
+GA_BENCH_OUT="$SMOKE_DIR" ./target/release/serve_bench 2> /dev/null
+./target/release/benchcheck "$SMOKE_DIR/BENCH_serve.json" \
+    'bitsim_pack_jobs_per_sec>=12029' 'bitsim_packs>=9' \
+    'bitsim_active_lanes>=86' 'netlist_cache_hits>=1' 'degraded_jobs<=0'
 
 echo "CI OK"

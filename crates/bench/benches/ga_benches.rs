@@ -111,9 +111,10 @@ fn bench_fems(c: &mut Criterion) {
 /// The simulation-engine comparison behind this PR's acceptance
 /// criterion: the compiled engine must beat the HashMap interpreter's
 /// `step_seq` loop by ≥20× on the elaborated CA-RNG netlist — and the
-/// 64-lane bit-sliced mode multiplies that by the lane count again
-/// (the three benches run the same 64-cycle free-running workload;
-/// `bitsim_64lane` completes 64 independent streams in that time).
+/// bit-sliced modes multiply that by the lane count again (every bench
+/// runs the same 64-cycle free-running workload; `bitsim_64lane`
+/// completes 64 independent streams in that time, the widened
+/// `bitsim_128lane`/`bitsim_256lane` rows 128 and 256).
 fn bench_netlist_sim(c: &mut Criterion) {
     use ga_synth::bitsim::CompiledNetlist;
     use ga_synth::gadesign::elaborate_ca_rng;
@@ -170,6 +171,33 @@ fn bench_netlist_sim(c: &mut Criterion) {
             }
             black_box(sim.bus_lane(cn.output_bus("rn").unwrap(), 0))
         })
+    });
+    // The widened simulator: the same 64-cycle free run at 2 and 4
+    // words per net — 128 and 256 independent streams per pass. The
+    // per-pass cost should grow far slower than the lane count (one
+    // vectorizable array op per gate word), which is the whole case
+    // for the wide backends.
+    fn wide_run<const W: usize>(
+        cn: &ga_synth::bitsim::CompiledNetlist,
+        seed_bus: &[ga_synth::netlist::NetId],
+        ctl_bus: &[ga_synth::netlist::NetId],
+        cycles: usize,
+    ) -> [u64; W] {
+        let mut sim = cn.sim_wide::<W>();
+        sim.set_bus_all(seed_bus, 0x2961);
+        sim.set_bus_all(ctl_bus, 0b01);
+        sim.step();
+        sim.set_bus_all(ctl_bus, 0b10);
+        for _ in 0..cycles {
+            sim.step();
+        }
+        sim.net_words(cn.output_bus("rn").unwrap()[0])
+    }
+    g.bench_function("bitsim_128lane_64_cycles", |b| {
+        b.iter(|| black_box(wide_run::<2>(&cn, &seed_bus, &ctl_bus, CYCLES)))
+    });
+    g.bench_function("bitsim_256lane_64_cycles", |b| {
+        b.iter(|| black_box(wide_run::<4>(&cn, &seed_bus, &ctl_bus, CYCLES)))
     });
     g.finish();
 }

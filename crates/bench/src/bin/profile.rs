@@ -7,10 +7,11 @@
 //! Also measures the netlist-simulation engines themselves on the
 //! elaborated CA-RNG netlist: the HashMap interpreter
 //! (`Netlist::step_seq`) against the compiled engine
-//! (`CompiledNetlist`/`BitSim`), scalar and 64-lane bit-sliced — and
-//! emits `BENCH_profile.json` carrying `bitsim64_gates_per_sec`, the
-//! number the CI smoke floor checks. `GA_BENCH_QUICK` shrinks the
-//! measured cycle counts.
+//! (`CompiledNetlist`/`BitSimW`), scalar and 64/128/256-lane
+//! bit-sliced — and emits `BENCH_profile.json` carrying
+//! `bitsim64_gates_per_sec`, `bitsim256_gates_per_sec`, and the
+//! `bitsim256_speedup_vs_64` ratio the CI smoke floors check.
+//! `GA_BENCH_QUICK` shrinks the measured cycle counts.
 //!
 //! Run with `cargo run --release -p ga-bench --bin profile`.
 
@@ -21,18 +22,52 @@ use ga_bench::{hw_system, quick, table5_params, BenchReport, Stopwatch, Table5Ro
 use ga_fitness::TestFunction;
 use ga_synth::bitsim::CompiledNetlist;
 use ga_synth::gadesign::elaborate_ca_rng;
-use ga_synth::netlist::u64_to_bus;
+use ga_synth::netlist::{u64_to_bus, NetId};
 use swga::{CountingGa, PpcCostModel};
 
-/// Gate-evaluations per second of the three simulation paths over the
-/// CA-RNG netlist, free-running in consume mode. "Gates" counts the
-/// logic ops the compiled engine executes per pass (`ops_per_pass`) for
-/// every path, so the paths are compared on identical work.
+/// Gate-evaluations per second of the simulation paths over the CA-RNG
+/// netlist, free-running in consume mode. "Gates" counts the logic ops
+/// the compiled engine executes per pass (`ops_per_pass`) for every
+/// path, so the paths are compared on identical work; a `W`-word pass
+/// is credited with `64·W` lanes of it.
 struct SimThroughput {
     ops_per_pass: usize,
     interp_gps: f64,
     compiled_scalar_gps: f64,
     bitsim64_gps: f64,
+    bitsim128_gps: f64,
+    bitsim256_gps: f64,
+}
+
+/// Free-run the `W`-word simulator for `cycles` consume steps and
+/// return gate-evaluations per second, crediting all `64·W` lanes.
+/// Warm-up steps plus best-of-three trials keep the number stable
+/// enough for the CI ratio floor (`bitsim256_speedup_vs_64`) under
+/// container timing noise.
+fn wide_gps<const W: usize>(
+    cn: &CompiledNetlist,
+    seed_bus: &[NetId],
+    ctl_bus: &[NetId],
+    cycles: u64,
+) -> f64 {
+    let mut sim = cn.sim_wide::<W>();
+    sim.set_bus_all(seed_bus, 0x2961);
+    sim.set_bus_all(ctl_bus, 0b01);
+    sim.step();
+    sim.set_bus_all(ctl_bus, 0b10);
+    for _ in 0..cycles / 10 {
+        sim.step(); // warm-up
+    }
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..cycles {
+            sim.step();
+        }
+        best_secs = best_secs.min(t.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sim.net_words(cn.output_bus("rn").expect("rn bus")[0]));
+    cn.ops_per_pass() as f64 * cycles as f64 * (64 * W) as f64 / best_secs
 }
 
 fn sim_throughput() -> SimThroughput {
@@ -63,29 +98,22 @@ fn sim_throughput() -> SimThroughput {
     }
     let interp_secs = t.elapsed().as_secs_f64();
 
-    // Compiled: dense u64 state, one bitwise op per gate per pass. The
-    // same run is both measurements — scalar credits one lane of the
-    // word, bit-sliced credits all 64 (they execute identical code).
-    let mut sim = cn.sim();
-    sim.set_bus_all(&seed_bus, 0x2961);
-    sim.set_bus_all(&ctl_bus, 0b01);
-    sim.step();
-    sim.set_bus_all(&ctl_bus, 0b10);
-    let t = Instant::now();
-    for _ in 0..compiled_cycles {
-        sim.step();
-    }
-    let compiled_secs = t.elapsed().as_secs_f64();
-    // Keep the state observable so the loop cannot be optimized away.
-    std::hint::black_box(sim.net(cn.output_bus("rn").expect("rn bus")[0]));
+    // Compiled: dense word state, one bitwise op per gate word per
+    // pass. The 1-word run is both measurements — scalar credits one
+    // lane of the word, bit-sliced credits all 64 (identical code) —
+    // and the 2/4-word runs go through the same harness so the
+    // `bitsim256_speedup_vs_64` ratio compares like with like.
+    let bitsim64_gps = wide_gps::<1>(&cn, &seed_bus, &ctl_bus, compiled_cycles);
 
     let gates =
         |cycles: u64, secs: f64, lanes: u64| ops as f64 * cycles as f64 * lanes as f64 / secs;
     SimThroughput {
         ops_per_pass: ops,
         interp_gps: gates(interp_cycles, interp_secs, 1),
-        compiled_scalar_gps: gates(compiled_cycles, compiled_secs, 1),
-        bitsim64_gps: gates(compiled_cycles, compiled_secs, 64),
+        compiled_scalar_gps: bitsim64_gps / 64.0,
+        bitsim64_gps,
+        bitsim128_gps: wide_gps::<2>(&cn, &seed_bus, &ctl_bus, compiled_cycles),
+        bitsim256_gps: wide_gps::<4>(&cn, &seed_bus, &ctl_bus, compiled_cycles),
     }
 }
 
@@ -209,17 +237,35 @@ fn main() {
         st.bitsim64_gps,
         st.bitsim64_gps / st.interp_gps
     );
+    println!(
+        "{:<26} {:>14.3e}  {:>8.1}x",
+        "compiled 128-lane",
+        st.bitsim128_gps,
+        st.bitsim128_gps / st.interp_gps
+    );
+    println!(
+        "{:<26} {:>14.3e}  {:>8.1}x",
+        "compiled 256-lane",
+        st.bitsim256_gps,
+        st.bitsim256_gps / st.interp_gps
+    );
 
-    BenchReport::new("profile", sw.seconds(), 64, 1)
+    BenchReport::new("profile", sw.seconds(), 256, 1)
         .metric("hw_run_cycles", run.cycles as f64)
         .metric("sw_modeled_cycles", model.cycles(&sw_run.ops))
         .metric("netlist_ops_per_pass", st.ops_per_pass as f64)
         .metric("interp_gates_per_sec", st.interp_gps)
         .metric("compiled_scalar_gates_per_sec", st.compiled_scalar_gps)
         .metric("bitsim64_gates_per_sec", st.bitsim64_gps)
+        .metric("bitsim128_gates_per_sec", st.bitsim128_gps)
+        .metric("bitsim256_gates_per_sec", st.bitsim256_gps)
         .metric(
             "bitsim64_speedup_vs_interp",
             st.bitsim64_gps / st.interp_gps,
+        )
+        .metric(
+            "bitsim256_speedup_vs_64",
+            st.bitsim256_gps / st.bitsim64_gps,
         )
         .emit_or_warn();
 }

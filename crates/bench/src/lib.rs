@@ -263,8 +263,8 @@ mod tests {
 
     #[test]
     fn registry_harness_drives_every_backend() {
-        // `run_on` must admit the bench workloads on all five engines
-        // at each engine's native width.
+        // `run_on` must admit the bench workloads on every registered
+        // engine at its native width.
         let params = GaParams::new(8, 2, 10, 1, 0x2961);
         for kind in ga_engine::global().kinds() {
             let run = run_on(kind, TestFunction::F3, &params);

@@ -62,7 +62,7 @@ impl<'a> IslandsEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adapters::{BehavioralEngine, BitSim64Engine, SwgaEngine};
+    use crate::adapters::{BehavioralEngine, BitSimWideEngine, SwgaEngine};
     use ga_fitness::TestFunction;
 
     fn spec(params: GaParams) -> RunSpec {
@@ -107,7 +107,7 @@ mod tests {
             .expect("steps")
             .run(spec(params))
             .expect("runs");
-        let bit = IslandsEngine::new(&BitSim64Engine, config)
+        let bit = IslandsEngine::new(&BitSimWideEngine::<1>, config)
             .expect("steps")
             .run(spec(params))
             .expect("runs");

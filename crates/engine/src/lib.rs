@@ -10,15 +10,21 @@
 //! runs, and the conformance suite all go through it rather than
 //! naming engines.
 //!
-//! Five backends are registered by default ([`registry::global`]):
+//! Seven backends are registered by default ([`registry::global`]):
 //!
 //! | kind | engine | widths |
 //! |---|---|---|
 //! | `behavioral` | `ga_core::GaEngine` over the CA RNG | 16 |
 //! | `rtl` | `ga_core::GaSystem` (cycle-accurate) | 16 |
 //! | `bitsim64` | compiled netlist lane streams, 64-lane packs | 16 |
+//! | `bitsim128` | the same netlist at 2 words/net, 128-lane packs | 16 |
+//! | `bitsim256` | the same netlist at 4 words/net, 256-lane packs | 16 |
 //! | `swga` | `swga::CountingGa` (PowerPC reference) | 16 |
 //! | `rtl32` | `ga_core::GaSystem32Hw` (ganged dual core, Fig. 6) | 32 |
+//!
+//! The bitsim family shares one compiled CA-RNG netlist per lane width
+//! through the process-wide [`NetlistCache`], so repeat packs skip
+//! validate + topo-sort + compile entirely.
 //!
 //! [`IslandsEngine`] composes the ring-migration island model over any
 //! backend with a stepping handle. See DESIGN.md for the layer diagram
@@ -27,17 +33,21 @@
 #![forbid(unsafe_code)]
 
 pub mod adapters;
+pub mod cache;
 pub mod islands;
 pub mod pack;
 pub mod registry;
 pub mod spec;
 
 pub use adapters::{
-    trajectory16, trajectory32, BehavioralEngine, BitSim64Engine, Rtl32Engine, RtlInterpEngine,
-    SwgaEngine,
+    trajectory16, trajectory32, BehavioralEngine, BitSim128Engine, BitSim256Engine, BitSim64Engine,
+    BitSimWideEngine, Rtl32Engine, RtlInterpEngine, SwgaEngine,
 };
+pub use cache::{global_cache, CacheKey, NetlistCache};
 pub use islands::IslandsEngine;
-pub use pack::{ca_lane_streams, draws_per_run, try_ca_lane_streams, StreamRng};
+pub use pack::{
+    ca_lane_streams, draws_per_run, try_ca_lane_streams, try_ca_lane_streams_wide, StreamRng,
+};
 pub use registry::{global, EngineRegistry};
 pub use spec::{
     convergence_generation, BackendKind, Capabilities, Engine, EngineError, Limits, Prepared,

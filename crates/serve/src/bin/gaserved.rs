@@ -138,9 +138,9 @@ fn main() -> ExitCode {
         lines.len() - outcome.results.len(),
         stats.wall_seconds,
         stats.jobs_per_sec(),
-        cfg.threads,
+        stats.threads_used,
         stats.packs,
     );
-    stats.to_report(cfg.threads).emit_or_warn();
+    stats.to_report().emit_or_warn();
     ExitCode::SUCCESS
 }

@@ -1,0 +1,73 @@
+//! `serve_bench` — the committed `BENCH_serve.json` generator.
+//!
+//! Runs the acceptance workload (the same 200-job mixed-backend batch
+//! the integration suite pins: jobs cycling every registered engine,
+//! all six fitness functions, three parameter shapes) through
+//! `serve_batch` and emits the serving-layer throughput report. The
+//! batch construction is deterministic, so the committed snapshot is
+//! reproducible with:
+//!
+//! ```text
+//! GA_BENCH_OUT=. cargo run --release -p ga-serve --bin serve_bench
+//! ```
+//!
+//! The report carries the pack-path throughput
+//! (`bitsim_pack_jobs_per_sec`: active pack lanes over wall time spent
+//! inside pack units) and the compiled-netlist cache hit/miss deltas
+//! that CI floors.
+
+use ga_core::GaParams;
+use ga_fitness::TestFunction;
+use ga_serve::{serve_batch, BackendKind, GaJob, ServeConfig};
+
+/// The acceptance batch: 200 jobs cycling through every registered
+/// backend (including 32-bit jobs on the ganged `rtl32` composite) and
+/// all six fitness functions, with the cycle-accurate interpreters kept
+/// on small parameters. Mirrors `mixed_batch_200` in the service
+/// integration tests.
+fn mixed_batch_200() -> Vec<GaJob> {
+    let shapes = [
+        GaParams::new(16, 6, 10, 1, 1),
+        GaParams::new(15, 4, 12, 2, 1), // odd population
+        GaParams::new(8, 8, 13, 3, 1),
+    ];
+    (0..200)
+        .map(|i| {
+            let backend = BackendKind::ALL[i % BackendKind::ALL.len()];
+            let function = TestFunction::ALL[i % TestFunction::ALL.len()];
+            let mut params = shapes[(i / 3) % shapes.len()];
+            if matches!(backend, BackendKind::RtlInterp | BackendKind::Rtl32) {
+                params = GaParams::new(8, 4, 10, 1, 1);
+            }
+            params.seed = (i as u16).wrapping_mul(2654).wrapping_add(17);
+            if backend == BackendKind::Rtl32 {
+                GaJob::new32(function, params)
+            } else {
+                GaJob::new(function, backend, params)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let jobs = mixed_batch_200();
+    let out = serve_batch(&jobs, &ServeConfig::default());
+    let stats = &out.stats;
+    assert_eq!(stats.jobs(), 200, "acceptance batch must fully serve");
+    assert_eq!(stats.errors(), 0, "acceptance batch must be green");
+
+    eprintln!(
+        "serve_bench: 200 jobs in {:.3}s [{:.1} jobs/s overall, \
+         {:.1} jobs/s on the pack path, {} packs / {} lanes, \
+         {} threads, cache {}h/{}m]",
+        stats.wall_seconds,
+        stats.jobs_per_sec(),
+        stats.pack_jobs_per_sec(),
+        stats.packs,
+        stats.packed_lanes,
+        stats.threads_used,
+        stats.cache_hits,
+        stats.cache_misses,
+    );
+    stats.to_report().emit_or_warn();
+}

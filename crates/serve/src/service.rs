@@ -3,15 +3,14 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ga_bench::{default_threads, lane_chunks, BenchReport, Stopwatch};
+use ga_bench::{default_threads, lane_chunks, run_sweep, BenchReport, Stopwatch};
 
 use crate::backend;
 use crate::job::{BackendKind, GaJob, JobResult, ServeError};
-use crate::queue::{relock, BoundedQueue};
 
 /// Retry policy for *transient* job failures (worker panics caught at
 /// the pool boundary). Deterministic errors — validation, watchdogs,
@@ -37,10 +36,15 @@ impl Default for RetryPolicy {
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads (clamped to the number of work units).
+    /// Worker threads (clamped to the number of work units). The pool
+    /// size that actually ran is recorded in
+    /// [`ServeStats::threads_used`] and is what `BENCH_serve.json`
+    /// reports.
     pub threads: usize,
-    /// Bounded queue capacity — the backpressure window between the
-    /// submitter and the pool.
+    /// Bounded queue capacity for the streaming submission front-end
+    /// ([`crate::BoundedQueue`]). The batch scheduler itself
+    /// distributes planned units over the pool with an atomic claim
+    /// loop ([`ga_bench::run_sweep`]) and does not consume this knob.
     pub queue_capacity: usize,
     /// Simulated-cycle watchdog for the RTL backend.
     pub rtl_watchdog_cycles: u64,
@@ -123,6 +127,18 @@ pub struct ServeStats {
     /// Jobs answered by a fallback backend after their requested one
     /// failed transiently (graceful degradation).
     pub degraded: u64,
+    /// Worker threads the batch actually ran on — the *clamped* pool
+    /// size, not the configured one. This is the `threads` value
+    /// `BENCH_serve.json` reports.
+    pub threads_used: u64,
+    /// Wall time spent executing pack units, summed across workers —
+    /// the denominator of the `bitsim_pack_jobs_per_sec` metric.
+    pub pack_micros: u64,
+    /// Compiled-netlist cache hits charged to this batch (delta of the
+    /// process-wide [`ga_engine::NetlistCache`] counters across it).
+    pub cache_hits: u64,
+    /// Compiled-netlist cache misses charged to this batch.
+    pub cache_misses: u64,
     /// Wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
 }
@@ -138,6 +154,10 @@ impl Default for ServeStats {
             packs: 0,
             packed_lanes: 0,
             degraded: 0,
+            threads_used: 1,
+            pack_micros: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             wall_seconds: 0.0,
         }
     }
@@ -184,12 +204,25 @@ impl ServeStats {
         }
     }
 
+    /// Throughput of the packed bitsim path alone, in jobs per second:
+    /// active pack lanes over the wall time spent inside pack units.
+    /// Zero when no pack ran.
+    pub fn pack_jobs_per_sec(&self) -> f64 {
+        if self.pack_micros == 0 {
+            0.0
+        } else {
+            self.packed_lanes as f64 / (self.pack_micros as f64 / 1e6)
+        }
+    }
+
     /// Render as a `BenchReport` (emitted as `BENCH_serve.json`) with a
     /// `<name>_jobs` / `<name>_avg_us` pair for **every** backend in
     /// the stats — the per-backend throughput floor `benchcheck
-    /// --require-backend-throughput` asserts. The `lanes` field reports
-    /// the widest registered pack when any pack ran, else 1.
-    pub fn to_report(&self, threads: usize) -> BenchReport {
+    /// --require-backend-throughput` asserts. The report's `threads`
+    /// field is [`ServeStats::threads_used`] — the pool size that
+    /// actually ran, never the configured one. The `lanes` field
+    /// reports the widest registered pack when any pack ran, else 1.
+    pub fn to_report(&self) -> BenchReport {
         let lanes = if self.packs > 0 {
             ga_engine::global()
                 .engines()
@@ -199,7 +232,7 @@ impl ServeStats {
         } else {
             1
         };
-        let mut report = BenchReport::new("serve", self.wall_seconds, lanes, threads as u64)
+        let mut report = BenchReport::new("serve", self.wall_seconds, lanes, self.threads_used)
             .metric("jobs", self.jobs() as f64)
             .metric("errors", self.errors() as f64)
             .metric("jobs_per_sec", self.jobs_per_sec());
@@ -209,8 +242,11 @@ impl ServeStats {
                 .metric(format!("{}_avg_us", kind.name()), c.avg_micros());
         }
         report
-            .metric("bitsim64_packs", self.packs as f64)
-            .metric("bitsim64_active_lanes", self.packed_lanes as f64)
+            .metric("bitsim_packs", self.packs as f64)
+            .metric("bitsim_active_lanes", self.packed_lanes as f64)
+            .metric("bitsim_pack_jobs_per_sec", self.pack_jobs_per_sec())
+            .metric("netlist_cache_hits", self.cache_hits as f64)
+            .metric("netlist_cache_misses", self.cache_misses as f64)
             .metric("degraded_jobs", self.degraded as f64)
     }
 }
@@ -357,13 +393,19 @@ fn exec_unit_with_recovery(jobs: &[GaJob], unit: &Unit, cfg: &ServeConfig) -> Ve
 
 /// Execute a batch of jobs and return results **in input order**.
 ///
-/// The caller thread feeds a bounded queue (blocking when full — the
-/// backpressure path) while `cfg.threads` scoped workers drain it.
-/// Results land in a slot-per-job table, so the output order is the
+/// Planned units — solos and multi-lane packs alike — are distributed
+/// over up to `cfg.threads` scoped workers by [`ga_bench::run_sweep`]'s
+/// atomic claim loop: each worker pulls the next unclaimed unit index,
+/// so independent packs execute concurrently instead of draining
+/// serially behind one another. Results then scatter into a
+/// slot-per-job table on the caller thread, so the output order is the
 /// input order regardless of thread count, completion order, or how
-/// jobs were packed.
+/// jobs were packed. The pool size that actually ran, the wall time
+/// spent inside pack units, and the batch's compiled-netlist cache
+/// hit/miss deltas are all recorded in the returned [`ServeStats`].
 pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
     let sw = Stopwatch::start();
+    let (cache_hits_before, cache_misses_before) = ga_engine::global_cache().counters();
     let units = plan_units(jobs);
     let mut stats = ServeStats::default();
     for u in &units {
@@ -374,36 +416,28 @@ pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
     }
 
     let threads = cfg.threads.clamp(1, units.len().max(1));
-    let queue: BoundedQueue<Unit> = BoundedQueue::new(cfg.queue_capacity.max(1));
-    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    stats.threads_used = threads as u64;
 
-    thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                while let Some(unit) = queue.pop() {
-                    let produced = exec_unit_with_recovery(jobs, &unit, cfg);
-                    let mut table = relock(slots.lock());
-                    for r in produced {
-                        let idx = r.job;
-                        debug_assert!(table[idx].is_none(), "job {idx} produced twice");
-                        table[idx] = Some(r);
-                    }
-                }
-            });
+    let pack_micros = AtomicU64::new(0);
+    let per_unit: Vec<Vec<JobResult>> = run_sweep(&units, threads, |_, unit| {
+        let t = Instant::now();
+        let produced = exec_unit_with_recovery(jobs, unit, cfg);
+        if matches!(unit, Unit::Pack(_)) {
+            pack_micros.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
         }
-        for unit in units {
-            // Blocks while the queue is full; the queue is only closed
-            // below, after every unit is in.
-            queue.push(unit).expect("queue closed while feeding");
-        }
-        queue.close();
+        produced
     });
+
+    let mut slots: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+    for r in per_unit.into_iter().flatten() {
+        let idx = r.job;
+        debug_assert!(slots[idx].is_none(), "job {idx} produced twice");
+        slots[idx] = Some(r);
+    }
 
     // An unfilled slot is a service bug, but it must fail that job with
     // a typed error — not panic the caller after the batch already ran.
     let results: Vec<JobResult> = slots
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
@@ -426,6 +460,10 @@ pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
             stats.degraded += 1;
         }
     }
+    stats.pack_micros = pack_micros.into_inner();
+    let (cache_hits_after, cache_misses_after) = ga_engine::global_cache().counters();
+    stats.cache_hits = cache_hits_after.saturating_sub(cache_hits_before);
+    stats.cache_misses = cache_misses_after.saturating_sub(cache_misses_before);
     stats.wall_seconds = sw.seconds();
     ServeOutcome { results, stats }
 }
@@ -478,8 +516,9 @@ mod tests {
 
     #[test]
     fn small_queue_capacity_still_completes() {
-        // Backpressure path: 2-slot queue, many units — the feeder must
-        // block and resume rather than drop or deadlock.
+        // The legacy queue knob must stay accepted (it tunes the
+        // streaming front-end, not the claim loop), and a batch with
+        // far more units than threads must drain completely.
         let jobs: Vec<GaJob> = (0..25)
             .map(|i| quick_job(BackendKind::Behavioral, 0x2000 + i as u16))
             .collect();
@@ -494,6 +533,27 @@ mod tests {
         assert_eq!(out.results.len(), 25);
         assert_eq!(out.stats.jobs(), 25);
         assert_eq!(out.stats.errors(), 0);
+        assert_eq!(out.stats.threads_used, 3, "pool size is recorded");
+    }
+
+    #[test]
+    fn reported_threads_are_the_clamped_pool_size() {
+        // 2 units, 16 configured threads: only 2 workers can ever hold
+        // a unit, and that is what the stats and the report must say.
+        let jobs = vec![
+            quick_job(BackendKind::Behavioral, 0x2100),
+            quick_job(BackendKind::Behavioral, 0x2101),
+        ];
+        let out = serve_batch(
+            &jobs,
+            &ServeConfig {
+                threads: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stats.threads_used, 2);
+        let json = out.stats.to_report().to_json();
+        assert!(json.contains("\"threads\": 2"), "honest threads in {json}");
     }
 
     #[test]
@@ -516,6 +576,29 @@ mod tests {
         assert_eq!(out.stats.packed_lanes, 75);
         assert_eq!(out.stats.counters(BackendKind::BitSim64).jobs, 75);
         assert_eq!(out.stats.errors(), 0);
+        // The pack path ran, so its metrics must be live: nonzero pack
+        // wall time, a finite throughput, and one compiled-netlist
+        // cache lookup per pack (hit or miss — the cache is
+        // process-global, so other tests may have warmed it).
+        assert!(out.stats.pack_micros > 0);
+        assert!(out.stats.pack_jobs_per_sec() > 0.0);
+        assert!(out.stats.cache_hits + out.stats.cache_misses >= out.stats.packs);
+    }
+
+    #[test]
+    fn wide_backends_pack_beyond_64_lanes() {
+        // 200 compatible bitsim256 jobs fit one 256-lane pack; the same
+        // load on bitsim128 takes two packs (128 + 72 active lanes).
+        for (backend, want_packs) in [(BackendKind::BitSim256, 1), (BackendKind::BitSim128, 2)] {
+            let jobs: Vec<GaJob> = (0..200u16)
+                .map(|i| quick_job(backend, 0x9000 + i))
+                .collect();
+            let out = serve_batch(&jobs, &ServeConfig::default());
+            assert_eq!(out.stats.packs, want_packs, "{}", backend.name());
+            assert_eq!(out.stats.packed_lanes, 200);
+            assert_eq!(out.stats.counters(backend).jobs, 200);
+            assert_eq!(out.stats.errors(), 0);
+        }
     }
 
     #[test]
@@ -534,7 +617,7 @@ mod tests {
         assert_eq!(jobs.len(), BackendKind::ALL.len());
         let out = serve_batch(&jobs, &ServeConfig::default());
         assert_eq!(out.stats.errors(), 0);
-        let json = out.stats.to_report(2).to_json();
+        let json = out.stats.to_report().to_json();
         for kind in ga_engine::global().kinds() {
             assert_eq!(out.stats.counters(kind).jobs, 1, "{}", kind.name());
             for key in [
@@ -700,7 +783,7 @@ mod tests {
             assert_eq!(beh.degraded, None, "native jobs carry no metadata");
             assert_eq!(bit.outcome, beh.outcome, "fallback answer is exact");
         }
-        let json = out.stats.to_report(1).to_json();
+        let json = out.stats.to_report().to_json();
         assert!(json.contains("\"degraded_jobs\": 6"), "missing in {json}");
     }
 
@@ -708,12 +791,15 @@ mod tests {
     fn report_carries_the_serve_schema() {
         let jobs = vec![quick_job(BackendKind::BitSim64, 9)];
         let out = serve_batch(&jobs, &ServeConfig::default());
-        let json = out.stats.to_report(4).to_json();
+        let json = out.stats.to_report().to_json();
         for key in [
             "\"name\": \"serve\"",
             "jobs_per_sec",
-            "bitsim64_packs",
-            "bitsim64_active_lanes",
+            "bitsim_packs",
+            "bitsim_active_lanes",
+            "bitsim_pack_jobs_per_sec",
+            "netlist_cache_hits",
+            "netlist_cache_misses",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -9,17 +9,21 @@
 //! [`CompiledNetlist`] does the expensive work **once**: validation,
 //! topological ordering, and flattening of the gate graph into a dense
 //! instruction stream (`out ← op(a, b, c)` over plain array indices —
-//! no hashing, no per-call allocation). [`BitSim`] then evaluates that
-//! stream over one `u64` **word per net**, which is the classic
+//! no hashing, no per-call allocation). [`BitSimW`] then evaluates that
+//! stream over `W` `u64` **words per net**, which is the classic
 //! word-level logic-simulation trick: every Boolean gate is a bitwise
-//! instruction, so one pass through the gate array advances **64
-//! independent simulation lanes** at once (64 seeds, 64 grid cells, 64
-//! stimulus streams). Lane *k* of every net word is a complete,
-//! independent simulation — the software analogue of the
-//! full-population parallelism Torquato & Fernandes get from replicated
-//! hardware.
+//! instruction, so one pass through the gate array advances **64·W
+//! independent simulation lanes** at once (64·W seeds, grid cells,
+//! stimulus streams). Lane *k* lives in bit `k % 64` of word `k / 64`
+//! of every net, and is a complete, independent simulation — the
+//! software analogue of the full-population parallelism Torquato &
+//! Fernandes get from replicated hardware. `W` is a const generic, so
+//! each width compiles to straight-line word ops the autovectorizer can
+//! fuse ([u64; 4] is one AVX2/AVX-512 lane-slice per gate).
 //!
-//! A scalar caller simply uses lane 0 (the compiled scalar fast path);
+//! [`BitSim`] is the `W = 1` (64-lane) case and keeps the original
+//! scalar-word API (`net`/`set_net`/`lane_mask` over a bare `u64`). A
+//! scalar caller simply uses lane 0 (the compiled scalar fast path);
 //! [`CompiledNetlist::eval_comb`] / [`CompiledNetlist::step_seq`] are
 //! drop-in equivalents of the `Netlist` methods for existing
 //! testbenches.
@@ -196,7 +200,7 @@ impl CompiledNetlist {
     }
 
     /// One ternary combinational pass: the abstract-interpretation
-    /// analogue of [`BitSim::eval_comb`] — every logic gate once, in
+    /// analogue of [`BitSimW::eval_comb`] — every logic gate once, in
     /// topological order, over the [`Tern`] domain. Because each gate
     /// op is a sound abstraction of its Boolean counterpart, a concrete
     /// evaluation from covered sources is covered on every net.
@@ -218,17 +222,24 @@ impl CompiledNetlist {
         }
     }
 
-    /// Fresh simulation state bound to this compiled netlist.
-    pub fn sim(&self) -> BitSim<'_> {
-        let mut vals = vec![0u64; self.n_nets];
+    /// Fresh simulation state bound to this compiled netlist, at any
+    /// lane width: `W` words per net, `64·W` lanes per pass.
+    pub fn sim_wide<const W: usize>(&self) -> BitSimW<'_, W> {
+        let mut vals = vec![[0u64; W]; self.n_nets];
         for &id in &self.const_ones {
-            vals[id as usize] = u64::MAX;
+            vals[id as usize] = [u64::MAX; W];
         }
-        BitSim {
+        BitSimW {
             cn: self,
             vals,
-            latch: vec![0u64; self.regs.len()],
+            latch: vec![[0u64; W]; self.regs.len()],
         }
+    }
+
+    /// Fresh 64-lane simulation state (the `W = 1` case of
+    /// [`CompiledNetlist::sim_wide`]).
+    pub fn sim(&self) -> BitSim<'_> {
+        self.sim_wide::<1>()
     }
 
     /// Drop-in equivalent of [`Netlist::eval_comb`] on the compiled
@@ -264,35 +275,52 @@ impl CompiledNetlist {
     }
 }
 
-/// Simulation state over a [`CompiledNetlist`]: one `u64` per net, bit
-/// *k* of every word belonging to independent lane *k*.
+/// Per-word bitwise combinators over `[u64; W]` net words. Plain
+/// `from_fn` loops over a const-known `W`: the optimizer unrolls them
+/// and fuses adjacent words into SIMD lanes.
+#[inline(always)]
+fn map1<const W: usize>(a: [u64; W], f: impl Fn(u64) -> u64) -> [u64; W] {
+    std::array::from_fn(|i| f(a[i]))
+}
+
+#[inline(always)]
+fn map2<const W: usize>(a: [u64; W], b: [u64; W], f: impl Fn(u64, u64) -> u64) -> [u64; W] {
+    std::array::from_fn(|i| f(a[i], b[i]))
+}
+
+/// Simulation state over a [`CompiledNetlist`]: `W` `u64` words per
+/// net, bit `k % 64` of word `k / 64` belonging to independent lane
+/// *k*. [`BitSim`] aliases the original 64-lane `W = 1` case.
 #[derive(Debug, Clone)]
-pub struct BitSim<'a> {
+pub struct BitSimW<'a, const W: usize> {
     cn: &'a CompiledNetlist,
-    vals: Vec<u64>,
+    vals: Vec<[u64; W]>,
     /// Scratch for the register latch (double-buffered so a Q net
     /// feeding another register's D directly latches the *pre-edge*
     /// value, as real flip-flops do).
-    latch: Vec<u64>,
+    latch: Vec<[u64; W]>,
 }
 
-impl BitSim<'_> {
-    /// Number of independent simulation lanes in one word.
-    pub const LANES: usize = 64;
+/// The original 64-lane simulator: one word per net.
+pub type BitSim<'a> = BitSimW<'a, 1>;
 
-    /// Word mask with one bit set per *active* lane (`active` low
-    /// lanes). A pack that carries fewer than 64 jobs must AND every
-    /// per-net observation with this mask so the idle tail lanes —
-    /// which sit at the all-zero reset state — can never leak into
+impl<const W: usize> BitSimW<'_, W> {
+    /// Number of independent simulation lanes in one net's words.
+    pub const LANES: usize = 64 * W;
+
+    /// Per-word mask with one bit set per *active* lane (`active` low
+    /// lanes). A pack that carries fewer than `64·W` jobs must AND
+    /// every per-net observation with this mask so the idle tail lanes
+    /// — which sit at the all-zero reset state — can never leak into
     /// results or metrics (the padding-skew fix).
     #[inline]
-    pub fn lane_mask(active: usize) -> u64 {
+    pub fn lane_mask_words(active: usize) -> [u64; W] {
         debug_assert!(active <= Self::LANES);
-        if active >= Self::LANES {
-            u64::MAX
-        } else {
-            (1u64 << active) - 1
-        }
+        std::array::from_fn(|w| match active.saturating_sub(w * 64) {
+            0 => 0,
+            n if n >= 64 => u64::MAX,
+            n => (1u64 << n) - 1,
+        })
     }
 
     /// The compiled netlist this state belongs to.
@@ -300,43 +328,48 @@ impl BitSim<'_> {
         self.cn
     }
 
-    /// Raw word of a net (all 64 lanes).
+    /// Raw words of a net (all `64·W` lanes, lane 0 in bit 0 of word 0).
     #[inline]
-    pub fn net(&self, net: NetId) -> u64 {
+    pub fn net_words(&self, net: NetId) -> [u64; W] {
         self.vals[net as usize]
     }
 
-    /// Overwrite the word of a source net (input or register Q). Writing
-    /// a logic net is allowed but will be recomputed by the next pass.
+    /// Overwrite the words of a source net (input or register Q).
+    /// Writing a logic net is allowed but will be recomputed by the
+    /// next pass.
     #[inline]
-    pub fn set_net(&mut self, net: NetId, word: u64) {
-        self.vals[net as usize] = word;
+    pub fn set_net_words(&mut self, net: NetId, words: [u64; W]) {
+        self.vals[net as usize] = words;
     }
 
     /// Value of one lane of one net.
     #[inline]
     pub fn lane_bool(&self, net: NetId, lane: usize) -> bool {
         debug_assert!(lane < Self::LANES);
-        (self.vals[net as usize] >> lane) & 1 == 1
+        (self.vals[net as usize][lane / 64] >> (lane % 64)) & 1 == 1
     }
 
     /// Broadcast `value` across **all** lanes of a bus (bit *i* of
     /// `value` drives every lane of `bus[i]`).
     pub fn set_bus_all(&mut self, bus: &[NetId], value: u64) {
         for (i, &net) in bus.iter().enumerate() {
-            self.vals[net as usize] = if (value >> i) & 1 == 1 { u64::MAX } else { 0 };
+            self.vals[net as usize] = if (value >> i) & 1 == 1 {
+                [u64::MAX; W]
+            } else {
+                [0; W]
+            };
         }
     }
 
     /// Drive `value` onto one lane of a bus, leaving other lanes alone.
     pub fn set_bus_lane(&mut self, bus: &[NetId], lane: usize, value: u64) {
         debug_assert!(lane < Self::LANES);
-        let bit = 1u64 << lane;
+        let (word, bit) = (lane / 64, 1u64 << (lane % 64));
         for (i, &net) in bus.iter().enumerate() {
             if (value >> i) & 1 == 1 {
-                self.vals[net as usize] |= bit;
+                self.vals[net as usize][word] |= bit;
             } else {
-                self.vals[net as usize] &= !bit;
+                self.vals[net as usize][word] &= !bit;
             }
         }
     }
@@ -344,28 +377,32 @@ impl BitSim<'_> {
     /// Read a bus back from one lane (LSB first).
     pub fn bus_lane(&self, bus: &[NetId], lane: usize) -> u64 {
         debug_assert!(lane < Self::LANES);
+        let (word, shift) = (lane / 64, lane % 64);
         let mut v = 0u64;
         for (i, &net) in bus.iter().enumerate() {
-            v |= ((self.vals[net as usize] >> lane) & 1) << i;
+            v |= ((self.vals[net as usize][word] >> shift) & 1) << i;
         }
         v
     }
 
     /// One combinational pass: every logic gate once, in topological
-    /// order, all 64 lanes at a time.
+    /// order, all `64·W` lanes at a time.
     pub fn eval_comb(&mut self) {
         let vals = &mut self.vals;
         for op in &self.cn.ops {
             let a = vals[op.a as usize];
             let v = match op.kind {
                 OpKind::Buf => a,
-                OpKind::Inv => !a,
-                OpKind::And => a & vals[op.b as usize],
-                OpKind::Or => a | vals[op.b as usize],
-                OpKind::Xor => a ^ vals[op.b as usize],
-                OpKind::Nand => !(a & vals[op.b as usize]),
-                OpKind::Nor => !(a | vals[op.b as usize]),
-                OpKind::Mux => (a & vals[op.b as usize]) | (!a & vals[op.c as usize]),
+                OpKind::Inv => map1(a, |a| !a),
+                OpKind::And => map2(a, vals[op.b as usize], |a, b| a & b),
+                OpKind::Or => map2(a, vals[op.b as usize], |a, b| a | b),
+                OpKind::Xor => map2(a, vals[op.b as usize], |a, b| a ^ b),
+                OpKind::Nand => map2(a, vals[op.b as usize], |a, b| !(a & b)),
+                OpKind::Nor => map2(a, vals[op.b as usize], |a, b| !(a | b)),
+                OpKind::Mux => {
+                    let (b, c) = (vals[op.b as usize], vals[op.c as usize]);
+                    std::array::from_fn(|i| (a[i] & b[i]) | (!a[i] & c[i]))
+                }
             };
             vals[op.out as usize] = v;
         }
@@ -386,8 +423,30 @@ impl BitSim<'_> {
     /// Reset every register word (all lanes) to zero.
     pub fn clear_regs(&mut self) {
         for r in &self.cn.regs {
-            self.vals[r.q as usize] = 0;
+            self.vals[r.q as usize] = [0; W];
         }
+    }
+}
+
+impl BitSim<'_> {
+    /// Word mask with one bit set per *active* lane — the scalar-word
+    /// (`W = 1`) form of [`BitSimW::lane_mask_words`].
+    #[inline]
+    pub fn lane_mask(active: usize) -> u64 {
+        Self::lane_mask_words(active)[0]
+    }
+
+    /// Raw word of a net (all 64 lanes).
+    #[inline]
+    pub fn net(&self, net: NetId) -> u64 {
+        self.vals[net as usize][0]
+    }
+
+    /// Overwrite the word of a source net (input or register Q). Writing
+    /// a logic net is allowed but will be recomputed by the next pass.
+    #[inline]
+    pub fn set_net(&mut self, net: NetId, word: u64) {
+        self.vals[net as usize] = [word];
     }
 }
 
@@ -585,5 +644,79 @@ mod tests {
         sim.step(); // q1: 1→0, q2: ←old q1 = 1
         assert!(!sim.lane_bool(0, 0));
         assert!(sim.lane_bool(1, 0));
+    }
+
+    #[test]
+    fn wide_lanes_are_independent_across_word_boundaries() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim_wide::<4>();
+        assert_eq!(BitSimW::<4>::LANES, 256);
+        // Put lanes 1, 64, 130, and 255 in antiphase with lane 0: every
+        // word boundary is crossed, and they must all stay antiphase.
+        let odd = [1, 64, 130, 255];
+        let mut words = [0u64; 4];
+        for &lane in &odd {
+            words[lane / 64] |= 1u64 << (lane % 64);
+        }
+        sim.set_net_words(0, words);
+        for step in 0..16 {
+            sim.step();
+            for &lane in &odd {
+                assert_ne!(
+                    sim.lane_bool(0, 0),
+                    sim.lane_bool(0, lane),
+                    "lane {lane} converged at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_bus_lane_roundtrip_in_high_words() {
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut sim = cn.sim_wide::<2>();
+        let bus = [0u32, 1, 3];
+        sim.set_bus_lane(&bus, 100, 0b101);
+        assert_eq!(sim.bus_lane(&bus, 100), 0b101);
+        assert_eq!(sim.bus_lane(&bus, 99), 0);
+        assert_eq!(sim.bus_lane(&bus, 36), 0);
+        sim.set_bus_all(&bus, 0b010);
+        assert_eq!(sim.bus_lane(&bus, 0), 0b010);
+        assert_eq!(sim.bus_lane(&bus, 127), 0b010);
+    }
+
+    #[test]
+    fn wide_matches_narrow_lane_for_lane() {
+        // The same stimulus in lane k of a W=4 sim and lane k%64 of a
+        // W=1 sim must produce identical traces: widening adds lanes,
+        // never changes gate semantics.
+        let nl = toggle_netlist();
+        let cn = CompiledNetlist::compile(&nl).unwrap();
+        let mut narrow = cn.sim();
+        let mut wide = cn.sim_wide::<4>();
+        narrow.set_net(0, 0b1); // lane 0 starts high
+        wide.set_bus_lane(&[0], 192, 0b1); // word-3 lane starts high
+        for _ in 0..12 {
+            narrow.step();
+            wide.step();
+            assert_eq!(narrow.lane_bool(0, 0), wide.lane_bool(0, 192));
+            assert_eq!(narrow.lane_bool(3, 0), wide.lane_bool(3, 192));
+        }
+    }
+
+    #[test]
+    fn lane_mask_words_covers_word_boundaries() {
+        assert_eq!(BitSim::lane_mask(0), 0);
+        assert_eq!(BitSim::lane_mask(1), 1);
+        assert_eq!(BitSim::lane_mask(64), u64::MAX);
+        assert_eq!(BitSimW::<2>::lane_mask_words(64), [u64::MAX, 0]);
+        assert_eq!(BitSimW::<2>::lane_mask_words(65), [u64::MAX, 1]);
+        assert_eq!(
+            BitSimW::<4>::lane_mask_words(130),
+            [u64::MAX, u64::MAX, 0b11, 0]
+        );
+        assert_eq!(BitSimW::<4>::lane_mask_words(256), [u64::MAX; 4]);
     }
 }

@@ -4,7 +4,7 @@
 //! register ([`crate::netlist::Netlist::regs`], in scan-chain order),
 //! so the register index doubles as a stable **fault site** ID: site
 //! *s* is the flip-flop at scan position *s*. The injector corrupts a
-//! site's Q word directly in [`BitSim`] state *after* a clock edge —
+//! site's Q word directly in [`BitSimW`] state *after* a clock edge —
 //! the word-level model of a particle strike on the storage node — and
 //! supports the three classic polarities: a transient flip (SEU) and
 //! stuck-at-0/1 held for a bounded number of cycles.
@@ -15,7 +15,7 @@
 //! the campaign driver's GA runs) without the simulator knowing faults
 //! exist.
 
-use crate::bitsim::BitSim;
+use crate::bitsim::BitSimW;
 use crate::netlist::NetId;
 
 /// Fault polarity and duration at one site/lane.
@@ -49,9 +49,10 @@ impl NetFaultKind {
 /// One fault: which flip-flop, which simulation lane, when, and how.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetFault {
-    /// Scan-order register index (see [`BitSim::compiled`] `.regs()`).
+    /// Scan-order register index (see [`BitSimW::compiled`] `.regs()`).
     pub site: usize,
-    /// Simulation lane (0..[`BitSim::LANES`]).
+    /// Simulation lane (0..[`BitSimW::LANES`] of the driven simulator —
+    /// word `lane / 64`, bit `lane % 64`, at any lane width `W`).
     pub lane: usize,
     /// First clock edge (0-based, counted by the injector) affected.
     pub at_cycle: u64,
@@ -85,13 +86,15 @@ impl FaultInjector {
     /// scan register, in scan-chain order. `galint` checks this list is
     /// exactly the set of sequential elements, so no flip-flop can
     /// silently fall outside a campaign's reach.
-    pub fn sites(sim: &BitSim<'_>) -> Vec<NetId> {
+    pub fn sites<const W: usize>(sim: &BitSimW<'_, W>) -> Vec<NetId> {
         sim.compiled().regs().iter().map(|r| r.q).collect()
     }
 
     /// Corrupt the post-edge register state per the active faults, then
-    /// advance the injector's cycle counter.
-    pub fn after_step(&mut self, sim: &mut BitSim<'_>) {
+    /// advance the injector's cycle counter. Lane addressing is
+    /// width-aware: lane *k* of a `W`-word simulator is bit `k % 64` of
+    /// word `k / 64`.
+    pub fn after_step<const W: usize>(&mut self, sim: &mut BitSimW<'_, W>) {
         let now = self.cycle;
         for f in &self.faults {
             let active = match f.kind {
@@ -110,15 +113,21 @@ impl FaultInjector {
                 f.site,
                 regs.len()
             );
+            assert!(
+                f.lane < BitSimW::<W>::LANES,
+                "fault lane {} outside the {} lanes of the simulator",
+                f.lane,
+                BitSimW::<W>::LANES
+            );
             let q = regs[f.site].q;
-            let bit = 1u64 << f.lane;
-            let word = sim.net(q);
-            let corrupted = match f.kind {
-                NetFaultKind::Transient => word ^ bit,
-                NetFaultKind::Stuck0 { .. } => word & !bit,
-                NetFaultKind::Stuck1 { .. } => word | bit,
+            let (word, bit) = (f.lane / 64, 1u64 << (f.lane % 64));
+            let mut words = sim.net_words(q);
+            words[word] = match f.kind {
+                NetFaultKind::Transient => words[word] ^ bit,
+                NetFaultKind::Stuck0 { .. } => words[word] & !bit,
+                NetFaultKind::Stuck1 { .. } => words[word] | bit,
             };
-            sim.set_net(q, corrupted);
+            sim.set_net_words(q, words);
         }
         self.cycle += 1;
     }
@@ -196,6 +205,48 @@ mod tests {
         let cn = toggle();
         let sim = cn.sim();
         assert_eq!(FaultInjector::sites(&sim), vec![0]);
+    }
+
+    #[test]
+    fn wide_injection_lands_in_the_right_word() {
+        // Lane 129 of a 4-word simulator is bit 1 of word 2; the flip
+        // must corrupt exactly that lane and leak into no other.
+        let cn = toggle();
+        let mut sim = cn.sim_wide::<4>();
+        let mut inj = FaultInjector::new(vec![NetFault {
+            site: 0,
+            lane: 129,
+            at_cycle: 1,
+            kind: NetFaultKind::Transient,
+        }]);
+        for edge in 0..6u64 {
+            sim.step();
+            inj.after_step(&mut sim);
+            for lane in [0usize, 63, 64, 128, 130, 255] {
+                assert_eq!(
+                    sim.lane_bool(0, 0),
+                    sim.lane_bool(0, lane),
+                    "fault leaked into lane {lane} at edge {edge}"
+                );
+            }
+            let hit = sim.lane_bool(0, 129) != sim.lane_bool(0, 0);
+            assert_eq!(hit, edge >= 1, "lane 129 antiphase from edge 1 on");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 64 lanes")]
+    fn out_of_range_lane_is_rejected() {
+        let cn = toggle();
+        let mut sim = cn.sim();
+        let mut inj = FaultInjector::new(vec![NetFault {
+            site: 0,
+            lane: 64,
+            at_cycle: 0,
+            kind: NetFaultKind::Transient,
+        }]);
+        sim.step();
+        inj.after_step(&mut sim);
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //!   combinational and sequential simulation;
 //! * [`bitsim`] — the compiled simulation engine: a [`CompiledNetlist`]
 //!   caches validation + topological order in a dense instruction
-//!   stream, and [`BitSim`] evaluates it with one `u64` word per net —
-//!   64 independent simulation lanes per pass (word-level logic
+//!   stream, and [`BitSimW`] evaluates it with `W` `u64` words per net
+//!   — 64·W independent simulation lanes per pass (word-level logic
 //!   simulation, the netlist-regression analogue of the paper's
-//!   population-parallel hardware);
+//!   population-parallel hardware; [`BitSim`] is the 64-lane `W = 1`
+//!   case);
 //! * [`builder`] — the RT-level component library (adders, comparators,
 //!   muxes, decoders, mask networks, an array multiplier, scan register
 //!   banks) elaborated into gates, each builder proven equivalent to
@@ -53,7 +54,7 @@ pub mod tern;
 pub mod timing;
 pub mod verilog;
 
-pub use bitsim::{BitSim, CompiledNetlist, CompiledOp, OpKind};
+pub use bitsim::{BitSim, BitSimW, CompiledNetlist, CompiledOp, OpKind};
 pub use builder::Builder;
 pub use device::Xc2vp30;
 pub use error::SynthError;

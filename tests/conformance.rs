@@ -18,7 +18,10 @@
 //!
 //! The proptest half covers the serving layer's job packing: any ≤64
 //! compatible jobs packed into one 64-lane netlist run must finish
-//! with results equal to each job run solo.
+//! with results equal to each job run solo, and any ≤256-job batch on
+//! the wide `bitsim128`/`bitsim256` backends must be bit-identical to
+//! solo `bitsim64` runs of the same jobs (idle tail lanes sit at the
+//! CA's all-zero fixed point and never contaminate a result).
 
 use carng::seeds::PRESET_SEEDS;
 use ga_core::scaling::GaEngine32;
@@ -172,6 +175,41 @@ proptest! {
             prop_assert_eq!(
                 &r.outcome, &solo.results[0].outcome,
                 "job {} (seed {:#06x}) packed != solo", i, job.params.seed
+            );
+        }
+    }
+
+    /// The wide-lane packing invariant: a batch of up to 256 compatible
+    /// jobs on `bitsim128` or `bitsim256` — crossing every 64-lane word
+    /// boundary of the widened simulator — produces, per job, exactly
+    /// the result of running that job solo on `bitsim64`.
+    #[test]
+    fn wide_packed_jobs_equal_solo_bitsim64_runs(
+        n_jobs in 1usize..=256,
+        wide_sel in 0usize..2,
+        pop in 4u8..=16,
+        n_gens in 1u32..=2,
+        seed0 in 0u16..=u16::MAX,
+        func in 0usize..6,
+    ) {
+        let wide = [BackendKind::BitSim128, BackendKind::BitSim256][wide_sel];
+        let f = TestFunction::ALL[func];
+        let mk = |backend, i: usize| {
+            let seed = seed0.wrapping_add((i as u16).wrapping_mul(12007));
+            GaJob::new(f, backend, GaParams::new(pop, n_gens, 10, 1, seed))
+        };
+        let jobs: Vec<GaJob> = (0..n_jobs).map(|i| mk(wide, i)).collect();
+        let cfg = ServeConfig { threads: 2, ..ServeConfig::default() };
+        let packed = serve_batch(&jobs, &cfg);
+        prop_assert_eq!(packed.results.len(), n_jobs);
+        for i in 0..n_jobs {
+            let r = &packed.results[i];
+            prop_assert_eq!(r.job, i);
+            prop_assert_eq!(r.backend, wide, "wide lanes must not degrade");
+            let solo = serve_batch(&[mk(BackendKind::BitSim64, i)], &cfg);
+            prop_assert_eq!(
+                &r.outcome, &solo.results[0].outcome,
+                "job {} on {} != solo bitsim64", i, wide.name()
             );
         }
     }
