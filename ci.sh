@@ -63,6 +63,32 @@ GA_BENCH_OUT="$SMOKE_DIR" ./target/release/fault_campaign --xcheck > /dev/null
     'xcheck_unsound_sites<=0' 'static_unobservable_sites>=16' \
     'static_unobservable_sites<=16' 'static_masked_injections>=48'
 
+echo "== testgen smoke (GA-evolved fault-coverage probes, strided grid)"
+# The GA evolves (seed, window, polarity) probe sets against the fault
+# harness; the evolved set must strictly beat a size-matched random
+# baseline and — the static/dynamic contract — claim zero detections at
+# galint's statically-unobservable sites. The full-grid fixture
+# comparison runs in the default `cargo test` (testgen_fixture.rs);
+# here the quick strided grid pins coverage, margin and soundness.
+cargo build -q --release -p ga-bench --bin testgen_campaign --bin heal_campaign
+GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 ./target/release/testgen_campaign > /dev/null
+./target/release/benchcheck "$SMOKE_DIR/BENCH_testgen.json" \
+    'coverage>=47' 'margin_vs_baseline>=1' 'unsound_detections<=0' \
+    'probes>=3' 'fixture_mismatch<=0'
+
+echo "== healing smoke (VRC heal campaign vs the exhaustive oracle)"
+# Workload::VrcHeal through every registered 16-bit backend: the GA
+# must heal >=90% of oracle-healable cases in quick mode (100% on the
+# committed full grid) and never "heal" an oracle-unhealable one
+# (ghost_heals). The report folds in the testgen headline so one
+# artifact gates both halves of the closed fault loop.
+GA_BENCH_OUT="$SMOKE_DIR" GA_BENCH_QUICK=1 \
+    GA_BENCH_TESTGEN_REF="$SMOKE_DIR/BENCH_testgen.json" \
+    ./target/release/heal_campaign > /dev/null
+./target/release/benchcheck "$SMOKE_DIR/BENCH_ehw.json" \
+    'heal_rate>=0.9' 'ghost_heals<=0' 'cases>=48' \
+    'testgen_coverage>=47' 'testgen_unsound_detections<=0'
+
 echo "== conformance (registry-driven cross-engine matrix, quick by default)"
 # Every 16-bit engine in the registry (behavioral, swga, RTL
 # interpreter, bitsim64 lane) must agree generation-for-generation, and
@@ -88,7 +114,8 @@ done
 
 echo "== gaserved golden fixture + BENCH_serve.json throughput floors"
 # The serving layer replays the checked-in fixture (16-bit jobs on the
-# narrow engines plus width-32 jobs on rtl32); the output must be
+# narrow engines, width-32 jobs on rtl32, plus five VRC heal jobs —
+# one deliberately unhealable); the output must be
 # byte-identical to the committed golden (results are deterministic and
 # carry no timing fields). benchcheck then validates the emitted
 # report, requires per-backend throughput counters for every registered

@@ -84,7 +84,7 @@ fn main() {
         for &seed in &TABLE7_SEEDS {
             let spec = RunSpec {
                 width: 16,
-                function: TestFunction::Bf6,
+                workload: ga_engine::Workload::Function(TestFunction::Bf6),
                 params: GaParams::new(32, 32, 10, 1, seed),
                 deadline_ms: None,
             };

@@ -1,0 +1,169 @@
+//! `testgen_campaign` — GA-evolved fault-coverage test generation,
+//! emitting `BENCH_testgen.json` and the committed detector fixture.
+//!
+//! Closes the loop on the fault campaign: instead of grading a fixed
+//! workload, the repository's own GA evolves *probe sets* — (seed,
+//! injection-window, polarity) test stimuli — whose fitness is the
+//! number of the 424 fault sites they detect (see
+//! `ga_bench::testgen`). Each greedy round maximizes newly-detected
+//! sites; the chosen detectors are compared against a size-matched
+//! random probe baseline (the acceptance bar: the evolved set must
+//! strictly beat it) and cross-checked against galint's static
+//! observability report (a detection at a statically-unobservable site
+//! would be an unsound static claim; pinned to zero in CI).
+//!
+//! `GA_BENCH_QUICK` strides the scan grid by 8 and shrinks the GA for
+//! the smoke run. The full grid regenerates — deterministically — the
+//! committed `tests/fixtures/testgen_detectors.json`: run with
+//! `GA_TESTGEN_WRITE=1` to (re)write it, without to verify the evolved
+//! set still matches the committed one bit-for-bit (path override:
+//! `GA_TESTGEN_FIXTURE`).
+
+use ga_bench::{
+    default_threads, evolve_detectors, quick, random_baseline, BenchReport, Stopwatch, TestgenCtx,
+    SCAN_SITES, TOTAL_SITES,
+};
+
+fn main() {
+    let sw = Stopwatch::start();
+    let threads = default_threads();
+    let quick_run = quick();
+    let (stride, rounds, pop, gens) = if quick_run {
+        (8, 3, 6, 2)
+    } else {
+        (1, 6, 8, 4)
+    };
+
+    let mut ctx = TestgenCtx::new(stride, threads);
+    let sites = ctx.site_indices();
+    println!("## GA-evolved fault-coverage test generation");
+    println!(
+        "universe: {} sites ({} scan stride {stride} + 16 net), GA rounds {rounds} pop {pop} gens {gens}",
+        sites.len(),
+        sites.len() - 16
+    );
+
+    // --- Greedy evolution --------------------------------------------------
+    let (detectors, covered) = evolve_detectors(&mut ctx, rounds, pop, gens);
+    println!(
+        "\n{:>6} {:>8} {:>7} {:>6}",
+        "probe", "polarity", "window", "gain"
+    );
+    println!("{}", "-".repeat(32));
+    for d in &detectors {
+        println!(
+            "{:#06x} {:>8} {:>7} {:>6}",
+            d.probe.0,
+            match d.probe.0 >> 14 {
+                1 => "stuck0",
+                2 => "stuck1",
+                _ => "flip",
+            },
+            d.probe.window(),
+            d.gained
+        );
+    }
+    let coverage = covered.count();
+    let coverage_pct = 100.0 * coverage as f64 / sites.len() as f64;
+    println!(
+        "evolved: {} probes detect {coverage}/{} sites ({coverage_pct:.1}%)",
+        detectors.len(),
+        sites.len()
+    );
+
+    // --- Random baseline ---------------------------------------------------
+    let (_, base_covered) = random_baseline(&mut ctx, detectors.len());
+    let baseline = base_covered.count();
+    let margin = coverage as i64 - baseline as i64;
+    println!(
+        "baseline: {} random probes detect {baseline} sites (evolved margin {margin:+})",
+        detectors.len()
+    );
+
+    // --- Static cross-check ------------------------------------------------
+    let report = galint::observability_report().expect("shipping designs elaborate");
+    let mut unsound = 0u64;
+    let mut static_unobservable = 0u64;
+    for &site in &sites {
+        let verdict = if site < SCAN_SITES {
+            report.scan_site(site)
+        } else {
+            report.net_site(site - SCAN_SITES)
+        }
+        .expect("every swept site has a static verdict");
+        if verdict.observable {
+            continue;
+        }
+        static_unobservable += 1;
+        if covered.get(site) || base_covered.get(site) {
+            unsound += 1;
+            eprintln!(
+                "UNSOUND: {} ({} site) is statically unobservable but a probe detected it",
+                verdict.field,
+                verdict.domain.as_str()
+            );
+        }
+    }
+    println!(
+        "static cross-check: {static_unobservable} unobservable sites in the grid, \
+         {unsound} unsound detection(s)"
+    );
+
+    // --- Committed fixture -------------------------------------------------
+    let fixture_path = std::env::var("GA_TESTGEN_FIXTURE")
+        .unwrap_or_else(|_| "tests/fixtures/testgen_detectors.json".to_string());
+    let mut fixture_mismatch = false;
+    if !quick_run {
+        let words: Vec<String> = detectors.iter().map(|d| d.probe.0.to_string()).collect();
+        let maps: Vec<String> = detectors.iter().map(|d| d.map.to_hex()).collect();
+        let rendered = format!(
+            "{{\n  \"name\": \"testgen_detectors\",\n  \"workload\": \"F3 pop=8 gens=4\",\n  \
+             \"sites\": {TOTAL_SITES},\n  \"probes\": {},\n  \"coverage\": {coverage},\n  \
+             \"baseline_coverage\": {baseline},\n  \"probe_words\": \"{}\",\n  \
+             \"probe_maps\": \"{}\"\n}}\n",
+            detectors.len(),
+            words.join(","),
+            maps.join(",")
+        );
+        if std::env::var("GA_TESTGEN_WRITE").is_ok_and(|v| !v.is_empty() && v != "0") {
+            std::fs::write(&fixture_path, &rendered).expect("fixture path writable");
+            println!("fixture written: {fixture_path}");
+        } else {
+            match std::fs::read_to_string(&fixture_path) {
+                Ok(committed) if committed == rendered => {
+                    println!("fixture matches the committed {fixture_path}");
+                }
+                Ok(_) => {
+                    eprintln!(
+                        "fixture MISMATCH: evolved set differs from {fixture_path} \
+                         (regenerate with GA_TESTGEN_WRITE=1)"
+                    );
+                    fixture_mismatch = true;
+                }
+                Err(e) => eprintln!("fixture {fixture_path} not readable ({e}); skipping"),
+            }
+        }
+    }
+
+    // --- Report ------------------------------------------------------------
+    BenchReport::new("testgen", sw.seconds(), 1, threads as u64)
+        .metric("sites", sites.len() as f64)
+        .metric("probes", detectors.len() as f64)
+        .metric("coverage", coverage as f64)
+        .metric("coverage_pct", coverage_pct)
+        .metric("baseline_coverage", baseline as f64)
+        .metric("margin_vs_baseline", margin as f64)
+        .metric("unsound_detections", unsound as f64)
+        .metric("static_unobservable_sites", static_unobservable as f64)
+        .metric("distinct_probes", ctx.distinct_probes() as f64)
+        .metric("injection_sims", ctx.sims as f64)
+        .metric("fixture_mismatch", u64::from(fixture_mismatch) as f64)
+        .emit_or_warn();
+
+    if unsound != 0 || fixture_mismatch {
+        eprintln!(
+            "testgen campaign failed (unsound={unsound}, fixture_mismatch={fixture_mismatch})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod fault;
 pub mod report;
 pub mod sweep;
+pub mod testgen;
 
 pub use fault::{
     classify_hw, golden_hw_run, run_net_injection, run_scan_injection, ClassCounts, NetOutcome,
@@ -33,6 +34,10 @@ pub use report::{
     gens_override, json_extract_number, json_extract_string, quick, BenchReport, Stopwatch,
 };
 pub use sweep::{default_threads, grid3, lane_chunks, run_sweep};
+pub use testgen::{
+    evolve_detectors, random_baseline, Detector, Probe, SiteBitmap, TestgenCtx, NET_SITES,
+    SCAN_SITES, TOTAL_SITES,
+};
 
 use ga_core::{GaParams, GaSystem};
 use ga_fitness::{FemBank, FemSlot, LookupFem, TestFunction};
@@ -147,12 +152,22 @@ pub fn hw_system(f: TestFunction) -> GaSystem {
 /// and the default [`ga_engine::Limits`] watchdog (~40 s of simulated
 /// 50 MHz time) is generous.
 pub fn run_on(kind: BackendKind, f: TestFunction, params: &GaParams) -> RunOutcome {
+    run_workload_on(kind, ga_engine::Workload::Function(f), params)
+}
+
+/// [`run_on`] generalized to any engine-layer workload (the heal
+/// campaign drives [`ga_engine::Workload::VrcHeal`] through here).
+pub fn run_workload_on(
+    kind: BackendKind,
+    workload: ga_engine::Workload,
+    params: &GaParams,
+) -> RunOutcome {
     let engine = ga_engine::global()
         .get(kind)
         .unwrap_or_else(|| panic!("backend {} is not registered", kind.name()));
     let spec = ga_engine::RunSpec {
         width: engine.capabilities().widths[0],
-        function: f,
+        workload,
         params: *params,
         deadline_ms: None,
     };

@@ -1,0 +1,459 @@
+//! GA-evolved fault-coverage test generation.
+//!
+//! The fault campaign ([`crate::fault`]) grades a *fixed* workload
+//! against every injectable site. This module closes the loop: it uses
+//! the repository's own GA (the behavioral engine the paper's core
+//! implements) to **evolve the test stimuli themselves** — compact
+//! probe sets whose fitness is the number of fault sites they detect
+//! across the full 424-site universe (408 scan-chain bits of the
+//! cycle-accurate core + 16 flip-flops of the compiled CA-RNG netlist).
+//!
+//! A *probe* is one u16 chromosome describing a complete injection
+//! experiment (see [`Probe`] for the field encoding): which GA workload
+//! seed to run, when in the run to inject, and with which polarity. A
+//! probe **detects** a site when injecting that site under the probe's
+//! conditions produces an observable divergence from the probe's own
+//! fault-free golden run:
+//!
+//! * scan sites — any non-`Masked` grade from [`classify_hw`]
+//!   (`Detected`, `Corrupted` or `Hung` all surface at an output);
+//! * netlist sites — a `Corrupted` RNG stream ([`run_net_injection`]
+//!   has no separate detected class: the stream *is* the output).
+//!
+//! Detector sets are built greedily: each round runs a small GA over
+//! probe space where fitness = number of **newly** detected sites
+//! (classic greedy set cover with a GA as the inner maximizer), and
+//! stops when a round gains nothing. Per-probe detection bitmaps are
+//! memoized, so the GA's re-evaluations of recurring chromosomes are
+//! free and the total simulation count stays proportional to the number
+//! of *distinct* probes explored.
+//!
+//! The evolved set is cross-checked against galint's static
+//! observability report: a detection at a statically-unobservable site
+//! would be an unsound "provably cannot reach an output" claim, so the
+//! campaign (and the committed-fixture test) pin that count to zero.
+
+use std::collections::HashMap;
+
+use carng::CaRng;
+use ga_core::behavioral::GaEngine;
+use ga_core::{GaCoreHw, GaParams};
+use ga_engine::RunOutcome;
+use ga_fitness::TestFunction;
+use ga_synth::bitsim::CompiledNetlist;
+use ga_synth::gadesign::elaborate_ca_rng;
+use ga_synth::{NetFault, NetFaultKind};
+use hwsim::{BitFault, FaultClass};
+
+use crate::{classify_hw, golden_hw_run, run_net_injection, run_scan_injection, run_sweep};
+
+/// Scan-chain sites (bit positions of the cycle-accurate core).
+pub const SCAN_SITES: usize = GaCoreHw::SCAN_LENGTH;
+/// Netlist sites (flip-flops of the compiled CA-RNG).
+pub const NET_SITES: usize = 16;
+/// The full fault universe: scan positions `0..408`, then netlist
+/// sites `408..424`.
+pub const TOTAL_SITES: usize = SCAN_SITES + NET_SITES;
+
+/// Probe workload function — the same small-but-real GA the fault
+/// campaign uses, so detections compose with its grading machinery.
+pub const PROBE_FUNCTION: TestFunction = TestFunction::F3;
+/// Probe workload population.
+pub const PROBE_POP: u8 = 8;
+/// Probe workload generations.
+pub const PROBE_GENS: u32 = 4;
+/// Stuck-at hold duration for netlist injections, in edges.
+pub const STUCK_CYCLES: u64 = 4;
+/// Draws extracted per netlist injection.
+pub const NET_DRAWS: usize = 64;
+
+/// One evolved test stimulus, encoded as a u16 GA chromosome:
+///
+/// ```text
+/// 15 14 | 13 12 11 | 10 .. 0
+/// polar |  window  |  seed
+/// ```
+///
+/// * bits 15–14 — fault polarity selector: 0 or 3 → bit-flip /
+///   transient, 1 → stuck-0, 2 → stuck-1 (the two flip encodings are
+///   folded together by [`Probe::canonical`]);
+/// * bits 13–11 — injection window 0..8, mapped linearly into the
+///   probe run's landable injection span (scan) or draw stream (net);
+/// * bits 10–0 — workload seed, offset into `0x0800..=0x0FFF` so the
+///   CA-RNG never sees the degenerate all-zero seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Probe(pub u16);
+
+impl Probe {
+    /// Scan-domain polarity (bits 15–14).
+    pub fn scan_kind(self) -> BitFault {
+        match self.0 >> 14 {
+            1 => BitFault::Force0,
+            2 => BitFault::Force1,
+            _ => BitFault::Flip,
+        }
+    }
+
+    /// Netlist-domain polarity — the same selector, mapped onto the
+    /// netlist fault model.
+    pub fn net_kind(self) -> NetFaultKind {
+        match self.0 >> 14 {
+            1 => NetFaultKind::Stuck0 {
+                cycles: STUCK_CYCLES,
+            },
+            2 => NetFaultKind::Stuck1 {
+                cycles: STUCK_CYCLES,
+            },
+            _ => NetFaultKind::Transient,
+        }
+    }
+
+    /// Injection window index (bits 13–11), `0..8`.
+    pub fn window(self) -> u64 {
+        u64::from((self.0 >> 11) & 0b111)
+    }
+
+    /// Workload seed (bits 10–0, offset into the nonzero band).
+    pub fn seed(self) -> u16 {
+        0x0800 | (self.0 & 0x07FF)
+    }
+
+    /// Canonical re-encoding: folds the two flip selectors (0 and 3)
+    /// together so aliased chromosomes share one memo entry.
+    pub fn canonical(self) -> u16 {
+        let sel = match self.0 >> 14 {
+            1 => 1u16,
+            2 => 2,
+            _ => 0,
+        };
+        (sel << 14) | (self.0 & 0x3FFF)
+    }
+}
+
+/// Detection bitmap over the 424-site universe (bit `i` = site `i`
+/// detected; scan positions first, then netlist sites at `408 + k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteBitmap(pub [u64; 7]);
+
+impl SiteBitmap {
+    /// Set site `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < TOTAL_SITES, "site {i} out of range");
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Is site `i` set?
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < TOTAL_SITES, "site {i} out of range");
+        self.0[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of detected sites.
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Union in-place.
+    pub fn or(&mut self, other: SiteBitmap) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a |= b;
+        }
+    }
+
+    /// Sites set here but not in `covered` — the greedy gain mask.
+    pub fn and_not(&self, covered: SiteBitmap) -> SiteBitmap {
+        let mut out = *self;
+        for (a, b) in out.0.iter_mut().zip(covered.0) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// Fixed-width hex encoding (7 × 16 hex digits, word 0 = sites
+    /// 0–63 first) — the committed-fixture wire format.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|w| format!("{w:016x}")).collect()
+    }
+
+    /// Parse [`SiteBitmap::to_hex`] output.
+    pub fn from_hex(s: &str) -> Option<SiteBitmap> {
+        if s.len() != 112 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = SiteBitmap::default();
+        for (i, chunk) in s.as_bytes().chunks(16).enumerate() {
+            let text = std::str::from_utf8(chunk).ok()?;
+            out.0[i] = u64::from_str_radix(text, 16).ok()?;
+        }
+        Some(out)
+    }
+}
+
+/// Cached per-seed golden run plus the derived injection geometry.
+struct GoldenCtx {
+    golden: RunOutcome,
+    watchdog: u64,
+    lo: u64,
+    hi: u64,
+}
+
+/// Shared evaluation context: compiled netlist, per-seed golden cache,
+/// and the per-probe detection-bitmap memo that makes GA re-evaluation
+/// of recurring chromosomes free.
+pub struct TestgenCtx {
+    cn: CompiledNetlist,
+    scan_positions: Vec<usize>,
+    threads: usize,
+    goldens: HashMap<u16, GoldenCtx>,
+    memo: HashMap<u16, SiteBitmap>,
+    /// Individual injection simulations executed (memo misses only).
+    pub sims: u64,
+}
+
+impl TestgenCtx {
+    /// Build a context sweeping every `stride`-th scan position (1 =
+    /// the full grid) plus all 16 netlist sites, with `threads` sweep
+    /// workers.
+    pub fn new(stride: usize, threads: usize) -> TestgenCtx {
+        TestgenCtx {
+            cn: CompiledNetlist::compile(&elaborate_ca_rng()).expect("CA-RNG netlist compiles"),
+            scan_positions: (0..SCAN_SITES).step_by(stride.max(1)).collect(),
+            threads,
+            goldens: HashMap::new(),
+            memo: HashMap::new(),
+            sims: 0,
+        }
+    }
+
+    /// The swept site indices (strided scan positions, then all
+    /// netlist sites as `408 + k`).
+    pub fn site_indices(&self) -> Vec<usize> {
+        let mut out = self.scan_positions.clone();
+        out.extend((0..NET_SITES).map(|k| SCAN_SITES + k));
+        out
+    }
+
+    /// Number of distinct probes actually simulated.
+    pub fn distinct_probes(&self) -> usize {
+        self.memo.len()
+    }
+
+    fn golden_for(&mut self, seed: u16) -> &GoldenCtx {
+        self.goldens.entry(seed).or_insert_with(|| {
+            let params = GaParams::new(PROBE_POP, PROBE_GENS, 10, 1, seed);
+            let golden = golden_hw_run(PROBE_FUNCTION, &params);
+            let cycles = golden.cycles.expect("the rtl backend reports cycles");
+            // Same geometry as the fault campaign: inject after warmup,
+            // before the run can finish, watch well past recovery.
+            let lo = 50u64.min(cycles / 4);
+            let hi = (cycles * 3 / 4).max(lo + 1);
+            let watchdog = cycles * 4 + 2 * SCAN_SITES as u64 + 64;
+            GoldenCtx {
+                golden,
+                watchdog,
+                lo,
+                hi,
+            }
+        })
+    }
+
+    /// The probe's detection bitmap over the swept sites (memoized by
+    /// canonical probe encoding).
+    pub fn detect_map(&mut self, probe: Probe) -> SiteBitmap {
+        let key = probe.canonical();
+        if let Some(&map) = self.memo.get(&key) {
+            return map;
+        }
+        let seed = probe.seed();
+        let params = GaParams::new(PROBE_POP, PROBE_GENS, 10, 1, seed);
+        self.golden_for(seed);
+        let g = &self.goldens[&seed];
+        let at_cycle = g.lo + (g.hi - g.lo) * probe.window() / 8;
+        let net_cycle = probe.window() * (NET_DRAWS as u64 / 8);
+        let (golden, watchdog) = (&g.golden, g.watchdog);
+
+        let sites = self.site_indices();
+        let cn = &self.cn;
+        let hits = run_sweep(&sites, self.threads, |_, &site| {
+            if site < SCAN_SITES {
+                let outcome = run_scan_injection(
+                    PROBE_FUNCTION,
+                    &params,
+                    watchdog,
+                    crate::ScanInjection {
+                        position: site,
+                        kind: probe.scan_kind(),
+                        at_cycle,
+                    },
+                );
+                classify_hw(golden, &outcome) != FaultClass::Masked
+            } else {
+                let o = run_net_injection(
+                    cn,
+                    seed,
+                    NET_DRAWS,
+                    NetFault {
+                        site: site - SCAN_SITES,
+                        lane: 0,
+                        at_cycle: net_cycle,
+                        kind: probe.net_kind(),
+                    },
+                );
+                o.class == FaultClass::Corrupted
+            }
+        });
+
+        let mut map = SiteBitmap::default();
+        for (&site, &hit) in sites.iter().zip(&hits) {
+            if hit {
+                map.set(site);
+            }
+        }
+        self.sims += sites.len() as u64;
+        self.memo.insert(key, map);
+        map
+    }
+}
+
+/// One detector chosen by the greedy evolution.
+#[derive(Debug, Clone, Copy)]
+pub struct Detector {
+    /// The probe chromosome.
+    pub probe: Probe,
+    /// Sites this probe detects (over the swept grid).
+    pub map: SiteBitmap,
+    /// Newly covered sites at the round it was chosen.
+    pub gained: u32,
+}
+
+/// Greedy set-cover evolution: each round runs a small GA over probe
+/// space (fitness = newly detected sites given everything already
+/// covered), keeps the round's best probe, and stops early when a
+/// round gains nothing. Fully deterministic: round seeds derive from
+/// the campaign seed, and every evaluation is a pure function of the
+/// probe.
+pub fn evolve_detectors(
+    ctx: &mut TestgenCtx,
+    rounds: usize,
+    pop: u8,
+    gens: u32,
+) -> (Vec<Detector>, SiteBitmap) {
+    let mut covered = SiteBitmap::default();
+    let mut chosen = Vec::new();
+    for round in 0..rounds {
+        let round_seed = 0x2961u16.rotate_left(round as u32 * 3) ^ round as u16;
+        let params = GaParams::new(pop, gens, 10, 1, round_seed);
+        let run = GaEngine::new(params, CaRng::new(round_seed), |word| {
+            let gain = ctx.detect_map(Probe(word)).and_not(covered).count();
+            u16::try_from(gain).expect("gain fits: the universe is 424 sites")
+        })
+        .run();
+        let probe = Probe(run.best.chrom);
+        let map = ctx.detect_map(probe);
+        let gained = map.and_not(covered).count();
+        if gained == 0 {
+            break;
+        }
+        covered.or(map);
+        chosen.push(Detector { probe, map, gained });
+    }
+    (chosen, covered)
+}
+
+/// Size-matched random baseline: `n` probes drawn from a fixed-seed
+/// CA-RNG stream, graded with the same memoized evaluator. The
+/// acceptance bar is that the evolved set strictly beats this.
+pub fn random_baseline(ctx: &mut TestgenCtx, n: usize) -> (Vec<Probe>, SiteBitmap) {
+    use carng::Rng16;
+    let mut rng = CaRng::new(0xBA5E);
+    let probes: Vec<Probe> = (0..n).map(|_| Probe(rng.next_u16())).collect();
+    let mut covered = SiteBitmap::default();
+    for &p in &probes {
+        covered.or(ctx.detect_map(p));
+    }
+    (probes, covered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_decode_covers_the_contract() {
+        // Selector 0 and 3 are both flips; 1/2 are the stuck pair.
+        assert_eq!(Probe(0x0000).scan_kind(), BitFault::Flip);
+        assert_eq!(Probe(0xC000).scan_kind(), BitFault::Flip);
+        assert_eq!(Probe(0x4000).scan_kind(), BitFault::Force0);
+        assert_eq!(Probe(0x8000).scan_kind(), BitFault::Force1);
+        assert!(matches!(Probe(0x0000).net_kind(), NetFaultKind::Transient));
+        assert!(matches!(
+            Probe(0x4000).net_kind(),
+            NetFaultKind::Stuck0 {
+                cycles: STUCK_CYCLES
+            }
+        ));
+        assert!(matches!(
+            Probe(0x8000).net_kind(),
+            NetFaultKind::Stuck1 {
+                cycles: STUCK_CYCLES
+            }
+        ));
+        for word in [0u16, 0xFFFF, 0x1234, 0x8001, 0x47FF] {
+            let p = Probe(word);
+            assert!(p.window() < 8);
+            assert!((0x0800..=0x0FFF).contains(&p.seed()), "seed nonzero band");
+            // Canonicalization folds flip aliases and nothing else.
+            let c = Probe(p.canonical());
+            assert_eq!(c.scan_kind(), p.scan_kind());
+            assert_eq!(c.window(), p.window());
+            assert_eq!(c.seed(), p.seed());
+        }
+        assert_eq!(Probe(0xC123).canonical(), 0x0123);
+        assert_eq!(Probe(0x8123).canonical(), 0x8123);
+    }
+
+    #[test]
+    fn bitmap_set_count_hex_roundtrip() {
+        let mut m = SiteBitmap::default();
+        for i in [0, 63, 64, 407, 408, TOTAL_SITES - 1] {
+            m.set(i);
+            assert!(m.get(i));
+        }
+        assert_eq!(m.count(), 6);
+        let hex = m.to_hex();
+        assert_eq!(hex.len(), 112);
+        assert_eq!(SiteBitmap::from_hex(&hex), Some(m));
+        assert_eq!(SiteBitmap::from_hex("zz"), None);
+        assert_eq!(SiteBitmap::from_hex(&"g".repeat(112)), None);
+
+        let mut covered = SiteBitmap::default();
+        covered.set(0);
+        covered.set(64);
+        let gain = m.and_not(covered);
+        assert_eq!(gain.count(), 4);
+        assert!(!gain.get(0) && gain.get(63));
+        let mut u = covered;
+        u.or(m);
+        assert_eq!(u.count(), 6);
+    }
+
+    #[test]
+    fn net_detection_semantics_match_the_campaign() {
+        // One cheap netlist-only check: a mid-stream transient on site
+        // 0 corrupts the extracted stream, so the probe detects it;
+        // the memo returns the identical bitmap on re-query without
+        // re-simulating.
+        let mut ctx = TestgenCtx::new(SCAN_SITES, 1); // 1 scan site + 16 net
+        let probe = Probe(0x0123); // flip/transient, window 0
+        let map = ctx.detect_map(probe);
+        let sims = ctx.sims;
+        assert_eq!(sims, 17, "1 strided scan position + 16 net sites");
+        assert!(
+            map.get(SCAN_SITES),
+            "transient on CA-RNG site 0 must corrupt the stream"
+        );
+        assert_eq!(ctx.detect_map(probe), map, "memo hit");
+        assert_eq!(ctx.detect_map(Probe(0xC123)), map, "flip alias memo hit");
+        assert_eq!(ctx.sims, sims, "no new simulations after the memo");
+    }
+}

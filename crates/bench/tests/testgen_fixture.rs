@@ -1,0 +1,114 @@
+//! Consistency + soundness checks for the committed evolved-detector
+//! fixture (`tests/fixtures/testgen_detectors.json`).
+//!
+//! The fixture is regenerated deterministically by `testgen_campaign`
+//! (full grid); this test validates the *committed* copy without
+//! re-running any injection: the per-probe detection bitmaps must be
+//! well-formed, their union must re-count to the claimed coverage, the
+//! evolved set must strictly beat its recorded random baseline, and —
+//! the static/dynamic cross-check contract — no probe may claim a
+//! detection at a site galint proves statically unobservable.
+
+use ga_bench::{
+    json_extract_number, json_extract_string, Probe, SiteBitmap, SCAN_SITES, TOTAL_SITES,
+};
+use std::path::Path;
+
+fn fixture() -> String {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/testgen_detectors.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed fixture {} unreadable: {e}", path.display()))
+}
+
+fn num(json: &str, key: &str) -> f64 {
+    json_extract_number(json, key).unwrap_or_else(|| panic!("missing '{key}'"))
+}
+
+fn parse_probes(json: &str) -> (Vec<Probe>, Vec<SiteBitmap>) {
+    let words = json_extract_string(json, "probe_words").expect("probe_words present");
+    let maps = json_extract_string(json, "probe_maps").expect("probe_maps present");
+    let probes: Vec<Probe> = words
+        .split(',')
+        .map(|w| Probe(w.parse().expect("probe word is a u16")))
+        .collect();
+    let bitmaps: Vec<SiteBitmap> = maps
+        .split(',')
+        .map(|m| SiteBitmap::from_hex(m).expect("112-hex-digit bitmap"))
+        .collect();
+    (probes, bitmaps)
+}
+
+#[test]
+fn fixture_is_self_consistent() {
+    let json = fixture();
+    assert_eq!(num(&json, "sites") as usize, TOTAL_SITES);
+    let (probes, maps) = parse_probes(&json);
+    assert_eq!(probes.len(), num(&json, "probes") as usize);
+    assert_eq!(maps.len(), probes.len(), "one bitmap per probe");
+    assert!(!probes.is_empty(), "the evolved set is non-empty");
+
+    // Decoded fields stay inside the probe contract.
+    for p in &probes {
+        assert!(p.window() < 8);
+        assert!((0x0800..=0x0FFF).contains(&p.seed()));
+    }
+
+    // The union re-counts to the claimed coverage, every probe
+    // contributes at least one detection, and no bitmap claims a site
+    // outside the universe.
+    let mut union = SiteBitmap::default();
+    for m in &maps {
+        assert!(m.count() > 0, "a chosen detector detects something");
+        assert_eq!(
+            m.0[6] >> (TOTAL_SITES - 6 * 64),
+            0,
+            "bitmap claims a site beyond the 424-site universe"
+        );
+        union.or(*m);
+    }
+    let coverage = num(&json, "coverage") as u32;
+    assert_eq!(union.count(), coverage, "union != claimed coverage");
+
+    // The acceptance bar: strictly better than the size-matched random
+    // baseline recorded alongside it.
+    let baseline = num(&json, "baseline_coverage") as u32;
+    assert!(
+        coverage > baseline,
+        "evolved set ({coverage}) must strictly beat the random baseline ({baseline})"
+    );
+}
+
+/// The static/dynamic cross-check contract: galint's 424-site
+/// observability report and the evolved detectors must agree — zero
+/// claimed detections on statically-unobservable sites.
+#[test]
+fn fixture_detections_are_statically_sound() {
+    let json = fixture();
+    let (_, maps) = parse_probes(&json);
+    let mut union = SiteBitmap::default();
+    for m in &maps {
+        union.or(*m);
+    }
+
+    let report = galint::observability_report().expect("shipping designs elaborate");
+    let mut unobservable = 0;
+    for site in 0..TOTAL_SITES {
+        let verdict = if site < SCAN_SITES {
+            report.scan_site(site)
+        } else {
+            report.net_site(site - SCAN_SITES)
+        }
+        .expect("every site has a static verdict");
+        if verdict.observable {
+            continue;
+        }
+        unobservable += 1;
+        assert!(
+            !union.get(site),
+            "UNSOUND: {} is statically unobservable but the committed fixture claims a detection",
+            verdict.field
+        );
+    }
+    assert_eq!(unobservable, 16, "the static report pins 16 seed sites");
+}

@@ -23,4 +23,6 @@ pub mod fem;
 pub mod vrc;
 
 pub use fem::VrcFem;
-pub use vrc::{healing_fitness, CellFn, Fault, TruthTable, Vrc};
+pub use vrc::{
+    healable, healing_fitness, CellFn, Fault, TruthTable, Vrc, PERFECT_FITNESS, SHIPPED_TARGETS,
+};

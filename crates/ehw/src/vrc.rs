@@ -30,6 +30,9 @@ pub enum CellFn {
 }
 
 impl CellFn {
+    /// Every cell function, code order.
+    pub const ALL: [CellFn; 4] = [CellFn::And, CellFn::Or, CellFn::Xor, CellFn::Nand];
+
     /// Decode a 2-bit code.
     pub fn from_code(code: u8) -> Self {
         match code & 0b11 {
@@ -48,6 +51,36 @@ impl CellFn {
             CellFn::Xor => a ^ b,
             CellFn::Nand => !(a & b),
         }
+    }
+
+    /// Apply the function across all 16 input patterns at once: each
+    /// operand packs one signal's value per pattern (bit `i` = the
+    /// signal on pattern `i`), so one word op evaluates the whole
+    /// truth-table column.
+    pub fn apply_tt(self, a: u16, b: u16) -> u16 {
+        match self {
+            CellFn::And => a & b,
+            CellFn::Or => a | b,
+            CellFn::Xor => a ^ b,
+            CellFn::Nand => !(a & b),
+        }
+    }
+
+    /// Stable lowercase name used in the JSONL heal-job schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellFn::And => "and",
+            CellFn::Or => "or",
+            CellFn::Xor => "xor",
+            CellFn::Nand => "nand",
+        }
+    }
+
+    /// Parse a function name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|f| f.name().eq_ignore_ascii_case(s))
     }
 }
 
@@ -73,10 +106,58 @@ pub enum Fault {
 }
 
 impl Fault {
-    fn cell(&self) -> usize {
+    /// The faulted cell's index (0–7).
+    pub fn cell(&self) -> usize {
         match *self {
             Fault::StuckAt { cell, .. } | Fault::WrongFn { cell, .. } => cell,
         }
+    }
+
+    /// Stable wire encoding used by the JSONL heal-job schema:
+    /// `stuck0@<cell>`, `stuck1@<cell>`, or `<fn>@<cell>` (e.g.
+    /// `nand@5` for a function code corrupted to NAND).
+    pub fn wire_name(&self) -> String {
+        match *self {
+            Fault::StuckAt { cell, value } => {
+                format!("stuck{}@{cell}", u8::from(value))
+            }
+            Fault::WrongFn { cell, actual } => format!("{}@{cell}", actual.name()),
+        }
+    }
+
+    /// Parse the [`wire_name`](Self::wire_name) encoding. Rejects cell
+    /// indices outside 0–7 and unknown fault kinds.
+    pub fn parse_wire(s: &str) -> Option<Fault> {
+        let (kind, cell) = s.split_once('@')?;
+        let cell: usize = cell.parse().ok()?;
+        if cell >= 8 {
+            return None;
+        }
+        match kind {
+            "stuck0" => Some(Fault::StuckAt { cell, value: false }),
+            "stuck1" => Some(Fault::StuckAt { cell, value: true }),
+            other => Some(Fault::WrongFn {
+                cell,
+                actual: CellFn::parse(other)?,
+            }),
+        }
+    }
+
+    /// Every single-cell fault the model can express: per cell, both
+    /// stuck-at polarities plus all four wrong-function corruptions
+    /// (8 cells × 6 = 48 faults). Campaign grids and the healability
+    /// property tests sweep this list.
+    pub fn all_single_cell() -> Vec<Fault> {
+        let mut out = Vec::with_capacity(48);
+        for cell in 0..8 {
+            for value in [false, true] {
+                out.push(Fault::StuckAt { cell, value });
+            }
+            for actual in CellFn::ALL {
+                out.push(Fault::WrongFn { cell, actual });
+            }
+        }
+        out
     }
 }
 
@@ -139,15 +220,40 @@ impl Vrc {
         self.cell(7, t, u)
     }
 
-    /// The circuit's full truth table.
-    pub fn truth_table(&self) -> TruthTable {
-        let mut tt = 0u16;
-        for pattern in 0..16u8 {
-            if self.eval(pattern) {
-                tt |= 1 << pattern;
+    /// Evaluate one cell across all 16 patterns at once (operands are
+    /// truth-table columns, bit `i` = the signal on pattern `i`).
+    fn cell_tt(&self, k: usize, a: u16, b: u16) -> u16 {
+        match self.fault {
+            Some(Fault::StuckAt { cell, value }) if cell == k => {
+                if value {
+                    0xFFFF
+                } else {
+                    0x0000
+                }
             }
+            Some(Fault::WrongFn { cell, actual }) if cell == k => actual.apply_tt(a, b),
+            _ => self.cell_fn(k).apply_tt(a, b),
         }
-        tt
+    }
+
+    /// The circuit's full truth table, computed bit-parallel: the four
+    /// input columns are constants (input `a` is high on odd patterns
+    /// ⇒ 0xAAAA, and so on), and each cell is one word operation. This
+    /// is what makes exhaustive 65 536-configuration sweeps (fitness
+    /// ROM tabulation, healability proofs) cheap.
+    pub fn truth_table(&self) -> TruthTable {
+        const A: u16 = 0xAAAA; // pattern bit 0
+        const B: u16 = 0xCCCC; // pattern bit 1
+        const C: u16 = 0xF0F0; // pattern bit 2
+        const D: u16 = 0xFF00; // pattern bit 3
+        let w = self.cell_tt(0, A, B);
+        let x = self.cell_tt(1, B, C);
+        let y = self.cell_tt(2, C, D);
+        let z = self.cell_tt(3, D, A);
+        let u = self.cell_tt(4, w, x);
+        let v = self.cell_tt(5, y, z);
+        let t = self.cell_tt(6, u, v);
+        self.cell_tt(7, t, u)
     }
 }
 
@@ -164,6 +270,35 @@ pub fn healing_fitness(config: u16, target: TruthTable, fault: Option<Fault>) ->
 
 /// Fitness of a perfect healing (all 16 rows correct).
 pub const PERFECT_FITNESS: u16 = 16 * 4095;
+
+/// The shipped healing targets: `(name, healthy configuration)` pairs
+/// whose fault-free truth tables are the functions the heal campaign
+/// and the healability property tests re-evolve. Chosen for diverse
+/// cell mixes (no cell function repeated fabric-wide) and non-trivial
+/// truth tables.
+pub const SHIPPED_TARGETS: [(&str, u16); 3] = [
+    // The healing-demo configuration (truth table 0x9B9B).
+    ("mix3", 0x1B26),
+    // A fabric using all four cell functions (truth table 0xAE7F).
+    ("mix7", 0x6C99),
+    // An inverting-heavy fabric, three NAND cells (truth table 0x05F0).
+    ("inv5", 0xB1E7),
+];
+
+/// Exhaustive healability oracle: is there *any* configuration whose
+/// faulted truth table matches `target`? The bit-parallel
+/// [`Vrc::truth_table`] makes the 65 536-configuration sweep cheap, so
+/// this is the ground truth the GA heal rate is measured against.
+pub fn healable(target: TruthTable, fault: Fault) -> bool {
+    (0..=u16::MAX).any(|config| {
+        Vrc {
+            config,
+            fault: Some(fault),
+        }
+        .truth_table()
+            == target
+    })
+}
 
 #[cfg(test)]
 mod tests {
@@ -270,6 +405,85 @@ mod tests {
         assert!(seen.len() > 100, "only {} distinct functions", seen.len());
         // Record the exact census to catch accidental changes.
         assert_eq!(seen.len(), 2339);
+    }
+
+    #[test]
+    fn bit_parallel_truth_table_matches_per_pattern_eval() {
+        // The word-parallel truth table must agree with the reference
+        // per-pattern evaluator on every fault variant.
+        let faults = {
+            let mut f: Vec<Option<Fault>> =
+                Fault::all_single_cell().into_iter().map(Some).collect();
+            f.push(None);
+            f
+        };
+        for cfg in (0..=u16::MAX).step_by(257) {
+            for &fault in &faults {
+                let vrc = Vrc { config: cfg, fault };
+                let mut reference = 0u16;
+                for pattern in 0..16u8 {
+                    if vrc.eval(pattern) {
+                        reference |= 1 << pattern;
+                    }
+                }
+                assert_eq!(
+                    vrc.truth_table(),
+                    reference,
+                    "cfg {cfg:04X} fault {fault:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_wire_codec_roundtrips() {
+        let all = Fault::all_single_cell();
+        assert_eq!(all.len(), 48);
+        for fault in all {
+            let name = fault.wire_name();
+            assert_eq!(Fault::parse_wire(&name), Some(fault), "{name}");
+        }
+        assert_eq!(
+            Fault::parse_wire("stuck1@2"),
+            Some(Fault::StuckAt {
+                cell: 2,
+                value: true
+            })
+        );
+        assert_eq!(
+            Fault::parse_wire("nand@7"),
+            Some(Fault::WrongFn {
+                cell: 7,
+                actual: CellFn::Nand
+            })
+        );
+        for bad in [
+            "stuck2@1", "and@8", "and@", "@3", "and", "frob@1", "stuck0@x",
+        ] {
+            assert_eq!(Fault::parse_wire(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn shipped_targets_are_distinct_and_nontrivial() {
+        let mut tts = Vec::new();
+        for (name, cfg) in SHIPPED_TARGETS {
+            let tt = Vrc::new(cfg).truth_table();
+            assert!(
+                tt != 0x0000 && tt != 0xFFFF,
+                "{name} has a constant truth table"
+            );
+            tts.push(tt);
+        }
+        tts.sort_unstable();
+        tts.dedup();
+        assert_eq!(
+            tts.len(),
+            SHIPPED_TARGETS.len(),
+            "duplicate target functions"
+        );
+        // The demo target keeps its pinned truth table.
+        assert_eq!(Vrc::new(SHIPPED_TARGETS[0].1).truth_table(), 0x9B9B);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests of the VRC healing contract.
+//!
+//! Two guarantees back the heal campaign and the serve-layer
+//! `HealReport`: (1) `healing_fitness` is maximal *exactly* when the
+//! faulted fabric reproduces the target on all 16 truth-table rows —
+//! so `best_fitness == PERFECT_FITNESS` is a sound "healed" verdict,
+//! never an artifact of the scoring scale; (2) for every shipped
+//! healing target, each of the 48 single-cell faults is either
+//! genuinely healable (some configuration restores the target) or on
+//! the explicitly documented unhealable list — there are no
+//! surprise-unhealable faults a served heal job could silently fail
+//! on.
+
+use ga_ehw::{healable, healing_fitness, CellFn, Fault, Vrc, PERFECT_FITNESS, SHIPPED_TARGETS};
+use proptest::prelude::*;
+
+/// Decode an index 0..48 into the corresponding single-cell fault
+/// (same order as `Fault::all_single_cell`).
+fn fault_at(idx: usize) -> Fault {
+    let cell = idx / 6;
+    match idx % 6 {
+        0 => Fault::StuckAt { cell, value: false },
+        1 => Fault::StuckAt { cell, value: true },
+        k => Fault::WrongFn {
+            cell,
+            actual: CellFn::ALL[k - 2],
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `healing_fitness` hits `PERFECT_FITNESS` iff the faulted truth
+    /// table equals the target, and otherwise scores exactly
+    /// 4095 × (matching rows) — the row-proportional scale the
+    /// selection pressure and the serve-layer `residual_error` both
+    /// assume.
+    #[test]
+    fn fitness_is_maximal_iff_all_sixteen_rows_match(
+        config in any::<u16>(),
+        target in any::<u16>(),
+        fault_idx in 0usize..49,
+    ) {
+        // Index 48 doubles as the fault-free case.
+        let fault = (fault_idx < 48).then(|| fault_at(fault_idx));
+        let got = Vrc { config, fault }.truth_table();
+        let fitness = healing_fitness(config, target, fault);
+
+        let matches = (!(got ^ target)).count_ones() as u16;
+        prop_assert_eq!(fitness, matches * 4095, "fitness is row-proportional");
+        prop_assert_eq!(
+            fitness == PERFECT_FITNESS,
+            got == target,
+            "maximal fitness must coincide exactly with a 16/16-row match"
+        );
+        // A perfect score is reachable at all: the fault-free fabric
+        // scores perfectly against its own truth table.
+        if fault.is_none() {
+            prop_assert_eq!(healing_fitness(config, got, None), PERFECT_FITNESS);
+        }
+    }
+}
+
+/// The documented unhealable faults per shipped target, in
+/// `Fault::all_single_cell` order. Everything *not* listed here is
+/// healable — some configuration of the faulted fabric reproduces the
+/// target exactly — which is what entitles the heal campaign to demand
+/// a 100% heal rate over the complement.
+///
+/// The lists are not arbitrary: a stuck output on a cell the target
+/// depends on non-trivially kills both polarities at once (e.g. every
+/// `stuck0@k`/`stuck1@k` pair below), and wrong-function corruptions
+/// are unhealable only where no re-wiring of the remaining seven cells
+/// can compensate for the lost function at that position.
+fn documented_unhealable(name: &str) -> &'static [&'static str] {
+    match name {
+        "mix3" => &[
+            "stuck0@0", "stuck1@0", "and@0", "or@0", "nand@0", "stuck0@1", "stuck1@1", "and@1",
+            "xor@1", "nand@1", "stuck0@4", "stuck1@4", "or@4", "xor@4", "stuck0@7", "stuck1@7",
+        ],
+        "mix7" => &[
+            "stuck0@0", "stuck1@0", "and@0", "nand@0", "stuck0@1", "stuck1@1", "or@1", "and@2",
+            "xor@2", "nand@2", "stuck0@3", "stuck1@3", "and@3", "or@3", "nand@3", "stuck0@4",
+            "stuck1@4", "or@4", "stuck0@5", "stuck1@5", "or@5", "xor@5", "stuck0@6", "stuck1@6",
+            "stuck0@7", "stuck1@7", "and@7",
+        ],
+        "inv5" => &[
+            "stuck0@2", "stuck1@2", "and@2", "or@2", "nand@2", "stuck0@3", "stuck1@3", "and@3",
+            "or@3", "xor@3", "stuck0@5", "stuck1@5", "or@5", "xor@5", "stuck0@6", "stuck1@6",
+            "stuck0@7", "stuck1@7", "or@7",
+        ],
+        other => panic!("undocumented shipped target '{other}'"),
+    }
+}
+
+/// Exhaustive healability census: for each shipped target, the oracle's
+/// unhealable set must equal the documented list fault-for-fault.
+#[test]
+fn every_single_cell_fault_is_healable_or_documented() {
+    for (name, config) in SHIPPED_TARGETS {
+        let target = Vrc::new(config).truth_table();
+        let unhealable: Vec<String> = Fault::all_single_cell()
+            .into_iter()
+            .filter(|&fault| !healable(target, fault))
+            .map(|fault| fault.wire_name())
+            .collect();
+        let documented = documented_unhealable(name);
+        assert_eq!(
+            unhealable, documented,
+            "{name} (tt {target:#06x}): oracle unhealable set drifted from the documented list"
+        );
+    }
+}

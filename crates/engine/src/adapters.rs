@@ -17,8 +17,24 @@ use swga::CountingGa;
 use crate::pack::{draws_per_run, try_ca_lane_streams_wide, StreamRng};
 use crate::spec::{
     convergence_generation, BackendKind, Capabilities, Engine, EngineError, Limits, Prepared,
-    RunOutcome, RunSpec, TrajPoint,
+    RunOutcome, RunSpec, TrajPoint, Workload,
 };
+
+/// Build the lookup FEM realizing a workload on the RTL system: the
+/// paper functions use their pre-tabulated ROM images; a healing
+/// workload tabulates [`ga_ehw::healing_fitness`] over all 65 536
+/// configurations (cheap — the VRC truth table is bit-parallel), so the
+/// cycle-accurate core serves healing exactly like any other FEM.
+fn lookup_fem(workload: Workload) -> LookupFem {
+    match workload {
+        Workload::Function(f) => LookupFem::for_function(f),
+        Workload::VrcHeal { target, fault } => {
+            LookupFem::new(ga_fitness::rom::FitnessRom::tabulate_fn(|c| {
+                ga_ehw::healing_fitness(c, target, Some(fault))
+            }))
+        }
+    }
+}
 
 /// Lift a 16-bit per-generation history (shared by the behavioral
 /// engine, the RTL interpreter's probe, and the swga reference) into
@@ -55,7 +71,7 @@ pub fn trajectory32(history: &[GenStats32]) -> Vec<TrajPoint> {
 /// always completes.
 fn run16<R: Rng16>(spec: &RunSpec, rng: R) -> Result<RunOutcome, EngineError> {
     let params = spec.params;
-    let f = spec.function;
+    let f = spec.workload;
     let mut deadline = spec.deadline_ms.map(Deadline::after_ms);
     let mut engine = GaEngine::new(params, rng, move |c| f.eval_u16(c));
     let mut history = Vec::with_capacity(params.n_gens as usize + 1);
@@ -86,7 +102,7 @@ fn run16<R: Rng16>(spec: &RunSpec, rng: R) -> Result<RunOutcome, EngineError> {
 /// source — the island-member factory both 16-bit stepping adapters
 /// share.
 fn stepper16<R: Rng16 + Send + 'static>(spec: &RunSpec, rng: R) -> Box<dyn ga_core::IslandMember> {
-    let f = spec.function;
+    let f = spec.workload;
     Box::new(GaEngine::new(spec.params, rng, move |c| f.eval_u16(c)))
 }
 
@@ -148,9 +164,9 @@ impl Engine for RtlInterpEngine {
 
     fn run(&self, prepared: &Prepared, limits: &Limits) -> Result<RunOutcome, EngineError> {
         let spec = prepared.spec();
-        let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(
-            LookupFem::for_function(spec.function),
-        )]));
+        let mut sys = GaSystem::new(FemBank::new(vec![FemSlot::Lookup(lookup_fem(
+            spec.workload,
+        ))]));
         sys.program(&spec.params);
         let mut deadline = spec.deadline_ms.map(Deadline::after_ms);
         let run = sys
@@ -291,7 +307,7 @@ impl Engine for SwgaEngine {
                 return Err(EngineError::DeadlineExceeded);
             }
         }
-        let f = spec.function;
+        let f = spec.workload;
         let run = CountingGa::new(spec.params, move |c| f.eval_u16(c)).run();
         let trajectory = trajectory16(&run.history);
         Ok(RunOutcome {
@@ -333,7 +349,7 @@ impl Engine for Rtl32Engine {
 
     fn run(&self, prepared: &Prepared, limits: &Limits) -> Result<RunOutcome, EngineError> {
         let spec = prepared.spec();
-        let f = spec.function;
+        let f = spec.workload;
         let mut sys = GaSystem32Hw::new(move |c: u32| f.eval_u32_split(c));
         sys.program(&spec.params);
         let start_cycles = sys.cycles();
@@ -372,7 +388,7 @@ mod tests {
     fn spec(width: u8, backendless_params: GaParams) -> RunSpec {
         RunSpec {
             width,
-            function: TestFunction::Bf6,
+            workload: Workload::Function(TestFunction::Bf6),
             params: backendless_params,
             deadline_ms: None,
         }
@@ -410,9 +426,9 @@ mod tests {
     fn rtl32_matches_the_behavioral_dual_core_model() {
         let params = GaParams::new(8, 4, 10, 1, 0x2961);
         let mut s = spec(32, params);
-        s.function = TestFunction::F3;
+        s.workload = Workload::Function(TestFunction::F3);
         let hw = run_on(&Rtl32Engine, s).expect("rtl32 runs");
-        let f = s.function;
+        let f = TestFunction::F3;
         let sw = ga_core::GaEngine32::new(
             params,
             CaRng::new(params.seed),
@@ -425,6 +441,45 @@ mod tests {
         assert_eq!(hw.trajectory, trajectory32(&sw.history));
         assert_eq!(hw.evaluations, params.evaluations_per_run());
         assert!(hw.cycles.expect("rtl32 reports cycles") > 0);
+    }
+
+    #[test]
+    fn healing_workload_agrees_across_16_bit_backends() {
+        // The heal workload must be served bit-identically by the
+        // closure path (behavioral, bitsim, swga) and the tabulated-ROM
+        // path (cycle-accurate RTL).
+        let mut s = spec(16, GaParams::new(16, 12, 10, 1, 0xB342));
+        s.workload = Workload::VrcHeal {
+            target: 0x9B9B,
+            fault: ga_ehw::Fault::StuckAt {
+                cell: 2,
+                value: true,
+            },
+        };
+        let reference = run_on(&BehavioralEngine, s).expect("behavioral heals");
+        for e in [
+            &RtlInterpEngine as &dyn Engine,
+            &BitSimWideEngine::<1>,
+            &BitSimWideEngine::<2>,
+            &BitSimWideEngine::<4>,
+        ] {
+            let r = run_on(e, s).expect("backend heals");
+            assert_eq!(
+                (r.best_chrom, r.best_fitness, &r.trajectory),
+                (
+                    reference.best_chrom,
+                    reference.best_fitness,
+                    &reference.trajectory
+                ),
+                "{:?} healing run diverged",
+                e.kind()
+            );
+        }
+        // A healing chromosome's fitness is the ehw crate's definition.
+        assert_eq!(
+            s.workload.eval_u16(reference.best_chrom as u16),
+            reference.best_fitness
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
     fn spec(params: GaParams) -> RunSpec {
         RunSpec {
             width: 16,
-            function: TestFunction::Bf6,
+            workload: crate::spec::Workload::Function(TestFunction::Bf6),
             params,
             deadline_ms: None,
         }

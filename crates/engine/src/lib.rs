@@ -51,5 +51,5 @@ pub use pack::{
 pub use registry::{global, EngineRegistry};
 pub use spec::{
     convergence_generation, BackendKind, Capabilities, Engine, EngineError, Limits, Prepared,
-    RunOutcome, RunSpec, TrajPoint,
+    RunOutcome, RunSpec, TrajPoint, Workload,
 };

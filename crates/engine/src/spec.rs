@@ -13,6 +13,7 @@
 use std::fmt;
 
 use ga_core::GaParams;
+use ga_ehw::{healing_fitness, Fault, TruthTable};
 use ga_fitness::TestFunction;
 
 /// Which engine executes a run. One variant per registered backend.
@@ -71,6 +72,56 @@ impl BackendKind {
     }
 }
 
+/// What a run optimizes — the backend-neutral fitness selection. Every
+/// engine evaluates a `Workload` the same way, so results are
+/// bit-identical across backends regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// One of the paper's benchmark fitness functions. 32-bit engines
+    /// evaluate the split-average extension
+    /// ([`TestFunction::eval_u32_split`]).
+    Function(TestFunction),
+    /// VRC healing (`ga-ehw`): evolve a 16-bit fabric configuration
+    /// whose *faulted* truth table reproduces `target`. Fitness is
+    /// [`ga_ehw::healing_fitness`]; the chromosome *is* the
+    /// configuration bitstring, so this workload is 16-bit only
+    /// (admission enforces it).
+    VrcHeal {
+        /// The target 4-input truth table.
+        target: TruthTable,
+        /// The injected fault the configuration must work around.
+        fault: Fault,
+    },
+}
+
+impl Workload {
+    /// Evaluate a 16-bit chromosome.
+    pub fn eval_u16(self, chrom: u16) -> u16 {
+        match self {
+            Workload::Function(f) => f.eval_u16(chrom),
+            Workload::VrcHeal { target, fault } => healing_fitness(chrom, target, Some(fault)),
+        }
+    }
+
+    /// Evaluate a 32-bit chromosome via the split-average extension.
+    /// Only function workloads reach 32-bit engines (admission rejects
+    /// 32-bit healing specs), so healing panics here by design.
+    pub fn eval_u32_split(self, chrom: u32) -> u16 {
+        match self {
+            Workload::Function(f) => f.eval_u32_split(chrom),
+            Workload::VrcHeal { .. } => {
+                unreachable!("VRC healing is admitted at width 16 only")
+            }
+        }
+    }
+}
+
+impl From<TestFunction> for Workload {
+    fn from(f: TestFunction) -> Self {
+        Workload::Function(f)
+    }
+}
+
 /// One GA execution request, backend-neutral: everything an engine
 /// needs to know to run, nothing about *how* it runs (watchdog budgets
 /// live in [`Limits`], chosen by the caller, not the job).
@@ -79,9 +130,8 @@ pub struct RunSpec {
     /// Chromosome width in bits. Checked against
     /// [`Capabilities::widths`] at admission.
     pub width: u8,
-    /// Fitness-function (FEM) selection. 32-bit engines evaluate the
-    /// split-average extension ([`TestFunction::eval_u32_split`]).
-    pub function: TestFunction,
+    /// Fitness selection (benchmark function or VRC healing).
+    pub workload: Workload,
     /// The Table III parameter set. Held unvalidated so a bad spec
     /// surfaces as a typed [`EngineError::InvalidSpec`], never a panic.
     pub params: GaParams,
@@ -123,6 +173,13 @@ impl Capabilities {
     pub fn admit(&self, spec: &RunSpec) -> Result<(), EngineError> {
         if !self.widths.contains(&spec.width) {
             return Err(EngineError::UnsupportedWidth { width: spec.width });
+        }
+        if matches!(spec.workload, Workload::VrcHeal { .. }) && spec.width != 16 {
+            return Err(EngineError::InvalidSpec {
+                msg: "VRC healing is a 16-bit workload (the chromosome is the \
+                      fabric configuration)"
+                    .into(),
+            });
         }
         spec.params
             .validate()
@@ -358,7 +415,7 @@ mod tests {
         // caller learns the job can never run here regardless of params.
         let mut spec = RunSpec {
             width: 32,
-            function: TestFunction::F2,
+            workload: Workload::Function(TestFunction::F2),
             params: GaParams {
                 pop_size: 1,
                 ..GaParams::default()
@@ -376,6 +433,45 @@ mod tests {
         ));
         spec.params = GaParams::default();
         assert_eq!(caps.admit(&spec), Ok(()));
+    }
+
+    #[test]
+    fn healing_workload_is_16_bit_only() {
+        let caps = Capabilities {
+            widths: &[16, 32],
+            pack_width: 1,
+            deadline: true,
+            watchdog: false,
+            reports_cycles: false,
+            fault_injection: false,
+            stepping: false,
+            degrades_to: None,
+        };
+        let heal = Workload::VrcHeal {
+            target: 0x9B9B,
+            fault: ga_ehw::Fault::StuckAt {
+                cell: 2,
+                value: true,
+            },
+        };
+        let mut spec = RunSpec {
+            width: 16,
+            workload: heal,
+            params: GaParams::default(),
+            deadline_ms: None,
+        };
+        assert_eq!(caps.admit(&spec), Ok(()));
+        spec.width = 32;
+        assert!(matches!(
+            caps.admit(&spec),
+            Err(EngineError::InvalidSpec { .. })
+        ));
+        // Healing fitness agrees with the ehw crate's definition.
+        assert_eq!(
+            heal.eval_u16(0x0706),
+            ga_ehw::vrc::PERFECT_FITNESS,
+            "known healing configuration scores perfect"
+        );
     }
 
     #[test]

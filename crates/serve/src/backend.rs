@@ -12,8 +12,19 @@ use std::time::Instant;
 
 use ga_engine::{global, EngineError, Limits, Prepared};
 
-use crate::job::{BackendKind, Degradation, GaJob, JobOutput, JobResult, ServeError};
+use crate::job::{
+    BackendKind, Degradation, GaJob, HealReport, JobOutput, JobResult, ServeError, Workload,
+};
 use crate::service::ServeConfig;
+
+/// The healing summary for a settled outcome: present iff the job was
+/// a heal job and the run (native or degraded) completed.
+fn heal_report(job: &GaJob, outcome: &Result<JobOutput, ServeError>) -> Option<HealReport> {
+    match (job.workload, outcome) {
+        (Workload::VrcHeal { .. }, Ok(o)) => Some(HealReport::from_outcome(o)),
+        _ => None,
+    }
+}
 
 /// Fitness evaluations one full run consumes. Delegates to the single
 /// source of truth, [`ga_core::GaParams::evaluations_per_run`]; kept as
@@ -43,12 +54,14 @@ pub fn run_single(job: &GaJob, i: usize, cfg: &ServeConfig) -> JobResult {
         Err(e) => (job.backend, Err(e.into()), None),
         Ok(p) => settle(job, engine.run(&p, &limits(cfg)), cfg),
     };
+    let heal = heal_report(job, &outcome);
     JobResult {
         job: i,
         backend,
         outcome,
         micros: t.elapsed().as_micros() as u64,
         degraded,
+        heal,
     }
 }
 
@@ -123,12 +136,14 @@ pub fn run_pack(all: &[GaJob], idxs: &[usize], cfg: &ServeConfig) -> Vec<JobResu
         .map(|(&i, result)| {
             let t = Instant::now();
             let (backend, outcome, degraded) = settle(&all[i], result, cfg);
+            let heal = heal_report(&all[i], &outcome);
             JobResult {
                 job: i,
                 backend,
                 outcome,
                 micros: shared_micros + t.elapsed().as_micros() as u64,
                 degraded,
+                heal,
             }
         })
         .collect()

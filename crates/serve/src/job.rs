@@ -8,10 +8,12 @@
 use std::fmt;
 
 use ga_core::GaParams;
+pub use ga_ehw::PERFECT_FITNESS;
+use ga_ehw::{Fault, TruthTable};
 use ga_engine::{EngineError, RunSpec};
 use ga_fitness::TestFunction;
 
-pub use ga_engine::BackendKind;
+pub use ga_engine::{BackendKind, Workload};
 
 /// The default chromosome width of the IP core (the 16-bit engines).
 pub const CHROM_WIDTH: u8 = 16;
@@ -37,8 +39,10 @@ pub struct GaJob {
     /// Chromosome width in bits (checked against the backend's
     /// [`ga_engine::Capabilities::widths`] at validation).
     pub width: u8,
-    /// Fitness-function (FEM) selection.
-    pub function: TestFunction,
+    /// What the job optimizes: a benchmark fitness function (`fn` on
+    /// the wire) or a VRC healing search (`heal_target` +
+    /// `heal_fault`).
+    pub workload: Workload,
     /// Executing engine.
     pub backend: BackendKind,
     /// The Table III parameter set (population, generation budget,
@@ -57,7 +61,7 @@ impl GaJob {
     pub fn new(function: TestFunction, backend: BackendKind, params: GaParams) -> Self {
         GaJob {
             width: CHROM_WIDTH,
-            function,
+            workload: Workload::Function(function),
             backend,
             params,
             deadline_ms: None,
@@ -68,8 +72,25 @@ impl GaJob {
     pub fn new32(function: TestFunction, params: GaParams) -> Self {
         GaJob {
             width: 32,
-            function,
+            workload: Workload::Function(function),
             backend: BackendKind::Rtl32,
+            params,
+            deadline_ms: None,
+        }
+    }
+
+    /// A VRC healing job (always 16-bit — the chromosome is the fabric
+    /// configuration) with no deadline.
+    pub fn new_heal(
+        target: TruthTable,
+        fault: Fault,
+        backend: BackendKind,
+        params: GaParams,
+    ) -> Self {
+        GaJob {
+            width: CHROM_WIDTH,
+            workload: Workload::VrcHeal { target, fault },
+            backend,
             params,
             deadline_ms: None,
         }
@@ -85,7 +106,7 @@ impl GaJob {
     pub fn spec(&self) -> RunSpec {
         RunSpec {
             width: self.width,
-            function: self.function,
+            workload: self.workload,
             params: self.params,
             deadline_ms: self.deadline_ms,
         }
@@ -120,6 +141,37 @@ impl GaJob {
 /// backend-neutral outcome, verbatim.
 pub type JobOutput = ga_engine::RunOutcome;
 
+/// The typed result layer a healing job adds on top of [`JobOutput`]:
+/// the healed configuration is the outcome's `best_chrom`; this struct
+/// derives the healing-specific summary from the trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealReport {
+    /// The evolved configuration reproduces the target on all 16 rows.
+    pub healed: bool,
+    /// First generation whose best individual was already perfect
+    /// (0 = the initial population). `None` when the run never healed.
+    pub generations_to_heal: Option<u32>,
+    /// `PERFECT_FITNESS - best_fitness`: 4095 per unmatched truth-table
+    /// row, 0 for a full heal.
+    pub residual_error: u16,
+}
+
+impl HealReport {
+    /// Derive the healing summary from a completed run.
+    pub fn from_outcome(outcome: &JobOutput) -> Self {
+        let generations_to_heal = outcome
+            .trajectory
+            .iter()
+            .find(|p| p.best_fitness == PERFECT_FITNESS)
+            .map(|p| p.gen);
+        HealReport {
+            healed: outcome.best_fitness == PERFECT_FITNESS,
+            generations_to_heal,
+            residual_error: PERFECT_FITNESS - outcome.best_fitness,
+        }
+    }
+}
+
 /// Degradation note attached to a result that was answered by a
 /// different backend than the one requested: the requested backend
 /// failed on infrastructure (e.g. the bitsim64 netlist watchdog
@@ -152,6 +204,9 @@ pub struct JobResult {
     /// Set when the job was answered by a fallback backend after the
     /// requested one failed transiently (graceful degradation).
     pub degraded: Option<Degradation>,
+    /// Healing summary, present iff the job's workload was
+    /// [`Workload::VrcHeal`] and the run completed.
+    pub heal: Option<HealReport>,
 }
 
 /// Typed service errors — every way a job can fail without panicking.

@@ -11,6 +11,14 @@
 //! none. Unknown keys are rejected — a typo'd field must not silently
 //! change the experiment.
 //!
+//! A VRC healing job replaces `fn` with the pair `heal_target` (the
+//! 4-input truth table to restore, 0–65535) and `heal_fault` (the
+//! injected fault in [`ga_ehw::Fault::wire_name`] encoding, e.g.
+//! `"stuck1@2"` or `"nand@5"`); `fn` and the heal keys are mutually
+//! exclusive. A healed result line appends the typed healing summary —
+//! `"healed":true,"heal_gens":3,"residual":0` — after the standard
+//! fields (the healed configuration itself is `best_chrom`).
+//!
 //! One result per output line, **in input order**:
 //!
 //! ```json
@@ -29,7 +37,8 @@ use std::fmt::Write as _;
 use ga_core::GaParams;
 
 use crate::job::{
-    function_by_name, BackendKind, GaJob, JobResult, ServeError, CHROM_WIDTH, SUPPORTED_WIDTHS,
+    function_by_name, BackendKind, GaJob, JobResult, ServeError, Workload, CHROM_WIDTH,
+    SUPPORTED_WIDTHS,
 };
 
 /// A flat JSON value (all the schema needs).
@@ -241,6 +250,8 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
     }
 
     let mut function = None;
+    let mut heal_target = None;
+    let mut heal_fault = None;
     let mut backend = BackendKind::Behavioral;
     let mut width = CHROM_WIDTH;
     let mut pop = None;
@@ -257,6 +268,16 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
                 function = Some(
                     function_by_name(&name)
                         .ok_or_else(|| perr(format!("unknown fitness function {name:?}")))?,
+                );
+            }
+            "heal_target" => {
+                heal_target = Some(as_int(&key, &value, 0, u16::MAX as u64).map_err(perr)? as u16);
+            }
+            "heal_fault" => {
+                let name = as_str(&key, &value).map_err(perr)?;
+                heal_fault = Some(
+                    ga_ehw::Fault::parse_wire(&name)
+                        .ok_or_else(|| perr(format!("unknown heal fault {name:?}")))?,
                 );
             }
             "backend" => {
@@ -287,9 +308,21 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
     }
 
     let req = |name: &str| perr(format!("missing required key \"{name}\""));
+    let workload = match (function, heal_target, heal_fault) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            return Err(perr(
+                "\"fn\" and \"heal_target\"/\"heal_fault\" are mutually exclusive".into(),
+            ))
+        }
+        (Some(f), None, None) => Workload::Function(f),
+        (None, Some(target), Some(fault)) => Workload::VrcHeal { target, fault },
+        (None, Some(_), None) => return Err(req("heal_fault")),
+        (None, None, Some(_)) => return Err(req("heal_target")),
+        (None, None, None) => return Err(req("fn")),
+    };
     Ok(GaJob {
         width,
-        function: function.ok_or_else(|| req("fn"))?,
+        workload,
         backend,
         params: GaParams {
             pop_size: pop.ok_or_else(|| req("pop"))?,
@@ -324,9 +357,22 @@ fn as_int(key: &str, v: &JsonValue, min: u64, max: u64) -> Result<u64, String> {
 /// Serialize a [`GaJob`] as one request line (fixture generation and
 /// round-trip tests).
 pub fn job_line(job: &GaJob) -> String {
-    let mut out = format!(
-        "{{\"fn\":\"{}\",\"backend\":\"{}\",\"width\":{},\"pop\":{},\"gens\":{},\"xover\":{},\"mut\":{},\"seed\":{}",
-        job.function.name(),
+    let mut out = String::from("{");
+    match job.workload {
+        Workload::Function(f) => {
+            let _ = write!(out, "\"fn\":\"{}\"", f.name());
+        }
+        Workload::VrcHeal { target, fault } => {
+            let _ = write!(
+                out,
+                "\"heal_target\":{target},\"heal_fault\":\"{}\"",
+                fault.wire_name()
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        ",\"backend\":\"{}\",\"width\":{},\"pop\":{},\"gens\":{},\"xover\":{},\"mut\":{},\"seed\":{}",
         job.backend.name(),
         job.width,
         job.params.pop_size,
@@ -366,6 +412,16 @@ pub fn result_line(r: &JobResult) -> String {
             }
             if let Some(c) = o.cycles {
                 let _ = write!(out, ",\"cycles\":{c}");
+            }
+            if let Some(h) = &r.heal {
+                let _ = write!(out, ",\"healed\":{}", h.healed);
+                match h.generations_to_heal {
+                    Some(g) => {
+                        let _ = write!(out, ",\"heal_gens\":{g}");
+                    }
+                    None => out.push_str(",\"heal_gens\":null"),
+                }
+                let _ = write!(out, ",\"residual\":{}", h.residual_error);
             }
             out
         }
@@ -423,6 +479,67 @@ mod tests {
         for job in jobs {
             let line = job_line(&job);
             assert_eq!(parse_job(&line, 0), Ok(job), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn heal_job_lines_roundtrip() {
+        let job = GaJob::new_heal(
+            0x9B9B,
+            ga_ehw::Fault::StuckAt {
+                cell: 2,
+                value: true,
+            },
+            BackendKind::BitSim64,
+            GaParams::new(16, 12, 10, 1, 0x2961),
+        );
+        let line = job_line(&job);
+        assert_eq!(
+            line,
+            "{\"heal_target\":39835,\"heal_fault\":\"stuck1@2\",\"backend\":\"bitsim64\",\
+             \"width\":16,\"pop\":16,\"gens\":12,\"xover\":10,\"mut\":1,\"seed\":10593}"
+        );
+        assert_eq!(parse_job(&line, 0), Ok(job), "line: {line}");
+    }
+
+    #[test]
+    fn heal_keys_are_paired_and_exclusive_with_fn() {
+        let tail = r#""pop":16,"gens":4,"xover":10,"mut":1,"seed":7}"#;
+        for (bad, expect) in [
+            (
+                format!(r#"{{"fn":"F3","heal_target":1,"heal_fault":"stuck0@0",{tail}"#),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"fn":"F3","heal_target":1,{tail}"#),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"fn":"F3","heal_fault":"stuck0@0",{tail}"#),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"heal_target":1,{tail}"#),
+                "missing required key \"heal_fault\"",
+            ),
+            (
+                format!(r#"{{"heal_fault":"stuck0@0",{tail}"#),
+                "missing required key \"heal_target\"",
+            ),
+            (format!("{{{tail}"), "missing required key \"fn\""),
+            (
+                format!(r#"{{"heal_target":1,"heal_fault":"stuck2@9",{tail}"#),
+                "unknown heal fault",
+            ),
+            (
+                format!(r#"{{"heal_target":65536,"heal_fault":"stuck0@0",{tail}"#),
+                "outside the integer range",
+            ),
+        ] {
+            let Err(ServeError::Parse { msg, .. }) = parse_job(&bad, 0) else {
+                panic!("accepted: {bad}");
+            };
+            assert!(msg.contains(expect), "line {bad}: msg {msg:?}");
         }
     }
 
@@ -533,6 +650,7 @@ mod tests {
             }),
             micros: 123_456, // must NOT appear in the line
             degraded: None,
+            heal: None,
         };
         let line = result_line(&ok);
         assert_eq!(
@@ -547,6 +665,7 @@ mod tests {
             outcome: Err(ServeError::DeadlineExceeded),
             micros: 1,
             degraded: None,
+            heal: None,
         };
         assert_eq!(
             result_line(&err),
@@ -573,6 +692,52 @@ mod tests {
         let line = parse_error_line(9, &parse);
         assert!(line.contains("\"backend\":\"none\""));
         assert!(line.contains("\\\"fn\\\""), "quotes escaped: {line}");
+    }
+
+    #[test]
+    fn heal_result_lines_append_the_typed_summary() {
+        let healed = JobResult {
+            job: 26,
+            backend: BackendKind::BitSim64,
+            outcome: Ok(JobOutput {
+                best_chrom: 0x0706,
+                best_fitness: crate::job::PERFECT_FITNESS,
+                generations: 12,
+                evaluations: 208,
+                conv_gen: Some(3),
+                cycles: None,
+                rng_draws: None,
+                trajectory: Vec::new(),
+            }),
+            micros: 99,
+            degraded: None,
+            heal: Some(crate::job::HealReport {
+                healed: true,
+                generations_to_heal: Some(3),
+                residual_error: 0,
+            }),
+        };
+        assert_eq!(
+            result_line(&healed),
+            "{\"job\":26,\"backend\":\"bitsim64\",\"ok\":true,\"best_chrom\":1798,\
+             \"best_fitness\":65520,\"generations\":12,\"evaluations\":208,\"conv_gen\":3,\
+             \"healed\":true,\"heal_gens\":3,\"residual\":0}"
+        );
+
+        // An unhealed run reports `heal_gens: null` plus the residual.
+        let unhealed = JobResult {
+            heal: Some(crate::job::HealReport {
+                healed: false,
+                generations_to_heal: None,
+                residual_error: 4095,
+            }),
+            ..healed.clone()
+        };
+        let line = result_line(&unhealed);
+        assert!(
+            line.ends_with(",\"healed\":false,\"heal_gens\":null,\"residual\":4095}"),
+            "line: {line}"
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod pack;
 pub mod queue;
 pub mod service;
 
-pub use job::{BackendKind, GaJob, JobOutput, JobResult, ServeError, CHROM_WIDTH};
+pub use job::{
+    BackendKind, GaJob, HealReport, JobOutput, JobResult, ServeError, Workload, CHROM_WIDTH,
+};
 pub use pack::{ca_lane_streams, draws_per_run, StreamRng};
 pub use queue::BoundedQueue;
 pub use service::{serve_batch, BackendCounters, ServeConfig, ServeOutcome, ServeStats};

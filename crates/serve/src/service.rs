@@ -384,6 +384,7 @@ fn exec_unit_with_recovery(jobs: &[GaJob], unit: &Unit, cfg: &ServeConfig) -> Ve
                         outcome: Err(ServeError::Internal { msg: msg.clone() }),
                         micros: 0,
                         degraded: None,
+                        heal: None,
                     })
                     .collect();
             }
@@ -449,6 +450,7 @@ pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
                 }),
                 micros: 0,
                 degraded: None,
+                heal: None,
             })
         })
         .collect();
@@ -735,6 +737,7 @@ mod tests {
             outcome,
             micros: 0,
             degraded: None,
+            heal: None,
         };
         assert!(has_transient_failure(&[result(Err(
             ServeError::Internal {

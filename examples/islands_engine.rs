@@ -19,7 +19,7 @@ fn main() {
     };
     let spec = RunSpec {
         width: 16,
-        function: TestFunction::Bf6,
+        workload: ga_engine::Workload::Function(TestFunction::Bf6),
         params: GaParams::new(32, 32, 10, 1, 0x2961),
         deadline_ms: None,
     };

@@ -39,7 +39,7 @@ fn main() {
                 "{:>3} {:<11} {:<10} {:#010x}  {:>7}  {}",
                 r.job,
                 r.backend.name(),
-                format!("{:?}", job.function),
+                format!("{:?}", job.workload),
                 o.best_chrom,
                 o.best_fitness,
                 o.conv_gen

@@ -72,7 +72,7 @@ fn run_via(kind: BackendKind, cell: &Cell) -> RunOutcome {
     let engine = ga_engine::global().get(kind).expect("backend registered");
     let spec = RunSpec {
         width: engine.capabilities().widths[0],
-        function: cell.f,
+        workload: ga_engine::Workload::Function(cell.f),
         params: cell.params,
         deadline_ms: None,
     };

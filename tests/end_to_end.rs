@@ -131,6 +131,102 @@ fn ehw_healing_mission_recovers() {
     );
 }
 
+/// The engine registry serves every backend end to end — all seven
+/// kinds enumerated, every 16-bit engine bit-identical to behavioral
+/// on *both* workload kinds (classic fitness function and VRC
+/// healing), the 32-bit composite self-consistent on its own width,
+/// and healing correctly refused where it cannot run.
+#[test]
+fn registry_matrix_covers_all_seven_backends_and_both_workloads() {
+    use ga_engine::{BackendKind, Limits, RunSpec, Workload};
+
+    let registry = ga_engine::global();
+    let kinds = registry.kinds();
+    assert_eq!(kinds.len(), 7, "seven registered backends: {kinds:?}");
+    for kind in [
+        BackendKind::Behavioral,
+        BackendKind::RtlInterp,
+        BackendKind::BitSim64,
+        BackendKind::BitSim128,
+        BackendKind::BitSim256,
+        BackendKind::Swga,
+        BackendKind::Rtl32,
+    ] {
+        assert!(kinds.contains(&kind), "{} missing", kind.name());
+    }
+
+    let heal = Workload::VrcHeal {
+        target: Vrc::new(0x1B26).truth_table(),
+        fault: Fault::StuckAt {
+            cell: 2,
+            value: true,
+        },
+    };
+    let params = GaParams::new(16, 8, 10, 1, 0x2961);
+    let run16 = |kind: BackendKind, workload: Workload| {
+        let engine = registry.get(kind).expect("registered");
+        let spec = RunSpec {
+            width: 16,
+            workload,
+            params,
+            deadline_ms: None,
+        };
+        let prepared = engine.prepare(spec).expect("16-bit spec admitted");
+        engine.run(&prepared, &Limits::default()).expect("runs")
+    };
+
+    for workload in [Workload::Function(TestFunction::F3), heal] {
+        let reference = run16(BackendKind::Behavioral, workload);
+        assert_eq!(
+            workload.eval_u16(reference.best_chrom as u16),
+            reference.best_fitness,
+            "reported best must re-evaluate to its fitness"
+        );
+        for &kind in &registry.supporting_width(16) {
+            let got = run16(kind, workload);
+            assert_eq!(
+                got.trajectory,
+                reference.trajectory,
+                "{} diverged from behavioral on {workload:?}",
+                kind.name()
+            );
+            assert_eq!(
+                (got.best_chrom, got.best_fitness),
+                (reference.best_chrom, reference.best_fitness)
+            );
+        }
+    }
+
+    // The 32-bit composite runs function workloads at its own width…
+    let engine = registry.get(BackendKind::Rtl32).expect("registered");
+    let spec = RunSpec {
+        width: 32,
+        workload: ga_engine::Workload::Function(TestFunction::Mbf6_2),
+        params,
+        deadline_ms: None,
+    };
+    let prepared = engine.prepare(spec).expect("32-bit function admitted");
+    let wide = engine.run(&prepared, &Limits::default()).expect("runs");
+    assert_eq!(
+        TestFunction::Mbf6_2.eval_u32_split(wide.best_chrom),
+        wide.best_fitness
+    );
+
+    // …but refuses the healing workload: a VRC configuration is 16
+    // bits, so width-32 admission must fail with a typed error.
+    assert!(
+        engine
+            .prepare(RunSpec {
+                width: 32,
+                workload: heal,
+                params,
+                deadline_ms: None,
+            })
+            .is_err(),
+        "rtl32 must not admit a 16-bit healing chromosome at width 32"
+    );
+}
+
 /// Scan-chain test mode through the full system: freezing the core and
 /// rotating the chain leaves a subsequent run unchanged.
 #[test]

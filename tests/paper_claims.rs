@@ -45,7 +45,7 @@ fn run_via(kind: BackendKind, f: TestFunction, params: &GaParams) -> RunOutcome 
     let engine = ga_engine::global().get(kind).expect("backend registered");
     let spec = RunSpec {
         width: engine.capabilities().widths[0],
-        function: f,
+        workload: ga_engine::Workload::Function(f),
         params: *params,
         deadline_ms: None,
     };
