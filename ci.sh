@@ -138,4 +138,44 @@ GA_BENCH_OUT="$SMOKE_DIR" ./target/release/serve_bench 2> /dev/null
     'bitsim_pack_jobs_per_sec>=12029' 'bitsim_packs>=9' \
     'bitsim_active_lanes>=86' 'netlist_cache_hits>=1' 'degraded_jobs<=0'
 
+echo "== persistent socket front-end (listener + streamed golden + load burst)"
+# Boot the real TCP listener on an ephemeral port with its stdin held
+# open on a fifo (closing the fifo is the std-only drain signal).
+# A raw-socket client streams the batch fixture over one connection and
+# must read back byte-identical golden lines; serve_load then drives a
+# quick mixed-backend burst over four connections. The drain report is
+# benchcheck'd with a sustained-rate floor, a behavioral tail-latency
+# ceiling, and zero degraded jobs.
+cargo build -q --release -p ga-serve --bin serve_load
+LISTEN_DIR="$SMOKE_DIR/listen"
+mkdir -p "$LISTEN_DIR"
+mkfifo "$LISTEN_DIR/stdin.fifo"
+# Hold the fifo open read-write on fd 9 so neither end blocks; the
+# server must NOT inherit fd 9 (9<&-) or it would keep its own stdin
+# writable and never see the shutdown EOF.
+exec 9<>"$LISTEN_DIR/stdin.fifo"
+GA_BENCH_OUT="$LISTEN_DIR" ./target/release/gaserved --listen 127.0.0.1:0 --threads 4 \
+    <"$LISTEN_DIR/stdin.fifo" >"$LISTEN_DIR/listen.out" 2>"$LISTEN_DIR/listen.err" 9<&- &
+LISTEN_PID=$!
+LISTEN_ADDR=""
+for _ in $(seq 1 100); do
+    LISTEN_ADDR="$(sed -n 's/^listening //p' "$LISTEN_DIR/listen.out" 2>/dev/null || true)"
+    [ -n "$LISTEN_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$LISTEN_ADDR" ] || { echo "listener never announced its address"; exit 1; }
+GOLDEN_LINES="$(wc -l < tests/fixtures/results16_golden.jsonl)"
+exec 3<>"/dev/tcp/127.0.0.1/${LISTEN_ADDR##*:}"
+cat tests/fixtures/jobs16.jsonl >&3
+head -n "$GOLDEN_LINES" <&3 > "$LISTEN_DIR/streamed.jsonl"
+exec 3<&- 3>&-
+diff -u tests/fixtures/results16_golden.jsonl "$LISTEN_DIR/streamed.jsonl"
+GA_BENCH_QUICK=1 ./target/release/serve_load --connect "$LISTEN_ADDR"
+exec 9<&- 9>&-
+wait "$LISTEN_PID"
+cat "$LISTEN_DIR/listen.err"
+./target/release/benchcheck "$LISTEN_DIR/BENCH_serve.json" \
+    --require-backend-throughput 'jobs>=4828' 'jobs_per_sec>=2000' \
+    'behavioral_p99_us<=5000' 'errors<=2' 'degraded_jobs<=0'
+
 echo "CI OK"

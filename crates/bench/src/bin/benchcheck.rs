@@ -13,9 +13,11 @@
 //! report). Pairing a floor with a ceiling pins a metric exactly
 //! (`unclassified>=0 unclassified<=0`). With
 //! `--require-backend-throughput` the report must additionally carry
-//! per-backend throughput counters (`<name>_jobs` and `<name>_avg_us`)
-//! for **every** engine in the registry — so registering a sixth
-//! backend without serving it fails CI. Exits nonzero with a diagnostic
+//! the full per-backend throughput/latency block (`<name>_jobs`,
+//! `<name>_avg_us`, and the `<name>_p50_us`/`_p95_us`/`_p99_us`/
+//! `_max_us` histogram metrics) for **every** engine in the registry —
+//! so registering a sixth backend without serving it fails CI, and so
+//! does a serving-layer report that drops its tail-latency columns. Exits nonzero with a diagnostic
 //! on the first violation, so a perf regression below a floor fails the
 //! build the same way a lint error does.
 
@@ -40,7 +42,7 @@ fn check(path: &str, constraints: &[String], require_backends: bool) -> Result<(
 
     if require_backends {
         for kind in ga_engine::global().kinds() {
-            for suffix in ["jobs", "avg_us"] {
+            for suffix in ["jobs", "avg_us", "p50_us", "p95_us", "p99_us", "max_us"] {
                 let key = format!("{}_{suffix}", kind.name());
                 let v = json_extract_number(&json, &key).ok_or_else(|| {
                     format!(

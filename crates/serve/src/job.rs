@@ -243,6 +243,19 @@ pub enum ServeError {
     },
     /// The queue was closed while submitting.
     QueueClosed,
+    /// A client exceeded its per-connection job quota; the connection's
+    /// remaining lines are rejected with this code.
+    QuotaExceeded {
+        /// The quota the connection was admitted under.
+        limit: u64,
+    },
+    /// A client exceeded its sustained submission rate; the line is
+    /// rejected but the connection stays open (the token bucket
+    /// refills).
+    RateLimited {
+        /// The configured sustained rate, jobs per second.
+        per_sec: u32,
+    },
     /// The job's worker panicked (caught at the pool boundary) or a
     /// result slot was never filled — a service bug surfaced as a typed
     /// per-job failure instead of a process crash.
@@ -274,6 +287,8 @@ impl ServeError {
             ServeError::Watchdog { .. } => "watchdog",
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::QueueClosed => "queue_closed",
+            ServeError::QuotaExceeded { .. } => "quota_exceeded",
+            ServeError::RateLimited { .. } => "rate_limited",
             ServeError::Internal { .. } => "internal",
         }
     }
@@ -302,6 +317,12 @@ impl fmt::Display for ServeError {
                 write!(f, "queue full (capacity {capacity})")
             }
             ServeError::QueueClosed => write!(f, "queue closed"),
+            ServeError::QuotaExceeded { limit } => {
+                write!(f, "per-connection job quota exceeded (limit {limit})")
+            }
+            ServeError::RateLimited { per_sec } => {
+                write!(f, "rate limited (sustained {per_sec} jobs/s)")
+            }
             ServeError::Internal { msg } => write!(f, "internal error: {msg}"),
         }
     }
@@ -433,5 +454,24 @@ mod tests {
             .code(),
             "parse"
         );
+        assert_eq!(
+            ServeError::QuotaExceeded { limit: 8 }.code(),
+            "quota_exceeded"
+        );
+        assert_eq!(
+            ServeError::RateLimited { per_sec: 100 }.code(),
+            "rate_limited"
+        );
+    }
+
+    #[test]
+    fn admission_rejections_are_not_transient() {
+        // A retry can't un-exceed a quota or refill a bucket on the
+        // service's side — clients must back off, so the recovery loop
+        // must not burn retries on these.
+        assert!(!ServeError::QuotaExceeded { limit: 1 }.is_transient());
+        assert!(!ServeError::RateLimited { per_sec: 1 }.is_transient());
+        assert!(!ServeError::QueueFull { capacity: 1 }.is_transient());
+        assert!(ServeError::Internal { msg: String::new() }.is_transient());
     }
 }

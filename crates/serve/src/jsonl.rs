@@ -235,6 +235,18 @@ fn byte_name(b: Option<u8>) -> String {
     }
 }
 
+/// Strip one trailing line ending (`\n`, `\r\n`, or a bare `\r`) from a
+/// raw input line. Both reader paths — the batch file loop and the
+/// socket `read_line` loop — must run every line through this before
+/// [`parse_job`], so CRLF-sending network clients (and CRLF-checked-out
+/// fixture files) get the same parses and the same *empty-line* skips
+/// as LF input; a stray `"\r"` line must count as blank, not as a
+/// `parse` error that shifts result alignment.
+pub fn strip_line_ending(line: &str) -> &str {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
 /// Parse one request line into a [`GaJob`]. `line` is the 0-based input
 /// line number, echoed in [`ServeError::Parse`] diagnostics.
 pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
@@ -738,6 +750,35 @@ mod tests {
             line.ends_with(",\"healed\":false,\"heal_gens\":null,\"residual\":4095}"),
             "line: {line}"
         );
+    }
+
+    #[test]
+    fn line_endings_are_stripped_not_parsed() {
+        // The reader contract: exactly one terminator comes off, any
+        // flavor, and payload bytes (including interior \r) survive.
+        assert_eq!(strip_line_ending("{\"a\":1}\r\n"), "{\"a\":1}");
+        assert_eq!(strip_line_ending("{\"a\":1}\n"), "{\"a\":1}");
+        assert_eq!(strip_line_ending("{\"a\":1}\r"), "{\"a\":1}");
+        assert_eq!(strip_line_ending("{\"a\":1}"), "{\"a\":1}");
+        assert_eq!(strip_line_ending("\r\n"), "", "CRLF blank line is blank");
+        assert_eq!(strip_line_ending("\n"), "");
+        assert_eq!(strip_line_ending(""), "");
+        assert_eq!(strip_line_ending("a\rb\n"), "a\rb", "interior \\r kept");
+        assert_eq!(strip_line_ending("x\n\n"), "x\n", "one terminator only");
+    }
+
+    #[test]
+    fn crlf_job_lines_parse_like_lf_ones() {
+        let lf = r#"{"fn":"f3","pop":32,"gens":8,"xover":10,"mut":1,"seed":7}"#;
+        let crlf = format!("{lf}\r\n");
+        assert_eq!(
+            parse_job(strip_line_ending(&crlf), 0),
+            parse_job(lf, 0),
+            "a CRLF client must get the same job as an LF one"
+        );
+        // And a CRLF "blank" line must strip to empty (skipped by the
+        // readers), not reach the parser at all.
+        assert!(strip_line_ending("\r\n").is_empty());
     }
 
     #[test]

@@ -134,6 +134,31 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
+
+    /// Non-blocking bulk dequeue of up to `max` queued items matching
+    /// `pred`, in FIFO order. Non-matching items stay queued in place.
+    ///
+    /// This is the streaming path's pack-gathering primitive: a worker
+    /// that popped a bitsim job scans the queue for more lanes with the
+    /// same pack key without blocking behind (or reordering) jobs bound
+    /// for other backends. Freed slots wake parked pushers.
+    pub fn take_matching(&self, mut pred: impl FnMut(&T) -> bool, max: usize) -> Vec<T> {
+        let mut st = relock(self.state.lock());
+        let mut taken = Vec::new();
+        let mut keep = VecDeque::with_capacity(st.items.len());
+        while let Some(item) = st.items.pop_front() {
+            if taken.len() < max && pred(&item) {
+                taken.push(item);
+            } else {
+                keep.push_back(item);
+            }
+        }
+        st.items = keep;
+        if !taken.is_empty() {
+            self.not_full.notify_all();
+        }
+        taken
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +252,106 @@ mod tests {
         assert_eq!(q.pop(), Some(3));
         q.close();
         assert_eq!(q.pop(), None, "close still wakes poppers after poison");
+    }
+
+    #[test]
+    fn take_matching_is_selective_and_order_preserving() {
+        let q = BoundedQueue::new(8);
+        for i in 0..8 {
+            q.push(i).expect("open");
+        }
+        let evens = q.take_matching(|v| v % 2 == 0, 3);
+        assert_eq!(evens, vec![0, 2, 4], "FIFO among matches, capped at max");
+        let rest: Vec<i32> = {
+            q.close();
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        assert_eq!(rest, vec![1, 3, 5, 6, 7], "non-taken items keep order");
+    }
+
+    #[test]
+    fn take_matching_frees_slots_for_parked_pushers() {
+        let q = BoundedQueue::new(2);
+        q.push(1).expect("slot 1");
+        q.push(2).expect("slot 2");
+        let pushed = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                q.push(3).expect("unblocks after take_matching");
+                pushed.store(true, Ordering::SeqCst);
+            });
+            thread::sleep(Duration::from_millis(20));
+            assert!(!pushed.load(Ordering::SeqCst), "queue still full");
+            assert_eq!(q.take_matching(|_| true, 2), vec![1, 2]);
+            while !pushed.load(Ordering::SeqCst) {
+                thread::yield_now();
+            }
+        });
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_wakes_every_pusher_parked_on_a_full_queue() {
+        // The listener's drain path: producers are parked in `push` on a
+        // *full* queue when `close()` lands. Every parked pusher must
+        // wake with `QueueClosed`, and the queue must afterwards hold
+        // exactly the accepted items — nothing lost, nothing duplicated,
+        // no pusher left parked forever (the scope would deadlock).
+        let q = BoundedQueue::new(2);
+        let accepted = Mutex::new(Vec::new());
+        let rejected = Mutex::new(Vec::new());
+        let drained = thread::scope(|s| {
+            for p in 0..4u32 {
+                let (q, accepted, rejected) = (&q, &accepted, &rejected);
+                s.spawn(move || {
+                    let mut closed_seen = false;
+                    for i in 0..100u32 {
+                        let item = p * 1000 + i;
+                        match q.push(item) {
+                            Ok(()) => {
+                                assert!(
+                                    !closed_seen,
+                                    "push succeeded after QueueClosed was observed"
+                                );
+                                accepted.lock().expect("acc").push(item);
+                            }
+                            Err(e) => {
+                                assert_eq!(e, ServeError::QueueClosed);
+                                closed_seen = true;
+                                rejected.lock().expect("rej").push(item);
+                            }
+                        }
+                    }
+                });
+            }
+            // One deliberately slow consumer keeps the queue pinned at
+            // capacity so pushers spend most of their time parked…
+            let drained = s.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                    thread::sleep(Duration::from_micros(200));
+                }
+                got
+            });
+            // …then close lands mid-flight, while pushers are parked.
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            drained.join().expect("consumer exits")
+        });
+        let mut acc = accepted.into_inner().expect("acc");
+        let rej = rejected.into_inner().expect("rej");
+        assert_eq!(
+            acc.len() + rej.len(),
+            400,
+            "every push got exactly one verdict"
+        );
+        assert!(!acc.is_empty(), "close landed before any push succeeded");
+        assert!(!rej.is_empty(), "close landed after every push finished");
+        let mut got = drained;
+        got.sort_unstable();
+        acc.sort_unstable();
+        assert_eq!(got, acc, "drained multiset != accepted multiset");
     }
 
     #[test]

@@ -76,8 +76,108 @@ impl Default for ServeConfig {
     }
 }
 
+/// Exact buckets for latencies below 16 µs, then four sub-buckets per
+/// power-of-two octave up to 2^40 µs (~12.7 days): a fixed-size
+/// log-scale layout whose relative quantization error is bounded at 25%
+/// while the whole histogram stays a flat `u64` array that merges
+/// across workers with a plain element-wise add.
+const HISTO_EXACT: usize = 16;
+/// First octave covered by sub-bucketed ranges (2^4 = 16 µs).
+const HISTO_FIRST_OCTAVE: u32 = 4;
+/// Last octave; anything larger clamps into the final bucket.
+const HISTO_LAST_OCTAVE: u32 = 40;
+/// Sub-buckets per octave.
+const HISTO_SUBS: usize = 4;
+/// Total bucket count.
+pub const HISTO_BUCKETS: usize =
+    HISTO_EXACT + (HISTO_LAST_OCTAVE - HISTO_FIRST_OCTAVE + 1) as usize * HISTO_SUBS;
+
+/// Fixed-bucket log-scale latency histogram (microseconds).
+///
+/// Replaces the old mean-only accounting: every recorded latency lands
+/// in one of [`HISTO_BUCKETS`] buckets (exact below 16 µs, ≤25%
+/// relative error above), so [`LatencyHisto::percentile`] can answer
+/// p50/p95/p99 without keeping per-job samples, and two histograms —
+/// one per worker, say — merge loss-free with [`LatencyHisto::merge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHisto {
+    buckets: [u64; HISTO_BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: [0; HISTO_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Bucket index for a latency of `micros`.
+    fn index(micros: u64) -> usize {
+        if micros < HISTO_EXACT as u64 {
+            return micros as usize;
+        }
+        let octave = (63 - micros.leading_zeros()).min(HISTO_LAST_OCTAVE);
+        let sub = ((micros >> (octave - 2)) & 0x3) as usize;
+        HISTO_EXACT + (octave - HISTO_FIRST_OCTAVE) as usize * HISTO_SUBS + sub
+    }
+
+    /// Lower bound (µs) of bucket `i` — the value [`Self::percentile`]
+    /// reports, so percentiles never overstate a latency.
+    fn lower_bound(i: usize) -> u64 {
+        if i < HISTO_EXACT {
+            return i as u64;
+        }
+        let rel = i - HISTO_EXACT;
+        let octave = HISTO_FIRST_OCTAVE + (rel / HISTO_SUBS) as u32;
+        let sub = (rel % HISTO_SUBS) as u64;
+        (1u64 << octave) + sub * (1u64 << (octave - 2))
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, micros: u64) {
+        self.buckets[Self::index(micros)] += 1;
+        self.count += 1;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency (µs) at quantile `q` (`0.0..=1.0`): the lower bound
+    /// of the bucket holding the `ceil(q·count)`-th smallest sample.
+    /// Zero when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::lower_bound(i);
+            }
+        }
+        Self::lower_bound(HISTO_BUCKETS - 1)
+    }
+
+    /// Fold another histogram in (per-worker histograms merge into the
+    /// batch aggregate with no precision loss — buckets just add).
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
 /// Per-backend throughput/latency counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BackendCounters {
     /// Jobs that ran (or were rejected) on this backend.
     pub jobs: u64,
@@ -87,16 +187,29 @@ pub struct BackendCounters {
     pub total_micros: u64,
     /// Largest single-job latency.
     pub max_micros: u64,
+    /// Log-scale latency distribution (the p50/p95/p99 source).
+    pub histo: LatencyHisto,
 }
 
 impl BackendCounters {
-    fn absorb(&mut self, micros: u64, ok: bool) {
+    pub(crate) fn absorb(&mut self, micros: u64, ok: bool) {
         self.jobs += 1;
         if !ok {
             self.errors += 1;
         }
         self.total_micros += micros;
         self.max_micros = self.max_micros.max(micros);
+        self.histo.record(micros);
+    }
+
+    /// Fold another backend's counters in (used when per-worker stats
+    /// merge into the server-wide aggregate).
+    fn merge(&mut self, other: &BackendCounters) {
+        self.jobs += other.jobs;
+        self.errors += other.errors;
+        self.total_micros += other.total_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+        self.histo.merge(&other.histo);
     }
 
     /// Mean per-job latency in microseconds (0 when idle).
@@ -169,20 +282,67 @@ impl ServeStats {
         self.per_backend
             .iter()
             .find(|(k, _)| *k == b)
-            .map(|(_, c)| *c)
+            .map(|(_, c)| c.clone())
             .unwrap_or_default()
     }
 
-    fn counters_mut(&mut self, b: BackendKind) -> &mut BackendCounters {
-        let at = self
-            .per_backend
+    /// Registry rank of a backend kind — the metric-emission order
+    /// contract of `BENCH_serve.json`. Unregistered kinds sort last.
+    fn registry_rank(b: BackendKind) -> usize {
+        ga_engine::global()
+            .kinds()
             .iter()
-            .position(|(k, _)| *k == b)
-            .unwrap_or_else(|| {
-                self.per_backend.push((b, BackendCounters::default()));
-                self.per_backend.len() - 1
-            });
+            .position(|k| *k == b)
+            .unwrap_or(usize::MAX)
+    }
+
+    pub(crate) fn counters_mut(&mut self, b: BackendKind) -> &mut BackendCounters {
+        // A kind missing its slot (stats built before the backend was
+        // registered, or a degradation target touched first) is
+        // inserted at its *registry position*, never appended: the
+        // documented report order must not depend on which backend
+        // happened to run first.
+        let at = match self.per_backend.iter().position(|(k, _)| *k == b) {
+            Some(at) => at,
+            None => {
+                let rank = Self::registry_rank(b);
+                let at = self
+                    .per_backend
+                    .iter()
+                    .position(|(k, _)| Self::registry_rank(*k) > rank)
+                    .unwrap_or(self.per_backend.len());
+                self.per_backend.insert(at, (b, BackendCounters::default()));
+                at
+            }
+        };
         &mut self.per_backend[at].1
+    }
+
+    /// Fold one result's latency/error/degradation accounting in.
+    pub(crate) fn absorb_result(&mut self, r: &JobResult) {
+        self.counters_mut(r.backend)
+            .absorb(r.micros, r.outcome.is_ok());
+        if r.degraded.is_some() {
+            self.degraded += 1;
+        }
+    }
+
+    /// Fold another stats block in: per-backend counters (histograms
+    /// included), pack accounting, and cache deltas all add. The
+    /// identity fields — `threads_used`, `wall_seconds` — are the
+    /// owner's and are deliberately left alone; the socket server
+    /// merges each worker's and connection's local stats through this
+    /// and then stamps its own pool size and lifetime.
+    pub fn merge(&mut self, other: &ServeStats) {
+        for (kind, c) in &other.per_backend {
+            self.counters_mut(*kind).merge(c);
+        }
+        self.packs += other.packs;
+        self.packed_lanes += other.packed_lanes;
+        self.degraded += other.degraded;
+        self.pack_micros += other.pack_micros;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Total jobs across backends.
@@ -216,12 +376,17 @@ impl ServeStats {
     }
 
     /// Render as a `BenchReport` (emitted as `BENCH_serve.json`) with a
-    /// `<name>_jobs` / `<name>_avg_us` pair for **every** backend in
-    /// the stats — the per-backend throughput floor `benchcheck
-    /// --require-backend-throughput` asserts. The report's `threads`
-    /// field is [`ServeStats::threads_used`] — the pool size that
-    /// actually ran, never the configured one. The `lanes` field
-    /// reports the widest registered pack when any pack ran, else 1.
+    /// `<name>_jobs` / `<name>_avg_us` / `<name>_p50_us` /
+    /// `<name>_p95_us` / `<name>_p99_us` / `<name>_max_us` block for
+    /// **every** backend in the stats — the per-backend floor
+    /// `benchcheck --require-backend-throughput` asserts, in registry
+    /// order. The percentiles come from the merged [`LatencyHisto`];
+    /// `_max_us` is the exact recorded maximum (the counter that used
+    /// to be accumulated but silently dropped from the report). The
+    /// report's `threads` field is [`ServeStats::threads_used`] — the
+    /// pool size that actually ran, never the configured one. The
+    /// `lanes` field reports the widest registered pack when any pack
+    /// ran, else 1.
     pub fn to_report(&self) -> BenchReport {
         let lanes = if self.packs > 0 {
             ga_engine::global()
@@ -236,10 +401,28 @@ impl ServeStats {
             .metric("jobs", self.jobs() as f64)
             .metric("errors", self.errors() as f64)
             .metric("jobs_per_sec", self.jobs_per_sec());
-        for (kind, c) in &self.per_backend {
+        // Defensive re-sort: counters_mut keeps registry order on
+        // insert, but the emission contract is pinned here regardless
+        // of how the stats were assembled or merged.
+        let mut ordered: Vec<&(BackendKind, BackendCounters)> = self.per_backend.iter().collect();
+        ordered.sort_by_key(|(k, _)| Self::registry_rank(*k));
+        for (kind, c) in ordered {
             report = report
                 .metric(format!("{}_jobs", kind.name()), c.jobs as f64)
-                .metric(format!("{}_avg_us", kind.name()), c.avg_micros());
+                .metric(format!("{}_avg_us", kind.name()), c.avg_micros())
+                .metric(
+                    format!("{}_p50_us", kind.name()),
+                    c.histo.percentile(0.50) as f64,
+                )
+                .metric(
+                    format!("{}_p95_us", kind.name()),
+                    c.histo.percentile(0.95) as f64,
+                )
+                .metric(
+                    format!("{}_p99_us", kind.name()),
+                    c.histo.percentile(0.99) as f64,
+                )
+                .metric(format!("{}_max_us", kind.name()), c.max_micros as f64);
         }
         report
             .metric("bitsim_packs", self.packs as f64)
@@ -261,7 +444,10 @@ pub struct ServeOutcome {
 }
 
 /// A schedulable unit: one job, or a pack of compatible packable jobs.
-enum Unit {
+/// `pub(crate)` so the socket front-end (`crate::net`) can route its
+/// opportunistically-gathered packs through the same panic-isolating,
+/// retrying execution path the batch scheduler uses.
+pub(crate) enum Unit {
     Solo(usize),
     Pack(Vec<usize>),
 }
@@ -346,7 +532,11 @@ fn has_transient_failure(results: &[JobResult]) -> bool {
 /// crashes, the panic is converted into one typed
 /// [`ServeError::Internal`] result per member job. The worker thread
 /// itself never unwinds, so the rest of the batch keeps flowing.
-fn exec_unit_with_recovery(jobs: &[GaJob], unit: &Unit, cfg: &ServeConfig) -> Vec<JobResult> {
+pub(crate) fn exec_unit_with_recovery(
+    jobs: &[GaJob],
+    unit: &Unit,
+    cfg: &ServeConfig,
+) -> Vec<JobResult> {
     let max_attempts = cfg.retry.max_attempts.max(1);
     let mut attempt = 1u32;
     loop {
@@ -455,12 +645,7 @@ pub fn serve_batch(jobs: &[GaJob], cfg: &ServeConfig) -> ServeOutcome {
         })
         .collect();
     for r in &results {
-        stats
-            .counters_mut(r.backend)
-            .absorb(r.micros, r.outcome.is_ok());
-        if r.degraded.is_some() {
-            stats.degraded += 1;
-        }
+        stats.absorb_result(r);
     }
     stats.pack_micros = pack_micros.into_inner();
     let (cache_hits_after, cache_misses_after) = ga_engine::global_cache().counters();
@@ -806,5 +991,184 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn histo_buckets_are_exact_small_then_bounded_log_error() {
+        // Exact below 16 µs.
+        for v in 0..16u64 {
+            assert_eq!(LatencyHisto::index(v), v as usize);
+            assert_eq!(LatencyHisto::lower_bound(v as usize), v);
+        }
+        // Index is monotone and lower_bound inverts it: every value
+        // lands in a bucket whose lower bound is <= it, and the next
+        // bucket's lower bound exceeds it by at most 25%.
+        for v in [16u64, 17, 63, 64, 100, 1000, 12_345, 1 << 20, u64::MAX] {
+            let i = LatencyHisto::index(v);
+            let lo = LatencyHisto::lower_bound(i);
+            assert!(lo <= v, "bucket {i} lower bound {lo} > value {v}");
+            if i + 1 < HISTO_BUCKETS && v < (1u64 << HISTO_LAST_OCTAVE) {
+                let next = LatencyHisto::lower_bound(i + 1);
+                assert!(next > v, "value {v} not below next bucket {next}");
+                assert!(
+                    (next - lo) * 4 <= lo.max(1) + 3,
+                    "bucket [{lo},{next}) wider than 25% at {v}"
+                );
+            }
+        }
+        // Monotone across the whole bucket range.
+        for i in 1..HISTO_BUCKETS {
+            assert!(LatencyHisto::lower_bound(i) > LatencyHisto::lower_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn histo_percentiles_are_ordered_and_exact_for_small_samples() {
+        let mut h = LatencyHisto::default();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram reports 0");
+        // 100 samples: 1 µs x90, 10 µs x9, 15 µs x1 — all in the exact
+        // range, so every percentile is the precise sample value.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(10);
+        }
+        h.record(15);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.50), 1);
+        assert_eq!(h.percentile(0.90), 1);
+        assert_eq!(h.percentile(0.95), 10);
+        assert_eq!(h.percentile(0.99), 10);
+        assert_eq!(h.percentile(1.0), 15);
+        // Ordering holds with coarse buckets too.
+        h.record(1_000_000);
+        assert!(h.percentile(0.5) <= h.percentile(0.95));
+        assert!(h.percentile(0.95) <= h.percentile(0.99));
+        assert!(h.percentile(0.99) <= h.percentile(1.0));
+    }
+
+    #[test]
+    fn histo_merge_equals_combined_recording() {
+        let samples_a = [1u64, 5, 90, 4_000, 65_536];
+        let samples_b = [2u64, 90, 123_456, 7];
+        let mut a = LatencyHisto::default();
+        let mut b = LatencyHisto::default();
+        let mut both = LatencyHisto::default();
+        for &v in &samples_a {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both, "merge must equal recording into one");
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.percentile(q), both.percentile(q));
+        }
+    }
+
+    #[test]
+    fn report_emits_percentiles_and_max_for_every_backend() {
+        // The regression this pins: `max_micros` used to be accumulated
+        // but silently dropped from the report; now every backend block
+        // carries the full `_jobs/_avg_us/_p50_us/_p95_us/_p99_us/
+        // _max_us` sextet.
+        let jobs: Vec<GaJob> = (0..6)
+            .map(|i| quick_job(BackendKind::Behavioral, 0xA000 + i as u16))
+            .collect();
+        let out = serve_batch(&jobs, &ServeConfig::default());
+        let json = out.stats.to_report().to_json();
+        for kind in ga_engine::global().kinds() {
+            for suffix in ["jobs", "avg_us", "p50_us", "p95_us", "p99_us", "max_us"] {
+                let key = format!("\"{}_{suffix}\"", kind.name());
+                assert!(json.contains(&key), "missing {key} in {json}");
+            }
+        }
+        // The behavioral block is live: max is the recorded maximum and
+        // bounds the histogram percentiles from above.
+        let c = out.stats.counters(BackendKind::Behavioral);
+        assert_eq!(c.jobs, 6);
+        assert_eq!(c.histo.count(), 6);
+        assert!(c.max_micros >= c.histo.percentile(0.99));
+        assert!(c.histo.percentile(0.50) <= c.histo.percentile(0.95));
+        let max_key = format!("\"behavioral_max_us\": {}", c.max_micros);
+        assert!(json.contains(&max_key), "missing {max_key} in {json}");
+    }
+
+    #[test]
+    fn metric_order_is_registry_order_even_when_degraded_target_runs_first() {
+        // A degraded bitsim job makes the *behavioral* fallback the
+        // first backend to absorb a result; a batch whose only native
+        // jobs are late-registry kinds then exercises counters_mut on
+        // kinds out of registry sequence. The emitted metric order must
+        // still be the registry order.
+        let jobs = vec![
+            quick_job(BackendKind::BitSim64, 0xB001), // degrades to behavioral
+            quick_job(BackendKind::Swga, 0xB002),
+            quick_job(BackendKind::Behavioral, 0xB003),
+        ];
+        let out = serve_batch(
+            &jobs,
+            &ServeConfig {
+                bitsim_watchdog_steps: 4, // force the degradation
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stats.degraded, 1, "bitsim job must degrade first");
+        let json = out.stats.to_report().to_json();
+        let positions: Vec<usize> = ga_engine::global()
+            .kinds()
+            .iter()
+            .map(|k| {
+                json.find(&format!("\"{}_jobs\"", k.name()))
+                    .unwrap_or_else(|| panic!("{} missing from report", k.name()))
+            })
+            .collect();
+        for w in positions.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "backend metric blocks out of registry order in {json}"
+            );
+        }
+        // Same contract on a *merged* stats block assembled in reverse.
+        let mut merged = ServeStats::default();
+        merged.per_backend.clear(); // worst case: no pre-populated slots
+        merged.merge(&out.stats);
+        let kinds_in_order: Vec<BackendKind> = merged.per_backend.iter().map(|(k, _)| *k).collect();
+        let mut sorted = kinds_in_order.clone();
+        sorted.sort_by_key(|k| ServeStats::registry_rank(*k));
+        assert_eq!(kinds_in_order, sorted, "merge must keep registry order");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_identity_fields() {
+        let jobs_a = vec![quick_job(BackendKind::Behavioral, 0xC001)];
+        let jobs_b: Vec<GaJob> = (0..3)
+            .map(|i| quick_job(BackendKind::BitSim64, 0xC100 + i as u16))
+            .collect();
+        let a = serve_batch(&jobs_a, &ServeConfig::default()).stats;
+        let b = serve_batch(&jobs_b, &ServeConfig::default()).stats;
+        let mut m = a.clone();
+        m.threads_used = 7;
+        m.wall_seconds = 1.25;
+        m.merge(&b);
+        assert_eq!(m.jobs(), a.jobs() + b.jobs());
+        assert_eq!(
+            m.counters(BackendKind::BitSim64).jobs,
+            b.counters(BackendKind::BitSim64).jobs
+        );
+        assert_eq!(m.packs, a.packs + b.packs);
+        assert_eq!(m.packed_lanes, a.packed_lanes + b.packed_lanes);
+        assert_eq!(m.threads_used, 7, "identity fields are the owner's");
+        assert_eq!(m.wall_seconds, 1.25);
+        let c = m.counters(BackendKind::Behavioral);
+        assert_eq!(
+            c.histo.count(),
+            a.counters(BackendKind::Behavioral).histo.count()
+                + b.counters(BackendKind::Behavioral).histo.count()
+        );
     }
 }
