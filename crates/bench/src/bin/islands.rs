@@ -82,10 +82,13 @@ fn main() {
         let mut hits = 0u32;
         let mut evals = 0u64;
         for &seed in &TABLE7_SEEDS {
+            // The spec's generation budget must equal the schedule —
+            // the engine layer rejects a disagreement instead of
+            // silently superseding n_gens.
             let spec = RunSpec {
                 width: 16,
                 workload: ga_engine::Workload::Function(TestFunction::Bf6),
-                params: GaParams::new(32, 32, 10, 1, seed),
+                params: GaParams::new(32, cfg.epoch * cfg.epochs, 10, 1, seed),
                 deadline_ms: None,
             };
             let run = ring.run(spec).expect("island ring runs");

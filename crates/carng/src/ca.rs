@@ -15,7 +15,7 @@
 //! the whole step is three shifts and two XORs on a `u16` — precisely
 //! the one-LUT-per-cell structure the FPGA implementation has.
 
-use crate::Rng16;
+use crate::{Rng16, SnapshotRng};
 
 /// Rule vector found by exhaustive search over all 2^16 hybrid vectors:
 /// bit *i* = 1 means cell *i* applies rule 150, otherwise rule 90. This
@@ -87,6 +87,20 @@ impl Rng16 for CaRng {
             s = Self::step_state(s, rules);
         }
         self.state = s;
+    }
+}
+
+impl SnapshotRng for CaRng {
+    fn load(&mut self, _consumed: u64, next: u16) -> Result<(), &'static str> {
+        // The state register IS the next output; the draw count is not
+        // needed to reposition a free-running CA. Zero is the CA's fixed
+        // point and can never appear in a maximal-cycle stream, so a
+        // zero `next` marks a corrupted snapshot rather than a position.
+        if next == 0 {
+            return Err("CA snapshot has the unreachable all-zero state");
+        }
+        self.state = next;
+        Ok(())
     }
 }
 
@@ -203,5 +217,27 @@ mod tests {
         rng.reseed(0xAAAA);
         let second: Vec<u16> = (0..8).map(|_| rng.next_u16()).collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn snapshot_save_load_resumes_the_stream() {
+        let mut rng = CaRng::new(0x2961);
+        for _ in 0..7 {
+            rng.next_u16();
+        }
+        let next = rng.save();
+        let tail: Vec<u16> = (0..8).map(|_| rng.next_u16()).collect();
+        // Restore into a generator seeded with something unrelated.
+        let mut fresh = CaRng::new(0xFFFF);
+        fresh.load(7, next).unwrap();
+        let resumed: Vec<u16> = (0..8).map(|_| fresh.next_u16()).collect();
+        assert_eq!(tail, resumed);
+    }
+
+    #[test]
+    fn zero_snapshot_is_rejected() {
+        let mut rng = CaRng::new(1);
+        assert!(rng.load(0, 0).is_err());
+        assert_eq!(rng.output(), 1, "failed load must not disturb state");
     }
 }

@@ -6,7 +6,7 @@
 //! parameterized with, demonstrating the paper's claim that "the
 //! operation of the GA core is independent of the RNG implementation".
 
-use crate::Rng16;
+use crate::{Rng16, SnapshotRng};
 
 /// Feedback mask for the primitive polynomial
 /// x^16 + x^14 + x^13 + x^11 + 1 — the standard maximal 16-bit Galois
@@ -75,6 +75,18 @@ impl Rng16 for Lfsr16 {
     }
 }
 
+impl SnapshotRng for Lfsr16 {
+    fn load(&mut self, _consumed: u64, next: u16) -> Result<(), &'static str> {
+        // Same contract as the CA: the register is the next output and
+        // zero is the unreachable fixed point.
+        if next == 0 {
+            return Err("LFSR snapshot has the unreachable all-zero state");
+        }
+        self.state = next;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +142,20 @@ mod tests {
     fn first_draw_is_seed() {
         let mut l = Lfsr16::new(0xFFFF);
         assert_eq!(l.next_u16(), 0xFFFF);
+    }
+
+    #[test]
+    fn snapshot_save_load_resumes_the_stream() {
+        let mut l = Lfsr16::new(0xB342);
+        for _ in 0..5 {
+            l.next_u16();
+        }
+        let next = l.save();
+        let tail: Vec<u16> = (0..8).map(|_| l.next_u16()).collect();
+        let mut fresh = Lfsr16::new(0x0001);
+        fresh.load(5, next).unwrap();
+        let resumed: Vec<u16> = (0..8).map(|_| fresh.next_u16()).collect();
+        assert_eq!(tail, resumed);
+        assert!(fresh.load(0, 0).is_err());
     }
 }

@@ -82,3 +82,28 @@ pub trait Rng16 {
         (self.next_u16() & 0xF) as u8
     }
 }
+
+/// A [`Rng16`] whose stream position can be captured and restored — the
+/// contract the engine checkpoint/resume machinery builds on.
+///
+/// A snapshot is the pair *(consumed, next)*: how many draws the engine
+/// has taken so far and the value the **next** `next_u16` call will
+/// return. That pair is backend-neutral: for register generators
+/// ([`CaRng`], [`Lfsr16`]) the next output *is* the state, so `load`
+/// simply reinstalls it (ignoring `consumed`); for the engine crate's
+/// pre-extracted lane streams, `consumed` is the stream cursor and
+/// `next` is a cross-check against the stored stream. Restoring a
+/// behavioral snapshot into a stream-backed stepper (or vice versa)
+/// therefore works, which is what makes cross-backend resume possible.
+pub trait SnapshotRng: Rng16 {
+    /// The value the next `next_u16` call will return.
+    fn save(&self) -> u16 {
+        self.output()
+    }
+
+    /// Reposition the generator so the next draw returns `next` after
+    /// `consumed` draws have already been taken. Returns a typed error
+    /// (never panics) when the pair is not a reachable position for
+    /// this generator.
+    fn load(&mut self, consumed: u64, next: u16) -> Result<(), &'static str>;
+}

@@ -17,10 +17,11 @@
 //! 3. after the programmed number of generations, output the best
 //!    individual found.
 
-use carng::Rng16;
+use carng::{Rng16, SnapshotRng};
 
 use crate::ops;
 use crate::params::GaParams;
+use crate::snapshot::{EngineSnapshot, SnapshotError};
 
 /// A chromosome and its fitness, as stored in one 32-bit GA-memory word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -352,6 +353,65 @@ impl<R: Rng16, F: FnMut(u16) -> u16> GaEngine<R, F> {
         self.params
     }
 
+    /// Capture the full engine state at a generation boundary. Requires
+    /// an initialized population (like [`GaEngine::inject`]); restoring
+    /// the snapshot — into this engine, a fresh one, or one on a
+    /// different [`SnapshotRng`] backend — continues the run
+    /// bit-identically.
+    pub fn snapshot(&self) -> EngineSnapshot
+    where
+        R: SnapshotRng,
+    {
+        assert!(!self.cur.is_empty(), "snapshot before init_population");
+        EngineSnapshot {
+            params: self.params,
+            elitism: self.elitism,
+            field_mode: self.field_mode,
+            gen: self.gen,
+            fit_sum: self.fit_sum,
+            evaluations: self.evaluations,
+            rng_draws: self.rng_draws,
+            rng_next: self.rng.save(),
+            best: self.best,
+            population: self.cur.clone(),
+        }
+    }
+
+    /// Install a snapshot, replacing the engine's entire state (the
+    /// fitness function stays — the caller is responsible for restoring
+    /// into an engine serving the same workload). Fails with a typed
+    /// error, leaving the engine untouched, when the snapshot is
+    /// internally inconsistent or its RNG position is unreachable for
+    /// this backend.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), SnapshotError>
+    where
+        R: SnapshotRng,
+    {
+        if snap.params.validate().is_err() {
+            return Err(SnapshotError::BadValue {
+                what: "invalid GA parameters",
+            });
+        }
+        if snap.population.len() != snap.params.pop_size as usize {
+            return Err(SnapshotError::BadValue {
+                what: "population length disagrees with pop_size",
+            });
+        }
+        self.rng
+            .load(snap.rng_draws, snap.rng_next)
+            .map_err(|what| SnapshotError::BadValue { what })?;
+        self.params = snap.params;
+        self.elitism = snap.elitism;
+        self.field_mode = snap.field_mode;
+        self.cur = snap.population.clone();
+        self.best = snap.best;
+        self.fit_sum = snap.fit_sum;
+        self.gen = snap.gen;
+        self.evaluations = snap.evaluations;
+        self.rng_draws = snap.rng_draws;
+        Ok(())
+    }
+
     /// Replace the worst individual with `migrant` (island-model
     /// migration): the incoming individual takes the slot of the
     /// current population's minimum-fitness member, and the fitness sum
@@ -585,6 +645,56 @@ mod tests {
             "naive mode unexpectedly solved F3 (got {})",
             naive.best.fitness
         );
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let params = GaParams::new(16, 12, 10, 1, 0x2961);
+        let mut reference = engine(TestFunction::Bf6, params);
+        reference.init_population();
+        for _ in 0..12 {
+            reference.step_generation();
+        }
+        // Interrupt at generation 5, snapshot, restore into a FRESH
+        // engine seeded with something unrelated, and finish the run.
+        let mut first = engine(TestFunction::Bf6, params);
+        first.init_population();
+        for _ in 0..5 {
+            first.step_generation();
+        }
+        let snap = first.snapshot();
+        let wire = snap.to_hex();
+        let back = EngineSnapshot::from_hex(&wire).expect("wire round trip");
+        let mut resumed = engine(
+            TestFunction::Bf6,
+            GaParams {
+                seed: 0xFFFF,
+                ..params
+            },
+        );
+        resumed.restore(&back).expect("restores");
+        for _ in 0..7 {
+            resumed.step_generation();
+        }
+        assert_eq!(resumed.population(), reference.population());
+        assert_eq!(resumed.best(), reference.best());
+        assert_eq!(resumed.rng_draws(), reference.rng_draws());
+        assert_eq!(resumed.evaluations(), reference.evaluations());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let params = GaParams::new(8, 4, 10, 1, 0x061F);
+        let mut e = engine(TestFunction::F3, params);
+        e.init_population();
+        let mut snap = e.snapshot();
+        snap.population.pop();
+        let before = e.snapshot();
+        assert!(e.restore(&snap).is_err(), "short population rejected");
+        assert_eq!(e.snapshot(), before, "failed restore leaves state alone");
+        let mut zero = before.clone();
+        zero.rng_next = 0;
+        assert!(e.restore(&zero).is_err(), "unreachable RNG state rejected");
     }
 
     #[test]

@@ -14,10 +14,11 @@
 
 use carng::ca::MAXIMAL_RULE_VECTOR;
 use carng::wide::CaRngW;
-use carng::{CaRng, Rng16};
+use carng::{CaRng, SnapshotRng};
 
 use crate::behavioral::{GaEngine, Individual};
 use crate::params::GaParams;
+use crate::snapshot::{EngineSnapshot, SnapshotError};
 
 /// One island's engine, as the migration loop sees it: anything that
 /// can initialize a population, evolve it one generation at a time,
@@ -36,9 +37,14 @@ pub trait IslandMember: Send {
     fn inject(&mut self, migrant: Individual);
     /// Fitness evaluations consumed so far.
     fn evaluations(&self) -> u64;
+    /// Capture the member's full state ([`GaEngine::snapshot`]).
+    fn snapshot(&self) -> EngineSnapshot;
+    /// Install a snapshot ([`GaEngine::restore`]); the member continues
+    /// bit-identically from the captured position.
+    fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), SnapshotError>;
 }
 
-impl<R: Rng16 + Send, F: FnMut(u16) -> u16 + Send> IslandMember for GaEngine<R, F> {
+impl<R: SnapshotRng + Send, F: FnMut(u16) -> u16 + Send> IslandMember for GaEngine<R, F> {
     fn init_population(&mut self) {
         GaEngine::init_population(self);
     }
@@ -57,6 +63,14 @@ impl<R: Rng16 + Send, F: FnMut(u16) -> u16 + Send> IslandMember for GaEngine<R, 
 
     fn evaluations(&self) -> u64 {
         GaEngine::evaluations(self)
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        GaEngine::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), SnapshotError> {
+        GaEngine::restore(self, snap)
     }
 }
 
@@ -108,29 +122,65 @@ where
     run_islands_over(config, members)
 }
 
-/// The migration loop itself, generic over the member engines: each
-/// member is initialized, evolved for `epoch` generations per round on
-/// its own scoped thread, and at every epoch barrier island *k*'s best
-/// replaces the worst member of island *(k+1) mod n* on the ring.
-/// `members[k]` is island *k*; callers are responsible for seeding the
-/// members with disjoint streams ([`island_seed`]).
-pub fn run_islands_over(
+/// The epoch-granular island driver: members between epochs, one
+/// scoped-thread fan-out per [`IslandRing::step_epoch`], ring migration
+/// at every barrier. Splitting the loop open (instead of running it to
+/// completion inside [`run_islands_over`]) is what lets the engine
+/// layer checkpoint every member after each epoch and resume a killed
+/// run from the snapshots — the trajectory is bit-identical either way
+/// because all cross-island traffic happens at the barrier.
+pub struct IslandRing<'a> {
     config: IslandConfig,
-    members: Vec<Box<dyn IslandMember + '_>>,
-) -> IslandRun {
-    assert!(config.islands >= 1);
-    assert_eq!(members.len(), config.islands, "one member per island");
-    assert!(config.epoch >= 1 && config.epochs >= 1);
+    engines: Vec<Box<dyn IslandMember + 'a>>,
+    epochs_done: u32,
+}
 
-    // Members live on the coordinating thread between epochs; each
-    // epoch fans the islands out over scoped threads.
-    let mut engines = members;
-    for e in engines.iter_mut() {
-        e.init_population();
+impl<'a> IslandRing<'a> {
+    fn validated(
+        config: IslandConfig,
+        members: Vec<Box<dyn IslandMember + 'a>>,
+        epochs_done: u32,
+    ) -> Self {
+        assert!(config.islands >= 1);
+        assert_eq!(members.len(), config.islands, "one member per island");
+        assert!(config.epoch >= 1 && config.epochs >= 1);
+        IslandRing {
+            config,
+            engines: members,
+            epochs_done,
+        }
     }
 
-    for _epoch in 0..config.epochs {
-        // Parallel evolution for one epoch.
+    /// Start a fresh ring: every member's initial population is
+    /// generated and evaluated. `members[k]` is island *k*; callers are
+    /// responsible for seeding the members with disjoint streams
+    /// ([`island_seed`]).
+    pub fn new(config: IslandConfig, members: Vec<Box<dyn IslandMember + 'a>>) -> Self {
+        let mut ring = Self::validated(config, members, 0);
+        for e in ring.engines.iter_mut() {
+            e.init_population();
+        }
+        ring
+    }
+
+    /// Rebuild a ring from members that were already positioned (via
+    /// [`IslandMember::restore`]) at the `epochs_done` barrier: no
+    /// initial populations are generated, no RNG draws are consumed.
+    pub fn resume(
+        config: IslandConfig,
+        members: Vec<Box<dyn IslandMember + 'a>>,
+        epochs_done: u32,
+    ) -> Self {
+        assert!(epochs_done <= config.epochs, "resuming past the end");
+        Self::validated(config, members, epochs_done)
+    }
+
+    /// Evolve every island for `epoch` generations in parallel, then
+    /// migrate: island *k*'s best replaces the worst member of island
+    /// *(k+1) mod n* on the ring.
+    pub fn step_epoch(&mut self) {
+        let config = self.config;
+        let engines = &mut self.engines;
         std::thread::scope(|s| {
             let handles: Vec<_> = engines
                 .drain(..)
@@ -150,8 +200,6 @@ pub fn run_islands_over(
             );
         });
 
-        // Ring migration at the barrier: island k's best replaces the
-        // worst member of island (k+1) mod n.
         if config.islands > 1 {
             let migrants: Vec<Individual> = engines.iter().map(|e| e.best()).collect();
             for (k, m) in migrants.into_iter().enumerate() {
@@ -159,19 +207,65 @@ pub fn run_islands_over(
                 engines[dst].inject(m);
             }
         }
+        self.epochs_done += 1;
     }
 
-    let island_best: Vec<Individual> = engines.iter().map(|e| e.best()).collect();
-    let best = island_best
-        .iter()
-        .copied()
-        .max_by_key(|i| i.fitness)
-        .expect("at least one island");
-    IslandRun {
-        best,
-        island_best,
-        evaluations: engines.iter().map(|e| e.evaluations()).sum(),
+    /// The configuration in force.
+    pub fn config(&self) -> IslandConfig {
+        self.config
     }
+
+    /// Epoch barriers crossed so far.
+    pub fn epochs_done(&self) -> u32 {
+        self.epochs_done
+    }
+
+    /// True once every configured epoch has run.
+    pub fn done(&self) -> bool {
+        self.epochs_done >= self.config.epochs
+    }
+
+    /// Best individual across the ring right now.
+    pub fn best(&self) -> Individual {
+        self.engines
+            .iter()
+            .map(|e| e.best())
+            .max_by_key(|i| i.fitness)
+            .expect("at least one island")
+    }
+
+    /// Snapshot every member at the current barrier, in ring order.
+    pub fn snapshots(&self) -> Vec<EngineSnapshot> {
+        self.engines.iter().map(|e| e.snapshot()).collect()
+    }
+
+    /// Finish: fold the members into the run result.
+    pub fn finish(self) -> IslandRun {
+        let island_best: Vec<Individual> = self.engines.iter().map(|e| e.best()).collect();
+        let best = island_best
+            .iter()
+            .copied()
+            .max_by_key(|i| i.fitness)
+            .expect("at least one island");
+        IslandRun {
+            best,
+            island_best,
+            evaluations: self.engines.iter().map(|e| e.evaluations()).sum(),
+        }
+    }
+}
+
+/// The migration loop run to completion — [`IslandRing`] driven over
+/// every configured epoch in one call.
+pub fn run_islands_over(
+    config: IslandConfig,
+    members: Vec<Box<dyn IslandMember + '_>>,
+) -> IslandRun {
+    let mut ring = IslandRing::new(config, members);
+    while !ring.done() {
+        ring.step_epoch();
+    }
+    ring.finish()
 }
 
 #[cfg(test)]
@@ -254,6 +348,44 @@ mod tests {
                 run.best.fitness
             );
         }
+    }
+
+    #[test]
+    fn ring_checkpoint_resume_is_bit_identical() {
+        // Kill-and-resume at a barrier: snapshot after two epochs,
+        // rebuild fresh members from the snapshots, finish — the result
+        // must equal the uninterrupted run exactly.
+        let rom = FitnessRom::tabulate(TestFunction::Bf6);
+        let params = GaParams::new(16, 32, 10, 1, 0x2961);
+        let config = cfg(4);
+        let members = || -> Vec<Box<dyn IslandMember + '_>> {
+            (0..config.islands)
+                .map(|k| {
+                    let seed = island_seed(params.seed, k, config.islands);
+                    let p = GaParams { seed, ..params };
+                    Box::new(GaEngine::new(p, CaRng::new(seed), |c| rom.lookup(c)))
+                        as Box<dyn IslandMember + '_>
+                })
+                .collect()
+        };
+        let reference = run_islands_over(config, members());
+
+        let mut ring = IslandRing::new(config, members());
+        ring.step_epoch();
+        ring.step_epoch();
+        let snaps = ring.snapshots();
+        drop(ring); // the "crash"
+
+        let mut fresh = members();
+        for (m, s) in fresh.iter_mut().zip(&snaps) {
+            m.restore(s).expect("snapshot restores");
+        }
+        let mut resumed = IslandRing::resume(config, fresh, 2);
+        assert_eq!(resumed.epochs_done(), 2);
+        while !resumed.done() {
+            resumed.step_epoch();
+        }
+        assert_eq!(resumed.finish(), reference);
     }
 
     #[test]

@@ -33,14 +33,18 @@ pub mod params;
 pub mod ports;
 pub mod rngmod;
 pub mod scaling;
+pub mod snapshot;
 pub mod system;
 pub mod system32;
 
 pub use behavioral::{FieldMode, GaEngine, GaRun, GenStats, Individual};
 pub use hwcore::GaCoreHw;
-pub use islands::{run_islands, run_islands_over, IslandConfig, IslandMember, IslandRun};
+pub use islands::{
+    run_islands, run_islands_over, IslandConfig, IslandMember, IslandRing, IslandRun,
+};
 pub use params::{GaParams, ParamIndex, PresetMode};
 pub use ports::{GaCoreComb, GaCoreIn, GaCoreOut};
 pub use scaling::GaEngine32;
+pub use snapshot::{EngineSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use system::{GaSystem, HwRun, UserIn};
 pub use system32::GaSystem32 as GaSystem32Hw;

@@ -1,0 +1,207 @@
+//! Property-based tests of the snapshot wire codec. Checkpoint bundles
+//! cross process boundaries and live on disk, so the decoder faces
+//! arbitrary bytes: every corruption must land in a typed
+//! [`SnapshotError`], never a panic, and every encodable state must
+//! round-trip byte-identically (the invariant the multi-process resume
+//! proof rests on).
+
+#![allow(clippy::unwrap_used)]
+
+use ga_core::behavioral::FieldMode;
+use ga_core::snapshot::{hex_decode, EngineSnapshot, SnapshotError, SNAPSHOT_VERSION};
+use ga_core::{GaParams, Individual};
+use proptest::prelude::*;
+
+/// Assemble a *reachable* engine state from primitive draws: the
+/// population determines `fit_sum`, and the elite is at least as fit as
+/// the fittest member (both are decoder-enforced invariants).
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    members: Vec<(u16, u16)>,
+    xover: u8,
+    mutation: u8,
+    n_gens: u32,
+    seed: u16,
+    elitism: bool,
+    consecutive: bool,
+    gen: u32,
+    evaluations: u64,
+    rng_draws: u64,
+    rng_next: u16,
+    best_chrom: u16,
+    best_margin: u16,
+) -> EngineSnapshot {
+    let population: Vec<Individual> = members
+        .iter()
+        .map(|&(chrom, fitness)| Individual { chrom, fitness })
+        .collect();
+    let pop_max = population.iter().map(|i| i.fitness).max().unwrap_or(0);
+    EngineSnapshot {
+        params: GaParams {
+            pop_size: population.len() as u8,
+            n_gens,
+            xover_threshold: xover,
+            mut_threshold: mutation,
+            seed,
+        },
+        elitism,
+        field_mode: if consecutive {
+            FieldMode::ConsecutiveDraws
+        } else {
+            FieldMode::SharedDraw
+        },
+        gen,
+        fit_sum: population.iter().map(|i| i.fitness as u32).sum(),
+        evaluations,
+        rng_draws,
+        rng_next,
+        best: Individual {
+            chrom: best_chrom,
+            fitness: pop_max.saturating_add(best_margin),
+        },
+        population,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Encode → decode is the identity, and re-encoding the decoded
+    /// snapshot reproduces the original bytes exactly — same through
+    /// the hex wire form.
+    #[test]
+    fn round_trips_are_byte_identical(
+        members in prop::collection::vec((0u16..=u16::MAX, 0u16..=u16::MAX), 2..65),
+        xover in 0u8..=15, mutation in 0u8..=15,
+        n_gens in 1u32..=u32::MAX, seed in 0u16..=u16::MAX,
+        elitism in any::<bool>(), consecutive in any::<bool>(),
+        gen in 0u32..=u32::MAX,
+        evaluations in 0u64..=u64::MAX, rng_draws in 0u64..=u64::MAX,
+        rng_next in 0u16..=u16::MAX,
+        best_chrom in 0u16..=u16::MAX, best_margin in 0u16..=64,
+    ) {
+        let snap = snapshot(
+            members, xover, mutation, n_gens, seed, elitism, consecutive,
+            gen, evaluations, rng_draws, rng_next, best_chrom, best_margin,
+        );
+        let bytes = snap.encode();
+        let decoded = EngineSnapshot::decode(&bytes);
+        prop_assert!(decoded.is_ok(), "own encoding rejected: {decoded:?}");
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&decoded, &snap);
+        prop_assert_eq!(decoded.encode(), bytes.clone(), "re-encode drifted");
+        let hexed = EngineSnapshot::from_hex(&snap.to_hex());
+        prop_assert!(hexed.is_ok(), "hex round trip rejected: {hexed:?}");
+        prop_assert_eq!(hexed.unwrap().encode(), bytes);
+    }
+
+    /// Every proper prefix of a valid encoding is a typed error —
+    /// never a panic, never a silent partial decode.
+    #[test]
+    fn truncations_are_typed_never_panics(
+        members in prop::collection::vec((0u16..=u16::MAX, 0u16..=u16::MAX), 2..17),
+        seed in 0u16..=u16::MAX,
+        cut_salt in 0usize..=usize::MAX,
+    ) {
+        let snap = snapshot(
+            members, 10, 1, 32, seed, true, false, 3, 96, 500, 0x1234, 7, 0,
+        );
+        let bytes = snap.encode();
+        // Exhaustive over every prefix, plus one salted deep cut to
+        // keep the case count honest if the format grows.
+        for n in (0..bytes.len()).chain([cut_salt % bytes.len()]) {
+            let r = EngineSnapshot::decode(&bytes[..n]);
+            prop_assert!(r.is_err(), "prefix of {n}/{} bytes decoded", bytes.len());
+        }
+        // Appending garbage is a typed trailing error.
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0xAA, 0xBB]);
+        prop_assert_eq!(
+            EngineSnapshot::decode(&long),
+            Err(SnapshotError::Trailing { extra: 2 })
+        );
+    }
+
+    /// Flipping any single byte never panics the decoder: it either
+    /// still decodes (the byte was free payload, e.g. a chromosome) or
+    /// lands in a typed error. Flips that touch checked invariants are
+    /// caught.
+    #[test]
+    fn single_byte_corruption_is_typed_or_benign(
+        members in prop::collection::vec((0u16..=u16::MAX, 0u16..=u16::MAX), 2..17),
+        pos_salt in 0usize..=usize::MAX,
+        flip in 1u8..=u8::MAX,
+    ) {
+        let snap = snapshot(
+            members, 10, 1, 32, 0x2961, true, false, 3, 96, 500, 0x1234, 7, 1,
+        );
+        let mut bytes = snap.encode();
+        let pos = pos_salt % bytes.len();
+        bytes[pos] ^= flip;
+        // A typed rejection is the expected path; a benign flip must
+        // still re-encode to exactly the mutated bytes — the codec has
+        // no don't-care bits.
+        if let Ok(decoded) = EngineSnapshot::decode(&bytes) {
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+        // Corrupting the magic specifically is always BadMagic.
+        let mut magicless = snap.encode();
+        magicless[0] ^= flip;
+        prop_assert_eq!(
+            EngineSnapshot::decode(&magicless),
+            Err(SnapshotError::BadMagic)
+        );
+    }
+
+    /// The version byte gates every future format: all 254 non-v1
+    /// values are rejected up front with the version named, before any
+    /// field is interpreted.
+    #[test]
+    fn future_versions_are_rejected_by_name(
+        members in prop::collection::vec((0u16..=u16::MAX, 0u16..=u16::MAX), 2..9),
+        version in 0u8..=u8::MAX,
+    ) {
+        let snap = snapshot(
+            members, 10, 1, 32, 0xB342, true, true, 1, 32, 100, 0x0001, 0, 0,
+        );
+        let mut bytes = snap.encode();
+        bytes[2] = version;
+        let r = EngineSnapshot::decode(&bytes);
+        if version == SNAPSHOT_VERSION {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert_eq!(r, Err(SnapshotError::UnsupportedVersion { version }));
+        }
+    }
+
+    /// The hex layer is strict: odd lengths and non-hex digits are
+    /// typed errors carrying the offending offset, and valid hex of
+    /// garbage bytes falls through to the binary decoder's typed
+    /// rejection — no panic anywhere on the path.
+    #[test]
+    fn hex_layer_rejections_are_typed(
+        junk in prop::collection::vec(0u8..=u8::MAX, 0..64),
+        salt in 0usize..=usize::MAX,
+    ) {
+        let hex: String = junk.iter().map(|b| format!("{b:02x}")).collect();
+        match hex_decode(&hex) {
+            Ok(bytes) => prop_assert_eq!(&bytes, &junk),
+            Err(e) => prop_assert!(false, "valid hex rejected: {e}"),
+        }
+        // Garbage bytes through the full from_hex path: typed or valid.
+        let _ = EngineSnapshot::from_hex(&hex);
+        // Mangle one digit to a non-hex character.
+        if !hex.is_empty() {
+            let pos = salt % hex.len();
+            let mut bad = hex.clone();
+            bad.replace_range(pos..=pos, "z");
+            prop_assert_eq!(hex_decode(&bad), Err(SnapshotError::BadHex { pos }));
+        }
+        // Odd length is rejected at the end offset.
+        let odd = format!("{hex}a");
+        prop_assert_eq!(
+            hex_decode(&odd),
+            Err(SnapshotError::BadHex { pos: odd.len() })
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! hardware models that do not count evaluations themselves
 //! (`GaParams::evaluations_per_run` is the single source of truth).
 
-use carng::{CaRng, Rng16};
+use carng::{CaRng, Rng16, SnapshotRng};
 use ga_core::behavioral::GenStats;
 use ga_core::scaling::GenStats32;
 use ga_core::{GaEngine, GaSystem, GaSystem32Hw};
@@ -100,8 +100,12 @@ fn run16<R: Rng16>(spec: &RunSpec, rng: R) -> Result<RunOutcome, EngineError> {
 
 /// A stepping handle over the behavioral engine with an arbitrary RNG
 /// source — the island-member factory both 16-bit stepping adapters
-/// share.
-fn stepper16<R: Rng16 + Send + 'static>(spec: &RunSpec, rng: R) -> Box<dyn ga_core::IslandMember> {
+/// share. The RNG must be snapshot-capable: stepping handles are the
+/// checkpoint/resume surface ([`ga_core::IslandMember::snapshot`]).
+fn stepper16<R: SnapshotRng + Send + 'static>(
+    spec: &RunSpec,
+    rng: R,
+) -> Box<dyn ga_core::IslandMember> {
     let f = spec.workload;
     Box::new(GaEngine::new(spec.params, rng, move |c| f.eval_u16(c)))
 }
@@ -262,13 +266,15 @@ impl<const W: usize> Engine for BitSimWideEngine<W> {
     }
 
     fn stepper(&self, prepared: &Prepared) -> Option<Box<dyn ga_core::IslandMember>> {
-        // Stepping needs the whole stream up front: extract exactly the
-        // draws a full run of `n_gens` generations consumes (an island
-        // driver runs epoch × epochs = n_gens generations total). One
-        // lane is one lane at any width, so the narrow simulator is the
-        // cheapest extractor.
+        // Stepping needs the whole stream up front: extract the draws a
+        // full run of `n_gens` generations consumes (an island driver
+        // runs epoch × epochs = n_gens generations total) plus one — a
+        // snapshot taken after the final generation still records the
+        // *next* draw, which is how a stream checkpoint restores into a
+        // register-RNG backend. One lane is one lane at any width, so
+        // the narrow simulator is the cheapest extractor.
         let spec = prepared.spec();
-        let draws = draws_per_run(&spec.params) as usize;
+        let draws = draws_per_run(&spec.params) as usize + 1;
         let mut streams = crate::pack::ca_lane_streams(&[spec.params.seed], draws);
         let stream = streams.pop().expect("one lane requested");
         Some(stepper16(spec, StreamRng::new(stream)))

@@ -44,7 +44,7 @@ pub use adapters::{
     BitSimWideEngine, Rtl32Engine, RtlInterpEngine, SwgaEngine,
 };
 pub use cache::{global_cache, CacheKey, NetlistCache};
-pub use islands::IslandsEngine;
+pub use islands::{CheckpointBundle, IslandsDriver, IslandsEngine, CHECKPOINT_VERSION};
 pub use pack::{
     ca_lane_streams, draws_per_run, try_ca_lane_streams, try_ca_lane_streams_wide, StreamRng,
 };

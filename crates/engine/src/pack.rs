@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 
-use carng::Rng16;
+use carng::{Rng16, SnapshotRng};
 use ga_core::GaParams;
 use ga_synth::bitsim::{BitSimW, CompiledNetlist};
 use ga_synth::gadesign::elaborate_ca_rng;
@@ -195,6 +195,25 @@ impl Rng16 for StreamRng {
     }
 }
 
+impl SnapshotRng for StreamRng {
+    fn load(&mut self, consumed: u64, next: u16) -> Result<(), &'static str> {
+        // `consumed` is the stream cursor directly; `next` cross-checks
+        // the snapshot against the extracted stream, so restoring a
+        // behavioral snapshot into the wrong lane (or a corrupted one)
+        // is caught instead of silently diverging.
+        let pos = usize::try_from(consumed)
+            .map_err(|_| "stream snapshot position does not fit in memory")?;
+        if pos >= self.stream.len() {
+            return Err("stream snapshot position is past the extracted stream");
+        }
+        if self.stream[pos] != next {
+            return Err("snapshot RNG value disagrees with the extracted stream");
+        }
+        self.pos = pos;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +301,20 @@ mod tests {
         assert_eq!(r.consumed(), 2);
         r.reseed(7);
         assert_eq!(r.next_u16(), 7);
+    }
+
+    #[test]
+    fn stream_rng_snapshot_load_is_checked() {
+        let mut r = StreamRng::new(vec![7, 8, 9]);
+        r.next_u16();
+        assert_eq!(r.save(), 8);
+        // Reposition by (consumed, next) — the cross-backend contract.
+        let mut other = StreamRng::new(vec![7, 8, 9]);
+        other.load(1, 8).expect("valid position");
+        assert_eq!(other.next_u16(), 8);
+        assert!(other.load(1, 9).is_err(), "value mismatch is typed");
+        assert!(other.load(3, 7).is_err(), "past-the-end is typed");
+        assert_eq!(other.consumed(), 2, "failed loads leave the cursor");
     }
 
     #[test]

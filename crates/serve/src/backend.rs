@@ -10,7 +10,8 @@
 
 use std::time::Instant;
 
-use ga_engine::{global, EngineError, Limits, Prepared};
+use ga_core::islands::IslandConfig;
+use ga_engine::{global, EngineError, IslandsEngine, Limits, Prepared};
 
 use crate::job::{
     BackendKind, Degradation, GaJob, HealReport, JobOutput, JobResult, ServeError, Workload,
@@ -50,9 +51,15 @@ fn limits(cfg: &ServeConfig) -> Limits {
 pub fn run_single(job: &GaJob, i: usize, cfg: &ServeConfig) -> JobResult {
     let t = Instant::now();
     let engine = global().get(job.backend).expect("all kinds registered");
-    let (backend, outcome, degraded) = match engine.prepare(job.spec()) {
-        Err(e) => (job.backend, Err(e.into()), None),
-        Ok(p) => settle(job, engine.run(&p, &limits(cfg)), cfg),
+    let (backend, outcome, degraded) = match job.islands {
+        // Island jobs run the ring composite over the backend's
+        // stepping handle; they never degrade — a refusal (non-stepping
+        // backend, schedule mismatch) is a deterministic typed error.
+        Some(cfg_islands) => (job.backend, run_islands(job, cfg_islands), None),
+        None => match engine.prepare(job.spec()) {
+            Err(e) => (job.backend, Err(e.into()), None),
+            Ok(p) => settle(job, engine.run(&p, &limits(cfg)), cfg),
+        },
     };
     let heal = heal_report(job, &outcome);
     JobResult {
@@ -63,6 +70,29 @@ pub fn run_single(job: &GaJob, i: usize, cfg: &ServeConfig) -> JobResult {
         degraded,
         heal,
     }
+}
+
+/// Execute an island job: the ring-migration composite
+/// ([`ga_engine::IslandsEngine`]) over the requested backend, folded
+/// into the standard [`JobOutput`] shape — the ring-wide best, the
+/// summed evaluations, the full `epoch × epochs` generation budget.
+/// Per-generation trajectory and convergence metrics are per-island
+/// quantities and are deliberately absent from the aggregate.
+fn run_islands(job: &GaJob, config: IslandConfig) -> Result<JobOutput, ServeError> {
+    job.validate()?;
+    let engine = global().get(job.backend).expect("all kinds registered");
+    let ring = IslandsEngine::new(engine, config).map_err(ServeError::from)?;
+    let run = ring.run(job.spec()).map_err(ServeError::from)?;
+    Ok(JobOutput {
+        best_chrom: run.best.chrom as u32,
+        best_fitness: run.best.fitness,
+        generations: job.params.n_gens,
+        evaluations: run.evaluations,
+        conv_gen: None,
+        cycles: None,
+        rng_draws: None,
+        trajectory: Vec::new(),
+    })
 }
 
 /// Fold an engine result into the service's (backend, outcome,
@@ -248,6 +278,53 @@ mod tests {
             run_single(&job, 0, &cfg).outcome,
             Err(ServeError::Watchdog { cycles: 10 })
         ));
+    }
+
+    #[test]
+    fn island_jobs_run_the_ring_composite_exactly() {
+        let params = GaParams::new(16, 12, 10, 1, 0x2961);
+        let config = IslandConfig {
+            islands: 3,
+            epoch: 4,
+            epochs: 3,
+        };
+        let job =
+            GaJob::new(TestFunction::Bf6, BackendKind::Behavioral, params).with_islands(config);
+        let out = run(&job).expect("island job runs");
+
+        // The serve answer is the engine composite's answer, verbatim.
+        let engine = ga_engine::global()
+            .get(BackendKind::Behavioral)
+            .expect("registered");
+        let direct = IslandsEngine::new(engine, config)
+            .expect("steps")
+            .run(job.spec())
+            .expect("runs");
+        assert_eq!(out.best_chrom, direct.best.chrom as u32);
+        assert_eq!(out.best_fitness, direct.best.fitness);
+        assert_eq!(out.evaluations, direct.evaluations);
+        assert_eq!(out.generations, 12);
+
+        // And the lane-stream backend answers bit-identically.
+        let bit = GaJob {
+            backend: BackendKind::BitSim64,
+            ..job
+        };
+        assert_eq!(run(&bit), Ok(out), "bitsim ring must match behavioral");
+    }
+
+    #[test]
+    fn island_jobs_on_non_stepping_backends_fail_typed() {
+        let params = GaParams::new(16, 12, 10, 1, 0x2961);
+        let job =
+            GaJob::new(TestFunction::Bf6, BackendKind::Swga, params).with_islands(IslandConfig {
+                islands: 2,
+                epoch: 6,
+                epochs: 2,
+            });
+        let r = run_single(&job, 0, &ServeConfig::default());
+        assert!(matches!(r.outcome, Err(ServeError::InvalidJob { .. })));
+        assert_eq!(r.degraded, None, "island refusals never degrade");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! gaserved --input jobs.jsonl --out results.jsonl [--threads N] [--queue-cap N]
 //! gaserved --listen 127.0.0.1:4567 [--threads N] [--queue-cap N] [--shed]
 //!          [--max-jobs-per-conn N] [--rate N] [--burst N] [--drain-grace-ms N]
+//! gaserved --island-worker 127.0.0.1:0
 //! gaserved --list-backends
 //! ```
 //!
@@ -22,6 +23,12 @@
 //! drains gracefully — stops accepting, finishes every admitted job,
 //! flushes per-connection tails.
 //!
+//! **Island-worker mode** hosts one shard of a sharded island run: it
+//! binds, announces `listening <addr>` the same way, accepts a single
+//! coordinator connection, and serves the `ga_serve::islands` op
+//! protocol (init/epoch/inject/snapshot/finish) until the run finishes
+//! or the coordinator disconnects.
+//!
 //! In both modes a human summary goes to stderr and the
 //! machine-readable throughput report — now with per-backend
 //! p50/p95/p99/max latency — goes to `BENCH_serve.json` (honoring
@@ -38,6 +45,7 @@ fn main() -> ExitCode {
     let mut input = None;
     let mut out = None;
     let mut listen = None;
+    let mut island_worker = None;
     let mut net = NetConfig::default();
     let mut cfg = ServeConfig::default();
 
@@ -52,6 +60,7 @@ fn main() -> ExitCode {
             "--input" => value("--input").map(|v| input = Some(v)),
             "--out" => value("--out").map(|v| out = Some(v)),
             "--listen" => value("--listen").map(|v| listen = Some(v)),
+            "--island-worker" => value("--island-worker").map(|v| island_worker = Some(v)),
             "--shed" => {
                 net.shed = true;
                 Ok(())
@@ -108,6 +117,7 @@ fn main() -> ExitCode {
                      [--threads N] [--queue-cap N]\n       \
                      gaserved --listen ADDR [--threads N] [--queue-cap N] [--shed] \
                      [--max-jobs-per-conn N] [--rate N] [--burst N] [--drain-grace-ms N]\n       \
+                     gaserved --island-worker ADDR\n       \
                      gaserved --list-backends"
                 );
                 return ExitCode::SUCCESS;
@@ -118,6 +128,18 @@ fn main() -> ExitCode {
             eprintln!("gaserved: {msg}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some(addr) = island_worker {
+        // One shard of a sharded island run: serve the op protocol on a
+        // single coordinator connection, then exit.
+        return match ga_serve::serve_island_worker(&addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gaserved: island worker: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if let Some(addr) = listen {

@@ -1,0 +1,668 @@
+//! Sharded multi-process islands: one `gaserved --island-worker`
+//! process per island, a [`Coordinator`] doing ring routing, and a
+//! drain-safe checkpoint file — the serve-layer realization of the
+//! multi-FPGA island deployments of §II-B, where each board evolves its
+//! own population and migrants travel over a physical link.
+//!
+//! The worker speaks a line-oriented flat-JSON op protocol over one
+//! accepted TCP connection (the same hand-rolled [`crate::jsonl`]
+//! parser as the job schema — no external deps):
+//!
+//! ```text
+//! → {"op":"init","fn":"BF6","backend":"behavioral","pop":16,"gens":12,
+//!    "xover":10,"mut":1,"seed":10593,"islands":3,"shard":1}
+//! ← {"ok":true,"seed":43690}
+//! → {"op":"epoch","gens":4}            evolve 4 generations
+//! ← {"ok":true,"chrom":513,"fitness":2800}
+//! → {"op":"inject","chrom":777,"fitness":3000}
+//! ← {"ok":true}
+//! → {"op":"snapshot"}
+//! ← {"ok":true,"snapshot":"4753…"}     EngineSnapshot hex
+//! → {"op":"finish"}
+//! ← {"ok":true,"chrom":513,"fitness":3000,"evaluations":96}
+//! ```
+//!
+//! `init` may carry `"snapshot":"<hex>"` to restore the member at a
+//! checkpointed barrier instead of generating an initial population —
+//! that is the resume path, and because an [`EngineSnapshot`] is
+//! backend-neutral, a run checkpointed on `behavioral` workers resumes
+//! on `bitsim64` workers bit-identically (and vice versa).
+//!
+//! The [`Coordinator`] replicates [`ga_core::islands::IslandRing`]'s
+//! epoch loop *exactly* — evolve all shards, collect **all** bests,
+//! then inject best *k* into shard *(k+1) mod n*, then snapshot — so a
+//! multi-process [`CheckpointBundle`] is byte-identical to the
+//! in-process [`ga_engine::IslandsDriver`] one at the same barrier.
+//! Every barrier's bundle is flushed to the checkpoint file via
+//! write-to-temp + rename, so a coordinator killed mid-write leaves the
+//! previous complete checkpoint intact.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+
+use ga_core::islands::{island_seed, IslandConfig, IslandRun};
+use ga_core::snapshot::EngineSnapshot;
+use ga_core::{GaParams, Individual};
+use ga_engine::{CheckpointBundle, RunSpec};
+
+use crate::job::{function_by_name, BackendKind, GaJob, Workload};
+use crate::jsonl::{as_int, as_str, escape_string, parse_object, strip_line_ending, JsonValue};
+
+/// Bind `addr`, announce `listening <addr>` on stdout (so `:0` is
+/// scriptable, mirroring `gaserved --listen`), accept **one**
+/// connection and serve the island-worker op protocol on it until
+/// `finish` or EOF.
+pub fn serve_island_worker(addr: &str) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?;
+    println!("listening {local}");
+    let (stream, _) = listener
+        .accept()
+        .map_err(|e| format!("accept failed: {e}"))?;
+    serve_island_connection(stream)
+}
+
+/// Serve the worker op protocol on an already-accepted connection.
+/// Op-level failures (bad line, op before `init`, snapshot that does
+/// not restore) are `{"ok":false,"error":…}` replies — the connection
+/// survives them; only transport errors and `finish` end the loop.
+pub fn serve_island_connection(stream: TcpStream) -> Result<(), String> {
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut member: Option<Box<dyn ga_core::IslandMember>> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Ok(()); // coordinator went away; nothing to flush
+        }
+        let text = strip_line_ending(&line);
+        if text.trim().is_empty() {
+            continue;
+        }
+        let (reply, done) = match worker_op(text, &mut member) {
+            Ok((reply, done)) => (reply, done),
+            Err(msg) => (
+                format!("{{\"ok\":false,\"error\":\"{}\"}}", escape_string(&msg)),
+                false,
+            ),
+        };
+        writer
+            .write_all(format!("{reply}\n").as_bytes())
+            .and_then(|_| writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Execute one op line against the worker's member slot. Returns the
+/// reply line and whether the connection is finished.
+fn worker_op(
+    text: &str,
+    member: &mut Option<Box<dyn ga_core::IslandMember>>,
+) -> Result<(String, bool), String> {
+    let pairs = parse_object(text)?;
+    let field = |name: &str| -> Option<&JsonValue> {
+        pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    };
+    let int = |name: &str, min: u64, max: u64| -> Result<u64, String> {
+        let v = field(name).ok_or_else(|| format!("missing key {name:?}"))?;
+        as_int(name, v, min, max)
+    };
+    let op = match field("op") {
+        Some(v) => as_str("op", v)?,
+        None => return Err("missing key \"op\"".into()),
+    };
+    match op.as_str() {
+        "init" => {
+            let fname = as_str("fn", field("fn").ok_or("missing key \"fn\"")?)?;
+            let function = function_by_name(&fname)
+                .ok_or_else(|| format!("unknown fitness function {fname:?}"))?;
+            let bname = as_str(
+                "backend",
+                field("backend").ok_or("missing key \"backend\"")?,
+            )?;
+            let backend =
+                BackendKind::parse(&bname).ok_or_else(|| format!("unknown backend {bname:?}"))?;
+            let islands = int("islands", 1, 1024)? as usize;
+            let shard = int("shard", 0, islands as u64 - 1)? as usize;
+            let seed = island_seed(int("seed", 0, u16::MAX as u64)? as u16, shard, islands);
+            let spec = RunSpec {
+                width: crate::job::CHROM_WIDTH,
+                workload: Workload::Function(function),
+                params: GaParams {
+                    pop_size: int("pop", 0, u8::MAX as u64)? as u8,
+                    n_gens: int("gens", 1, u32::MAX as u64)? as u32,
+                    xover_threshold: int("xover", 0, 255)? as u8,
+                    mut_threshold: int("mut", 0, 255)? as u8,
+                    seed,
+                },
+                deadline_ms: None,
+            };
+            let engine = ga_engine::global()
+                .get(backend)
+                .ok_or_else(|| format!("backend {bname} is not registered"))?;
+            let prepared = engine.prepare(spec).map_err(|e| e.to_string())?;
+            let mut m = engine
+                .stepper(&prepared)
+                .ok_or_else(|| format!("backend {bname} has no stepping handle"))?;
+            match field("snapshot") {
+                // Resume path: install the checkpointed state instead of
+                // drawing an initial population.
+                Some(v) => {
+                    let hex = as_str("snapshot", v)?;
+                    let snap =
+                        EngineSnapshot::from_hex(&hex).map_err(|e| format!("snapshot: {e}"))?;
+                    m.restore(&snap).map_err(|e| format!("restore: {e}"))?;
+                }
+                None => m.init_population(),
+            }
+            *member = Some(m);
+            Ok((format!("{{\"ok\":true,\"seed\":{seed}}}"), false))
+        }
+        "epoch" => {
+            let gens = int("gens", 1, u32::MAX as u64)? as u32;
+            let m = member.as_mut().ok_or("no member: send \"init\" first")?;
+            for _ in 0..gens {
+                m.step_generation();
+            }
+            let b = m.best();
+            Ok((
+                format!(
+                    "{{\"ok\":true,\"chrom\":{},\"fitness\":{}}}",
+                    b.chrom, b.fitness
+                ),
+                false,
+            ))
+        }
+        "inject" => {
+            let migrant = Individual {
+                chrom: int("chrom", 0, u16::MAX as u64)? as u16,
+                fitness: int("fitness", 0, u16::MAX as u64)? as u16,
+            };
+            let m = member.as_mut().ok_or("no member: send \"init\" first")?;
+            m.inject(migrant);
+            Ok(("{\"ok\":true}".into(), false))
+        }
+        "snapshot" => {
+            let m = member.as_ref().ok_or("no member: send \"init\" first")?;
+            Ok((
+                format!("{{\"ok\":true,\"snapshot\":\"{}\"}}", m.snapshot().to_hex()),
+                false,
+            ))
+        }
+        "finish" => {
+            let m = member.as_ref().ok_or("no member: send \"init\" first")?;
+            let b = m.best();
+            Ok((
+                format!(
+                    "{{\"ok\":true,\"chrom\":{},\"fitness\":{},\"evaluations\":{}}}",
+                    b.chrom,
+                    b.fitness,
+                    m.evaluations()
+                ),
+                true,
+            ))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// One coordinator↔worker connection.
+struct ShardConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ShardConn {
+    fn connect(addr: &str) -> Result<Self, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(ShardConn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("shard write failed: {e}"))
+    }
+
+    /// Read one reply line; an `"ok":false` reply surfaces the worker's
+    /// error string, a closed connection surfaces as a transport error
+    /// (the campaign's kill-detection signal).
+    fn recv(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("shard read failed: {e}"))?;
+        if n == 0 {
+            return Err("shard connection closed".into());
+        }
+        let pairs = parse_object(strip_line_ending(&line))?;
+        match pairs.iter().find(|(k, _)| k == "ok") {
+            Some((_, JsonValue::Bool(true))) => Ok(pairs),
+            _ => {
+                let msg = pairs
+                    .iter()
+                    .find(|(k, _)| k == "error")
+                    .and_then(|(_, v)| match v {
+                        JsonValue::Str(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| "worker refused the op".into());
+                Err(format!("worker error: {msg}"))
+            }
+        }
+    }
+}
+
+fn reply_int(pairs: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    let v = pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("worker reply missing {key:?}"))?;
+    as_int(key, v, 0, u64::MAX)
+}
+
+/// The ring coordinator: owns one [`ShardConn`] per island worker,
+/// drives the epoch/migrate/snapshot loop in [`IslandRing`] order, and
+/// flushes every barrier's [`CheckpointBundle`] to `checkpoint_path`
+/// (write-temp-then-rename, so a mid-write crash never corrupts the
+/// last good checkpoint).
+///
+/// [`IslandRing`]: ga_core::islands::IslandRing
+pub struct Coordinator {
+    config: IslandConfig,
+    shards: Vec<ShardConn>,
+    epochs_done: u32,
+    checkpoint_path: PathBuf,
+    /// Migrant transfers performed so far (one per island per barrier
+    /// on rings larger than one).
+    pub migrations: u64,
+}
+
+impl Coordinator {
+    /// Connect to one worker per island and initialize every shard —
+    /// fresh populations, or restored members when `resume` carries the
+    /// checkpoint to continue from. The job must be an island job
+    /// (`job.islands` set, function workload) and `addrs.len()` must
+    /// equal the ring size.
+    pub fn connect(
+        job: &GaJob,
+        addrs: &[String],
+        checkpoint_path: &Path,
+        resume: Option<&CheckpointBundle>,
+    ) -> Result<Self, String> {
+        let config = job.islands.ok_or("job carries no island schedule")?;
+        job.validate().map_err(|e| e.to_string())?;
+        let Workload::Function(function) = job.workload else {
+            return Err("island workers evolve fitness functions only".into());
+        };
+        if addrs.len() != config.islands {
+            return Err(format!(
+                "{} worker addrs for {} islands",
+                addrs.len(),
+                config.islands
+            ));
+        }
+        let epochs_done = match resume {
+            Some(bundle) => {
+                if bundle.config != config {
+                    return Err(format!(
+                        "checkpoint was taken under a different island config \
+                         ({:?} vs {:?})",
+                        bundle.config, config
+                    ));
+                }
+                if bundle.members.len() != config.islands {
+                    return Err(format!(
+                        "checkpoint has {} member snapshots for {} islands",
+                        bundle.members.len(),
+                        config.islands
+                    ));
+                }
+                bundle.epochs_done
+            }
+            None => 0,
+        };
+        let mut shards = Vec::with_capacity(config.islands);
+        for (k, addr) in addrs.iter().enumerate() {
+            let mut conn = ShardConn::connect(addr)?;
+            let mut init = format!(
+                "{{\"op\":\"init\",\"fn\":\"{}\",\"backend\":\"{}\",\"pop\":{},\"gens\":{},\
+                 \"xover\":{},\"mut\":{},\"seed\":{},\"islands\":{},\"shard\":{k}",
+                function.name(),
+                job.backend.name(),
+                job.params.pop_size,
+                job.params.n_gens,
+                job.params.xover_threshold,
+                job.params.mut_threshold,
+                job.params.seed,
+                config.islands,
+            );
+            if let Some(bundle) = resume {
+                init.push_str(&format!(",\"snapshot\":\"{}\"", bundle.members[k].to_hex()));
+            }
+            init.push('}');
+            conn.send(&init)?;
+            conn.recv()?;
+            shards.push(conn);
+        }
+        Ok(Coordinator {
+            config,
+            shards,
+            epochs_done,
+            checkpoint_path: checkpoint_path.to_path_buf(),
+            migrations: 0,
+        })
+    }
+
+    /// One epoch barrier: evolve every shard (requests are pipelined —
+    /// all sends, then all replies — so shards run concurrently),
+    /// collect **all** bests, route best *k* to shard *(k+1) mod n*,
+    /// snapshot everyone, flush the bundle to the checkpoint file.
+    pub fn step_epoch(&mut self) -> Result<CheckpointBundle, String> {
+        let epoch_line = format!("{{\"op\":\"epoch\",\"gens\":{}}}", self.config.epoch);
+        for s in &mut self.shards {
+            s.send(&epoch_line)?;
+        }
+        let mut bests = Vec::with_capacity(self.shards.len());
+        for s in &mut self.shards {
+            let pairs = s.recv()?;
+            bests.push(Individual {
+                chrom: reply_int(&pairs, "chrom")? as u16,
+                fitness: reply_int(&pairs, "fitness")? as u16,
+            });
+        }
+        if self.config.islands > 1 {
+            // All bests are already collected — injections cannot leak
+            // a migrant into a later shard's outgoing best, exactly like
+            // the in-process ring's two-phase migration.
+            for (k, b) in bests.iter().enumerate() {
+                let dst = (k + 1) % self.config.islands;
+                self.shards[dst].send(&format!(
+                    "{{\"op\":\"inject\",\"chrom\":{},\"fitness\":{}}}",
+                    b.chrom, b.fitness
+                ))?;
+            }
+            for s in &mut self.shards {
+                s.recv()?;
+            }
+            self.migrations += self.config.islands as u64;
+        }
+        let mut members = Vec::with_capacity(self.shards.len());
+        for s in &mut self.shards {
+            s.send("{\"op\":\"snapshot\"}")?;
+        }
+        for s in &mut self.shards {
+            let pairs = s.recv()?;
+            let hex = pairs
+                .iter()
+                .find(|(k, _)| k == "snapshot")
+                .and_then(|(_, v)| match v {
+                    JsonValue::Str(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .ok_or("worker reply missing \"snapshot\"")?;
+            members.push(EngineSnapshot::from_hex(hex).map_err(|e| format!("snapshot: {e}"))?);
+        }
+        self.epochs_done += 1;
+        let bundle = CheckpointBundle {
+            config: self.config,
+            epochs_done: self.epochs_done,
+            members,
+        };
+        write_checkpoint(&self.checkpoint_path, &bundle)?;
+        Ok(bundle)
+    }
+
+    /// Epoch barriers crossed so far (counting the resumed-from ones).
+    pub fn epochs_done(&self) -> u32 {
+        self.epochs_done
+    }
+
+    /// True once every configured epoch has run.
+    pub fn done(&self) -> bool {
+        self.epochs_done >= self.config.epochs
+    }
+
+    /// Finish every shard and fold the ring result — same tie-breaking
+    /// as [`IslandRing::finish`] (later islands win fitness ties).
+    ///
+    /// [`IslandRing::finish`]: ga_core::islands::IslandRing::finish
+    pub fn finish(mut self) -> Result<IslandRun, String> {
+        for s in &mut self.shards {
+            s.send("{\"op\":\"finish\"}")?;
+        }
+        let mut island_best = Vec::with_capacity(self.shards.len());
+        let mut evaluations = 0u64;
+        for s in &mut self.shards {
+            let pairs = s.recv()?;
+            island_best.push(Individual {
+                chrom: reply_int(&pairs, "chrom")? as u16,
+                fitness: reply_int(&pairs, "fitness")? as u16,
+            });
+            evaluations += reply_int(&pairs, "evaluations")?;
+        }
+        let best = island_best
+            .iter()
+            .copied()
+            .max_by_key(|i| i.fitness)
+            .ok_or("no shards")?;
+        Ok(IslandRun {
+            best,
+            island_best,
+            evaluations,
+        })
+    }
+}
+
+/// Flush a checkpoint durably: write the hex form to `<path>.tmp`,
+/// sync, then rename over `path` — a crash mid-flush leaves the
+/// previous complete checkpoint readable.
+pub fn write_checkpoint(path: &Path, bundle: &CheckpointBundle) -> Result<(), String> {
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .ok_or("checkpoint path has no file name")?
+    ));
+    let mut f = fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    f.write_all(bundle.to_hex().as_bytes())
+        .and_then(|_| f.write_all(b"\n"))
+        .and_then(|_| f.sync_all())
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+}
+
+/// Read a checkpoint file written by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<CheckpointBundle, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    CheckpointBundle::from_hex(text.trim()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use ga_fitness::TestFunction;
+    use std::thread::JoinHandle;
+
+    fn spawn_worker() -> (String, JoinHandle<Result<(), String>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().map_err(|e| e.to_string())?;
+            serve_island_connection(stream)
+        });
+        (addr, handle)
+    }
+
+    fn spawn_ring(n: usize) -> (Vec<String>, Vec<JoinHandle<Result<(), String>>>) {
+        (0..n).map(|_| spawn_worker()).unzip()
+    }
+
+    fn island_job(backend: BackendKind) -> GaJob {
+        GaJob::new(
+            TestFunction::Bf6,
+            backend,
+            GaParams::new(16, 12, 10, 1, 0x2961),
+        )
+        .with_islands(IslandConfig {
+            islands: 3,
+            epoch: 4,
+            epochs: 3,
+        })
+    }
+
+    fn ckpt_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ga_islands_{tag}_{}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn multi_process_ring_matches_the_in_process_driver_barrier_for_barrier() {
+        let job = island_job(BackendKind::Behavioral);
+        let config = job.islands.unwrap();
+        let engine = ga_engine::global().get(job.backend).unwrap();
+        let composite = ga_engine::IslandsEngine::new(engine, config).expect("steps");
+        let mut reference = composite.start(job.spec()).expect("starts");
+
+        let path = ckpt_path("match");
+        let (addrs, workers) = spawn_ring(config.islands);
+        let mut coord = Coordinator::connect(&job, &addrs, &path, None).expect("connects");
+        while !coord.done() {
+            let ours = coord.step_epoch().expect("epoch");
+            let theirs = reference.step_epoch();
+            assert_eq!(
+                ours, theirs,
+                "barrier {} bundle diverged from the in-process driver",
+                ours.epochs_done
+            );
+            // The durable file holds exactly the latest barrier.
+            assert_eq!(read_checkpoint(&path).expect("readable"), ours);
+        }
+        assert_eq!(coord.migrations, 3 * 3);
+        let run = coord.finish().expect("finishes");
+        assert_eq!(run, reference.finish());
+        for w in workers {
+            w.join().expect("worker thread").expect("worker ok");
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_resume_from_the_checkpoint_file_is_bit_identical_across_backends() {
+        let job = island_job(BackendKind::Behavioral);
+        let config = job.islands.unwrap();
+        let engine = ga_engine::global().get(job.backend).unwrap();
+        let reference = ga_engine::IslandsEngine::new(engine, config)
+            .expect("steps")
+            .run(job.spec())
+            .expect("runs");
+
+        // Run one epoch, then "crash": drop the coordinator so every
+        // worker sees EOF and exits. The checkpoint file survives.
+        let path = ckpt_path("resume");
+        let (addrs, workers) = spawn_ring(config.islands);
+        let mut coord = Coordinator::connect(&job, &addrs, &path, None).expect("connects");
+        coord.step_epoch().expect("epoch");
+        drop(coord);
+        for w in workers {
+            w.join().expect("worker thread").expect("EOF is clean");
+        }
+
+        // Resume on *bitsim64* workers: snapshots are backend-neutral,
+        // so the healed ring must still match the behavioral reference.
+        let bundle = read_checkpoint(&path).expect("checkpoint survives the crash");
+        assert_eq!(bundle.epochs_done, 1);
+        let resumed_job = GaJob {
+            backend: BackendKind::BitSim64,
+            ..job
+        };
+        let (addrs, workers) = spawn_ring(config.islands);
+        let mut coord =
+            Coordinator::connect(&resumed_job, &addrs, &path, Some(&bundle)).expect("reconnects");
+        assert_eq!(coord.epochs_done(), 1);
+        while !coord.done() {
+            coord.step_epoch().expect("epoch");
+        }
+        assert_eq!(coord.finish().expect("finishes"), reference);
+        for w in workers {
+            w.join().expect("worker thread").expect("worker ok");
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_replies_typed_errors_and_survives_them() {
+        let (addr, worker) = spawn_worker();
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut call = |line: &str| -> String {
+            writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        // Ops before init, unknown ops, and garbage are all ok:false
+        // replies — the connection stays up.
+        assert!(call("{\"op\":\"epoch\",\"gens\":1}").contains("\"ok\":false"));
+        assert!(call("{\"op\":\"warp\"}").contains("unknown op"));
+        assert!(call("not json").contains("\"ok\":false"));
+        let init = "{\"op\":\"init\",\"fn\":\"BF6\",\"backend\":\"behavioral\",\"pop\":16,\
+                    \"gens\":4,\"xover\":10,\"mut\":1,\"seed\":10593,\"islands\":1,\"shard\":0}";
+        assert!(call(init).contains("\"ok\":true"));
+        assert!(call("{\"op\":\"epoch\",\"gens\":4}").contains("\"fitness\""));
+        // A snapshot that does not decode is typed, not fatal.
+        assert!(call(
+            "{\"op\":\"init\",\"fn\":\"BF6\",\"backend\":\"behavioral\",\"pop\":16,\
+                      \"gens\":4,\"xover\":10,\"mut\":1,\"seed\":1,\"islands\":1,\"shard\":0,\
+                      \"snapshot\":\"zz\"}"
+        )
+        .contains("snapshot"));
+        assert!(call("{\"op\":\"finish\"}").contains("\"evaluations\""));
+        worker.join().expect("thread").expect("clean exit");
+    }
+
+    #[test]
+    fn checkpoint_files_survive_a_torn_write() {
+        let path = ckpt_path("torn");
+        let bundle = {
+            let job = island_job(BackendKind::Behavioral);
+            let engine = ga_engine::global().get(job.backend).unwrap();
+            let composite =
+                ga_engine::IslandsEngine::new(engine, job.islands.unwrap()).expect("steps");
+            let mut d = composite.start(job.spec()).expect("starts");
+            d.step_epoch()
+        };
+        write_checkpoint(&path, &bundle).expect("flushes");
+        // A later, torn flush (the crash window: tmp written, rename
+        // never happened) leaves the previous checkpoint intact.
+        fs::write(path.with_file_name("garbage.tmp"), "deadbeef").unwrap();
+        assert_eq!(read_checkpoint(&path).expect("still readable"), bundle);
+        let _ = fs::remove_file(&path);
+    }
+}

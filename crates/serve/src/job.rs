@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use ga_core::islands::IslandConfig;
 use ga_core::GaParams;
 pub use ga_ehw::PERFECT_FITNESS;
 use ga_ehw::{Fault, TruthTable};
@@ -54,6 +55,14 @@ pub struct GaJob {
     /// [`ServeError::DeadlineExceeded`]; an in-flight generation (or
     /// simulated cycle) always completes first.
     pub deadline_ms: Option<u64>,
+    /// Optional island-model schedule (`islands`/`epoch`/`epochs` on
+    /// the wire). When set, the job runs as a ring-migration island
+    /// model over the requested backend's stepping handle
+    /// ([`ga_engine::IslandsEngine`]) instead of one plain run;
+    /// `params.n_gens` must equal `epoch × epochs` and the backend must
+    /// advertise [`ga_engine::Capabilities::stepping`]. Island jobs
+    /// never join bitsim packs — the ring already owns its lanes.
+    pub islands: Option<IslandConfig>,
 }
 
 impl GaJob {
@@ -65,6 +74,7 @@ impl GaJob {
             backend,
             params,
             deadline_ms: None,
+            islands: None,
         }
     }
 
@@ -76,6 +86,7 @@ impl GaJob {
             backend: BackendKind::Rtl32,
             params,
             deadline_ms: None,
+            islands: None,
         }
     }
 
@@ -93,12 +104,20 @@ impl GaJob {
             backend,
             params,
             deadline_ms: None,
+            islands: None,
         }
     }
 
     /// Attach a wall-clock deadline in milliseconds.
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Attach an island-model schedule (the job then runs as a
+    /// ring-migration island model over the backend's stepping handle).
+    pub fn with_islands(mut self, config: IslandConfig) -> Self {
+        self.islands = Some(config);
         self
     }
 
@@ -114,7 +133,9 @@ impl GaJob {
 
     /// The admission check every backend runs before touching an
     /// engine: the registered backend's capability gate (width support
-    /// first, then the hardware parameter ranges).
+    /// first, then the hardware parameter ranges), plus the island
+    /// schedule gate when the job carries one — a stepping backend and
+    /// `n_gens == epoch × epochs`, both typed, never panicking.
     pub fn validate(&self) -> Result<(), ServeError> {
         let engine =
             ga_engine::global()
@@ -125,7 +146,34 @@ impl GaJob {
         engine
             .capabilities()
             .admit(&self.spec())
-            .map_err(ServeError::from)
+            .map_err(ServeError::from)?;
+        if let Some(cfg) = self.islands {
+            if !engine.capabilities().stepping {
+                return Err(ServeError::InvalidJob {
+                    msg: format!(
+                        "backend {} has no stepping handle; island jobs need one",
+                        self.backend.name()
+                    ),
+                });
+            }
+            if cfg.islands == 0 || cfg.epoch == 0 || cfg.epochs == 0 {
+                return Err(ServeError::InvalidJob {
+                    msg: "island schedule needs islands, epoch and epochs all >= 1".into(),
+                });
+            }
+            match cfg.epoch.checked_mul(cfg.epochs) {
+                Some(total) if total == self.params.n_gens => {}
+                _ => {
+                    return Err(ServeError::InvalidJob {
+                        msg: format!(
+                            "gens {} disagrees with the island schedule epoch {} × epochs {}",
+                            self.params.n_gens, cfg.epoch, cfg.epochs
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Packing compatibility key: two jobs may share a 64-lane bitsim
@@ -393,6 +441,55 @@ mod tests {
             ga_engine::global().supporting_width(32),
             vec![BackendKind::Rtl32]
         );
+    }
+
+    #[test]
+    fn island_jobs_validate_schedule_and_stepping() {
+        let cfg = IslandConfig {
+            islands: 3,
+            epoch: 4,
+            epochs: 3,
+        };
+        let good = GaJob::new(
+            TestFunction::Bf6,
+            BackendKind::Behavioral,
+            GaParams::new(16, 12, 10, 1, 0x2961),
+        )
+        .with_islands(cfg);
+        assert_eq!(good.validate(), Ok(()));
+
+        // The schedule must agree with n_gens — typed, never silent.
+        let mismatched = GaJob {
+            params: GaParams {
+                n_gens: 8,
+                ..good.params
+            },
+            ..good
+        };
+        let Err(ServeError::InvalidJob { msg }) = mismatched.validate() else {
+            panic!("mismatched schedule accepted");
+        };
+        assert!(msg.contains("island schedule"), "msg: {msg}");
+
+        // A non-stepping backend cannot host a ring.
+        let swga = GaJob {
+            backend: BackendKind::Swga,
+            ..good
+        };
+        let Err(ServeError::InvalidJob { msg }) = swga.validate() else {
+            panic!("non-stepping backend accepted");
+        };
+        assert!(msg.contains("stepping"), "msg: {msg}");
+
+        // Degenerate schedules are refused up front.
+        let zero = GaJob {
+            islands: Some(IslandConfig { islands: 0, ..cfg }),
+            ..good
+        };
+        assert!(matches!(
+            zero.validate(),
+            Err(ServeError::InvalidJob { .. })
+        ));
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! none. Unknown keys are rejected — a typo'd field must not silently
 //! change the experiment.
 //!
+//! An **island job** adds the triple `islands`/`epoch`/`epochs` (all
+//! three or none — a partial set is a typed parse error): the job then
+//! runs as a ring-migration island model over the backend's stepping
+//! handle, with `gens` required to equal `epoch × epochs` (the
+//! registry's typed `invalid_job` admission otherwise). Island jobs
+//! evolve a fitness function; combining the triple with the heal keys
+//! is a parse error. The result line keeps the standard shape — the
+//! reported best/evaluations are the ring-wide aggregates.
+//!
 //! A VRC healing job replaces `fn` with the pair `heal_target` (the
 //! 4-input truth table to restore, 0–65535) and `heal_fault` (the
 //! injected fault in [`ga_ehw::Fault::wire_name`] encoding, e.g.
@@ -34,6 +43,7 @@
 
 use std::fmt::Write as _;
 
+use ga_core::islands::IslandConfig;
 use ga_core::GaParams;
 
 use crate::job::{
@@ -272,6 +282,9 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
     let mut mutation = None;
     let mut seed = None;
     let mut deadline_ms = None;
+    let mut islands = None;
+    let mut epoch = None;
+    let mut epochs = None;
 
     for (key, value) in pairs {
         match key.as_str() {
@@ -315,6 +328,13 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
                 JsonValue::Null => deadline_ms = None,
                 v => deadline_ms = Some(as_int(&key, &v, 0, u64::MAX).map_err(perr)?),
             },
+            "islands" => {
+                islands = Some(as_int(&key, &value, 1, 1024).map_err(perr)? as usize);
+            }
+            "epoch" => epoch = Some(as_int(&key, &value, 1, u32::MAX as u64).map_err(perr)? as u32),
+            "epochs" => {
+                epochs = Some(as_int(&key, &value, 1, u32::MAX as u64).map_err(perr)? as u32);
+            }
             other => return Err(perr(format!("unknown key {other:?}"))),
         }
     }
@@ -332,6 +352,28 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
         (None, None, Some(_)) => return Err(req("heal_target")),
         (None, None, None) => return Err(req("fn")),
     };
+    // The island triple is all-or-none; a partial set means the caller
+    // half-specified a schedule, which must not silently run solo.
+    let island_config = match (islands, epoch, epochs) {
+        (None, None, None) => None,
+        (Some(n), Some(e), Some(k)) => {
+            if matches!(workload, Workload::VrcHeal { .. }) {
+                return Err(perr(
+                    "\"islands\" and \"heal_target\"/\"heal_fault\" are mutually exclusive".into(),
+                ));
+            }
+            Some(IslandConfig {
+                islands: n,
+                epoch: e,
+                epochs: k,
+            })
+        }
+        _ => {
+            return Err(perr(
+                "island jobs need all three of \"islands\", \"epoch\", \"epochs\"".into(),
+            ))
+        }
+    };
     Ok(GaJob {
         width,
         workload,
@@ -344,17 +386,18 @@ pub fn parse_job(text: &str, line: usize) -> Result<GaJob, ServeError> {
             seed: seed.ok_or_else(|| req("seed"))?,
         },
         deadline_ms,
+        islands: island_config,
     })
 }
 
-fn as_str(key: &str, v: &JsonValue) -> Result<String, String> {
+pub(crate) fn as_str(key: &str, v: &JsonValue) -> Result<String, String> {
     match v {
         JsonValue::Str(s) => Ok(s.clone()),
         other => Err(format!("key {key:?} must be a string, got {other:?}")),
     }
 }
 
-fn as_int(key: &str, v: &JsonValue, min: u64, max: u64) -> Result<u64, String> {
+pub(crate) fn as_int(key: &str, v: &JsonValue, min: u64, max: u64) -> Result<u64, String> {
     let JsonValue::Num(n) = v else {
         return Err(format!("key {key:?} must be a number, got {v:?}"));
     };
@@ -395,6 +438,13 @@ pub fn job_line(job: &GaJob) -> String {
     );
     if let Some(ms) = job.deadline_ms {
         let _ = write!(out, ",\"deadline_ms\":{ms}");
+    }
+    if let Some(cfg) = job.islands {
+        let _ = write!(
+            out,
+            ",\"islands\":{},\"epoch\":{},\"epochs\":{}",
+            cfg.islands, cfg.epoch, cfg.epochs
+        );
     }
     out.push('}');
     out
@@ -512,6 +562,68 @@ mod tests {
              \"width\":16,\"pop\":16,\"gens\":12,\"xover\":10,\"mut\":1,\"seed\":10593}"
         );
         assert_eq!(parse_job(&line, 0), Ok(job), "line: {line}");
+    }
+
+    #[test]
+    fn island_job_lines_roundtrip() {
+        let job = GaJob::new(
+            TestFunction::Bf6,
+            BackendKind::Behavioral,
+            GaParams::new(16, 12, 10, 1, 0x2961),
+        )
+        .with_islands(IslandConfig {
+            islands: 3,
+            epoch: 4,
+            epochs: 3,
+        });
+        let line = job_line(&job);
+        assert_eq!(
+            line,
+            "{\"fn\":\"BF6\",\"backend\":\"behavioral\",\"width\":16,\"pop\":16,\"gens\":12,\
+             \"xover\":10,\"mut\":1,\"seed\":10593,\"islands\":3,\"epoch\":4,\"epochs\":3}"
+        );
+        assert_eq!(parse_job(&line, 0), Ok(job), "line: {line}");
+    }
+
+    #[test]
+    fn island_keys_are_all_or_none_and_exclusive_with_heal() {
+        let tail = r#""pop":16,"gens":12,"xover":10,"mut":1,"seed":7"#;
+        for (bad, expect) in [
+            (
+                format!(r#"{{"fn":"F3",{tail},"islands":2,"epoch":6}}"#),
+                "all three",
+            ),
+            (format!(r#"{{"fn":"F3",{tail},"epochs":2}}"#), "all three"),
+            (
+                format!(r#"{{"fn":"F3",{tail},"islands":2,"epochs":3}}"#),
+                "all three",
+            ),
+            (
+                format!(
+                    r#"{{"heal_target":1,"heal_fault":"stuck0@0",{tail},"islands":2,"epoch":6,"epochs":2}}"#
+                ),
+                "mutually exclusive",
+            ),
+            (
+                format!(r#"{{"fn":"F3",{tail},"islands":0,"epoch":6,"epochs":2}}"#),
+                "outside the integer range",
+            ),
+            (
+                format!(r#"{{"fn":"F3",{tail},"islands":2,"epoch":0,"epochs":2}}"#),
+                "outside the integer range",
+            ),
+        ] {
+            let Err(ServeError::Parse { msg, .. }) = parse_job(&bad, 0) else {
+                panic!("accepted: {bad}");
+            };
+            assert!(msg.contains(expect), "line {bad}: msg {msg:?}");
+        }
+        // A schedule that disagrees with gens still *parses* — that
+        // mismatch is the registry's typed invalid_job admission error,
+        // surfaced per job, not a parse failure.
+        let mismatch = format!(r#"{{"fn":"F3",{tail},"islands":2,"epoch":5,"epochs":5}}"#);
+        let job = parse_job(&mismatch, 0).expect("schedule mismatch parses");
+        assert!(matches!(job.validate(), Err(ServeError::InvalidJob { .. })));
     }
 
     #[test]

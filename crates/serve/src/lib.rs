@@ -26,6 +26,7 @@
 //! `BENCH_serve.json`.
 
 pub mod backend;
+pub mod islands;
 pub mod job;
 pub mod jsonl;
 pub mod net;
@@ -33,6 +34,7 @@ pub mod pack;
 pub mod queue;
 pub mod service;
 
+pub use islands::{read_checkpoint, serve_island_worker, write_checkpoint, Coordinator};
 pub use job::{
     BackendKind, GaJob, HealReport, JobOutput, JobResult, ServeError, Workload, CHROM_WIDTH,
 };

@@ -457,7 +457,8 @@ pub(crate) enum Unit {
 /// `(backend, pack_key)` in first-appearance order and chunked into
 /// packs of at most the backend's pack width (the tail pack simply
 /// carries fewer active lanes); everything else — including *invalid*
-/// packable jobs, which must surface their own typed error — runs solo.
+/// packable jobs, which must surface their own typed error, and island
+/// jobs, whose ring already owns its own lane streams — runs solo.
 fn plan_units(jobs: &[GaJob]) -> Vec<Unit> {
     type PackGroup = ((BackendKind, (u8, u32)), usize, Vec<usize>);
     let mut units = Vec::new();
@@ -467,7 +468,7 @@ fn plan_units(jobs: &[GaJob]) -> Vec<Unit> {
             .get(job.backend)
             .map(|e| e.capabilities().pack_width)
             .unwrap_or(1);
-        if pack_width > 1 && job.validate().is_ok() {
+        if pack_width > 1 && job.islands.is_none() && job.validate().is_ok() {
             let key = (job.backend, job.pack_key());
             match groups.iter_mut().find(|(k, _, _)| *k == key) {
                 Some((_, _, members)) => members.push(i),
@@ -814,6 +815,32 @@ mod tests {
                 assert!(json.contains(&key), "missing {key} in {json}");
             }
         }
+    }
+
+    #[test]
+    fn island_jobs_run_solo_even_on_packing_backends() {
+        // A valid bitsim island job must never join a lockstep pack —
+        // the ring owns its own extracted lane streams — while the
+        // plain bitsim jobs around it still pack as usual.
+        let island = GaJob::new(
+            TestFunction::Bf6,
+            BackendKind::BitSim64,
+            GaParams::new(16, 8, 10, 1, 0x2961),
+        )
+        .with_islands(ga_core::islands::IslandConfig {
+            islands: 2,
+            epoch: 4,
+            epochs: 2,
+        });
+        let mut jobs = vec![island];
+        for i in 0..4u16 {
+            jobs.push(quick_job(BackendKind::BitSim64, 0xD000 + i));
+        }
+        let out = serve_batch(&jobs, &ServeConfig::default());
+        assert_eq!(out.stats.errors(), 0);
+        assert_eq!(out.stats.packs, 1, "plain jobs still pack");
+        assert_eq!(out.stats.packed_lanes, 4, "the island job stayed solo");
+        assert!(out.results[0].outcome.is_ok(), "island job ran");
     }
 
     #[test]

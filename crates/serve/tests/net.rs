@@ -61,8 +61,8 @@ fn concurrent_connections_stream_golden_stable_line_aligned_results() {
     // The acceptance criterion: >=2 concurrent connections, each
     // getting byte-identical results to the batch-mode golden, line
     // numbers aligned per connection. Connection A streams the whole
-    // fixture (31 lines incl. one parse error, deadline, rtl32, and
-    // heal jobs); connection B concurrently streams a 13-line prefix
+    // fixture (35 lines incl. parse errors, deadline, rtl32, heal and
+    // island jobs); connection B concurrently streams a 13-line prefix
     // and must get exactly the first 13 golden lines.
     let server = Server::bind("127.0.0.1:0", NetConfig::default()).expect("bind");
     let addr = server.local_addr();
@@ -82,11 +82,12 @@ fn concurrent_connections_stream_golden_stable_line_aligned_results() {
 
     let summary = server.drain();
     assert_eq!(summary.admission.connections, 2);
-    // Conn A's non-JSON line plus its two unsupported-width lines are
-    // all rejected at the reader, before any backend.
-    assert_eq!(summary.admission.rejected_parse, 3);
-    // Conn A served its 28 parseable jobs, conn B the prefix's 13.
-    assert_eq!(summary.stats.jobs(), 41);
+    // Conn A's non-JSON line, its two unsupported-width lines, and the
+    // half-specified island triple are all rejected at the reader,
+    // before any backend.
+    assert_eq!(summary.admission.rejected_parse, 4);
+    // Conn A served its 31 parseable jobs, conn B the prefix's 13.
+    assert_eq!(summary.stats.jobs(), 44);
     assert_eq!(summary.admission.rejected_closed, 0, "nothing raced drain");
 }
 

@@ -145,6 +145,87 @@ fn rtl32_composite_matches_the_dual_core_model() {
     }
 }
 
+#[test]
+fn kill_and_resume_at_every_epoch_boundary_is_bit_identical() {
+    // Island-model checkpoint/resume conformance, registry-driven: for
+    // every stepping backend, run the ring to completion, then kill it
+    // at *each* epoch barrier in turn and resume from that barrier's
+    // checkpoint — on every stepping backend (snapshots are
+    // backend-neutral, so a behavioral checkpoint must resume on
+    // bitsim64 and vice versa). The resumed trajectory must equal the
+    // uninterrupted run generation for generation, which the epoch
+    // bundles pin barrier by barrier.
+    use ga_engine::IslandsEngine;
+    let steppers: Vec<BackendKind> = ga_engine::global()
+        .engines()
+        .filter(|e| e.capabilities().stepping && e.capabilities().widths.contains(&16))
+        .map(|e| e.kind())
+        .collect();
+    assert!(
+        steppers.contains(&BackendKind::Behavioral) && steppers.contains(&BackendKind::BitSim64),
+        "behavioral and bitsim64 must both expose stepping handles, got {steppers:?}"
+    );
+    let config = ga_core::islands::IslandConfig {
+        islands: 3,
+        epoch: 4,
+        epochs: 3,
+    };
+    for &seed in &PRESET_SEEDS {
+        let spec = RunSpec {
+            width: 16,
+            workload: ga_engine::Workload::Function(TestFunction::Bf6),
+            params: GaParams::new(16, config.epoch * config.epochs, 10, 1, seed),
+            deadline_ms: None,
+        };
+        // Reference trajectory: behavioral, uninterrupted, with the
+        // bundle at every barrier recorded.
+        let behavioral = ga_engine::global().get(BackendKind::Behavioral).unwrap();
+        let composite = IslandsEngine::new(behavioral, config).expect("behavioral steps");
+        let mut driver = composite.start(spec).expect("starts");
+        let mut bundles = Vec::new();
+        while !driver.done() {
+            bundles.push(driver.step_epoch());
+        }
+        let reference = driver.finish();
+
+        for &kind in &steppers {
+            let engine = ga_engine::global().get(kind).expect("registered");
+            let resumer = IslandsEngine::new(engine, config).expect("steps");
+            // The uninterrupted run agrees across backends…
+            assert_eq!(
+                resumer.run(spec).expect("runs"),
+                reference,
+                "{} uninterrupted island run diverged, seed {seed:#06x}",
+                kind.name()
+            );
+            // …and so does the kill at every barrier.
+            for bundle in &bundles {
+                let mut resumed = resumer.resume(spec, bundle).expect("resumes");
+                let mut at = bundle.epochs_done as usize;
+                while !resumed.done() {
+                    let got = resumed.step_epoch();
+                    assert_eq!(
+                        got,
+                        bundles[at],
+                        "{} barrier {} diverged after resuming from barrier {}, seed {seed:#06x}",
+                        kind.name(),
+                        at + 1,
+                        bundle.epochs_done
+                    );
+                    at += 1;
+                }
+                assert_eq!(
+                    resumed.finish(),
+                    reference,
+                    "{} resume from barrier {} diverged, seed {seed:#06x}",
+                    kind.name(),
+                    bundle.epochs_done
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
